@@ -1,0 +1,91 @@
+// Ablation: all four Boolean-division engines from identical starting
+// points — the paper's Sec. I survey made quantitative:
+//   espresso-dc  — two-level minimizer + don't cares (the "ad-hoc setup")
+//   bdd          — Stanion–Sechen generalized-cofactor division [14]
+//   ext          — this paper's RAR-based extended division
+//   ext_gdc      — + global internal don't cares
+// plus the algebraic `resub -d` floor.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "benchcir/suite.hpp"
+#include "division/substitute.hpp"
+#include "opt/scripts.hpp"
+#include "resub/algebraic_resub.hpp"
+#include "resub/boolean_baselines.hpp"
+#include "verify/equivalence.hpp"
+
+using namespace rarsub;
+
+int main() {
+  const bool small = std::getenv("RARSUB_SMALL") != nullptr;
+  const auto suite = small ? benchmark_suite_small() : benchmark_suite();
+
+  struct Engine {
+    const char* name;
+    std::function<void(Network&)> run;
+  };
+  const std::vector<Engine> engines{
+      {"sis", [](Network& n) { algebraic_resub(n); }},
+      {"esprdc",
+       [](Network& n) {
+         BaselineOptions o;
+         o.kind = BooleanBaseline::EspressoDc;
+         boolean_baseline_resub(n, o);
+       }},
+      {"bdd",
+       [](Network& n) {
+         BaselineOptions o;
+         o.kind = BooleanBaseline::BddDivision;
+         boolean_baseline_resub(n, o);
+       }},
+      {"ext",
+       [](Network& n) {
+         SubstituteOptions o;
+         o.method = SubstMethod::Extended;
+         substitute_network(n, o);
+       }},
+      {"ext_gdc",
+       [](Network& n) {
+         SubstituteOptions o;
+         o.method = SubstMethod::ExtendedGdc;
+         substitute_network(n, o);
+       }},
+  };
+
+  std::printf("Ablation — Boolean division engines (Sec. I survey)\n%-10s %6s",
+              "circuit", "init");
+  for (const Engine& e : engines) std::printf(" | %7s %8s", e.name, "ms");
+  std::printf("\n");
+
+  long tot_init = 0;
+  std::vector<long> tot(engines.size(), 0);
+  int failures = 0;
+  for (const BenchmarkEntry& b : suite) {
+    Network prepared = b.build();
+    script_a(prepared);
+    tot_init += prepared.factored_literals();
+    std::printf("%-10s %6d", b.name.c_str(), prepared.factored_literals());
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+      Network net = prepared;
+      const auto t0 = std::chrono::steady_clock::now();
+      engines[i].run(net);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      if (!check_equivalence(prepared, net).equivalent) ++failures;
+      tot[i] += net.factored_literals();
+      std::printf(" | %7d %8.1f", net.factored_literals(), ms);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-10s %6ld", "total", tot_init);
+  for (long t : tot) std::printf(" | %7ld %8s", t, "");
+  std::printf("\n");
+  if (failures) std::printf("EQUIVALENCE FAILURES: %d\n", failures);
+  return failures;
+}

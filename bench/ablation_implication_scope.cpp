@@ -1,0 +1,60 @@
+// Ablation: the paper's implication-effort dial (Sec. III-B / Sec. V).
+// Extended division is run with three implication configurations:
+//   region          — implications confined to the division region
+//   global          — whole-circuit implications (GDCs), no learning
+//   global+learn1   — whole-circuit implications with depth-1 recursive
+//                     learning (the ext+GDC experimental configuration)
+// Quality (factored literals) should improve monotonically while CPU
+// grows — the trade-off the paper calls out explicitly.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchcir/suite.hpp"
+#include "division/substitute.hpp"
+#include "opt/scripts.hpp"
+#include "verify/equivalence.hpp"
+
+using namespace rarsub;
+
+int main() {
+  const bool small = std::getenv("RARSUB_SMALL") != nullptr;
+  const auto suite = small ? benchmark_suite_small() : benchmark_suite();
+  std::printf(
+      "Ablation — implication scope for extended division\n"
+      "%-10s %6s | %8s %8s | %8s %8s | %8s %8s\n",
+      "circuit", "init", "region", "ms", "global", "ms", "glob+rl1", "ms");
+
+  long tot[4] = {0, 0, 0, 0};
+  double ms_tot[3] = {0, 0, 0};
+  int failures = 0;
+  for (const BenchmarkEntry& e : suite) {
+    Network prepared = e.build();
+    script_a(prepared);
+    const int init = prepared.factored_literals();
+    tot[0] += init;
+    std::printf("%-10s %6d", e.name.c_str(), init);
+    for (int cfg = 0; cfg < 3; ++cfg) {
+      Network net = prepared;
+      SubstituteOptions opts;
+      opts.method = cfg == 0 ? SubstMethod::Extended : SubstMethod::ExtendedGdc;
+      opts.gdc_learning_depth = cfg == 2 ? 1 : 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      substitute_network(net, opts);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      if (!check_equivalence(prepared, net).equivalent) ++failures;
+      tot[cfg + 1] += net.factored_literals();
+      ms_tot[cfg] += ms;
+      std::printf(" | %8d %8.1f", net.factored_literals(), ms);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-10s %6ld | %8ld %8.1f | %8ld %8.1f | %8ld %8.1f\n", "total",
+              tot[0], tot[1], ms_tot[0], tot[2], ms_tot[1], tot[3], ms_tot[2]);
+  if (failures) std::printf("EQUIVALENCE FAILURES: %d\n", failures);
+  return failures;
+}

@@ -1,0 +1,175 @@
+// google-benchmark microbenches for the primitive operations every higher
+// layer leans on: cube algebra, tautology/complement, algebraic division,
+// kernels, factoring, implication closure, fault analysis, and the two
+// Boolean division procedures.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "atpg/fault.hpp"
+#include "bdd/bdd.hpp"
+#include "division/division.hpp"
+#include "gatenet/build.hpp"
+#include "sop/algdiv.hpp"
+#include "sop/espresso.hpp"
+#include "sop/factor.hpp"
+#include "sop/kernel.hpp"
+
+namespace rarsub {
+namespace {
+
+Sop random_sop(std::mt19937& rng, int num_vars, int num_cubes, double density) {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  Sop f(num_vars);
+  for (int i = 0; i < num_cubes; ++i) {
+    Cube c(num_vars);
+    for (int v = 0; v < num_vars; ++v) {
+      const double r = coin(rng);
+      if (r < density / 2) c.set_lit(v, Lit::Pos);
+      else if (r < density) c.set_lit(v, Lit::Neg);
+    }
+    f.add_cube(c);
+  }
+  return f;
+}
+
+void BM_CubeContainment(benchmark::State& state) {
+  std::mt19937 rng(1);
+  const Sop f = random_sop(rng, 32, 64, 0.3);
+  const Sop d = random_sop(rng, 32, 16, 0.2);
+  for (auto _ : state) {
+    int n = 0;
+    for (const Cube& c : f.cubes()) n += d.scc_contains(c);
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_CubeContainment);
+
+void BM_CubeIntersect(benchmark::State& state) {
+  std::mt19937 rng(2);
+  const Sop f = random_sop(rng, 64, 64, 0.3);
+  for (auto _ : state) {
+    Cube acc(64);
+    for (const Cube& c : f.cubes()) acc = acc.intersect(c);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_CubeIntersect);
+
+void BM_Tautology(benchmark::State& state) {
+  std::mt19937 rng(3);
+  const Sop f = random_sop(rng, static_cast<int>(state.range(0)), 24, 0.35);
+  for (auto _ : state) benchmark::DoNotOptimize(f.is_tautology());
+}
+BENCHMARK(BM_Tautology)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_Complement(benchmark::State& state) {
+  std::mt19937 rng(4);
+  const Sop f = random_sop(rng, static_cast<int>(state.range(0)), 12, 0.4);
+  for (auto _ : state) benchmark::DoNotOptimize(f.complement());
+}
+BENCHMARK(BM_Complement)->Arg(8)->Arg(12);
+
+void BM_EspressoLite(benchmark::State& state) {
+  std::mt19937 rng(5);
+  const Sop f = random_sop(rng, 10, 16, 0.4);
+  for (auto _ : state) benchmark::DoNotOptimize(simplify_cover(f));
+}
+BENCHMARK(BM_EspressoLite);
+
+void BM_WeakDivide(benchmark::State& state) {
+  std::mt19937 rng(6);
+  const Sop f = random_sop(rng, 16, 32, 0.3);
+  const Sop d = random_sop(rng, 16, 4, 0.2);
+  for (auto _ : state) benchmark::DoNotOptimize(weak_divide(f, d));
+}
+BENCHMARK(BM_WeakDivide);
+
+void BM_Kernels(benchmark::State& state) {
+  std::mt19937 rng(7);
+  const Sop f = random_sop(rng, 12, 20, 0.35);
+  for (auto _ : state) benchmark::DoNotOptimize(find_kernels(f));
+}
+BENCHMARK(BM_Kernels);
+
+void BM_FactoredCount(benchmark::State& state) {
+  std::mt19937 rng(8);
+  const Sop f = random_sop(rng, 12, 20, 0.35);
+  for (auto _ : state) benchmark::DoNotOptimize(factored_literal_count(f));
+}
+BENCHMARK(BM_FactoredCount);
+
+GateNet make_chain_net(int stages) {
+  GateNet gn;
+  std::vector<Signal> prev;
+  for (int i = 0; i < 8; ++i) prev.push_back({gn.add_pi(), false});
+  std::mt19937 rng(9);
+  for (int s = 0; s < stages; ++s) {
+    std::vector<Signal> next;
+    for (int i = 0; i < 8; ++i) {
+      const Signal a = prev[rng() % prev.size()];
+      const Signal b = prev[rng() % prev.size()];
+      const int g = gn.add_gate((s + i) % 2 ? GateType::And : GateType::Or,
+                                {a, {b.gate, !b.neg}});
+      next.push_back({g, false});
+    }
+    prev = next;
+  }
+  gn.add_output(prev[0].gate);
+  gn.add_output(prev[1].gate);
+  return gn;
+}
+
+void BM_ImplicationClosure(benchmark::State& state) {
+  GateNet gn = make_chain_net(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ImplicationEngine eng(gn);
+    eng.assign(gn.outputs()[0], true);
+    benchmark::DoNotOptimize(eng.in_conflict());
+  }
+}
+BENCHMARK(BM_ImplicationClosure)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FaultAnalysis(benchmark::State& state) {
+  GateNet gn = make_chain_net(16);
+  // First AND/OR gate with fanins.
+  WireRef w{-1, 0};
+  for (int g = 0; g < gn.num_gates() && w.gate < 0; ++g)
+    if (!gn.gate(g).fanins.empty()) w.gate = g;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        analyze_fault(gn, w, removal_stuck_value(gn.gate(w.gate).type)));
+}
+BENCHMARK(BM_FaultAnalysis);
+
+void BM_BasicBooleanDivide(benchmark::State& state) {
+  std::mt19937 rng(10);
+  const Sop f = random_sop(rng, 10, 12, 0.4);
+  const Sop d = random_sop(rng, 10, 4, 0.25);
+  for (auto _ : state) benchmark::DoNotOptimize(basic_boolean_divide(f, d));
+}
+BENCHMARK(BM_BasicBooleanDivide);
+
+void BM_ExtendedBooleanDivide(benchmark::State& state) {
+  std::mt19937 rng(11);
+  const Sop f = random_sop(rng, 10, 12, 0.4);
+  const Sop d = random_sop(rng, 10, 4, 0.25);
+  for (auto _ : state) benchmark::DoNotOptimize(extended_boolean_divide(f, d));
+}
+BENCHMARK(BM_ExtendedBooleanDivide);
+
+void BM_BddFromSop(benchmark::State& state) {
+  std::mt19937 rng(12);
+  const Sop f = random_sop(rng, 16, 24, 0.3);
+  for (auto _ : state) {
+    BddManager mgr(16);
+    benchmark::DoNotOptimize(mgr.from_sop(f));
+  }
+}
+BENCHMARK(BM_BddFromSop);
+
+}  // namespace
+}  // namespace rarsub
+
+BENCHMARK_MAIN();

@@ -1,0 +1,17 @@
+// Regenerates paper Table II: initial circuits prepared with
+//   Script A: eliminate 0; simplify
+// then each resubstitution method applied once — SIS `resub -d` baseline
+// vs basic division vs extended division vs extended+GDC. Reported:
+// factored literals and CPU per method, totals and % improvement.
+
+#include "table_common.hpp"
+
+int main() {
+  rarsub::benchtool::TableConfig config;
+  config.title = "Table II — Script A (eliminate 0; simplify)";
+  config.prepare = [](rarsub::Network& net) { rarsub::script_a(net); };
+  config.apply = [](rarsub::Network& net, rarsub::ResubMethod m) {
+    rarsub::run_resub(net, m);
+  };
+  return rarsub::benchtool::run_table(config);
+}

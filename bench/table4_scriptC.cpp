@@ -1,0 +1,14 @@
+// Regenerates paper Table IV: Script C (eliminate 0; simplify; gkx) as
+// the starting point, then the four resubstitution methods.
+
+#include "table_common.hpp"
+
+int main() {
+  rarsub::benchtool::TableConfig config;
+  config.title = "Table IV — Script C (eliminate 0; simplify; gkx)";
+  config.prepare = [](rarsub::Network& net) { rarsub::script_c(net); };
+  config.apply = [](rarsub::Network& net, rarsub::ResubMethod m) {
+    rarsub::run_resub(net, m);
+  };
+  return rarsub::benchtool::run_table(config);
+}

@@ -1,0 +1,17 @@
+// Regenerates paper Table V: the full script.algebraic flow with every
+// `resub` occurrence replaced by the method under test. The paper notes an
+// anomaly in this table — ext+GDC can on average underperform ext because
+// of the locally greedy first-positive-gain strategy.
+
+#include "table_common.hpp"
+
+int main() {
+  rarsub::benchtool::TableConfig config;
+  config.title =
+      "Table V — script.algebraic with resub replaced by each method";
+  config.prepare = [](rarsub::Network& net) { net.sweep(); };
+  config.apply = [](rarsub::Network& net, rarsub::ResubMethod m) {
+    rarsub::script_algebraic(net, m);
+  };
+  return rarsub::benchtool::run_table(config);
+}

@@ -1,0 +1,74 @@
+#include "table_common.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchcir/suite.hpp"
+#include "verify/equivalence.hpp"
+
+namespace rarsub::benchtool {
+
+int run_table(const TableConfig& config) {
+  const bool small =
+      config.small_suite || std::getenv("RARSUB_SMALL") != nullptr;
+  const auto suite = small ? benchmark_suite_small() : benchmark_suite();
+
+  std::printf("%s\n", config.title.c_str());
+  std::printf("%-10s %6s", "circuit", "init");
+  for (ResubMethod m : config.methods)
+    std::printf(" | %8s %8s", method_name(m).c_str(), "cpu_ms");
+  std::printf("\n");
+
+  int failures = 0;
+  long total_init = 0;
+  std::vector<long> total_lits(config.methods.size(), 0);
+  std::vector<double> total_ms(config.methods.size(), 0.0);
+
+  for (const BenchmarkEntry& e : suite) {
+    Network prepared = e.build();
+    config.prepare(prepared);
+    const int init = prepared.factored_literals();
+    total_init += init;
+    std::printf("%-10s %6d", e.name.c_str(), init);
+
+    for (std::size_t i = 0; i < config.methods.size(); ++i) {
+      Network net = prepared;
+      const auto t0 = std::chrono::steady_clock::now();
+      config.apply(net, config.methods[i]);
+      const double ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      const int lits = net.factored_literals();
+      total_lits[i] += lits;
+      total_ms[i] += ms;
+      bool ok = true;
+      if (config.verify) {
+        const EquivalenceResult eq = check_equivalence(prepared, net);
+        ok = eq.equivalent;
+        if (!ok) ++failures;
+      }
+      std::printf(" | %7d%c %8.1f", lits, ok ? ' ' : '!', ms);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%-10s %6ld", "total", total_init);
+  for (std::size_t i = 0; i < config.methods.size(); ++i)
+    std::printf(" | %8ld %8.1f", total_lits[i], total_ms[i]);
+  std::printf("\n%-10s %6s", "improve", "");
+  for (std::size_t i = 0; i < config.methods.size(); ++i) {
+    const double pct =
+        100.0 * static_cast<double>(total_init - total_lits[i]) /
+        static_cast<double>(total_init);
+    std::printf(" | %7.2f%% %8s", pct, "");
+  }
+  std::printf("\n");
+  if (failures > 0)
+    std::printf("EQUIVALENCE FAILURES: %d\n", failures);
+  return failures;
+}
+
+}  // namespace rarsub::benchtool

@@ -1,0 +1,39 @@
+#pragma once
+// Shared harness for the table-regeneration benches (paper Tables II-V):
+// runs every benchmark circuit through a preparation script, applies each
+// resubstitution method to a fresh copy, and prints the paper's row format
+// (per-circuit factored literals + CPU, a totals row, and the percentage
+// improvement over the initial literal count).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+#include "opt/scripts.hpp"
+
+namespace rarsub::benchtool {
+
+struct TableConfig {
+  std::string title;
+  /// Preparation applied once per circuit (Scripts A/B/C); identity for
+  /// Table V where the method runs inside the full flow.
+  std::function<void(Network&)> prepare;
+  /// Per-method transformation from the prepared (Table II-IV) or raw
+  /// (Table V) circuit.
+  std::function<void(Network&, ResubMethod)> apply;
+  std::vector<ResubMethod> methods{ResubMethod::SisAlgebraic, ResubMethod::Basic,
+                                   ResubMethod::Extended,
+                                   ResubMethod::ExtendedGdc};
+  /// Check PO equivalence of every transformed circuit against the
+  /// prepared one (on by default: the tables double as a soundness run).
+  bool verify = true;
+  /// Use the reduced suite (also triggered by env RARSUB_SMALL=1).
+  bool small_suite = false;
+};
+
+/// Run and print the table; returns the number of equivalence failures
+/// (0 expected).
+int run_table(const TableConfig& config);
+
+}  // namespace rarsub::benchtool

@@ -1,0 +1,186 @@
+// rarsub_cli — command-line front end to the library, in the spirit of the
+// SIS shell the paper's experiments ran in.
+//
+//   rarsub_cli stats     <circuit>                     network statistics
+//   rarsub_cli optimize  <circuit> [method] [script]   optimize + verify,
+//                                                      BLIF on stdout
+//   rarsub_cli verify    <circuit-a> <circuit-b>       PO equivalence
+//   rarsub_cli list                                    built-in benchmarks
+//
+// <circuit> is a .blif path, a .pla path, or a built-in benchmark name.
+// method: sis | basic | ext | ext_gdc (default ext)
+// script: a | b | c | algebraic (default a; `algebraic` runs the full flow)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "benchcir/suite.hpp"
+#include "network/blif.hpp"
+#include "network/eqn.hpp"
+#include "network/pla.hpp"
+#include "opt/decomp.hpp"
+#include "opt/full_simplify.hpp"
+#include "opt/scripts.hpp"
+#include "rar/network_rr.hpp"
+#include "verify/equivalence.hpp"
+
+using namespace rarsub;
+
+namespace {
+
+Network load(const std::string& source) {
+  std::ifstream file(source);
+  if (file) {
+    if (source.size() > 4 && source.substr(source.size() - 4) == ".pla")
+      return read_pla(file);
+    return read_blif(file);
+  }
+  return build_benchmark(source);
+}
+
+int cmd_stats(const std::string& source) {
+  const Network net = load(source);
+  int nodes = 0, cubes = 0, max_fanin = 0;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const Node& nd = net.node(id);
+    if (!nd.alive || nd.is_pi) continue;
+    ++nodes;
+    cubes += nd.func.num_cubes();
+    max_fanin = std::max(max_fanin, static_cast<int>(nd.fanins.size()));
+  }
+  std::printf("%-22s %s\n", "circuit", net.name().c_str());
+  std::printf("%-22s %zu\n", "primary inputs", net.pis().size());
+  std::printf("%-22s %zu\n", "primary outputs", net.pos().size());
+  std::printf("%-22s %d\n", "internal nodes", nodes);
+  std::printf("%-22s %d\n", "cubes", cubes);
+  std::printf("%-22s %d\n", "max fanin", max_fanin);
+  std::printf("%-22s %d\n", "SOP literals", net.sop_literals());
+  std::printf("%-22s %d\n", "factored literals", net.factored_literals());
+  return 0;
+}
+
+int cmd_optimize(const std::string& source, const std::string& method,
+                 const std::string& script) {
+  Network net = load(source);
+  const Network original = net;
+
+  ResubMethod m = ResubMethod::Extended;
+  if (method == "sis") m = ResubMethod::SisAlgebraic;
+  else if (method == "basic") m = ResubMethod::Basic;
+  else if (method == "ext") m = ResubMethod::Extended;
+  else if (method == "ext_gdc") m = ResubMethod::ExtendedGdc;
+  else {
+    std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+    return 2;
+  }
+
+  std::fprintf(stderr, "initial: %d factored literals\n",
+               net.factored_literals());
+  if (script == "algebraic") {
+    script_algebraic(net, m);
+  } else {
+    if (script == "a") script_a(net);
+    else if (script == "b") script_b(net);
+    else if (script == "c") script_c(net);
+    else {
+      std::fprintf(stderr, "unknown script '%s'\n", script.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "after script %s: %d literals\n", script.c_str(),
+                 net.factored_literals());
+    run_resub(net, m);
+  }
+  std::fprintf(stderr, "after %s resubstitution: %d literals\n",
+               method.c_str(), net.factored_literals());
+
+  const EquivalenceResult eq = check_equivalence(original, net);
+  std::fprintf(stderr, "equivalence: %s %s\n", eq.equivalent ? "PASS" : "FAIL",
+               eq.message.c_str());
+  if (!eq.equivalent) return 1;
+  write_blif(net, std::cout);
+  return 0;
+}
+
+int cmd_verify(const std::string& a, const std::string& b) {
+  const Network na = load(a);
+  const Network nb = load(b);
+  const EquivalenceResult eq = check_equivalence(na, nb);
+  std::printf("%s%s%s\n", eq.equivalent ? "EQUIVALENT" : "NOT EQUIVALENT",
+              eq.message.empty() ? "" : " — ", eq.message.c_str());
+  if (!eq.equivalent && eq.counterexample)
+    std::printf("counterexample: PI assignment 0x%llx\n",
+                static_cast<unsigned long long>(*eq.counterexample));
+  return eq.equivalent ? 0 : 1;
+}
+
+int cmd_print(const std::string& source) {
+  const Network net = load(source);
+  std::cout << write_eqn_string(net);
+  return 0;
+}
+
+int cmd_pass(const std::string& source, const std::string& pass) {
+  Network net = load(source);
+  const Network original = net;
+  const int before = net.factored_literals();
+  if (pass == "rr") network_redundancy_removal(net);
+  else if (pass == "full_simplify") full_simplify_network(net);
+  else if (pass == "decomp") decomp_network(net);
+  else if (pass == "eliminate") eliminate(net, 0);
+  else if (pass == "simplify") simplify_network(net);
+  else if (pass == "sweep") net.sweep();
+  else {
+    std::fprintf(stderr, "unknown pass '%s'\n", pass.c_str());
+    return 2;
+  }
+  const EquivalenceResult eq = check_equivalence(original, net);
+  std::fprintf(stderr, "%s: %d -> %d literals, equivalence %s\n",
+               pass.c_str(), before, net.factored_literals(),
+               eq.equivalent ? "PASS" : "FAIL");
+  if (!eq.equivalent) return 1;
+  write_blif(net, std::cout);
+  return 0;
+}
+
+int cmd_list() {
+  for (const BenchmarkEntry& e : benchmark_suite()) {
+    const Network net = e.build();
+    std::printf("%-12s %3zu PI %3zu PO %5d literals\n", e.name.c_str(),
+                net.pis().size(), net.pos().size(), net.factored_literals());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "stats" && argc >= 3) return cmd_stats(argv[2]);
+    if (cmd == "optimize" && argc >= 3)
+      return cmd_optimize(argv[2], argc > 3 ? argv[3] : "ext",
+                          argc > 4 ? argv[4] : "a");
+    if (cmd == "verify" && argc >= 4) return cmd_verify(argv[2], argv[3]);
+    if (cmd == "print" && argc >= 3) return cmd_print(argv[2]);
+    if (cmd == "pass" && argc >= 4) return cmd_pass(argv[2], argv[3]);
+    if (cmd == "list") return cmd_list();
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  rarsub_cli stats    <circuit>\n"
+               "  rarsub_cli optimize <circuit> [sis|basic|ext|ext_gdc] "
+               "[a|b|c|algebraic]\n"
+               "  rarsub_cli verify   <circuit-a> <circuit-b>\n"
+               "  rarsub_cli print    <circuit>            (factored equations)\n"
+               "  rarsub_cli pass     <circuit> <rr|full_simplify|decomp|"
+               "eliminate|simplify|sweep>\n"
+               "  rarsub_cli list\n"
+               "(<circuit> = .blif path, .pla path, or built-in name)\n");
+  return 2;
+}

@@ -1,0 +1,139 @@
+#include "atpg/fault.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rarsub {
+
+bool removal_stuck_value(GateType t) {
+  assert(t == GateType::And || t == GateType::Or);
+  return t == GateType::And;  // AND: stuck-at-1 removable; OR: stuck-at-0
+}
+
+std::vector<int> propagation_dominators(const GateNet& net, int g) {
+  // Post-dominator sets over the fanout cone of g, bitset per gate,
+  // computed in reverse topological order:
+  //   postdom(x) = {x}                         if x is observable
+  //   postdom(x) = {x} ∪ ∩ postdom(fanouts)    otherwise
+  // Dead ends (no fanout, not observable) get the universal set so they do
+  // not weaken the intersection — no detecting path goes through them.
+  const std::vector<bool> in_cone_mask = net.tfo_mask(g);
+  std::vector<int> cone;  // local indexing: cone[0] == g
+  std::vector<int> local(static_cast<std::size_t>(net.num_gates()), -1);
+  cone.push_back(g);
+  local[static_cast<std::size_t>(g)] = 0;
+  for (int x : net.topo_order()) {
+    if (x != g && in_cone_mask[static_cast<std::size_t>(x)]) {
+      local[static_cast<std::size_t>(x)] = static_cast<int>(cone.size());
+      cone.push_back(x);
+    }
+  }
+  const int n = static_cast<int>(cone.size());
+  const int words = (n + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> postdom(
+      static_cast<std::size_t>(n),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(words), ~0ULL));
+
+  std::vector<bool> observable(static_cast<std::size_t>(net.num_gates()), false);
+  for (int o : net.outputs()) observable[static_cast<std::size_t>(o)] = true;
+
+  // Process in reverse topological order of the cone. topo_order() lists
+  // fanins first, so iterate the cone backwards after sorting by topo rank.
+  std::vector<int> rank(static_cast<std::size_t>(net.num_gates()), 0);
+  {
+    int r = 0;
+    for (int x : net.topo_order()) rank[static_cast<std::size_t>(x)] = r++;
+  }
+  std::vector<int> order = cone;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return rank[static_cast<std::size_t>(a)] > rank[static_cast<std::size_t>(b)];
+  });
+
+  for (int x : order) {
+    const int lx = local[static_cast<std::size_t>(x)];
+    auto& pd = postdom[static_cast<std::size_t>(lx)];
+    if (observable[static_cast<std::size_t>(x)]) {
+      std::fill(pd.begin(), pd.end(), 0ULL);
+    } else {
+      bool any_fanout = false;
+      std::vector<std::uint64_t> acc(static_cast<std::size_t>(words), ~0ULL);
+      for (int fo : net.gate(x).fanouts) {
+        const int lf = local[static_cast<std::size_t>(fo)];
+        if (lf < 0) continue;  // fanout outside cone: impossible by def
+        any_fanout = true;
+        const auto& fpd = postdom[static_cast<std::size_t>(lf)];
+        for (int w = 0; w < words; ++w)
+          acc[static_cast<std::size_t>(w)] &= fpd[static_cast<std::size_t>(w)];
+      }
+      if (any_fanout) pd = std::move(acc);
+      // else: dead end, keep universal set.
+    }
+    pd[static_cast<std::size_t>(lx / 64)] |= 1ULL << (lx % 64);
+  }
+
+  const auto& gd = postdom[0];
+  std::vector<int> doms;
+  for (int i = 1; i < n; ++i)
+    if (gd[static_cast<std::size_t>(i / 64)] >> (i % 64) & 1) doms.push_back(cone[static_cast<std::size_t>(i)]);
+  return doms;
+}
+
+FaultResult analyze_fault(const GateNet& net, WireRef w, bool stuck_value,
+                          int learning_depth) {
+  FaultResult res;
+  const Gate& gd = net.gate(w.gate);
+  assert(gd.type == GateType::And || gd.type == GateType::Or);
+  assert(w.pin >= 0 && w.pin < static_cast<int>(gd.fanins.size()));
+
+  // Observability precheck: if nothing observable is reachable from the
+  // fault site, the wire is trivially redundant.
+  {
+    std::vector<bool> blocked(static_cast<std::size_t>(net.num_gates()), false);
+    if (!net.reaches_output(w.gate, blocked)) {
+      res.untestable = true;
+      res.unobservable = true;
+      return res;
+    }
+  }
+
+  ImplicationEngine eng(net, learning_depth);
+
+  auto fail = [&]() {
+    res.untestable = true;
+    res.values = eng.values();
+    return res;
+  };
+
+  // 1. Activation: the wire must carry the opposite of its stuck value.
+  const Signal& s = gd.fanins[static_cast<std::size_t>(w.pin)];
+  const bool seen_val = !stuck_value;
+  if (!eng.assign(s.gate, s.neg ? !seen_val : seen_val)) return fail();
+
+  // 2. Side inputs of the faulted gate must be non-controlling so the
+  //    fault effect reaches the gate output.
+  const bool nctrl_seen = (gd.type == GateType::And);
+  for (int p = 0; p < static_cast<int>(gd.fanins.size()); ++p) {
+    if (p == w.pin) continue;
+    const Signal& sp = gd.fanins[static_cast<std::size_t>(p)];
+    if (!eng.assign(sp.gate, sp.neg ? !nctrl_seen : nctrl_seen)) return fail();
+  }
+
+  // 3. Every propagation dominator needs its off-cone inputs
+  //    non-controlling.
+  const std::vector<bool> cone = net.tfo_mask(w.gate);
+  for (int d : propagation_dominators(net, w.gate)) {
+    const Gate& dg = net.gate(d);
+    if (dg.type != GateType::And && dg.type != GateType::Or) continue;
+    const bool d_nctrl = (dg.type == GateType::And);
+    for (const Signal& sp : dg.fanins) {
+      if (sp.gate == w.gate || cone[static_cast<std::size_t>(sp.gate)])
+        continue;  // carries (or may carry) the fault effect
+      if (!eng.assign(sp.gate, sp.neg ? !d_nctrl : d_nctrl)) return fail();
+    }
+  }
+
+  res.values = eng.values();
+  return res;
+}
+
+}  // namespace rarsub

@@ -1,0 +1,43 @@
+#pragma once
+// Stuck-at fault analysis by static implication of necessary detection
+// conditions (activation + non-controlling side inputs of every
+// propagation dominator). A conflict proves the fault untestable, i.e. the
+// wire redundant — the removal half of the paper's RAR machinery.
+
+#include <vector>
+
+#include "atpg/implication.hpp"
+#include "gatenet/gatenet.hpp"
+
+namespace rarsub {
+
+struct FaultResult {
+  /// Necessary conditions conflict: the fault is untestable, the wire may
+  /// be replaced by its stuck value.
+  bool untestable = false;
+  /// No structural path from the fault site to any observable output
+  /// (implies untestable).
+  bool unobservable = false;
+  /// Final implication values (good-machine necessary values); the vote
+  /// table of extended division reads the divisor-cube entries from here.
+  std::vector<TV> values;
+};
+
+/// Gates through which every path from `g` to an observable output passes
+/// (excluding `g` itself), in topological order. Empty when `g` is itself
+/// observable.
+std::vector<int> propagation_dominators(const GateNet& net, int g);
+
+/// Analyze the stuck-at-`stuck_value` fault on wire `w` (an input pin).
+/// `learning_depth` > 0 enables recursive learning in the implications
+/// (the paper's "more time ... to incorporate a large amount of internal
+/// don't cares").
+FaultResult analyze_fault(const GateNet& net, WireRef w, bool stuck_value,
+                          int learning_depth = 0);
+
+/// The stuck value whose untestability lets us delete the pin outright:
+/// the non-controlling value of the gate (AND input stuck-at-1, OR input
+/// stuck-at-0).
+bool removal_stuck_value(GateType t);
+
+}  // namespace rarsub

@@ -1,0 +1,179 @@
+#include "atpg/implication.hpp"
+
+#include <cassert>
+
+namespace rarsub {
+
+ImplicationEngine::ImplicationEngine(const GateNet& net, int learning_depth)
+    : net_(&net), learning_depth_(learning_depth) {
+  reset();
+}
+
+void ImplicationEngine::reset() {
+  val_.assign(static_cast<std::size_t>(net_->num_gates()), TV::X);
+  queued_.assign(static_cast<std::size_t>(net_->num_gates()), false);
+  queue_.clear();
+  conflict_ = false;
+  // Constants and degenerate gates have fixed values from the start.
+  for (int g = 0; g < net_->num_gates(); ++g) {
+    const Gate& gd = net_->gate(g);
+    switch (gd.type) {
+      case GateType::Const0: val_[static_cast<std::size_t>(g)] = TV::Zero; break;
+      case GateType::Const1: val_[static_cast<std::size_t>(g)] = TV::One; break;
+      case GateType::And:
+        if (gd.fanins.empty()) val_[static_cast<std::size_t>(g)] = TV::One;
+        break;
+      case GateType::Or:
+        if (gd.fanins.empty()) val_[static_cast<std::size_t>(g)] = TV::Zero;
+        break;
+      case GateType::PI: break;
+    }
+  }
+}
+
+bool ImplicationEngine::set_value(int g, TV v) {
+  assert(v != TV::X);
+  TV& cur = val_[static_cast<std::size_t>(g)];
+  if (cur == v) return true;
+  if (cur != TV::X) {
+    conflict_ = true;
+    return false;
+  }
+  cur = v;
+  // Re-examine this gate (backward rules) and its fanouts (forward rules).
+  auto enqueue = [&](int x) {
+    if (!queued_[static_cast<std::size_t>(x)]) {
+      queued_[static_cast<std::size_t>(x)] = true;
+      queue_.push_back(x);
+    }
+  };
+  enqueue(g);
+  for (int fo : net_->gate(g).fanouts) enqueue(fo);
+  return true;
+}
+
+bool ImplicationEngine::set_seen(const Signal& s, TV v) {
+  return set_value(s.gate, s.neg ? tv_neg(v) : v);
+}
+
+bool ImplicationEngine::imply_gate(int g) {
+  const Gate& gd = net_->gate(g);
+  if (gd.type != GateType::And && gd.type != GateType::Or) return true;
+  // Uniform view: for AND the controlling seen-value is 0, for OR it is 1.
+  const TV ctrl = (gd.type == GateType::And) ? TV::Zero : TV::One;
+  const TV nctrl = tv_neg(ctrl);
+  // Output value when some input is controlling / all are non-controlling.
+  const TV out_ctrl = ctrl;    // AND: 0 -> 0; OR: 1 -> 1
+  const TV out_nctrl = nctrl;  // AND: all 1 -> 1; OR: all 0 -> 0
+
+  int n_ctrl = 0, n_x = 0;
+  const Signal* last_x = nullptr;
+  for (const Signal& s : gd.fanins) {
+    const TV v = seen(s);
+    if (v == ctrl) ++n_ctrl;
+    else if (v == TV::X) {
+      ++n_x;
+      last_x = &s;
+    }
+  }
+
+  // Forward implications.
+  if (n_ctrl > 0) {
+    if (!set_value(g, out_ctrl)) return false;
+  } else if (n_x == 0 && !gd.fanins.empty()) {
+    if (!set_value(g, out_nctrl)) return false;
+  }
+
+  // Backward implications.
+  const TV out = val_[static_cast<std::size_t>(g)];
+  if (out == out_nctrl) {
+    // Every input must be non-controlling.
+    for (const Signal& s : gd.fanins)
+      if (!set_seen(s, nctrl)) return false;
+  } else if (out == out_ctrl && n_ctrl == 0) {
+    if (n_x == 0) {
+      conflict_ = true;  // output demands a controlling input; none possible
+      return false;
+    }
+    if (n_x == 1) {
+      if (!set_seen(*last_x, ctrl)) return false;
+    }
+  }
+  return true;
+}
+
+bool ImplicationEngine::propagate() {
+  while (!queue_.empty()) {
+    const int g = queue_.back();
+    queue_.pop_back();
+    queued_[static_cast<std::size_t>(g)] = false;
+    if (!imply_gate(g)) return false;
+  }
+  if (learning_depth_ > 0) {
+    if (!learn_pass()) return false;
+    // learn_pass re-queues on success; drain if anything was learned.
+    if (!queue_.empty()) return propagate();
+  }
+  return true;
+}
+
+bool ImplicationEngine::learn_pass() {
+  // Bounded recursive learning (Kunz–Pradhan style): case-split on each
+  // unjustified gate, run direct implications in each branch, and keep the
+  // values common to all non-conflicting branches.
+  constexpr int kMaxSplits = 48;
+  int splits = 0;
+  for (int g = 0; g < net_->num_gates() && splits < kMaxSplits; ++g) {
+    const Gate& gd = net_->gate(g);
+    if (gd.type != GateType::And && gd.type != GateType::Or) continue;
+    const TV ctrl = (gd.type == GateType::And) ? TV::Zero : TV::One;
+    if (val_[static_cast<std::size_t>(g)] != ctrl) continue;
+    // Unjustified: output at controlling value, no input controlling yet,
+    // two or more X inputs to choose from.
+    int n_ctrl = 0, n_x = 0;
+    for (const Signal& s : gd.fanins) {
+      const TV v = seen(s);
+      if (v == ctrl) ++n_ctrl;
+      else if (v == TV::X) ++n_x;
+    }
+    if (n_ctrl > 0 || n_x < 2) continue;
+    ++splits;
+
+    std::vector<TV> common;
+    bool first = true;
+    bool all_conflict = true;
+    for (const Signal& s : gd.fanins) {
+      if (seen(s) != TV::X) continue;
+      ImplicationEngine branch = *this;
+      branch.learning_depth_ = learning_depth_ - 1;
+      if (!branch.set_seen(s, ctrl) || !branch.propagate()) continue;
+      all_conflict = false;
+      if (first) {
+        common = branch.val_;
+        first = false;
+      } else {
+        for (std::size_t i = 0; i < common.size(); ++i)
+          if (common[i] != branch.val_[i]) common[i] = TV::X;
+      }
+    }
+    if (all_conflict) {
+      conflict_ = true;
+      return false;
+    }
+    for (std::size_t i = 0; i < common.size(); ++i) {
+      if (common[i] != TV::X && val_[i] == TV::X) {
+        if (!set_value(static_cast<int>(i), common[i])) return false;
+      }
+    }
+    if (!queue_.empty()) return true;  // let the caller re-propagate
+  }
+  return true;
+}
+
+bool ImplicationEngine::assign(int g, bool v) {
+  if (conflict_) return false;
+  if (!set_value(g, tv_of(v))) return false;
+  return propagate();
+}
+
+}  // namespace rarsub

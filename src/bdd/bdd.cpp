@@ -1,0 +1,166 @@
+#include "bdd/bdd.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rarsub {
+
+BddManager::BddManager(int num_vars) : num_vars_(num_vars) {
+  // Node 0 = constant 0, node 1 = constant 1; terminals sit below all vars.
+  nodes_.push_back(Node{num_vars_, 0, 0});
+  nodes_.push_back(Node{num_vars_, 1, 1});
+}
+
+BddRef BddManager::mk(int var, BddRef low, BddRef high) {
+  if (low == high) return low;
+  const NodeKey key{var, low, high};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  nodes_.push_back(Node{var, low, high});
+  const BddRef r = static_cast<BddRef>(nodes_.size() - 1);
+  unique_.emplace(key, r);
+  return r;
+}
+
+BddRef BddManager::var(int v) {
+  assert(v >= 0 && v < num_vars_);
+  return mk(v, zero(), one());
+}
+
+BddRef BddManager::nvar(int v) {
+  assert(v >= 0 && v < num_vars_);
+  return mk(v, one(), zero());
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == one()) return g;
+  if (f == zero()) return h;
+  if (g == h) return g;
+  if (g == one() && h == zero()) return f;
+
+  const IteKey key{f, g, h};
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const int v = std::min({top_var(f), top_var(g), top_var(h)});
+  auto cof = [&](BddRef x, bool val) {
+    if (top_var(x) != v) return x;
+    return val ? nodes_[x].high : nodes_[x].low;
+  };
+  const BddRef lo = ite(cof(f, false), cof(g, false), cof(h, false));
+  const BddRef hi = ite(cof(f, true), cof(g, true), cof(h, true));
+  const BddRef r = mk(v, lo, hi);
+  ite_cache_.emplace(key, r);
+  return r;
+}
+
+BddRef BddManager::bdd_xor(BddRef f, BddRef g) { return ite(f, bdd_not(g), g); }
+
+BddRef BddManager::restrict_var(BddRef f, int v, bool value) {
+  if (top_var(f) > v) return f;
+  if (top_var(f) == v) return value ? nodes_[f].high : nodes_[f].low;
+  // top_var(f) < v: rebuild children.
+  const int tv = top_var(f);
+  return mk(tv, restrict_var(nodes_[f].low, v, value),
+            restrict_var(nodes_[f].high, v, value));
+}
+
+BddRef BddManager::exists(BddRef f, int v) {
+  return bdd_or(restrict_var(f, v, false), restrict_var(f, v, true));
+}
+
+BddRef BddManager::constrain(BddRef f, BddRef c) {
+  assert(c != zero());  // constrain by 0 is undefined
+  if (c == one() || f == zero() || f == one()) return f;
+  if (f == c) return one();
+
+  const IteKey key{f, c, 0xFFFFFFFFu};
+  auto it = constrain_cache_.find(key);
+  if (it != constrain_cache_.end()) return it->second;
+
+  const int v = std::min(top_var(f), top_var(c));
+  auto cof = [&](BddRef x, bool val) {
+    if (top_var(x) != v) return x;
+    return val ? nodes_[x].high : nodes_[x].low;
+  };
+  const BddRef c0 = cof(c, false), c1 = cof(c, true);
+  BddRef r;
+  if (c0 == zero()) {
+    r = constrain(cof(f, true), c1);
+  } else if (c1 == zero()) {
+    r = constrain(cof(f, false), c0);
+  } else {
+    r = mk(v, constrain(cof(f, false), c0), constrain(cof(f, true), c1));
+  }
+  constrain_cache_.emplace(key, r);
+  return r;
+}
+
+BddRef BddManager::from_sop(const Sop& f) {
+  assert(f.num_vars() <= num_vars_);
+  BddRef acc = zero();
+  for (const Cube& c : f.cubes()) {
+    if (c.is_empty()) continue;
+    BddRef cube = one();
+    for (int v = f.num_vars() - 1; v >= 0; --v) {
+      const Lit l = c.lit(v);
+      if (l == Lit::Pos) cube = bdd_and(var(v), cube);
+      if (l == Lit::Neg) cube = bdd_and(nvar(v), cube);
+    }
+    acc = bdd_or(acc, cube);
+  }
+  return acc;
+}
+
+Sop BddManager::to_sop(BddRef f) {
+  Sop out(num_vars_);
+  if (f == zero()) return out;
+  // DFS over 1-paths.
+  std::vector<std::pair<BddRef, Cube>> stack;
+  stack.emplace_back(f, Cube(num_vars_));
+  while (!stack.empty()) {
+    auto [node, path] = stack.back();
+    stack.pop_back();
+    if (node == zero()) continue;
+    if (node == one()) {
+      out.add_cube(path);
+      continue;
+    }
+    const int v = top_var(node);
+    Cube lo = path, hi = path;
+    lo.set_lit(v, Lit::Neg);
+    hi.set_lit(v, Lit::Pos);
+    stack.emplace_back(nodes_[node].low, std::move(lo));
+    stack.emplace_back(nodes_[node].high, std::move(hi));
+  }
+  out.scc_minimize();
+  return out;
+}
+
+double BddManager::count_minterms(BddRef f) {
+  if (f == zero()) return 0.0;
+  std::unordered_map<BddRef, double> memo;
+  // Fraction-of-space count, then scale.
+  auto rec = [&](auto&& self, BddRef n) -> double {
+    if (n == zero()) return 0.0;
+    if (n == one()) return 1.0;
+    auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    const double r =
+        0.5 * self(self, nodes_[n].low) + 0.5 * self(self, nodes_[n].high);
+    memo.emplace(n, r);
+    return r;
+  };
+  return rec(rec, f) * std::pow(2.0, num_vars_);
+}
+
+bool BddManager::eval(BddRef f, std::uint64_t assignment) const {
+  while (f != zero() && f != one()) {
+    const int v = nodes_[f].var;
+    f = ((assignment >> v) & 1) ? nodes_[f].high : nodes_[f].low;
+  }
+  return f == one();
+}
+
+}  // namespace rarsub

@@ -1,0 +1,105 @@
+#pragma once
+// A compact ROBDD package: unique table, ITE with memoization, restrict,
+// compose, and the generalized cofactor (constrain) operator needed by the
+// Stanion–Sechen BDD division baseline [14] and by the verification module.
+//
+// Complemented edges are not used; the node count stays small for the
+// node-local functions this project manipulates (tens of variables).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sop/sop.hpp"
+
+namespace rarsub {
+
+/// Handle to a BDD node owned by a BddManager.
+using BddRef = std::uint32_t;
+
+class BddManager {
+ public:
+  explicit BddManager(int num_vars);
+
+  int num_vars() const { return num_vars_; }
+
+  BddRef zero() const { return 0; }
+  BddRef one() const { return 1; }
+
+  /// The projection function of variable v (ordered by index).
+  BddRef var(int v);
+  BddRef nvar(int v);
+
+  BddRef ite(BddRef f, BddRef g, BddRef h);
+  BddRef bdd_and(BddRef f, BddRef g) { return ite(f, g, zero()); }
+  BddRef bdd_or(BddRef f, BddRef g) { return ite(f, one(), g); }
+  BddRef bdd_xor(BddRef f, BddRef g);
+  BddRef bdd_not(BddRef f) { return ite(f, zero(), one()); }
+
+  /// Shannon cofactor w.r.t. var v = value.
+  BddRef restrict_var(BddRef f, int v, bool value);
+
+  /// Existential quantification of variable v.
+  BddRef exists(BddRef f, int v);
+
+  /// Generalized cofactor (constrain): f ⇓ c. Agrees with f wherever c=1.
+  /// The identity behind BDD division [14]: f = c·(f ⇓ c) + c'·(f ⇓ c').
+  BddRef constrain(BddRef f, BddRef c);
+
+  /// Build a BDD from an SOP cover (variable i of the cover = BDD var i).
+  BddRef from_sop(const Sop& f);
+
+  /// Enumerate an irredundant(ish) SOP from the BDD (one cube per 1-path).
+  Sop to_sop(BddRef f);
+
+  /// Number of minterms over the full variable space (as double).
+  double count_minterms(BddRef f);
+
+  bool eval(BddRef f, std::uint64_t assignment) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int var;      // variable index; num_vars_ for terminals
+    BddRef low;   // cofactor var=0
+    BddRef high;  // cofactor var=1
+  };
+
+  struct NodeKey {
+    int var;
+    BddRef low, high;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const {
+      std::size_t h = static_cast<std::size_t>(k.var);
+      h = h * 0x9e3779b97f4a7c15ULL + k.low;
+      h = h * 0x9e3779b97f4a7c15ULL + k.high;
+      return h;
+    }
+  };
+  struct IteKey {
+    BddRef f, g, h;
+    bool operator==(const IteKey&) const = default;
+  };
+  struct IteKeyHash {
+    std::size_t operator()(const IteKey& k) const {
+      std::size_t h = k.f;
+      h = h * 0x100000001b3ULL + k.g;
+      h = h * 0x100000001b3ULL + k.h;
+      return h;
+    }
+  };
+
+  BddRef mk(int var, BddRef low, BddRef high);
+  int top_var(BddRef f) const { return nodes_[f].var; }
+
+  int num_vars_;
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
+  std::unordered_map<IteKey, BddRef, IteKeyHash> ite_cache_;
+  std::unordered_map<IteKey, BddRef, IteKeyHash> constrain_cache_;
+};
+
+}  // namespace rarsub

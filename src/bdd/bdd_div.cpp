@@ -1,0 +1,22 @@
+#include "bdd/bdd_div.hpp"
+
+namespace rarsub {
+
+BddDivResult bdd_divide(const Sop& f, const Sop& d) {
+  BddDivResult res;
+  BddManager mgr(f.num_vars());
+  const BddRef fb = mgr.from_sop(f);
+  const BddRef db = mgr.from_sop(d);
+  if (db == mgr.zero() || db == mgr.one()) return res;  // constant divisor
+
+  const BddRef q = mgr.constrain(fb, db);
+  const BddRef nd = mgr.bdd_not(db);
+  const BddRef r = mgr.bdd_and(nd, mgr.constrain(fb, nd));
+
+  res.success = true;
+  res.quotient = mgr.to_sop(q);
+  res.remainder = mgr.to_sop(r);
+  return res;
+}
+
+}  // namespace rarsub

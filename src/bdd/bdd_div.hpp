@@ -1,0 +1,24 @@
+#pragma once
+// BDD-based Boolean division (Stanion & Sechen, TCAD'94 — reference [14] of
+// the paper). Built on the generalized-cofactor identity
+//   f = d·(f ⇓ d) + d'·(f ⇓ d')
+// so that, viewing f divided by d, the quotient is q = f ⇓ d and the
+// remainder is r = d'·(f ⇓ d'). Implemented as a comparison baseline for
+// the paper's RAR-based division.
+
+#include "bdd/bdd.hpp"
+#include "sop/sop.hpp"
+
+namespace rarsub {
+
+struct BddDivResult {
+  bool success = false;
+  Sop quotient;
+  Sop remainder;
+};
+
+/// Divide `f` by `d` (both covers over the same variable space) using
+/// generalized cofactors. Fails when d is constant.
+BddDivResult bdd_divide(const Sop& f, const Sop& d);
+
+}  // namespace rarsub

@@ -1,0 +1,338 @@
+#include "benchcir/classics.hpp"
+
+#include <bit>
+#include <cassert>
+#include <string>
+
+namespace rarsub {
+
+namespace {
+
+// Helpers for two-input building blocks.
+NodeId nand2(Network& net, const std::string& name, NodeId a, NodeId b) {
+  return net.add_node(name, {a, b}, Sop::from_strings({"0-", "-0"}));
+}
+NodeId and2(Network& net, const std::string& name, NodeId a, NodeId b) {
+  return net.add_node(name, {a, b}, Sop::from_strings({"11"}));
+}
+NodeId or2(Network& net, const std::string& name, NodeId a, NodeId b) {
+  return net.add_node(name, {a, b}, Sop::from_strings({"1-", "-1"}));
+}
+NodeId xor2(Network& net, const std::string& name, NodeId a, NodeId b) {
+  return net.add_node(name, {a, b}, Sop::from_strings({"10", "01"}));
+}
+
+}  // namespace
+
+Network make_c17() {
+  Network net("c17");
+  const NodeId n1 = net.add_pi("1");
+  const NodeId n2 = net.add_pi("2");
+  const NodeId n3 = net.add_pi("3");
+  const NodeId n6 = net.add_pi("6");
+  const NodeId n7 = net.add_pi("7");
+  const NodeId g10 = nand2(net, "10", n1, n3);
+  const NodeId g11 = nand2(net, "11", n3, n6);
+  const NodeId g16 = nand2(net, "16", n2, g11);
+  const NodeId g19 = nand2(net, "19", g11, n7);
+  const NodeId g22 = nand2(net, "22", g10, g16);
+  const NodeId g23 = nand2(net, "23", g16, g19);
+  net.add_po("22", g22);
+  net.add_po("23", g23);
+  return net;
+}
+
+Network make_adder(int bits) {
+  Network net("add" + std::to_string(bits));
+  std::vector<NodeId> a(static_cast<std::size_t>(bits)),
+      b(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) a[static_cast<std::size_t>(i)] = net.add_pi("a" + std::to_string(i));
+  for (int i = 0; i < bits; ++i) b[static_cast<std::size_t>(i)] = net.add_pi("b" + std::to_string(i));
+  NodeId carry = kNoNode;
+  for (int i = 0; i < bits; ++i) {
+    const NodeId ai = a[static_cast<std::size_t>(i)];
+    const NodeId bi = b[static_cast<std::size_t>(i)];
+    const std::string s = std::to_string(i);
+    if (carry == kNoNode) {
+      net.add_po("s" + s, xor2(net, "sum" + s, ai, bi));
+      carry = and2(net, "c" + s, ai, bi);
+    } else {
+      const NodeId axb = xor2(net, "axb" + s, ai, bi);
+      net.add_po("s" + s, xor2(net, "sum" + s, axb, carry));
+      // carry_out = ab + carry(a ^ b)
+      const NodeId ab = and2(net, "ab" + s, ai, bi);
+      const NodeId cx = and2(net, "cx" + s, carry, axb);
+      carry = or2(net, "c" + s, ab, cx);
+    }
+  }
+  net.add_po("cout", carry);
+  return net;
+}
+
+Network make_parity(int bits) {
+  Network net("parity" + std::to_string(bits));
+  std::vector<NodeId> layer;
+  for (int i = 0; i < bits; ++i) layer.push_back(net.add_pi("x" + std::to_string(i)));
+  int id = 0;
+  while (layer.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      next.push_back(xor2(net, "p" + std::to_string(id++), layer[i], layer[i + 1]));
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  net.add_po("parity", layer[0]);
+  return net;
+}
+
+Network make_majority(int bits) {
+  assert(bits % 2 == 1 && bits <= 16);
+  Network net("maj" + std::to_string(bits));
+  std::vector<NodeId> pis;
+  for (int i = 0; i < bits; ++i) pis.push_back(net.add_pi("x" + std::to_string(i)));
+  Sop func(bits);
+  // All cubes with (bits+1)/2 positive literals.
+  const int need = (bits + 1) / 2;
+  for (unsigned mask = 0; mask < (1u << bits); ++mask) {
+    if (std::popcount(mask) != need) continue;
+    Cube c(bits);
+    for (int v = 0; v < bits; ++v)
+      if ((mask >> v) & 1) c.set_lit(v, Lit::Pos);
+    func.add_cube(c);
+  }
+  net.add_po("maj", net.add_node("maj", pis, func));
+  return net;
+}
+
+Network make_sym_threshold(int bits, int lo, int hi) {
+  assert(bits <= 12);
+  Network net("sym" + std::to_string(bits));
+  std::vector<NodeId> pis;
+  for (int i = 0; i < bits; ++i) pis.push_back(net.add_pi("x" + std::to_string(i)));
+  // Build as a small tree of one-hot "count" logic: layer of half adders is
+  // overkill; use the flat minterm cover and let the scripts restructure.
+  Sop func(bits);
+  for (unsigned mask = 0; mask < (1u << bits); ++mask) {
+    const int ones = std::popcount(mask);
+    if (ones < lo || ones > hi) continue;
+    Cube c(bits);
+    for (int v = 0; v < bits; ++v) c.set_lit(v, ((mask >> v) & 1) ? Lit::Pos : Lit::Neg);
+    func.add_cube(c);
+  }
+  func.scc_minimize();
+  net.add_po("f", net.add_node("f", pis, func));
+  return net;
+}
+
+Network make_decoder(int select_bits) {
+  Network net("dec" + std::to_string(select_bits));
+  std::vector<NodeId> sel;
+  for (int i = 0; i < select_bits; ++i) sel.push_back(net.add_pi("s" + std::to_string(i)));
+  for (unsigned out = 0; out < (1u << select_bits); ++out) {
+    Sop func(select_bits);
+    Cube c(select_bits);
+    for (int v = 0; v < select_bits; ++v)
+      c.set_lit(v, ((out >> v) & 1) ? Lit::Pos : Lit::Neg);
+    func.add_cube(c);
+    const std::string name = "y" + std::to_string(out);
+    net.add_po(name, net.add_node(name, sel, func));
+  }
+  return net;
+}
+
+Network make_mux(int select_bits) {
+  Network net("mux" + std::to_string(select_bits));
+  std::vector<NodeId> sel, data;
+  for (int i = 0; i < select_bits; ++i) sel.push_back(net.add_pi("s" + std::to_string(i)));
+  for (unsigned i = 0; i < (1u << select_bits); ++i)
+    data.push_back(net.add_pi("d" + std::to_string(i)));
+  const int nv = select_bits + (1 << select_bits);
+  std::vector<NodeId> fanins = sel;
+  fanins.insert(fanins.end(), data.begin(), data.end());
+  Sop func(nv);
+  for (unsigned i = 0; i < (1u << select_bits); ++i) {
+    Cube c(nv);
+    for (int v = 0; v < select_bits; ++v)
+      c.set_lit(v, ((i >> v) & 1) ? Lit::Pos : Lit::Neg);
+    c.set_lit(select_bits + static_cast<int>(i), Lit::Pos);
+    func.add_cube(c);
+  }
+  net.add_po("y", net.add_node("y", fanins, func));
+  return net;
+}
+
+Network make_comparator(int bits) {
+  Network net("cmp" + std::to_string(bits));
+  std::vector<NodeId> a, b;
+  for (int i = 0; i < bits; ++i) a.push_back(net.add_pi("a" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) b.push_back(net.add_pi("b" + std::to_string(i)));
+  // eq_i = a_i xnor b_i ; chain from MSB.
+  NodeId eq_all = kNoNode, lt = kNoNode, gt = kNoNode;
+  for (int i = bits - 1; i >= 0; --i) {
+    const std::string s = std::to_string(i);
+    const NodeId eq_i = net.add_node("eq" + s, {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]},
+                                     Sop::from_strings({"11", "00"}));
+    const NodeId lt_i = net.add_node("lt" + s, {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]},
+                                     Sop::from_strings({"01"}));
+    const NodeId gt_i = net.add_node("gt" + s, {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]},
+                                     Sop::from_strings({"10"}));
+    if (eq_all == kNoNode) {
+      eq_all = eq_i;
+      lt = lt_i;
+      gt = gt_i;
+    } else {
+      lt = or2(net, "LT" + s, lt, and2(net, "elt" + s, eq_all, lt_i));
+      gt = or2(net, "GT" + s, gt, and2(net, "egt" + s, eq_all, gt_i));
+      eq_all = and2(net, "EQ" + s, eq_all, eq_i);
+    }
+  }
+  net.add_po("lt", lt);
+  net.add_po("eq", eq_all);
+  net.add_po("gt", gt);
+  return net;
+}
+
+Network make_alu_slice(int bits) {
+  Network net("alu" + std::to_string(bits));
+  std::vector<NodeId> a, b;
+  const NodeId op0 = net.add_pi("op0");
+  const NodeId op1 = net.add_pi("op1");
+  for (int i = 0; i < bits; ++i) a.push_back(net.add_pi("a" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) b.push_back(net.add_pi("b" + std::to_string(i)));
+  NodeId carry = kNoNode;
+  for (int i = 0; i < bits; ++i) {
+    const std::string s = std::to_string(i);
+    const NodeId ai = a[static_cast<std::size_t>(i)], bi = b[static_cast<std::size_t>(i)];
+    const NodeId land = and2(net, "and" + s, ai, bi);
+    const NodeId lor = or2(net, "or" + s, ai, bi);
+    const NodeId lxor = xor2(net, "xor" + s, ai, bi);
+    NodeId sum;
+    if (carry == kNoNode) {
+      sum = lxor;
+      carry = land;
+    } else {
+      sum = xor2(net, "sum" + s, lxor, carry);
+      carry = or2(net, "cc" + s,
+                  land, and2(net, "cx" + s, carry, lxor));
+    }
+    // y = op1'op0'·AND + op1'op0·OR + op1 op0'·XOR + op1 op0·SUM
+    const NodeId y = net.add_node(
+        "y" + s, {op1, op0, land, lor, lxor, sum},
+        Sop::from_strings({"001---", "01-1--", "10--1-", "11---1"}));
+    net.add_po("y" + s, y);
+  }
+  net.add_po("cout", carry);
+  return net;
+}
+
+Network make_multiplier(int bits) {
+  Network net("mul" + std::to_string(bits));
+  std::vector<NodeId> a, b;
+  for (int i = 0; i < bits; ++i) a.push_back(net.add_pi("a" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) b.push_back(net.add_pi("b" + std::to_string(i)));
+
+  // Partial products, then ripple accumulation column by column.
+  std::vector<std::vector<NodeId>> column(static_cast<std::size_t>(2 * bits));
+  for (int i = 0; i < bits; ++i)
+    for (int j = 0; j < bits; ++j)
+      column[static_cast<std::size_t>(i + j)].push_back(
+          and2(net, "pp" + std::to_string(i) + "_" + std::to_string(j),
+               a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(j)]));
+
+  int uid = 0;
+  for (int col = 0; col < 2 * bits; ++col) {
+    auto& bitsv = column[static_cast<std::size_t>(col)];
+    while (bitsv.size() > 1) {
+      if (bitsv.size() >= 3) {
+        // Full adder on three bits.
+        const NodeId x = bitsv[bitsv.size() - 1];
+        const NodeId y = bitsv[bitsv.size() - 2];
+        const NodeId z = bitsv[bitsv.size() - 3];
+        bitsv.resize(bitsv.size() - 3);
+        const std::string s = std::to_string(uid++);
+        const NodeId sum = net.add_node(
+            "fs" + s, {x, y, z},
+            Sop::from_strings({"100", "010", "001", "111"}));
+        const NodeId carry = net.add_node(
+            "fc" + s, {x, y, z}, Sop::from_strings({"11-", "1-1", "-11"}));
+        bitsv.push_back(sum);
+        if (col + 1 < 2 * bits)
+          column[static_cast<std::size_t>(col + 1)].push_back(carry);
+      } else {
+        const NodeId x = bitsv[bitsv.size() - 1];
+        const NodeId y = bitsv[bitsv.size() - 2];
+        bitsv.resize(bitsv.size() - 2);
+        const std::string s = std::to_string(uid++);
+        bitsv.push_back(xor2(net, "hs" + s, x, y));
+        if (col + 1 < 2 * bits)
+          column[static_cast<std::size_t>(col + 1)].push_back(
+              and2(net, "hc" + s, x, y));
+      }
+    }
+    if (bitsv.empty()) {
+      // Constant-zero product bit (only possible for degenerate widths).
+      bitsv.push_back(net.add_node("z" + std::to_string(uid++), {}, Sop::zero(0)));
+    }
+    net.add_po("p" + std::to_string(col), bitsv[0]);
+  }
+  return net;
+}
+
+Network make_bcd7seg() {
+  Network net("bcd7seg");
+  std::vector<NodeId> in;
+  for (int i = 0; i < 4; ++i) in.push_back(net.add_pi("d" + std::to_string(i)));
+  // Segment truth table for digits 0..9 (a..g), standard layout.
+  static const char* kSegments = "abcdefg";
+  static const int kOn[10] = {  // bit i = segment i lit for that digit
+      0b0111111, 0b0000110, 0b1011011, 0b1001111, 0b1100110,
+      0b1101101, 0b1111101, 0b0000111, 0b1111111, 0b1101111};
+  for (int seg = 0; seg < 7; ++seg) {
+    Sop func(4);
+    for (int digit = 0; digit < 10; ++digit) {
+      if (!((kOn[digit] >> seg) & 1)) continue;
+      Cube c(4);
+      for (int v = 0; v < 4; ++v)
+        c.set_lit(v, ((digit >> v) & 1) ? Lit::Pos : Lit::Neg);
+      func.add_cube(c);
+    }
+    func.scc_minimize();
+    const std::string name(1, kSegments[seg]);
+    net.add_po(name, net.add_node(name, in, func));
+  }
+  return net;
+}
+
+Network make_priority_encoder(int lines) {
+  assert(lines >= 2 && lines <= 16);
+  Network net("prienc" + std::to_string(lines));
+  std::vector<NodeId> req;
+  for (int i = 0; i < lines; ++i) req.push_back(net.add_pi("r" + std::to_string(i)));
+  int out_bits = 0;
+  while ((1 << out_bits) < lines) ++out_bits;
+
+  // index output bit b = OR over lines i with bit b set of
+  //                      (r_i AND no higher-priority request), highest = 0.
+  for (int bit = 0; bit < out_bits; ++bit) {
+    Sop func(lines);
+    for (int i = 0; i < lines; ++i) {
+      if (!((i >> bit) & 1)) continue;
+      Cube c(lines);
+      c.set_lit(i, Lit::Pos);
+      for (int h = 0; h < i; ++h) c.set_lit(h, Lit::Neg);  // line 0 wins
+      func.add_cube(c);
+    }
+    const std::string name = "y" + std::to_string(bit);
+    net.add_po(name, net.add_node(name, req, func));
+  }
+  Sop any(lines);
+  for (int i = 0; i < lines; ++i) {
+    Cube c(lines);
+    c.set_lit(i, Lit::Pos);
+    any.add_cube(c);
+  }
+  net.add_po("valid", net.add_node("valid", req, any));
+  return net;
+}
+
+}  // namespace rarsub

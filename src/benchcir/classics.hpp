@@ -1,0 +1,50 @@
+#pragma once
+// Fully specified classic circuits: small ISCAS/MCNC-style functions whose
+// definitions are public knowledge (c17, adders, parity, majority,
+// symmetric thresholds, mux/decoder trees, comparators). These anchor the
+// benchmark suite with exactly reproducible functions; the synthetic
+// generator (synth.hpp) provides the larger MCNC-scale circuits.
+
+#include "network/network.hpp"
+
+namespace rarsub {
+
+/// ISCAS c17 (the textbook 6-gate NAND circuit), built from its netlist.
+Network make_c17();
+
+/// Ripple-carry adder: 2k inputs + carry-in style structure, k+1 outputs.
+Network make_adder(int bits);
+
+/// Odd-parity tree over `bits` inputs.
+Network make_parity(int bits);
+
+/// Majority-of-n (n odd), flat SOP node.
+Network make_majority(int bits);
+
+/// 9sym-style symmetric function: 1 iff the number of ones in the 9 (or
+/// `bits`) inputs lies in {3,4,5,6} — the classic MCNC 9sym profile.
+Network make_sym_threshold(int bits, int lo, int hi);
+
+/// k-to-2^k decoder.
+Network make_decoder(int select_bits);
+
+/// 2^k-to-1 multiplexer with k select lines.
+Network make_mux(int select_bits);
+
+/// Unsigned comparator: two k-bit operands, outputs lt/eq/gt.
+Network make_comparator(int bits);
+
+/// Two-bit ALU slice bank (alu-style): add/and/or/xor selected by 2 ops.
+Network make_alu_slice(int bits);
+
+/// k x k unsigned array multiplier (2k outputs).
+Network make_multiplier(int bits);
+
+/// BCD digit (4 bits) to 7-segment decoder (segments a..g; inputs 10-15
+/// treated as don't-produce: all segments off).
+Network make_bcd7seg();
+
+/// Priority encoder: n request lines -> ceil(log2 n) index outputs + valid.
+Network make_priority_encoder(int lines);
+
+}  // namespace rarsub

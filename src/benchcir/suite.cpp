@@ -1,0 +1,71 @@
+#include "benchcir/suite.hpp"
+
+#include <stdexcept>
+
+#include "benchcir/classics.hpp"
+#include "benchcir/synth.hpp"
+
+namespace rarsub {
+
+namespace {
+
+SynthSpec spec(const char* name, std::uint64_t seed, int pis, int bases,
+               int mids, int outs) {
+  SynthSpec s;
+  s.name = name;
+  s.seed = seed;
+  s.num_pis = pis;
+  s.num_bases = bases;
+  s.num_mids = mids;
+  s.num_outputs = outs;
+  return s;
+}
+
+}  // namespace
+
+std::vector<BenchmarkEntry> benchmark_suite() {
+  std::vector<BenchmarkEntry> v;
+  // Exact classics.
+  v.push_back({"c17", [] { return make_c17(); }});
+  v.push_back({"add8", [] { return make_adder(8); }});
+  v.push_back({"cmp8", [] { return make_comparator(8); }});
+  v.push_back({"alu4", [] { return make_alu_slice(4); }});
+  v.push_back({"mux8", [] { return make_mux(3); }});
+  v.push_back({"dec4", [] { return make_decoder(4); }});
+  v.push_back({"9sym", [] { return make_sym_threshold(9, 3, 6); }});
+  v.push_back({"maj7", [] { return make_majority(7); }});
+  v.push_back({"parity16", [] { return make_parity(16); }});
+  v.push_back({"mul3", [] { return make_multiplier(3); }});
+  v.push_back({"bcd7seg", [] { return make_bcd7seg(); }});
+  v.push_back({"prienc8", [] { return make_priority_encoder(8); }});
+  // Synthetic MCNC/ISCAS-scale stand-ins (DESIGN.md §4).
+  v.push_back({"syn_c432", [] { return make_synthetic(spec("syn_c432", 432, 18, 10, 28, 7)); }});
+  v.push_back({"syn_c880", [] { return make_synthetic(spec("syn_c880", 880, 24, 14, 40, 12)); }});
+  v.push_back({"syn_c1355", [] { return make_synthetic(spec("syn_c1355", 1355, 28, 16, 52, 16)); }});
+  v.push_back({"syn_c2670", [] { return make_synthetic(spec("syn_c2670", 2670, 32, 20, 68, 20)); }});
+  v.push_back({"syn_apex7", [] { return make_synthetic(spec("syn_apex7", 77, 24, 14, 44, 12)); }});
+  v.push_back({"syn_frg2", [] { return make_synthetic(spec("syn_frg2", 1492, 28, 18, 56, 16)); }});
+  v.push_back({"syn_dalu", [] { return make_synthetic(spec("syn_dalu", 314, 26, 16, 48, 12)); }});
+  v.push_back({"syn_rot", [] { return make_synthetic(spec("syn_rot", 2718, 30, 18, 60, 18)); }});
+  v.push_back({"syn_t481", [] { return make_synthetic(spec("syn_t481", 481, 16, 12, 36, 8)); }});
+  v.push_back({"syn_k2", [] { return make_synthetic(spec("syn_k2", 1618, 22, 14, 44, 12)); }});
+  return v;
+}
+
+std::vector<BenchmarkEntry> benchmark_suite_small() {
+  std::vector<BenchmarkEntry> v;
+  v.push_back({"c17", [] { return make_c17(); }});
+  v.push_back({"add8", [] { return make_adder(8); }});
+  v.push_back({"alu4", [] { return make_alu_slice(4); }});
+  v.push_back({"syn_c432", [] { return make_synthetic(spec("syn_c432", 432, 18, 10, 28, 7)); }});
+  v.push_back({"syn_t481", [] { return make_synthetic(spec("syn_t481", 481, 16, 12, 36, 8)); }});
+  return v;
+}
+
+Network build_benchmark(const std::string& name) {
+  for (const BenchmarkEntry& e : benchmark_suite())
+    if (e.name == name) return e.build();
+  throw std::out_of_range("unknown benchmark: " + name);
+}
+
+}  // namespace rarsub

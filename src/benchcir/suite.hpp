@@ -1,0 +1,30 @@
+#pragma once
+// The benchmark suite of the experiment harness: the circuit list playing
+// the role of the paper's MCNC/ISCAS selection (see DESIGN.md §4 for the
+// substitution rationale). Names with a `syn_` prefix are deterministic
+// synthetic stand-ins sized after their namesakes; the rest are exact
+// classic circuits.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace rarsub {
+
+struct BenchmarkEntry {
+  std::string name;
+  std::function<Network()> build;
+};
+
+/// The full suite used by the table benches.
+std::vector<BenchmarkEntry> benchmark_suite();
+
+/// A reduced suite for quick runs and tests.
+std::vector<BenchmarkEntry> benchmark_suite_small();
+
+/// Build a single circuit by name; throws std::out_of_range when unknown.
+Network build_benchmark(const std::string& name);
+
+}  // namespace rarsub

@@ -1,0 +1,156 @@
+#include "benchcir/synth.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace rarsub {
+
+namespace {
+
+// Random cover over `k` fanins: `cubes` cubes, 2-3 literals each.
+Sop random_cover(std::mt19937_64& rng, int k, int cubes) {
+  Sop f(k);
+  std::uniform_int_distribution<int> nlits(2, std::min(3, k));
+  std::uniform_int_distribution<int> pick(0, k - 1);
+  for (int i = 0; i < cubes; ++i) {
+    Cube c(k);
+    const int n = nlits(rng);
+    for (int j = 0; j < n; ++j)
+      c.set_lit(pick(rng), (rng() & 1) ? Lit::Pos : Lit::Neg);
+    f.add_cube(c);
+  }
+  f.scc_minimize();
+  if (f.num_cubes() == 0) f = Sop::one(k);
+  return f;
+}
+
+}  // namespace
+
+Network make_synthetic(const SynthSpec& spec) {
+  Network net(spec.name);
+  std::mt19937_64 rng(spec.seed);
+
+  std::vector<NodeId> pis;
+  for (int i = 0; i < spec.num_pis; ++i)
+    pis.push_back(net.add_pi("x" + std::to_string(i)));
+
+  // Shared subfunctions over small PI subsets. Regular bases stay visible
+  // and get *inlined copies* in consumers (the resubstitution opportunity:
+  // the consumer's complex SOP contains the still-existing base). Shadow
+  // bases model the paper's extended-division scenario: the useful core is
+  // only available embedded inside a bigger visible divisor (core + extra
+  // cube), so basic division by existing nodes cannot recover it but
+  // divisor decomposition can.
+  struct Base {
+    NodeId visible;        // the node present in the circuit
+    NodeId inline_source;  // node whose function gets copied into users
+    bool shadow;
+  };
+  std::vector<Base> bases;
+  for (int i = 0; i < spec.num_bases; ++i) {
+    std::uniform_int_distribution<int> nfan(2, 4);
+    const int k = nfan(rng);
+    std::vector<NodeId> fanins;
+    while (static_cast<int>(fanins.size()) < k) {
+      const NodeId cand = pis[rng() % pis.size()];
+      if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end())
+        fanins.push_back(cand);
+    }
+    std::uniform_int_distribution<int> ncubes(2, spec.max_cubes);
+    const Sop core = random_cover(rng, k, ncubes(rng));
+    const bool shadow = (i % 3 == 2);
+    if (!shadow) {
+      const NodeId b =
+          net.add_node("b" + std::to_string(i), fanins, core);
+      bases.push_back(Base{b, b, false});
+    } else {
+      // Visible divisor = core + one extra cube; the bare core is kept in
+      // a scratch node that will be swept once its copies are inlined.
+      Sop visible_func = core;
+      Cube extra(k);
+      extra.set_lit(static_cast<int>(rng() % k),
+                    (rng() & 1) ? Lit::Pos : Lit::Neg);
+      extra.set_lit(static_cast<int>(rng() % k),
+                    (rng() & 1) ? Lit::Neg : Lit::Pos);
+      visible_func.add_cube(extra);
+      visible_func.scc_minimize();
+      const NodeId vis =
+          net.add_node("b" + std::to_string(i), fanins, visible_func);
+      const NodeId scratch =
+          net.add_node("bs" + std::to_string(i), fanins, core);
+      bases.push_back(Base{vis, scratch, true});
+    }
+  }
+
+  // Middle layer: random SOPs over PIs, bases, and earlier mids. Base
+  // fanins are inlined (composed away) with probability; the base node
+  // itself stays alive through its other users.
+  std::vector<NodeId> mids;
+  std::vector<NodeId> pool = pis;
+  for (const Base& b : bases) pool.push_back(b.visible);
+  for (int i = 0; i < spec.num_mids; ++i) {
+    std::uniform_int_distribution<int> nfan(2, 5);
+    const int k = std::min<int>(nfan(rng), static_cast<int>(pool.size()));
+    std::vector<NodeId> fanins;
+    std::vector<const Base*> base_fanins;
+    while (static_cast<int>(fanins.size()) < k) {
+      NodeId cand;
+      const Base* from_base = nullptr;
+      if (rng() % 2 == 0 && !bases.empty()) {
+        from_base = &bases[rng() % bases.size()];
+        // Inlined copies come from the core; shadow cores are *only*
+        // available inlined.
+        cand = from_base->inline_source;
+      } else {
+        cand = pool[rng() % pool.size()];
+      }
+      if (std::find(fanins.begin(), fanins.end(), cand) != fanins.end())
+        continue;
+      fanins.push_back(cand);
+      base_fanins.push_back(from_base);
+    }
+    std::uniform_int_distribution<int> ncubes(2, spec.max_cubes);
+    const NodeId m = net.add_node("m" + std::to_string(i), fanins,
+                                  random_cover(rng, k, ncubes(rng)));
+    // Inline the copies: shadow cores always, regular bases usually.
+    for (std::size_t j = 0; j < base_fanins.size(); ++j) {
+      const Base* b = base_fanins[j];
+      if (b == nullptr) continue;
+      if (b->shadow || rng() % 4 != 0) net.compose(m, b->inline_source, 64);
+    }
+    mids.push_back(m);
+    pool.push_back(m);
+  }
+
+  // Outputs: deepest mids first, then enough visible bases to keep every
+  // divisor alive.
+  int po = 0;
+  for (int i = 0; i < spec.num_outputs && i < static_cast<int>(mids.size()); ++i)
+    net.add_po("o" + std::to_string(po++),
+               mids[mids.size() - 1 - static_cast<std::size_t>(i)]);
+  for (const Base& b : bases)
+    if (net.fanout_refs(b.visible) == 0)
+      net.add_po("o" + std::to_string(po++), b.visible);
+  net.sweep();  // scratch core nodes disappear here
+
+  // Light extra obfuscation: collapse a few internal single-fanout chains
+  // beyond what Script A will do, mimicking technology-independent churn.
+  std::vector<NodeId> internals;
+  for (NodeId id = 0; id < net.num_nodes(); ++id)
+    if (net.node(id).alive && !net.node(id).is_pi && net.num_po_refs(id) == 0)
+      internals.push_back(id);
+  std::shuffle(internals.begin(), internals.end(), rng);
+  const int to_collapse = static_cast<int>(
+      spec.collapse_fraction * 0.3 * static_cast<double>(internals.size()));
+  int collapsed = 0;
+  for (NodeId id : internals) {
+    if (collapsed >= to_collapse) break;
+    if (!net.node(id).alive || net.num_po_refs(id) > 0) continue;
+    if (net.fanout_refs(id) > 2) continue;  // keep shared divisors intact
+    if (net.collapse_into_fanouts(id, /*cube_limit=*/64)) ++collapsed;
+  }
+  net.sweep();
+  return net;
+}
+
+}  // namespace rarsub

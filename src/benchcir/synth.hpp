@@ -1,0 +1,30 @@
+#pragma once
+// Deterministic synthetic benchmark generator (MCNC/ISCAS stand-ins; see
+// DESIGN.md §4). Networks are built with deliberately *shared hidden
+// structure* — a library of subfunctions reused by many nodes — and then
+// partially collapsed, which is exactly the state the paper's Script A
+// ("eliminate 0" creating complex gates) prepares for resubstitution: the
+// sharing is recoverable by a good division algorithm.
+
+#include <cstdint>
+
+#include "network/network.hpp"
+
+namespace rarsub {
+
+struct SynthSpec {
+  std::string name = "syn";
+  std::uint64_t seed = 1;
+  int num_pis = 16;
+  int num_bases = 8;    ///< hidden shared subfunctions
+  int num_mids = 24;    ///< nodes combining bases and PIs
+  int num_outputs = 8;
+  int max_cubes = 4;    ///< cubes per generated node function
+  double collapse_fraction = 0.6;  ///< bases/mids collapsed away
+};
+
+/// Generate a combinational network from the spec; the same spec always
+/// yields the same circuit.
+Network make_synthetic(const SynthSpec& spec);
+
+}  // namespace rarsub

@@ -1,0 +1,129 @@
+#include <cassert>
+
+#include "division/division.hpp"
+#include "gatenet/build.hpp"
+#include "rar/redundancy.hpp"
+
+namespace rarsub {
+
+DivisionRegion build_division_region(const Sop& fprime, const Sop& remainder,
+                                     const Sop& d, bool connect_bold) {
+  assert(fprime.num_vars() == d.num_vars());
+  DivisionRegion r;
+  const int nv = fprime.num_vars();
+  std::vector<Signal> var_signal;
+  for (int v = 0; v < nv; ++v) {
+    const int pi = r.gn.add_pi("v" + std::to_string(v));
+    r.var_pi.push_back(pi);
+    var_signal.push_back(Signal{pi, false});
+  }
+
+  const Signal q = build_sop_gates(r.gn, fprime, var_signal, &r.fcube_gate, "f.");
+  r.q_or = q.gate;
+  const Signal ds = build_sop_gates(r.gn, d, var_signal, &r.dcube_gate, "d.");
+  r.d_or = ds.gate;
+
+  if (connect_bold) {
+    r.bold_and = r.gn.add_gate(GateType::And, {q, ds}, "bold");
+    std::vector<Signal> outs{Signal{r.bold_and, false}};
+    std::vector<int> rem_gates;
+    const Signal rem =
+        build_sop_gates(r.gn, remainder, var_signal, &rem_gates, "r.");
+    // Attach the remainder cube gates directly to the output OR; the
+    // intermediate remainder OR gate stays as a harmless alias.
+    for (int g : rem_gates) outs.push_back(Signal{g, false});
+    (void)rem;
+    r.out_or = r.gn.add_gate(GateType::Or, std::move(outs), "out");
+    r.gn.add_output(r.out_or);
+  } else {
+    assert(remainder.num_cubes() == 0);
+    r.out_or = r.q_or;
+    r.gn.add_output(r.q_or);
+  }
+  return r;
+}
+
+int region_redundancy_removal(GateNet& gn, const std::vector<int>& fcube_gates,
+                              int q_or, int learning_depth) {
+  std::vector<WireRef> wires;
+  for (int g : fcube_gates)
+    for (int p = 0; p < static_cast<int>(gn.gate(g).fanins.size()); ++p)
+      wires.push_back(WireRef{g, p});
+  // Cube wires: the pins of the Q OR gate that come from region cube gates.
+  const Gate& qg = gn.gate(q_or);
+  for (int p = 0; p < static_cast<int>(qg.fanins.size()); ++p) {
+    const int src = qg.fanins[static_cast<std::size_t>(p)].gate;
+    for (int g : fcube_gates)
+      if (src == g) {
+        wires.push_back(WireRef{q_or, p});
+        break;
+      }
+  }
+  RemoveOptions opts;
+  opts.learning_depth = learning_depth;
+  opts.to_fixpoint = true;
+  return remove_redundant_wires(gn, wires, opts);
+}
+
+Sop extract_quotient(const GateNet& gn, const std::vector<int>& fcube_gates,
+                     int q_or, const std::vector<int>& gate_var, int num_vars) {
+  Sop q(num_vars);
+  const Gate& qg = gn.gate(q_or);
+  for (const Signal& s : qg.fanins) {
+    bool is_region_cube = false;
+    for (int g : fcube_gates)
+      if (s.gate == g) is_region_cube = true;
+    if (!is_region_cube) continue;
+    Cube c(num_vars);
+    bool bad = false;
+    for (const Signal& lit : gn.gate(s.gate).fanins) {
+      const int v = gate_var[static_cast<std::size_t>(lit.gate)];
+      if (v < 0) {
+        bad = true;  // literal rewired to a non-variable source
+        break;
+      }
+      c.set_lit(v, lit.neg ? Lit::Neg : Lit::Pos);
+    }
+    if (!bad) q.add_cube(std::move(c));
+  }
+  q.scc_minimize();
+  return q;
+}
+
+DivisionResult basic_boolean_divide(const Sop& f, const Sop& d,
+                                    const DivisionOptions& opts) {
+  DivisionResult res;
+  res.quotient = Sop(f.num_vars());
+  res.remainder = Sop(f.num_vars());
+  if (d.num_cubes() == 0) {
+    res.remainder = f;
+    return res;
+  }
+
+  // Step 1 (Fig. 2(b)): the cubes of f not contained by any cube of d form
+  // the remainder; the rest is a sum-of-subproducts of d.
+  Sop fprime(f.num_vars());
+  for (const Cube& c : f.cubes()) {
+    if (d.scc_contains(c)) fprime.add_cube(c);
+    else res.remainder.add_cube(c);
+  }
+  if (fprime.num_cubes() == 0) return res;  // quotient is zero
+
+  // Step 2 (Fig. 2(c)): AND the region with d — redundant by Lemma 1.
+  DivisionRegion region =
+      build_division_region(fprime, res.remainder, d, /*connect_bold=*/true);
+
+  // Step 3 (Fig. 2(d)): remove redundancies inside the region.
+  region_redundancy_removal(region.gn, region.fcube_gate, region.q_or,
+                            opts.learning_depth);
+
+  std::vector<int> gate_var(static_cast<std::size_t>(region.gn.num_gates()), -1);
+  for (int v = 0; v < f.num_vars(); ++v)
+    gate_var[static_cast<std::size_t>(region.var_pi[static_cast<std::size_t>(v)])] = v;
+  res.quotient = extract_quotient(region.gn, region.fcube_gate, region.q_or,
+                                  gate_var, f.num_vars());
+  res.success = res.quotient.num_cubes() > 0;
+  return res;
+}
+
+}  // namespace rarsub

@@ -1,0 +1,84 @@
+#include "division/clique.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+namespace rarsub {
+
+namespace {
+
+// Exact search on <= 64 vertices with bitset adjacency.
+struct BnB {
+  std::vector<std::uint64_t> adj;
+  std::uint64_t best = 0;
+  int best_size = 0;
+
+  void expand(std::uint64_t clique, int size, std::uint64_t cand) {
+    if (size + std::popcount(cand) <= best_size) return;  // bound
+    if (cand == 0) {
+      if (size > best_size) {
+        best_size = size;
+        best = clique;
+      }
+      return;
+    }
+    while (cand) {
+      if (size + std::popcount(cand) <= best_size) return;
+      const int v = std::countr_zero(cand);
+      cand &= cand - 1;
+      expand(clique | (1ULL << v), size + 1,
+             (cand | 0) & adj[static_cast<std::size_t>(v)] &
+                 ~((2ULL << v) - 1));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<int> max_clique(const std::vector<std::vector<bool>>& adj,
+                            int exact_limit) {
+  const int n = static_cast<int>(adj.size());
+  if (n == 0) return {};
+  if (n <= std::min(exact_limit, 64)) {
+    BnB bnb;
+    bnb.adj.assign(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        if (i != j && adj[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)])
+          bnb.adj[static_cast<std::size_t>(i)] |= 1ULL << j;
+    std::uint64_t all = (n == 64) ? ~0ULL : ((1ULL << n) - 1);
+    bnb.expand(0, 0, all);
+    std::vector<int> out;
+    for (int v = 0; v < n; ++v)
+      if (bnb.best >> v & 1) out.push_back(v);
+    return out;
+  }
+
+  // Greedy: repeatedly add the highest-degree vertex compatible with the
+  // clique built so far.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::vector<int> degree(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (i != j && adj[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)])
+        ++degree[static_cast<std::size_t>(i)];
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return degree[static_cast<std::size_t>(a)] > degree[static_cast<std::size_t>(b)];
+  });
+  std::vector<int> clique;
+  for (int v : order) {
+    bool compatible = true;
+    for (int u : clique)
+      if (!adj[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)]) {
+        compatible = false;
+        break;
+      }
+    if (compatible) clique.push_back(v);
+  }
+  std::sort(clique.begin(), clique.end());
+  return clique;
+}
+
+}  // namespace rarsub

@@ -1,0 +1,18 @@
+#pragma once
+// Maximum clique for the extended-division vote graph (paper Sec. IV,
+// Fig. 4: "The problem of finding the best core divisor that would
+// potentially remove most wires is, therefore, reduced to a maximal clique
+// problem"). Exact branch-and-bound for the small graphs the vote tables
+// produce, greedy fallback beyond.
+
+#include <vector>
+
+namespace rarsub {
+
+/// Vertices of a maximum clique of the undirected graph `adj` (symmetric
+/// adjacency matrix, no self loops). Exact for <= `exact_limit` vertices,
+/// greedy (largest-degree-first with common-neighbour filtering) above.
+std::vector<int> max_clique(const std::vector<std::vector<bool>>& adj,
+                            int exact_limit = 40);
+
+}  // namespace rarsub

@@ -1,0 +1,117 @@
+#pragma once
+// The paper's core contribution: Boolean division via redundancy addition
+// and removal.
+//
+// Basic division (Sec. III): given dividend f and divisor d over a common
+// variable space,
+//   1. split f into the remainder r (cubes not contained by any cube of d)
+//      and the quotient region F' = f − r;
+//   2. AND the region with d — redundant *a priori* by Lemma 1, because F'
+//      is a sum-of-subproducts of d;
+//   3. run redundancy removal on the region's literal and cube wires; the
+//      surviving region is the Boolean quotient q, giving f = q·d + r.
+//
+// Extended division (Sec. IV): the divisor itself may be decomposed. Every
+// region wire "votes" (via fault implications) for the subset of d's cubes
+// whose implied value is 0; a maximum clique over wires with intersecting
+// votes selects the core divisor d_c ⊆ cubes(d); d is re-expressed as
+// d = d_c + d_rem and basic division by d_c follows.
+//
+// Both run over a self-contained region circuit (this header) or spliced
+// into the full circuit for global-don't-care operation (substitute.hpp).
+
+#include <vector>
+
+#include "gatenet/gatenet.hpp"
+#include "sop/sop.hpp"
+
+namespace rarsub {
+
+struct DivisionOptions {
+  /// Recursive-learning depth for the implications (the paper's don't-care
+  /// effort dial; the ext+GDC configuration uses >= 1 in global mode).
+  int learning_depth = 0;
+};
+
+struct DivisionResult {
+  bool success = false;  ///< non-zero quotient was produced
+  Sop quotient;          ///< over the common variable space
+  Sop remainder;         ///< over the common variable space
+};
+
+/// Basic Boolean division f = q·d + r (region-local implications).
+DivisionResult basic_boolean_divide(const Sop& f, const Sop& d,
+                                    const DivisionOptions& opts = {});
+
+/// One row of the paper's Table I.
+struct VoteEntry {
+  int cube = -1;                ///< f-cube index of the voting wire
+  int var = -1;                 ///< variable of the voting literal wire
+  std::vector<int> candidates;  ///< d-cube indices implied to 0 by the fault
+  bool valid = false;  ///< some candidate cube contains the wire's cube
+};
+
+/// The vote table of extended division (region-local implications).
+std::vector<VoteEntry> vote_table(const Sop& f, const Sop& d,
+                                  const DivisionOptions& opts = {});
+
+/// Core-divisor selection of extended division: vote, build the graph,
+/// take a maximum clique and intersect its candidate sets. Falls back to
+/// the full cube set when no usable vote exists. Returns sorted d-cube
+/// indices (never empty for a non-empty d).
+std::vector<int> choose_core_divisor(const Sop& f, const Sop& d,
+                                     const DivisionOptions& opts = {});
+
+/// Remainder split of basic division (Fig. 2(b)): cubes of `f` contained
+/// by some cube of `d` go to `fprime`, the rest to `remainder`.
+void split_remainder(const Sop& f, const Sop& d, Sop* fprime, Sop* remainder);
+
+struct ExtendedResult {
+  bool success = false;
+  /// Chosen core-divisor cube indices into d (all of them == basic case).
+  std::vector<int> core_cubes;
+  Sop quotient;   ///< over the common variable space, w.r.t. the core divisor
+  Sop remainder;  ///< cubes of f not contained by any core-divisor cube
+};
+
+/// Extended Boolean division: vote, pick the core divisor by maximum
+/// clique, then divide by it.
+ExtendedResult extended_boolean_divide(const Sop& f, const Sop& d,
+                                       const DivisionOptions& opts = {});
+
+// ---------------------------------------------------------------------
+// Region plumbing shared with the substitution driver (exposed for reuse
+// and white-box tests).
+
+/// The specialized multi-gate configuration of Fig. 2(c): F' cube gates
+/// feeding the Q OR gate, the divisor, the bold AND, and the output OR
+/// that re-adds the remainder cubes.
+struct DivisionRegion {
+  GateNet gn;
+  std::vector<int> var_pi;      ///< variable -> PI gate
+  std::vector<int> fcube_gate;  ///< F' cube AND gates (region wires)
+  std::vector<int> dcube_gate;  ///< divisor cube AND gates (vote targets)
+  int q_or = -1;
+  int d_or = -1;
+  int bold_and = -1;
+  int out_or = -1;
+};
+
+/// Build the self-contained region circuit. When `connect_bold` is false,
+/// the divisor side is left dangling (the voting configuration of
+/// Fig. 3(a)); F' then is all of f and `remainder` must be empty.
+DivisionRegion build_division_region(const Sop& fprime, const Sop& remainder,
+                                     const Sop& d, bool connect_bold = true);
+
+/// Run the paper's redundancy-removal step on a region embedded in `gn`:
+/// literal pins of `fcube_gates` are tested stuck-at-1 and their cube pins
+/// on `q_or` stuck-at-0, to fixpoint. Returns the number of removals.
+int region_redundancy_removal(GateNet& gn, const std::vector<int>& fcube_gates,
+                              int q_or, int learning_depth);
+
+/// Read the surviving quotient cover out of a (possibly rewritten) region.
+/// `pi_of_gate[g]` maps a gate id back to its variable (-1 otherwise).
+Sop extract_quotient(const GateNet& gn, const std::vector<int>& fcube_gates,
+                     int q_or, const std::vector<int>& gate_var, int num_vars);
+
+}  // namespace rarsub

@@ -1,0 +1,161 @@
+#include <algorithm>
+#include <cassert>
+
+#include "atpg/fault.hpp"
+#include "division/clique.hpp"
+#include "division/division.hpp"
+
+namespace rarsub {
+
+namespace {
+
+// Pin index of variable v's literal inside cube gate of `c` (pins follow
+// ascending variable order of present literals).
+int literal_pin(const Cube& c, int v) {
+  int pin = 0;
+  for (int u = 0; u < v; ++u)
+    if (c.lit(u) != Lit::Absent) ++pin;
+  return pin;
+}
+
+}  // namespace
+
+void split_remainder(const Sop& f, const Sop& d, Sop* fprime, Sop* remainder) {
+  *fprime = Sop(f.num_vars());
+  *remainder = Sop(f.num_vars());
+  for (const Cube& c : f.cubes()) {
+    if (d.scc_contains(c)) fprime->add_cube(c);
+    else remainder->add_cube(c);
+  }
+}
+
+std::vector<VoteEntry> vote_table(const Sop& f, const Sop& d,
+                                  const DivisionOptions& opts) {
+  std::vector<VoteEntry> table;
+  if (f.num_cubes() == 0 || d.num_cubes() == 0) return table;
+
+  // Fig. 3(a) configuration: the dividend drives the observable output;
+  // the divisor cubes sit beside it, fed by the same variables, and pick
+  // up implication values during each fault analysis.
+  DivisionRegion region =
+      build_division_region(f, Sop(f.num_vars()), d, /*connect_bold=*/false);
+
+  for (int ci = 0; ci < f.num_cubes(); ++ci) {
+    const Cube& c = f.cube(ci);
+    for (int v = 0; v < f.num_vars(); ++v) {
+      if (c.lit(v) == Lit::Absent) continue;
+      VoteEntry e;
+      e.cube = ci;
+      e.var = v;
+      const WireRef w{region.fcube_gate[static_cast<std::size_t>(ci)],
+                      literal_pin(c, v)};
+      const FaultResult fr =
+          analyze_fault(region.gn, w, /*stuck=*/true, opts.learning_depth);
+      if (fr.untestable) {
+        // Redundant regardless of the divisor: votes for every cube.
+        for (int k = 0; k < d.num_cubes(); ++k) e.candidates.push_back(k);
+      } else {
+        for (int k = 0; k < d.num_cubes(); ++k) {
+          const int g = region.dcube_gate[static_cast<std::size_t>(k)];
+          if (fr.values[static_cast<std::size_t>(g)] == TV::Zero)
+            e.candidates.push_back(k);
+        }
+      }
+      // Redundancy-addition check (paper Sec. IV): the wire's cube must be
+      // contained by a candidate core-divisor cube, otherwise the cube ends
+      // up in the remainder and the expected conflict never forms.
+      for (int k : e.candidates)
+        if (d.cube(k).contains(c)) {
+          e.valid = true;
+          break;
+        }
+      table.push_back(std::move(e));
+    }
+  }
+  return table;
+}
+
+std::vector<int> choose_core_divisor(const Sop& f, const Sop& d,
+                                     const DivisionOptions& opts) {
+  std::vector<int> all;
+  for (int k = 0; k < d.num_cubes(); ++k) all.push_back(k);
+  if (d.num_cubes() <= 1 || f.num_cubes() == 0) return all;
+
+  const std::vector<VoteEntry> table = vote_table(f, d, opts);
+  std::vector<const VoteEntry*> wires;
+  for (const VoteEntry& e : table)
+    if (e.valid && !e.candidates.empty()) wires.push_back(&e);
+  if (wires.empty()) return all;
+
+  // Vote graph (Fig. 4): wires are vertices, an edge means the candidate
+  // core divisors intersect.
+  const int n = static_cast<int>(wires.size());
+  std::vector<std::vector<bool>> adj(
+      static_cast<std::size_t>(n),
+      std::vector<bool>(static_cast<std::size_t>(n), false));
+  auto intersects = [](const std::vector<int>& a, const std::vector<int>& b) {
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] == b[j]) return true;
+      if (a[i] < b[j]) ++i;
+      else ++j;
+    }
+    return false;
+  };
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (intersects(wires[static_cast<std::size_t>(i)]->candidates,
+                     wires[static_cast<std::size_t>(j)]->candidates))
+        adj[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            adj[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = true;
+
+  std::vector<int> clique = max_clique(adj);
+  // Core divisor = intersection of the clique's candidate sets. Pairwise
+  // intersection does not guarantee a common element, so shrink the clique
+  // from the back until the intersection is non-empty.
+  while (!clique.empty()) {
+    std::vector<int> core = wires[static_cast<std::size_t>(clique[0])]->candidates;
+    for (std::size_t i = 1; i < clique.size() && !core.empty(); ++i) {
+      std::vector<int> next;
+      const auto& other =
+          wires[static_cast<std::size_t>(clique[i])]->candidates;
+      std::set_intersection(core.begin(), core.end(), other.begin(),
+                            other.end(), std::back_inserter(next));
+      core = std::move(next);
+    }
+    if (!core.empty()) return core;
+    clique.pop_back();
+  }
+  return all;
+}
+
+ExtendedResult extended_boolean_divide(const Sop& f, const Sop& d,
+                                       const DivisionOptions& opts) {
+  ExtendedResult res;
+  if (d.num_cubes() == 0) {
+    res.remainder = f;
+    return res;
+  }
+
+  std::vector<int> core = choose_core_divisor(f, d, opts);
+  Sop core_divisor(d.num_vars());
+  for (int k : core) core_divisor.add_cube(d.cube(k));
+
+  DivisionResult basic = basic_boolean_divide(f, core_divisor, opts);
+  if (!basic.success && static_cast<int>(core.size()) != d.num_cubes()) {
+    // Fall back to the whole divisor before giving up.
+    DivisionResult full = basic_boolean_divide(f, d, opts);
+    if (full.success) {
+      core.clear();
+      for (int k = 0; k < d.num_cubes(); ++k) core.push_back(k);
+      basic = std::move(full);
+    }
+  }
+  res.success = basic.success;
+  res.core_cubes = std::move(core);
+  res.quotient = std::move(basic.quotient);
+  res.remainder = std::move(basic.remainder);
+  return res;
+}
+
+}  // namespace rarsub

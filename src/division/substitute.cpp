@@ -1,0 +1,632 @@
+#include "division/substitute.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+
+#include "gatenet/build.hpp"
+#include "network/complement_cache.hpp"
+#include "rar/redundancy.hpp"
+#include "sop/factor.hpp"
+
+namespace rarsub {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Common variable space of a dividend/divisor pair: the union of the two
+// fanin lists. Division is an identity over these free variables.
+struct CommonSpace {
+  std::vector<NodeId> vars;  // var index -> node id
+  std::vector<int> dmap;     // d's local var -> common var
+  Sop f_sop;                 // dividend in the common space
+  Sop d_sop;                 // divisor in the common space
+};
+
+CommonSpace make_common_space(const Network& net, NodeId f, NodeId d) {
+  CommonSpace cs;
+  const Node& fn = net.node(f);
+  const Node& dn = net.node(d);
+  cs.vars = fn.fanins;
+  for (NodeId x : dn.fanins) {
+    auto it = std::find(cs.vars.begin(), cs.vars.end(), x);
+    if (it == cs.vars.end()) {
+      cs.vars.push_back(x);
+      cs.dmap.push_back(static_cast<int>(cs.vars.size() - 1));
+    } else {
+      cs.dmap.push_back(static_cast<int>(it - cs.vars.begin()));
+    }
+  }
+  const int nv = static_cast<int>(cs.vars.size());
+  std::vector<int> fmap(fn.fanins.size());
+  for (std::size_t i = 0; i < fn.fanins.size(); ++i) fmap[i] = static_cast<int>(i);
+  cs.f_sop = fn.func.remap(nv, fmap);
+  cs.d_sop = dn.func.remap(nv, cs.dmap);
+  return cs;
+}
+
+// ---------------------------------------------------------------------
+// A fully evaluated rewrite, ready to commit.
+struct Candidate {
+  int gain = INT_MIN;
+  /// The dividend was complemented (full POS dual: complement the result
+  /// back, Lemma 2).
+  bool comp_f = false;
+  /// The divided cover was the divisor's complement (the divisor literal
+  /// enters the rewrite negated; a decomposition splits d̄, so d is
+  /// rebuilt as an AND).
+  bool comp_d = false;
+  bool decompose = false;  // extended division split the divisor
+  Sop new_f;               // over common space + divisor variable (index nv)
+  // Pieces for a decomposition commit, all in d's local space:
+  Sop nc_local;            // the new core-divisor node's function
+  Sop d_rest_local;        // undivided rest of the (possibly complemented) cover
+};
+
+// d's function after a decomposition commit, in local space + y_nc:
+//   SOS: d = y_nc + rest          POS: d = y_nc · comp(rest)
+Sop divisor_after_split(const Candidate& cand, int m) {
+  std::vector<int> ext(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) ext[static_cast<std::size_t>(i)] = i;
+  Sop d_new(m + 1);
+  if (!cand.comp_d) {
+    const Sop rest_ext = cand.d_rest_local.remap(m + 1, ext);
+    for (const Cube& c : rest_ext.cubes()) d_new.add_cube(c);
+    Cube yc(m + 1);
+    yc.set_lit(m, Lit::Pos);
+    d_new.add_cube(yc);
+  } else {
+    const Sop comp_rest = cand.d_rest_local.complement().remap(m + 1, ext);
+    for (Cube c : comp_rest.cubes()) {
+      c.set_lit(m, Lit::Pos);
+      d_new.add_cube(std::move(c));
+    }
+    if (d_new.num_cubes() == 0) {
+      // comp(rest) == 0 would make d constant; keep d = y_nc.
+      Cube yc(m + 1);
+      yc.set_lit(m, Lit::Pos);
+      d_new.add_cube(yc);
+    }
+  }
+  d_new.scc_minimize();
+  return d_new;
+}
+
+// Assemble new_f in common-space+1 coordinates from a division outcome and
+// score the candidate. `d_local_cover` is the divided cover in d's local
+// space with cube order matching `divided_cover` (dn.func for SOS, the
+// cached local complement for POS). Returns nullopt when the divisor
+// variable ends up unused or a size guard trips.
+std::optional<Candidate> score(const Network& net, NodeId f, NodeId d,
+                               const CommonSpace& cs, bool comp_f, bool comp_d,
+                               const SubstituteOptions& opts,
+                               const Sop& divided_cover,
+                               const Sop& d_local_cover,
+                               const std::vector<int>& core,
+                               const Sop& quotient, const Sop& remainder) {
+  if (quotient.num_cubes() == 0) return std::nullopt;
+  const int nv = static_cast<int>(cs.vars.size());
+
+  Candidate cand;
+  cand.comp_f = comp_f;
+  cand.comp_d = comp_d;
+  cand.decompose = static_cast<int>(core.size()) != divided_cover.num_cubes();
+
+  // g = quotient·(y or !y) + remainder over nv+1 variables.
+  std::vector<int> ext(static_cast<std::size_t>(nv));
+  for (int i = 0; i < nv; ++i) ext[static_cast<std::size_t>(i)] = i;
+  Sop g(nv + 1);
+  // Divisor literal polarity: dividing by d̄ uses the negated literal. The
+  // final complement (comp_f) flips nothing here — it complements g whole.
+  const Lit ylit = comp_d ? Lit::Neg : Lit::Pos;
+  const Sop q_ext = quotient.remap(nv + 1, ext);
+  for (Cube c : q_ext.cubes()) {
+    c.set_lit(nv, ylit);
+    g.add_cube(std::move(c));
+  }
+  const Sop r_ext = remainder.remap(nv + 1, ext);
+  for (const Cube& c : r_ext.cubes()) g.add_cube(c);
+  g.scc_minimize();
+
+  if (comp_f) {
+    // Lemma 2 dual: we divided the complemented dividend; complement back.
+    if (g.num_cubes() > opts.max_complement_cubes) return std::nullopt;
+    g = g.complement();
+    if (g.num_cubes() > 2 * opts.max_node_cubes) return std::nullopt;
+  }
+  // The rewrite must actually use the divisor.
+  bool uses_y = false;
+  for (const Cube& c : g.cubes())
+    if (c.lit(nv) != Lit::Absent) uses_y = true;
+  if (!uses_y) return std::nullopt;
+  cand.new_f = std::move(g);
+
+  if (cand.decompose) {
+    assert(d_local_cover.num_cubes() == divided_cover.num_cubes());
+    const int m = net.node(d).func.num_vars();
+    Sop nc(m), rest(m);
+    std::vector<bool> in_core(
+        static_cast<std::size_t>(d_local_cover.num_cubes()), false);
+    for (int k : core) {
+      assert(k < d_local_cover.num_cubes());
+      in_core[static_cast<std::size_t>(k)] = true;
+    }
+    for (int k = 0; k < d_local_cover.num_cubes(); ++k)
+      (in_core[static_cast<std::size_t>(k)] ? nc : rest)
+          .add_cube(d_local_cover.cube(k));
+    if (comp_d) {
+      // The new node carries comp(core): d = y_nc · comp(rest).
+      nc = nc.complement();
+      if (nc.num_cubes() > opts.max_complement_cubes) return std::nullopt;
+    }
+    if (nc.num_cubes() == 0) return std::nullopt;
+    cand.nc_local = std::move(nc);
+    cand.d_rest_local = std::move(rest);
+  }
+
+  const Node& dn = net.node(d);
+  const int old_cost = factored_literal_count(net.node(f).func) +
+                       factored_literal_count(dn.func);
+  int new_divisor_cost = factored_literal_count(dn.func);
+  if (cand.decompose)
+    new_divisor_cost =
+        factored_literal_count(cand.nc_local) +
+        factored_literal_count(divisor_after_split(cand, dn.func.num_vars()));
+  const int new_cost = factored_literal_count(cand.new_f) + new_divisor_cost;
+  cand.gain = old_cost - new_cost;
+  return cand;
+}
+
+// ---------------------------------------------------------------------
+// Region-mode evaluation (Basic / Extended).
+std::optional<Candidate> evaluate_region(const Network& net, NodeId f, NodeId d,
+                                         const CommonSpace& cs, bool comp_f,
+                                         bool comp_d,
+                                         const SubstituteOptions& opts,
+                                         const Sop& f_cover, const Sop& d_cover,
+                                         const Sop& d_local_cover) {
+  DivisionOptions dopts;
+  std::optional<Candidate> best;
+  {
+    const DivisionResult r = basic_boolean_divide(f_cover, d_cover, dopts);
+    if (r.success) {
+      std::vector<int> core;
+      for (int k = 0; k < d_cover.num_cubes(); ++k) core.push_back(k);
+      best = score(net, f, d, cs, comp_f, comp_d, opts, d_cover, d_local_cover,
+                   core, r.quotient, r.remainder);
+    }
+  }
+  if (opts.method != SubstMethod::Basic) {
+    // Extended division: the vote-selected core divisor competes against
+    // the whole-divisor result above.
+    const ExtendedResult r = extended_boolean_divide(f_cover, d_cover, dopts);
+    if (r.success) {
+      std::optional<Candidate> ext =
+          score(net, f, d, cs, comp_f, comp_d, opts, d_cover, d_local_cover,
+                r.core_cubes, r.quotient, r.remainder);
+      if (ext && (!best || ext->gain > best->gain)) best = std::move(ext);
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------
+// Global-mode evaluation (ExtendedGdc): core selection via region votes,
+// then the division gadget is spliced into the full circuit and redundancy
+// removal runs with whole-circuit implications — every internal don't care
+// the implications can reach becomes usable.
+std::optional<Candidate> evaluate_gdc(const Network& net, NodeId f, NodeId d,
+                                      const CommonSpace& cs, bool comp_f,
+                                      bool comp_d,
+                                      const SubstituteOptions& opts,
+                                      const GateNet& base, const GateNetMap& map,
+                                      const Sop& f_cover, const Sop& d_cover,
+                                      const Sop& d_local_cover) {
+  DivisionOptions dopts;  // votes stay region-local (cheap)
+  std::vector<int> core = choose_core_divisor(f_cover, d_cover, dopts);
+  Sop core_cover(d_cover.num_vars());
+  for (int k : core) core_cover.add_cube(d_cover.cube(k));
+
+  Sop fprime, remainder;
+  split_remainder(f_cover, core_cover, &fprime, &remainder);
+  if (fprime.num_cubes() == 0 &&
+      static_cast<int>(core.size()) != d_cover.num_cubes()) {
+    // Retry against the whole divisor.
+    core.clear();
+    for (int k = 0; k < d_cover.num_cubes(); ++k) core.push_back(k);
+    core_cover = d_cover;
+    split_remainder(f_cover, core_cover, &fprime, &remainder);
+  }
+  if (fprime.num_cubes() == 0) return std::nullopt;
+
+  // Splice the gadget into a copy of the full circuit (Fig. 3(b), but with
+  // the whole network around it).
+  GateNet gn = base;
+  const int nv = static_cast<int>(cs.vars.size());
+  std::vector<Signal> var_signal;
+  for (NodeId x : cs.vars)
+    var_signal.push_back(Signal{map.node_out[static_cast<std::size_t>(x)], false});
+
+  std::vector<int> fcube_gates;
+  const Signal q = build_sop_gates(gn, fprime, var_signal, &fcube_gates, "q.");
+
+  Signal core_sig;
+  if (static_cast<int>(core.size()) == d_cover.num_cubes()) {
+    // Whole divisor: reuse the node's own signal (sharing maximizes the
+    // don't cares the implications can exploit); a complemented-divisor
+    // division reads it inverted.
+    core_sig = Signal{map.node_out[static_cast<std::size_t>(d)], comp_d};
+  } else {
+    core_sig = build_sop_gates(gn, core_cover, var_signal, nullptr, "dc.");
+  }
+  const int bold = gn.add_gate(GateType::And, {q, core_sig}, "bold");
+
+  std::vector<int> rem_gates;
+  (void)build_sop_gates(gn, remainder, var_signal, &rem_gates, "rm.");
+  std::vector<Signal> outs{Signal{bold, false}};
+  for (int g : rem_gates) outs.push_back(Signal{g, false});
+  const int out_or = gn.add_gate(GateType::Or, std::move(outs), "fnew");
+  // comp_f: the gadget computed comp(f); a negated buffer restores polarity.
+  const int fout = gn.add_gate(GateType::Or, {Signal{out_or, comp_f}}, "fbuf");
+
+  // Repoint every reader of f's old root to the gadget output.
+  const int old_root = map.node_out[static_cast<std::size_t>(f)];
+  for (int g = 0; g < gn.num_gates(); ++g) {
+    if (g == fout) continue;
+    Gate& gd = gn.gate(g);
+    for (Signal& s : gd.fanins) {
+      if (s.gate != old_root) continue;
+      auto& fo = gn.gate(old_root).fanouts;
+      auto it = std::find(fo.begin(), fo.end(), g);
+      if (it != fo.end()) fo.erase(it);
+      s.gate = fout;
+      gn.gate(fout).fanouts.push_back(g);
+    }
+  }
+  gn.replace_output(old_root, fout);
+
+  region_redundancy_removal(gn, fcube_gates, q.gate, opts.gdc_learning_depth);
+
+  std::vector<int> gate_var(static_cast<std::size_t>(gn.num_gates()), -1);
+  for (int v = 0; v < nv; ++v)
+    gate_var[static_cast<std::size_t>(var_signal[static_cast<std::size_t>(v)].gate)] = v;
+  const Sop quotient = extract_quotient(gn, fcube_gates, q.gate, gate_var, nv);
+  if (quotient.num_cubes() == 0) return std::nullopt;
+  return score(net, f, d, cs, comp_f, comp_d, opts, d_cover, d_local_cover,
+               core, quotient, remainder);
+}
+
+// ---------------------------------------------------------------------
+void commit(Network& net, NodeId f, NodeId d, const CommonSpace& cs,
+            const Candidate& cand, SubstituteStats* stats) {
+  NodeId y = d;
+  if (cand.decompose) {
+    const int m = net.node(d).func.num_vars();
+    const NodeId nc = net.add_node(net.fresh_name(net.node(d).name + "_c"),
+                                   net.node(d).fanins, cand.nc_local);
+    std::vector<NodeId> dfanins = net.node(d).fanins;
+    dfanins.push_back(nc);
+    net.set_function(d, std::move(dfanins), divisor_after_split(cand, m));
+    y = nc;
+    if (stats) ++stats->decompositions;
+  }
+
+  // Final fanin list of f: support-filtered common space + the divisor.
+  const int nv = static_cast<int>(cs.vars.size());
+  std::vector<NodeId> fanins;
+  std::vector<int> var_map(static_cast<std::size_t>(nv + 1), 0);
+  const std::vector<int> supp = cand.new_f.support();
+  for (int v : supp) {
+    const NodeId node = (v == nv) ? y : cs.vars[static_cast<std::size_t>(v)];
+    auto it = std::find(fanins.begin(), fanins.end(), node);
+    if (it == fanins.end()) {
+      fanins.push_back(node);
+      var_map[static_cast<std::size_t>(v)] = static_cast<int>(fanins.size() - 1);
+    } else {
+      var_map[static_cast<std::size_t>(v)] = static_cast<int>(it - fanins.begin());
+    }
+  }
+  Sop func = cand.new_f.remap(static_cast<int>(fanins.size()), var_map);
+  func.scc_minimize();
+  net.set_function(f, std::move(fanins), std::move(func));
+  if (stats) {
+    ++stats->substitutions;
+    if (cand.comp_f) ++stats->pos_substitutions;
+  }
+}
+
+// Quick structural pre-filter: a division can only produce a non-zero
+// quotient when some cube of the dividend cover is contained by a cube of
+// the divisor cover.
+bool sos_possible(const Sop& f_cover, const Sop& d_cover) {
+  for (const Cube& c : f_cover.cubes())
+    if (d_cover.scc_contains(c)) return true;
+  return false;
+}
+
+std::optional<int> attempt(Network& net, NodeId f, NodeId d,
+                           const SubstituteOptions& opts, bool commit_it,
+                           SubstituteStats* stats, ComplementCache* comps) {
+  const Node& fn = net.node(f);
+  const Node& dn = net.node(d);
+  if (fn.is_pi || dn.is_pi || !fn.alive || !dn.alive || f == d)
+    return std::nullopt;
+  if (fn.func.num_cubes() == 0 || dn.func.num_cubes() == 0) return std::nullopt;
+  if (fn.func.num_cubes() > opts.max_node_cubes) return std::nullopt;
+  if (dn.func.num_cubes() > opts.max_divisor_cubes) return std::nullopt;
+  if (net.depends_on(d, f)) return std::nullopt;  // would create a cycle
+
+  const CommonSpace cs = make_common_space(net, f, d);
+  if (static_cast<int>(cs.vars.size()) > opts.max_common_vars)
+    return std::nullopt;
+  const int nv = static_cast<int>(cs.vars.size());
+
+  // Complements for the POS dual, computed once in local spaces so cube
+  // orders stay aligned between the common-space and local covers.
+  Sop f_comp, d_comp_local, d_comp;
+  bool pos_ok = opts.try_pos;
+  if (pos_ok) {
+    Sop f_comp_local = comps->get(net, f);
+    d_comp_local = comps->get(net, d);
+    if (f_comp_local.num_cubes() > opts.max_node_cubes ||
+        f_comp_local.num_cubes() == 0 ||
+        d_comp_local.num_cubes() > opts.max_divisor_cubes ||
+        d_comp_local.num_cubes() == 0) {
+      pos_ok = false;
+    } else {
+      std::vector<int> fmap(fn.fanins.size());
+      for (std::size_t i = 0; i < fn.fanins.size(); ++i)
+        fmap[i] = static_cast<int>(i);
+      f_comp = f_comp_local.remap(nv, fmap);
+      d_comp = d_comp_local.remap(nv, cs.dmap);
+    }
+  }
+
+  // Build the full circuit once per attempt when running with GDCs.
+  GateNet base;
+  GateNetMap map;
+  if (opts.method == SubstMethod::ExtendedGdc) base = build_gatenet(net, map);
+
+  std::optional<Candidate> best;
+  // A divisor decomposition must pay for the structural churn it causes
+  // (one extra node, later-pass interference): require one literal of
+  // margin over a plain division.
+  auto effective = [](const Candidate& c) {
+    return c.gain - (c.decompose ? 1 : 0);
+  };
+  auto consider = [&](std::optional<Candidate> c) {
+    if (c && (!best || effective(*c) > effective(*best))) best = std::move(c);
+  };
+  // Four division views of the same pair (the SOS/POS symmetry of the
+  // paper plus the complemented-divisor move of SIS `resub -d`):
+  //   (f , d ) -> f = q·y + r          (f , d̄) -> f = q·y' + r
+  //   (f̄, d̄) -> POS dual (Lemma 2)    (f̄, d ) -> dual with y positive
+  auto run = [&](bool comp_f, bool comp_d, const Sop& f_cover,
+                 const Sop& d_cover, const Sop& d_local_cover) {
+    if (!sos_possible(f_cover, d_cover)) return;
+    consider(evaluate_region(net, f, d, cs, comp_f, comp_d, opts, f_cover,
+                             d_cover, d_local_cover));
+    // Global don't cares come on top of — never instead of — the
+    // region-local result: take whichever scores better.
+    if (opts.method == SubstMethod::ExtendedGdc)
+      consider(evaluate_gdc(net, f, d, cs, comp_f, comp_d, opts, base, map,
+                            f_cover, d_cover, d_local_cover));
+  };
+  run(false, false, cs.f_sop, cs.d_sop, dn.func);
+  if (pos_ok) {
+    run(false, true, cs.f_sop, d_comp, d_comp_local);
+    run(true, false, f_comp, cs.d_sop, dn.func);
+    run(true, true, f_comp, d_comp, d_comp_local);
+  }
+
+  if (!best || effective(*best) <= 0) return std::nullopt;
+  if (commit_it) commit(net, f, d, cs, *best, stats);
+  return best->gain;
+}
+
+}  // namespace
+
+
+std::optional<int> try_pool_substitution(Network& net, NodeId f,
+                                         const std::vector<NodeId>& divisors,
+                                         const SubstituteOptions& opts) {
+  const Node& fn = net.node(f);
+  if (fn.is_pi || !fn.alive || fn.func.num_cubes() == 0 ||
+      fn.func.num_cubes() > opts.max_node_cubes)
+    return std::nullopt;
+
+  // Common variable space: f's fanins plus every pooled divisor's fanins.
+  std::vector<NodeId> vars = fn.fanins;
+  auto var_of = [&](NodeId x) {
+    auto it = std::find(vars.begin(), vars.end(), x);
+    if (it == vars.end()) {
+      vars.push_back(x);
+      return static_cast<int>(vars.size() - 1);
+    }
+    return static_cast<int>(it - vars.begin());
+  };
+  struct PoolCube {
+    NodeId owner;
+    int local_index;
+  };
+  std::vector<PoolCube> owners;
+  std::vector<std::vector<int>> dmaps;
+  std::vector<NodeId> used;
+  for (NodeId d : divisors) {
+    const Node& dn = net.node(d);
+    if (dn.is_pi || !dn.alive || d == f) continue;
+    if (dn.func.num_cubes() == 0 ||
+        dn.func.num_cubes() > opts.max_divisor_cubes)
+      continue;
+    if (net.depends_on(d, f)) continue;
+    std::vector<int> dmap;
+    for (NodeId x : dn.fanins) dmap.push_back(var_of(x));
+    if (static_cast<int>(vars.size()) > opts.max_common_vars)
+      return std::nullopt;
+    dmaps.push_back(std::move(dmap));
+    used.push_back(d);
+  }
+  if (used.size() < 2) return std::nullopt;  // single-node case is covered
+
+  const int nv = static_cast<int>(vars.size());
+  std::vector<int> fmap(fn.fanins.size());
+  for (std::size_t i = 0; i < fn.fanins.size(); ++i)
+    fmap[i] = static_cast<int>(i);
+  const Sop f_sop = fn.func.remap(nv, fmap);
+
+  // Pretend all cubes come from one node (Fig. 3(c)).
+  Sop pool(nv);
+  for (std::size_t k = 0; k < used.size(); ++k) {
+    const Sop d_sop = net.node(used[k]).func.remap(nv, dmaps[k]);
+    for (int ci = 0; ci < d_sop.num_cubes(); ++ci) {
+      pool.add_cube(d_sop.cube(ci));
+      owners.push_back(PoolCube{used[k], ci});
+    }
+  }
+  if (!sos_possible(f_sop, pool)) return std::nullopt;
+
+  DivisionOptions dopts;
+  const std::vector<int> core = choose_core_divisor(f_sop, pool, dopts);
+  if (core.empty() ||
+      static_cast<int>(core.size()) == pool.num_cubes())
+    return std::nullopt;  // nothing sharper than "everything"
+
+  // Single-owner cores that cover the whole owner are plain divisions the
+  // single-divisor pass already tried.
+  bool single_owner = true;
+  for (int k : core)
+    if (owners[static_cast<std::size_t>(k)].owner !=
+        owners[static_cast<std::size_t>(core[0])].owner)
+      single_owner = false;
+  if (single_owner &&
+      static_cast<int>(core.size()) ==
+          net.node(owners[static_cast<std::size_t>(core[0])].owner)
+              .func.num_cubes())
+    return std::nullopt;
+
+  Sop core_cover(nv);
+  for (int k : core) core_cover.add_cube(pool.cube(k));
+  const DivisionResult div = basic_boolean_divide(f_sop, core_cover, dopts);
+  if (!div.success) return std::nullopt;
+
+  // Materialize the pooled core as a brand-new node over the union of the
+  // variables it mentions.
+  const std::vector<int> supp = core_cover.support();
+  if (supp.empty()) return std::nullopt;
+  std::vector<NodeId> nc_fanins;
+  std::vector<int> back(static_cast<std::size_t>(nv), 0);
+  for (std::size_t i = 0; i < supp.size(); ++i) {
+    back[static_cast<std::size_t>(supp[i])] = static_cast<int>(i);
+    nc_fanins.push_back(vars[static_cast<std::size_t>(supp[i])]);
+  }
+  Sop nc_func = core_cover.remap(static_cast<int>(supp.size()), back);
+  nc_func.scc_minimize();
+
+  // f_new = q·y + r over nv+1 variables.
+  std::vector<int> ext(static_cast<std::size_t>(nv));
+  for (int i = 0; i < nv; ++i) ext[static_cast<std::size_t>(i)] = i;
+  Sop g(nv + 1);
+  const Sop q_ext = div.quotient.remap(nv + 1, ext);
+  for (Cube c : q_ext.cubes()) {
+    c.set_lit(nv, Lit::Pos);
+    g.add_cube(std::move(c));
+  }
+  const Sop r_ext = div.remainder.remap(nv + 1, ext);
+  for (const Cube& c : r_ext.cubes()) g.add_cube(c);
+  g.scc_minimize();
+  bool uses_y = false;
+  for (const Cube& c : g.cubes())
+    if (c.lit(nv) != Lit::Absent) uses_y = true;
+  if (!uses_y) return std::nullopt;
+
+  // The new node is pure cost here (existing divisors stay untouched), so
+  // demand the dividend's savings pay for it with margin.
+  const int gain = factored_literal_count(fn.func) -
+                   factored_literal_count(g) -
+                   factored_literal_count(nc_func) - 1;
+  if (gain <= 0) return std::nullopt;
+
+  const NodeId nc =
+      net.add_node(net.fresh_name(fn.name + "_p"), nc_fanins, nc_func);
+  std::vector<NodeId> new_fanins;
+  std::vector<int> var_map(static_cast<std::size_t>(nv + 1), 0);
+  for (int v : g.support()) {
+    const NodeId node = (v == nv) ? nc : vars[static_cast<std::size_t>(v)];
+    auto it = std::find(new_fanins.begin(), new_fanins.end(), node);
+    if (it == new_fanins.end()) {
+      new_fanins.push_back(node);
+      var_map[static_cast<std::size_t>(v)] =
+          static_cast<int>(new_fanins.size() - 1);
+    } else {
+      var_map[static_cast<std::size_t>(v)] =
+          static_cast<int>(it - new_fanins.begin());
+    }
+  }
+  Sop func = g.remap(static_cast<int>(new_fanins.size()), var_map);
+  func.scc_minimize();
+  net.set_function(f, std::move(new_fanins), std::move(func));
+  return gain;
+}
+
+std::optional<int> try_substitution(Network& net, NodeId f, NodeId d,
+                                    const SubstituteOptions& opts,
+                                    bool commit_it) {
+  ComplementCache comps;
+  return attempt(net, f, d, opts, commit_it, nullptr, &comps);
+}
+
+SubstituteStats substitute_network(Network& net, const SubstituteOptions& opts) {
+  SubstituteStats stats;
+  stats.literals_before = net.factored_literals();
+  ComplementCache comps;
+
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    bool changed = false;
+    const std::vector<NodeId> order = net.topo_order();
+    for (NodeId f : order) {
+      if (!net.node(f).alive || net.node(f).is_pi) continue;
+
+      if (opts.first_positive) {
+        // The paper's locally greedy strategy: commit the first division
+        // with a positive gain ("our implementation takes the first
+        // division that has a positive gain, which can be marginal").
+        bool committed = false;
+        for (NodeId d : order) {
+          if (!net.node(d).alive || d == f) continue;
+          const std::optional<int> gain =
+              attempt(net, f, d, opts, /*commit=*/true, &stats, &comps);
+          if (gain && *gain > 0) {
+            changed = true;
+            committed = true;
+            break;
+          }
+        }
+        (void)committed;
+      } else {
+        NodeId best_d = kNoNode;
+        int best_gain = 0;
+        for (NodeId d : order) {
+          if (!net.node(d).alive || d == f) continue;
+          const std::optional<int> gain =
+              attempt(net, f, d, opts, /*commit=*/false, nullptr, &comps);
+          if (gain && *gain > best_gain) {
+            best_d = d;
+            best_gain = *gain;
+          }
+        }
+        if (best_d != kNoNode) {
+          const std::optional<int> gain =
+              attempt(net, f, best_d, opts, /*commit=*/true, &stats, &comps);
+          if (gain && *gain > 0) changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  net.sweep();
+  stats.literals_after = net.factored_literals();
+  return stats;
+}
+
+}  // namespace rarsub

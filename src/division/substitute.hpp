@@ -1,0 +1,81 @@
+#pragma once
+// Network-level Boolean substitution driver (the paper's three
+// experimental configurations):
+//
+//   Basic        — basic division, region-local implications
+//   Extended     — extended division (divisor decomposition), region-local
+//   ExtendedGdc  — extended division with global internal don't cares: the
+//                  division gadget is spliced into the full circuit and the
+//                  implications run to the primary outputs
+//
+// Every configuration also tries the product-of-sums dual (Lemma 2): both
+// dividend and divisor are complemented, divided with the same machinery,
+// and the result complemented back — "performing substitution through
+// sum-of-product form or product-of-sum form are basically the same".
+
+#include <optional>
+
+#include "division/division.hpp"
+#include "network/network.hpp"
+
+namespace rarsub {
+
+enum class SubstMethod { Basic, Extended, ExtendedGdc };
+
+struct SubstituteOptions {
+  SubstMethod method = SubstMethod::Basic;
+  /// Size cap for try_pool_substitution's divisor list.
+  int max_pool_divisors = 6;
+  /// Also try the POS dual of every division.
+  bool try_pos = true;
+  /// Commit the first division with positive literal gain (the paper's
+  /// locally greedy strategy, responsible for the Table V anomaly); when
+  /// false, evaluate all candidate divisors and commit the best.
+  bool first_positive = true;
+  /// Recursive-learning depth used by the GDC configuration.
+  int gdc_learning_depth = 1;
+  /// Passes over the network (each node gets at most one substitution per
+  /// pass); iteration stops early at a fixpoint.
+  int max_passes = 4;
+  // Size guards.
+  int max_node_cubes = 64;
+  int max_divisor_cubes = 24;
+  int max_common_vars = 48;
+  int max_complement_cubes = 48;
+};
+
+struct SubstituteStats {
+  int substitutions = 0;      ///< committed rewrites (SOS + POS)
+  int pos_substitutions = 0;  ///< committed through the POS dual
+  int decompositions = 0;     ///< divisor splits performed (extended)
+  int literals_before = 0;    ///< factored literals before the pass(es)
+  int literals_after = 0;
+};
+
+/// Run Boolean substitution over the whole network.
+SubstituteStats substitute_network(Network& net, const SubstituteOptions& opts = {});
+
+/// A single dividend/divisor attempt. Evaluates SOS (and optionally POS)
+/// division of node `f` by node `d` and returns the best achievable
+/// factored-literal gain, committing the rewrite when `commit` is true.
+/// nullopt when no division applies.
+std::optional<int> try_substitution(Network& net, NodeId f, NodeId d,
+                                    const SubstituteOptions& opts, bool commit);
+
+/// The multi-node generalization (paper Fig. 3(c)): treat the cubes of all
+/// `divisors` as if they came from one node, vote, pick the core by
+/// maximum clique, and — when the core spans several nodes or only part of
+/// one — create a new node for it and divide `f` by that node. Returns the
+/// committed gain, or nullopt when no profitable pooled division exists.
+///
+/// Exposed as a primitive rather than wired into substitute_network: under
+/// per-node factored-literal accounting a pooled core serving a single
+/// dividend can never pay for its own node (quick-factor already shares
+/// the core inside the dividend, so the gain is bounded by -2); it only
+/// profits when the caller amortizes the new node across several
+/// dividends. EXPERIMENTS.md discusses this finding.
+std::optional<int> try_pool_substitution(Network& net, NodeId f,
+                                         const std::vector<NodeId>& divisors,
+                                         const SubstituteOptions& opts);
+
+}  // namespace rarsub

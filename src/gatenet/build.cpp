@@ -1,0 +1,62 @@
+#include "gatenet/build.hpp"
+
+#include <cassert>
+
+namespace rarsub {
+
+Signal build_sop_gates(GateNet& gn, const Sop& f,
+                       const std::vector<Signal>& var_signal,
+                       std::vector<int>* cube_gates,
+                       const std::string& label_prefix) {
+  assert(static_cast<int>(var_signal.size()) == f.num_vars());
+  std::vector<Signal> cube_signals;
+  if (cube_gates) cube_gates->clear();
+  for (int ci = 0; ci < f.num_cubes(); ++ci) {
+    const Cube& c = f.cube(ci);
+    std::vector<Signal> lits;
+    for (int v = 0; v < f.num_vars(); ++v) {
+      const Lit l = c.lit(v);
+      if (l == Lit::Absent) continue;
+      Signal s = var_signal[static_cast<std::size_t>(v)];
+      if (l == Lit::Neg) s.neg = !s.neg;
+      lits.push_back(s);
+    }
+    const int g = gn.add_gate(GateType::And, std::move(lits),
+                              label_prefix + "c" + std::to_string(ci));
+    if (cube_gates) cube_gates->push_back(g);
+    cube_signals.push_back(Signal{g, false});
+  }
+  const int root =
+      gn.add_gate(GateType::Or, std::move(cube_signals), label_prefix + "or");
+  return Signal{root, false};
+}
+
+GateNet build_gatenet(const Network& net, GateNetMap& map) {
+  GateNet gn;
+  map.node_out.assign(static_cast<std::size_t>(net.num_nodes()), -1);
+  map.node_cubes.assign(static_cast<std::size_t>(net.num_nodes()), {});
+
+  for (NodeId pi : net.pis())
+    map.node_out[static_cast<std::size_t>(pi)] = gn.add_pi(net.node(pi).name);
+
+  for (NodeId id : net.topo_order()) {
+    const Node& nd = net.node(id);
+    std::vector<Signal> var_signal;
+    var_signal.reserve(nd.fanins.size());
+    for (NodeId f : nd.fanins) {
+      const int g = map.node_out[static_cast<std::size_t>(f)];
+      assert(g >= 0);
+      var_signal.push_back(Signal{g, false});
+    }
+    const Signal out = build_sop_gates(gn, nd.func, var_signal,
+                                       &map.node_cubes[static_cast<std::size_t>(id)],
+                                       nd.name + ".");
+    map.node_out[static_cast<std::size_t>(id)] = out.gate;
+  }
+
+  for (const Output& o : net.pos())
+    gn.add_output(map.node_out[static_cast<std::size_t>(o.driver)]);
+  return gn;
+}
+
+}  // namespace rarsub

@@ -1,0 +1,37 @@
+#pragma once
+// Two-level decomposition of a Boolean network into a GateNet: every node
+// becomes a layer of cube AND gates feeding one OR gate (the paper's
+// Sec. I preprocessing), with complemented fanin edges for negative
+// literals. The returned map records where each node's output and cube
+// gates landed so the division machinery can address individual wires.
+
+#include <vector>
+
+#include "gatenet/gatenet.hpp"
+#include "network/network.hpp"
+
+namespace rarsub {
+
+struct GateNetMap {
+  /// NodeId -> gate id of the node's output signal (-1 for dead nodes).
+  std::vector<int> node_out;
+  /// NodeId -> AND gate per cube, aligned with the node's func cube order.
+  /// Pin k of a cube gate is the k-th present literal in ascending variable
+  /// order.
+  std::vector<std::vector<int>> node_cubes;
+};
+
+/// Build the gate-level view of the whole network. Primary outputs become
+/// the GateNet's observables.
+GateNet build_gatenet(const Network& net, GateNetMap& map);
+
+/// Decompose one SOP into cube AND gates + an OR root inside `gn`.
+/// `var_signal[v]` is the signal carrying variable v. Returns the root
+/// signal and fills `cube_gates` (one AND gate per cube of `f`, in order;
+/// constant-1 cubes get an empty AND gate).
+Signal build_sop_gates(GateNet& gn, const Sop& f,
+                       const std::vector<Signal>& var_signal,
+                       std::vector<int>* cube_gates,
+                       const std::string& label_prefix = "");
+
+}  // namespace rarsub

@@ -1,0 +1,184 @@
+#include "gatenet/gatenet.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rarsub {
+
+int GateNet::add_pi(const std::string& label) {
+  Gate g;
+  g.type = GateType::PI;
+  g.label = label;
+  gates_.push_back(std::move(g));
+  const int id = static_cast<int>(gates_.size() - 1);
+  pis_.push_back(id);
+  return id;
+}
+
+int GateNet::add_const(bool value) {
+  Gate g;
+  g.type = value ? GateType::Const1 : GateType::Const0;
+  gates_.push_back(std::move(g));
+  return static_cast<int>(gates_.size() - 1);
+}
+
+int GateNet::add_gate(GateType type, std::vector<Signal> fanins,
+                      const std::string& label) {
+  assert(type == GateType::And || type == GateType::Or);
+  Gate g;
+  g.type = type;
+  g.fanins = std::move(fanins);
+  g.label = label;
+  gates_.push_back(std::move(g));
+  const int id = static_cast<int>(gates_.size() - 1);
+  for (const Signal& s : gates_.back().fanins)
+    gates_[static_cast<std::size_t>(s.gate)].fanouts.push_back(id);
+  return id;
+}
+
+WireRef GateNet::add_fanin(int g, Signal s) {
+  Gate& gd = gate(g);
+  gd.fanins.push_back(s);
+  gates_[static_cast<std::size_t>(s.gate)].fanouts.push_back(g);
+  return WireRef{g, static_cast<int>(gd.fanins.size() - 1)};
+}
+
+void GateNet::remove_fanin(WireRef w) {
+  Gate& gd = gate(w.gate);
+  assert(w.pin >= 0 && w.pin < static_cast<int>(gd.fanins.size()));
+  const Signal s = gd.fanins[static_cast<std::size_t>(w.pin)];
+  gd.fanins.erase(gd.fanins.begin() + w.pin);
+  auto& fo = gates_[static_cast<std::size_t>(s.gate)].fanouts;
+  auto it = std::find(fo.begin(), fo.end(), w.gate);
+  assert(it != fo.end());
+  fo.erase(it);
+}
+
+void GateNet::make_const(int g, bool value) {
+  Gate& gd = gate(g);
+  assert(gd.type == GateType::And || gd.type == GateType::Or);
+  for (const Signal& s : gd.fanins) {
+    auto& fo = gates_[static_cast<std::size_t>(s.gate)].fanouts;
+    auto it = std::find(fo.begin(), fo.end(), g);
+    if (it != fo.end()) fo.erase(it);
+  }
+  gd.fanins.clear();
+  gd.type = value ? GateType::Const1 : GateType::Const0;
+}
+
+std::vector<int> GateNet::topo_order() const {
+  std::vector<int> order;
+  order.reserve(gates_.size());
+  std::vector<int> state(gates_.size(), 0);
+  std::vector<int> stack;
+  for (int i = 0; i < num_gates(); ++i) {
+    if (state[static_cast<std::size_t>(i)] == 2) continue;
+    stack.push_back(i);
+    while (!stack.empty()) {
+      const int g = stack.back();
+      auto& st = state[static_cast<std::size_t>(g)];
+      if (st == 2) {
+        stack.pop_back();
+        continue;
+      }
+      if (st == 1) {
+        st = 2;
+        order.push_back(g);
+        stack.pop_back();
+        continue;
+      }
+      st = 1;
+      for (const Signal& s : gate(g).fanins) {
+        assert(state[static_cast<std::size_t>(s.gate)] != 1 && "combinational cycle");
+        if (state[static_cast<std::size_t>(s.gate)] == 0) stack.push_back(s.gate);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<bool> GateNet::tfo_mask(int g) const {
+  std::vector<bool> mask(gates_.size(), false);
+  std::vector<int> stack{g};
+  while (!stack.empty()) {
+    const int n = stack.back();
+    stack.pop_back();
+    for (int fo : gate(n).fanouts) {
+      if (!mask[static_cast<std::size_t>(fo)]) {
+        mask[static_cast<std::size_t>(fo)] = true;
+        stack.push_back(fo);
+      }
+    }
+  }
+  return mask;
+}
+
+bool GateNet::reaches_output(int g, const std::vector<bool>& blocked) const {
+  std::vector<bool> seen(gates_.size(), false);
+  std::vector<int> stack{g};
+  seen[static_cast<std::size_t>(g)] = true;
+  auto is_output = [&](int x) {
+    return std::find(outputs_.begin(), outputs_.end(), x) != outputs_.end();
+  };
+  if (!blocked[static_cast<std::size_t>(g)] && is_output(g)) return true;
+  while (!stack.empty()) {
+    const int n = stack.back();
+    stack.pop_back();
+    for (int fo : gate(n).fanouts) {
+      const auto f = static_cast<std::size_t>(fo);
+      if (seen[f] || blocked[f]) continue;
+      seen[f] = true;
+      if (is_output(fo)) return true;
+      stack.push_back(fo);
+    }
+  }
+  return false;
+}
+
+std::vector<bool> GateNet::eval(const std::vector<bool>& pi_values) const {
+  assert(pi_values.size() == pis_.size());
+  std::vector<std::uint64_t> words(pis_.size());
+  for (std::size_t i = 0; i < pis_.size(); ++i)
+    words[i] = pi_values[i] ? ~0ULL : 0ULL;
+  const std::vector<std::uint64_t> out = eval64(words);
+  std::vector<bool> vals(gates_.size());
+  for (std::size_t i = 0; i < gates_.size(); ++i) vals[i] = (out[i] & 1) != 0;
+  return vals;
+}
+
+std::vector<std::uint64_t> GateNet::eval64(
+    const std::vector<std::uint64_t>& pi_words) const {
+  assert(pi_words.size() == pis_.size());
+  std::vector<std::uint64_t> val(gates_.size(), 0);
+  for (std::size_t i = 0; i < pis_.size(); ++i)
+    val[static_cast<std::size_t>(pis_[i])] = pi_words[i];
+  for (int g : topo_order()) {
+    const Gate& gd = gate(g);
+    switch (gd.type) {
+      case GateType::PI: break;
+      case GateType::Const0: val[static_cast<std::size_t>(g)] = 0; break;
+      case GateType::Const1: val[static_cast<std::size_t>(g)] = ~0ULL; break;
+      case GateType::And: {
+        std::uint64_t acc = ~0ULL;
+        for (const Signal& s : gd.fanins) {
+          const std::uint64_t w = val[static_cast<std::size_t>(s.gate)];
+          acc &= s.neg ? ~w : w;
+        }
+        val[static_cast<std::size_t>(g)] = acc;
+        break;
+      }
+      case GateType::Or: {
+        std::uint64_t acc = 0;
+        for (const Signal& s : gd.fanins) {
+          const std::uint64_t w = val[static_cast<std::size_t>(s.gate)];
+          acc |= s.neg ? ~w : w;
+        }
+        val[static_cast<std::size_t>(g)] = acc;
+        break;
+      }
+    }
+  }
+  return val;
+}
+
+}  // namespace rarsub

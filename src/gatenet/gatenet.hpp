@@ -1,0 +1,104 @@
+#pragma once
+// GateNet: the structural AND/OR circuit the RAR machinery operates on.
+//
+// The paper's first step is to "decompose each node's internal
+// sum-of-product form into two-level AND and OR gates" so the circuit is
+// alternating AND/OR levels (Sec. I). Inverters are edge attributes
+// (signals carry an optional complement flag), which keeps the SOS and POS
+// views perfectly symmetric: dualizing a circuit swaps gate types and
+// nothing else.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rarsub {
+
+enum class GateType : std::uint8_t {
+  PI,      ///< primary input (free variable)
+  And,     ///< AND of fanins; with zero fanins == constant 1
+  Or,      ///< OR of fanins; with zero fanins == constant 0
+  Const0,
+  Const1,
+};
+
+/// A signal: a gate output, possibly complemented at the consuming edge.
+struct Signal {
+  int gate = -1;
+  bool neg = false;
+  bool operator==(const Signal&) const = default;
+};
+
+/// A specific input pin of a gate (the paper's "wire").
+struct WireRef {
+  int gate = -1;
+  int pin = -1;
+  bool operator==(const WireRef&) const = default;
+};
+
+struct Gate {
+  GateType type = GateType::And;
+  std::vector<Signal> fanins;
+  std::vector<int> fanouts;  ///< gates listing this gate among their fanins
+  std::string label;
+};
+
+class GateNet {
+ public:
+  int add_pi(const std::string& label = "");
+  int add_const(bool value);
+  int add_gate(GateType type, std::vector<Signal> fanins,
+               const std::string& label = "");
+
+  int num_gates() const { return static_cast<int>(gates_.size()); }
+  const Gate& gate(int g) const { return gates_[static_cast<std::size_t>(g)]; }
+  Gate& gate(int g) { return gates_[static_cast<std::size_t>(g)]; }
+
+  /// Observable points: redundancy is judged with respect to these.
+  void add_output(int g) { outputs_.push_back(g); }
+  const std::vector<int>& outputs() const { return outputs_; }
+
+  /// Retarget every observable entry equal to `old_gate` to `new_gate`
+  /// (used when a gadget replaces a node's root gate).
+  void replace_output(int old_gate, int new_gate) {
+    for (int& o : outputs_)
+      if (o == old_gate) o = new_gate;
+  }
+
+  /// Append a fanin pin to an existing gate (redundancy *addition*).
+  WireRef add_fanin(int g, Signal s);
+
+  /// Remove the fanin pin `w` (redundancy *removal*). Remaining pins shift
+  /// down; an AND with no pins left is constant 1, an OR constant 0.
+  void remove_fanin(WireRef w);
+
+  /// Replace the whole gate by a constant (used when an input stuck-at of
+  /// the controlling value is untestable).
+  void make_const(int g, bool value);
+
+  /// Gates in topological order (fanins first); PIs/constants included.
+  std::vector<int> topo_order() const;
+
+  /// Gates in the transitive fanout of `g` (excluding `g` itself).
+  std::vector<bool> tfo_mask(int g) const;
+
+  /// Is any observable output reachable from `g` without passing through a
+  /// gate marked in `blocked`?
+  bool reaches_output(int g, const std::vector<bool>& blocked) const;
+
+  /// Evaluate the full circuit on an assignment of PI values (indexed by
+  /// PI creation order). Returns one bool per gate.
+  std::vector<bool> eval(const std::vector<bool>& pi_values) const;
+
+  /// 64-way bit-parallel evaluation for the verification tests.
+  std::vector<std::uint64_t> eval64(const std::vector<std::uint64_t>& pi_words) const;
+
+  const std::vector<int>& pis() const { return pis_; }
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<int> pis_;
+  std::vector<int> outputs_;
+};
+
+}  // namespace rarsub

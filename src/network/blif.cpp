@@ -1,0 +1,186 @@
+#include "network/blif.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace rarsub {
+
+namespace {
+
+// Split on whitespace.
+std::vector<std::string> tokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream ss(line);
+  std::string t;
+  while (ss >> t) out.push_back(t);
+  return out;
+}
+
+struct RawNames {
+  std::vector<std::string> signals;  // inputs... output
+  std::vector<std::pair<std::string, char>> rows;  // (input plane, output char)
+};
+
+}  // namespace
+
+Network read_blif(std::istream& in) {
+  Network net;
+  std::vector<std::string> input_names, output_names;
+  std::vector<RawNames> blocks;
+  RawNames* current = nullptr;
+
+  std::string line, pending;
+  while (std::getline(in, line)) {
+    // Strip comments and handle '\' continuations.
+    if (auto pos = line.find('#'); pos != std::string::npos) line.resize(pos);
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+      line.pop_back();
+    if (!line.empty() && line.back() == '\\') {
+      line.pop_back();
+      pending += line + " ";
+      continue;
+    }
+    line = pending + line;
+    pending.clear();
+
+    const std::vector<std::string> tok = tokens(line);
+    if (tok.empty()) continue;
+
+    if (tok[0] == ".model") {
+      if (tok.size() > 1) net.set_name(tok[1]);
+      current = nullptr;
+    } else if (tok[0] == ".inputs") {
+      input_names.insert(input_names.end(), tok.begin() + 1, tok.end());
+      current = nullptr;
+    } else if (tok[0] == ".outputs") {
+      output_names.insert(output_names.end(), tok.begin() + 1, tok.end());
+      current = nullptr;
+    } else if (tok[0] == ".names") {
+      blocks.push_back(RawNames{{tok.begin() + 1, tok.end()}, {}});
+      current = &blocks.back();
+    } else if (tok[0] == ".end") {
+      current = nullptr;
+    } else if (tok[0][0] == '.') {
+      throw std::runtime_error("read_blif: unsupported construct " + tok[0]);
+    } else {
+      if (current == nullptr)
+        throw std::runtime_error("read_blif: cover row outside .names");
+      if (current->signals.size() == 1) {
+        // Constant node: rows like "1" (const 1); absence means const 0.
+        if (tok.size() != 1 || (tok[0] != "1" && tok[0] != "0"))
+          throw std::runtime_error("read_blif: bad constant row");
+        current->rows.emplace_back("", tok[0][0]);
+      } else {
+        if (tok.size() != 2)
+          throw std::runtime_error("read_blif: bad cover row '" + line + "'");
+        current->rows.emplace_back(tok[0], tok[1][0]);
+      }
+    }
+  }
+
+  // Create PIs, then nodes in dependency order (two passes: declare, fill).
+  std::map<std::string, NodeId> by_name;
+  for (const std::string& n : input_names) by_name[n] = net.add_pi(n);
+
+  // Declare all .names outputs first with placeholder functions so fanins
+  // can be resolved regardless of order.
+  for (const RawNames& b : blocks) {
+    const std::string& out = b.signals.back();
+    if (by_name.count(out))
+      throw std::runtime_error("read_blif: signal defined twice: " + out);
+    by_name[out] = net.add_node(out, {}, Sop(0));
+  }
+  for (const RawNames& b : blocks) {
+    const std::string& out_name = b.signals.back();
+    std::vector<NodeId> fanins;
+    for (std::size_t i = 0; i + 1 < b.signals.size(); ++i) {
+      auto it = by_name.find(b.signals[i]);
+      if (it == by_name.end())
+        throw std::runtime_error("read_blif: undefined signal " + b.signals[i]);
+      fanins.push_back(it->second);
+    }
+    const int nv = static_cast<int>(fanins.size());
+    Sop on(nv), off(nv);
+    bool has_on = false, has_off = false;
+    for (const auto& [plane, out_char] : b.rows) {
+      Cube c(nv);
+      for (int v = 0; v < nv; ++v) {
+        const char ch = plane[static_cast<std::size_t>(v)];
+        if (ch == '1') c.set_lit(v, Lit::Pos);
+        else if (ch == '0') c.set_lit(v, Lit::Neg);
+        else if (ch != '-')
+          throw std::runtime_error("read_blif: bad plane char");
+      }
+      if (out_char == '1') {
+        on.add_cube(c);
+        has_on = true;
+      } else {
+        off.add_cube(c);
+        has_off = true;
+      }
+    }
+    if (has_on && has_off)
+      throw std::runtime_error("read_blif: mixed on/off rows for " + out_name);
+    Sop func = has_off ? off.complement() : on;
+    net.set_function(by_name[out_name], std::move(fanins), std::move(func));
+  }
+
+  for (const std::string& n : output_names) {
+    auto it = by_name.find(n);
+    if (it == by_name.end())
+      throw std::runtime_error("read_blif: undefined output " + n);
+    net.add_po(n, it->second);
+  }
+  return net;
+}
+
+Network read_blif_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_blif(ss);
+}
+
+Network read_blif_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_blif_file: cannot open " + path);
+  return read_blif(f);
+}
+
+void write_blif(const Network& net, std::ostream& out) {
+  out << ".model " << (net.name().empty() ? "rarsub" : net.name()) << "\n";
+  out << ".inputs";
+  for (NodeId pi : net.pis()) out << " " << net.node(pi).name;
+  out << "\n.outputs";
+  for (const Output& o : net.pos()) out << " " << o.name;
+  out << "\n";
+
+  // PO name differing from driver name needs a buffer .names block.
+  for (const Output& o : net.pos()) {
+    if (net.node(o.driver).name != o.name) {
+      out << ".names " << net.node(o.driver).name << " " << o.name << "\n1 1\n";
+    }
+  }
+
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const Node& nd = net.node(id);
+    if (!nd.alive || nd.is_pi) continue;
+    out << ".names";
+    for (NodeId f : nd.fanins) out << " " << net.node(f).name;
+    out << " " << nd.name << "\n";
+    if (nd.fanins.empty()) {
+      if (!nd.func.is_zero()) out << "1\n";
+    } else {
+      for (const Cube& c : nd.func.cubes()) out << c.to_string() << " 1\n";
+    }
+  }
+  out << ".end\n";
+}
+
+std::string write_blif_string(const Network& net) {
+  std::ostringstream ss;
+  write_blif(net, ss);
+  return ss.str();
+}
+
+}  // namespace rarsub

@@ -1,0 +1,22 @@
+#pragma once
+// BLIF reader/writer for combinational networks (.model/.inputs/.outputs/
+// .names/.end), the interchange format of the SIS environment the paper's
+// experiments ran in.
+
+#include <iosfwd>
+#include <string>
+
+#include "network/network.hpp"
+
+namespace rarsub {
+
+/// Parse a BLIF description; throws std::runtime_error on malformed input.
+Network read_blif(std::istream& in);
+Network read_blif_string(const std::string& text);
+Network read_blif_file(const std::string& path);
+
+/// Serialize; every alive internal node becomes a .names block.
+void write_blif(const Network& net, std::ostream& out);
+std::string write_blif_string(const Network& net);
+
+}  // namespace rarsub

@@ -1,0 +1,35 @@
+#pragma once
+// Version-tracked cache of node-function complements (in each node's local
+// variable space). Substitution passes consult every node's complement for
+// the POS dual of every candidate pair; recomputing it per pair dominates
+// run time on circuits with large collapsed nodes.
+
+#include <unordered_map>
+#include <utility>
+
+#include "network/network.hpp"
+
+namespace rarsub {
+
+class ComplementCache {
+ public:
+  /// Complement of node `id`'s function over its own fanin variables.
+  /// Recomputed only when the node's version changed since the last call.
+  const Sop& get(const Network& net, NodeId id) {
+    const Node& nd = net.node(id);
+    auto it = cache_.find(id);
+    if (it != cache_.end() && it->second.first == nd.version)
+      return it->second.second;
+    auto [pos, inserted] =
+        cache_.insert_or_assign(id, std::make_pair(nd.version, nd.func.complement()));
+    (void)inserted;
+    return pos->second.second;
+  }
+
+  void clear() { cache_.clear(); }
+
+ private:
+  std::unordered_map<NodeId, std::pair<int, Sop>> cache_;
+};
+
+}  // namespace rarsub

@@ -1,0 +1,62 @@
+// SIS-style `eliminate` and network-wide `simplify`, the preprocessing
+// commands of the paper's Scripts A/B/C ("The purpose of eliminate zero is
+// to create complex gates by collapsing gates with single fanout since
+// complex gates are more suitable for substitution").
+
+#include "network/network.hpp"
+#include "sop/espresso.hpp"
+#include "sop/factor.hpp"
+
+namespace rarsub {
+
+int eliminate(Network& net, int threshold, int cube_limit) {
+  int eliminated = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId id = 0; id < net.num_nodes(); ++id) {
+      const Node& nd = net.node(id);
+      if (!nd.alive || nd.is_pi) continue;
+      if (net.num_po_refs(id) > 0) continue;  // keep PO drivers
+      const int fo = net.fanout_refs(id);
+      if (fo == 0) continue;  // sweep's job
+
+      // SIS-style value: the ACTUAL factored-literal change of collapsing
+      // this node into every fanout. Computed by previewing the
+      // compositions; this is what keeps XOR trees from exploding (their
+      // composed covers double, giving a large positive value).
+      const int own = factored_literal_count(nd.func);
+      int value = -own;
+      bool feasible = true;
+      for (NodeId g : nd.fanouts) {
+        const auto preview = net.compose_preview(g, id, cube_limit);
+        if (!preview) {
+          feasible = false;
+          break;
+        }
+        value += factored_literal_count(preview->func) -
+                 factored_literal_count(net.node(g).func);
+      }
+      if (!feasible || value > threshold) continue;
+      if (net.collapse_into_fanouts(id, cube_limit)) {
+        ++eliminated;
+        changed = true;
+      }
+    }
+  }
+  net.sweep();
+  return eliminated;
+}
+
+void simplify_network(Network& net) {
+  for (NodeId id : net.topo_order()) {
+    Node& nd = net.node(id);
+    if (nd.func.num_cubes() == 0) continue;
+    Sop simplified = espresso_lite(nd.func, Sop::zero(nd.func.num_vars()));
+    if (simplified.num_literals() <= nd.func.num_literals())
+      net.set_function(id, nd.fanins, std::move(simplified));
+  }
+  net.sweep();
+}
+
+}  // namespace rarsub

@@ -1,0 +1,37 @@
+#include "network/eqn.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "sop/factor.hpp"
+
+namespace rarsub {
+
+void write_eqn(const Network& net, std::ostream& out) {
+  out << "INORDER =";
+  for (NodeId pi : net.pis()) out << " " << net.node(pi).name;
+  out << ";\nOUTORDER =";
+  for (const Output& o : net.pos()) out << " " << o.name;
+  out << ";\n";
+
+  for (NodeId id : net.topo_order()) {
+    const Node& nd = net.node(id);
+    std::vector<std::string> names;
+    names.reserve(nd.fanins.size());
+    for (NodeId f : nd.fanins) names.push_back(net.node(f).name);
+    const auto tree = quick_factor(nd.func);
+    out << nd.name << " = " << factor_to_string(*tree, names) << ";\n";
+  }
+  // Output aliases (PO name differing from its driver node).
+  for (const Output& o : net.pos())
+    if (net.node(o.driver).name != o.name)
+      out << o.name << " = " << net.node(o.driver).name << ";\n";
+}
+
+std::string write_eqn_string(const Network& net) {
+  std::ostringstream ss;
+  write_eqn(net, ss);
+  return ss.str();
+}
+
+}  // namespace rarsub

@@ -1,0 +1,21 @@
+#pragma once
+// Equation-format writer (SIS `write_eqn` style): every internal node
+// printed as a factored expression. Human-oriented output used by the CLI
+// and the examples; parsing is not supported (BLIF/PLA are the machine
+// formats).
+
+#include <iosfwd>
+#include <string>
+
+#include "network/network.hpp"
+
+namespace rarsub {
+
+/// Print the network as factored equations, PIs first:
+///   INORDER = a b c;
+///   OUTORDER = f;
+///   g = a*b + c';
+void write_eqn(const Network& net, std::ostream& out);
+std::string write_eqn_string(const Network& net);
+
+}  // namespace rarsub

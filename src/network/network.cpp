@@ -1,0 +1,356 @@
+#include "network/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "sop/factor.hpp"
+
+namespace rarsub {
+
+NodeId Network::add_pi(const std::string& name) {
+  Node n;
+  n.name = name;
+  n.is_pi = true;
+  nodes_.push_back(std::move(n));
+  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  pis_.push_back(id);
+  return id;
+}
+
+namespace {
+
+// Every algorithm in the library assumes fanin lists are duplicate-free.
+// Callers occasionally produce duplicates (e.g. an adder slice whose sum
+// and xor signals coincide); canonicalize by merging the variables —
+// remap() intersects clashing literal polarities, which is exactly the
+// semantics of two cube positions naming the same signal.
+void dedup_fanins(std::vector<NodeId>& fanins, Sop& func) {
+  std::vector<NodeId> unique;
+  std::vector<int> var_map(fanins.size(), 0);
+  bool had_dup = false;
+  for (std::size_t i = 0; i < fanins.size(); ++i) {
+    auto it = std::find(unique.begin(), unique.end(), fanins[i]);
+    if (it == unique.end()) {
+      unique.push_back(fanins[i]);
+      var_map[i] = static_cast<int>(unique.size() - 1);
+    } else {
+      var_map[i] = static_cast<int>(it - unique.begin());
+      had_dup = true;
+    }
+  }
+  if (!had_dup) return;
+  func = func.remap(static_cast<int>(unique.size()), var_map);
+  func.scc_minimize();
+  fanins = std::move(unique);
+}
+
+}  // namespace
+
+NodeId Network::add_node(const std::string& name, std::vector<NodeId> fanins,
+                         Sop func) {
+  assert(func.num_vars() == static_cast<int>(fanins.size()));
+  dedup_fanins(fanins, func);
+  Node n;
+  n.name = name;
+  n.fanins = std::move(fanins);
+  n.func = std::move(func);
+  nodes_.push_back(std::move(n));
+  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  add_fanout_refs(id);
+  return id;
+}
+
+void Network::add_po(const std::string& name, NodeId driver) {
+  pos_.push_back(Output{name, driver});
+}
+
+NodeId Network::find_node(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].alive && nodes_[i].name == name) return static_cast<NodeId>(i);
+  return kNoNode;
+}
+
+void Network::add_fanout_refs(NodeId id) {
+  for (NodeId f : nodes_[static_cast<std::size_t>(id)].fanins)
+    nodes_[static_cast<std::size_t>(f)].fanouts.push_back(id);
+}
+
+void Network::remove_fanout_refs(NodeId id) {
+  for (NodeId f : nodes_[static_cast<std::size_t>(id)].fanins) {
+    auto& fo = nodes_[static_cast<std::size_t>(f)].fanouts;
+    // A node may appear multiple times in a fanin list only once in ours
+    // (we keep fanin lists duplicate-free), so erase the single entry.
+    auto it = std::find(fo.begin(), fo.end(), id);
+    if (it != fo.end()) fo.erase(it);
+  }
+}
+
+void Network::set_function(NodeId id, std::vector<NodeId> fanins, Sop func) {
+  assert(!node(id).is_pi);
+  assert(func.num_vars() == static_cast<int>(fanins.size()));
+  dedup_fanins(fanins, func);
+  remove_fanout_refs(id);
+  node(id).fanins = std::move(fanins);
+  node(id).func = std::move(func);
+  node(id).version++;
+  add_fanout_refs(id);
+}
+
+int Network::num_po_refs(NodeId id) const {
+  int n = 0;
+  for (const Output& o : pos_)
+    if (o.driver == id) ++n;
+  return n;
+}
+
+int Network::fanout_refs(NodeId id) const {
+  return static_cast<int>(node(id).fanouts.size()) + num_po_refs(id);
+}
+
+std::vector<NodeId> Network::topo_order() const {
+  std::vector<NodeId> order;
+  std::vector<int> state(nodes_.size(), 0);  // 0 new, 1 visiting, 2 done
+  std::vector<NodeId> stack;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].alive || nodes_[i].is_pi || state[i] == 2) continue;
+    stack.push_back(static_cast<NodeId>(i));
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      if (state[static_cast<std::size_t>(n)] == 2) {
+        stack.pop_back();
+        continue;
+      }
+      if (state[static_cast<std::size_t>(n)] == 1) {
+        state[static_cast<std::size_t>(n)] = 2;
+        order.push_back(n);
+        stack.pop_back();
+        continue;
+      }
+      state[static_cast<std::size_t>(n)] = 1;
+      for (NodeId f : node(n).fanins) {
+        const auto fi = static_cast<std::size_t>(f);
+        if (!nodes_[fi].is_pi && nodes_[fi].alive && state[fi] == 0)
+          stack.push_back(f);
+        assert(state[fi] != 1 && "cycle in network");
+      }
+    }
+  }
+  return order;
+}
+
+bool Network::depends_on(NodeId a, NodeId b) const {
+  if (a == b) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack{a};
+  seen[static_cast<std::size_t>(a)] = true;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (NodeId f : node(n).fanins) {
+      if (f == b) return true;
+      if (!seen[static_cast<std::size_t>(f)]) {
+        seen[static_cast<std::size_t>(f)] = true;
+        stack.push_back(f);
+      }
+    }
+  }
+  return false;
+}
+
+int Network::sop_literals() const {
+  int n = 0;
+  for (const Node& nd : nodes_)
+    if (nd.alive && !nd.is_pi) n += nd.func.num_literals();
+  return n;
+}
+
+int Network::factored_literals() const {
+  int n = 0;
+  for (const Node& nd : nodes_)
+    if (nd.alive && !nd.is_pi) n += factored_literal_count(nd.func);
+  return n;
+}
+
+void Network::sweep() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      Node& nd = nodes_[i];
+      const NodeId id = static_cast<NodeId>(i);
+      if (!nd.alive || nd.is_pi) continue;
+
+      // Dead node removal.
+      if (fanout_refs(id) == 0) {
+        remove_fanout_refs(id);
+        nd.alive = false;
+        changed = true;
+        continue;
+      }
+
+      // Drop fanins the function does not actually depend on.
+      const std::vector<int> supp = nd.func.support();
+      if (static_cast<int>(supp.size()) != nd.func.num_vars()) {
+        std::vector<NodeId> new_fanins;
+        std::vector<int> var_map(static_cast<std::size_t>(nd.func.num_vars()), -1);
+        for (std::size_t k = 0; k < supp.size(); ++k) {
+          var_map[static_cast<std::size_t>(supp[k])] = static_cast<int>(k);
+          new_fanins.push_back(nd.fanins[static_cast<std::size_t>(supp[k])]);
+        }
+        // remap wants a full map; unused vars can map anywhere (no literal).
+        for (auto& m : var_map)
+          if (m < 0) m = 0;
+        Sop nf = supp.empty() ? Sop(0) : nd.func;
+        if (!supp.empty()) nf = nd.func.remap(static_cast<int>(supp.size()), var_map);
+        if (supp.empty()) {
+          // Constant function.
+          nf = nd.func.is_zero() ? Sop::zero(0) : Sop::one(0);
+        }
+        set_function(id, std::move(new_fanins), std::move(nf));
+        changed = true;
+        continue;
+      }
+
+      // Collapse identity / inverter nodes into fanouts.
+      if (nd.fanins.size() == 1 && nd.func.num_cubes() == 1 &&
+          nd.func.cube(0).num_literals() == 1 && num_po_refs(id) == 0 &&
+          !nd.fanouts.empty()) {
+        if (collapse_into_fanouts(id)) {
+          changed = true;
+          continue;
+        }
+      }
+
+      // Propagate constants into fanouts.
+      if (nd.fanins.empty() && num_po_refs(id) == 0 && !nd.fanouts.empty()) {
+        if (collapse_into_fanouts(id)) {
+          changed = true;
+          continue;
+        }
+      }
+    }
+  }
+}
+
+std::optional<ComposedNode> Network::compose_preview(NodeId outer, NodeId inner,
+                                                     int cube_limit) const {
+  const Node& out = node(outer);
+  const Node& in = node(inner);
+  assert(!in.is_pi);
+
+  auto it = std::find(out.fanins.begin(), out.fanins.end(), inner);
+  if (it == out.fanins.end())
+    return ComposedNode{out.fanins, out.func};  // nothing to do
+  const int v = static_cast<int>(it - out.fanins.begin());
+
+  // New fanin list: outer's fanins minus `inner`, plus inner's fanins.
+  std::vector<NodeId> new_fanins;
+  std::vector<int> outer_map(out.fanins.size(), -1);
+  for (std::size_t i = 0; i < out.fanins.size(); ++i) {
+    if (static_cast<int>(i) == v) continue;
+    new_fanins.push_back(out.fanins[i]);
+    outer_map[i] = static_cast<int>(new_fanins.size() - 1);
+  }
+  std::vector<int> inner_map(in.fanins.size(), -1);
+  for (std::size_t i = 0; i < in.fanins.size(); ++i) {
+    auto jt = std::find(new_fanins.begin(), new_fanins.end(), in.fanins[i]);
+    if (jt == new_fanins.end()) {
+      new_fanins.push_back(in.fanins[i]);
+      inner_map[i] = static_cast<int>(new_fanins.size() - 1);
+    } else {
+      inner_map[i] = static_cast<int>(jt - new_fanins.begin());
+    }
+  }
+  const int nv = static_cast<int>(new_fanins.size());
+
+  const Sop g = in.func.remap(nv, inner_map);
+  const Sop gbar = in.func.complement().remap(nv, inner_map);
+
+  Sop result(nv);
+  for (const Cube& c : out.func.cubes()) {
+    const Lit l = c.lit(v);
+    Cube base(nv);
+    for (std::size_t i = 0; i < out.fanins.size(); ++i) {
+      if (static_cast<int>(i) == v) continue;
+      const Lit li = c.lit(static_cast<int>(i));
+      if (li != Lit::Absent) base.set_lit(outer_map[i], li);
+    }
+    if (l == Lit::Absent) {
+      result.add_cube(std::move(base));
+    } else {
+      const Sop& sub = (l == Lit::Pos) ? g : gbar;
+      for (const Cube& sc : sub.cubes()) {
+        Cube p = base.intersect(sc);
+        if (!p.is_empty()) result.add_cube(std::move(p));
+      }
+    }
+    if (result.num_cubes() > cube_limit) return std::nullopt;
+  }
+  result.scc_minimize();
+  return ComposedNode{std::move(new_fanins), std::move(result)};
+}
+
+bool Network::compose(NodeId outer, NodeId inner, int cube_limit) {
+  std::optional<ComposedNode> preview = compose_preview(outer, inner, cube_limit);
+  if (!preview) return false;
+  set_function(outer, std::move(preview->fanins), std::move(preview->func));
+  return true;
+}
+
+bool Network::collapse_into_fanouts(NodeId id, int cube_limit) {
+  assert(!node(id).is_pi);
+  assert(num_po_refs(id) == 0);
+  // Copy: compose() edits fanout lists while we iterate.
+  const std::vector<NodeId> fanouts = node(id).fanouts;
+  // Dry-run feasibility first so we never leave a half-collapsed network.
+  for (NodeId fo : fanouts) {
+    const Node& out = node(fo);
+    const long pessimistic = static_cast<long>(out.func.num_cubes()) *
+                             std::max(1, node(id).func.num_cubes() +
+                                             node(id).func.num_literals());
+    if (pessimistic > static_cast<long>(cube_limit) * 4) return false;
+  }
+  for (NodeId fo : fanouts) {
+    if (!compose(fo, id, cube_limit)) return false;
+  }
+  if (fanout_refs(id) == 0) {
+    remove_fanout_refs(id);
+    node(id).alive = false;
+  }
+  return true;
+}
+
+bool Network::check() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& nd = nodes_[i];
+    if (!nd.alive) continue;
+    if (!nd.is_pi &&
+        nd.func.num_vars() != static_cast<int>(nd.fanins.size()))
+      return false;
+    for (std::size_t a = 0; a < nd.fanins.size(); ++a)
+      for (std::size_t b = a + 1; b < nd.fanins.size(); ++b)
+        if (nd.fanins[a] == nd.fanins[b]) return false;  // duplicate fanin
+    for (NodeId f : nd.fanins) {
+      const Node& fn = nodes_[static_cast<std::size_t>(f)];
+      if (!fn.alive) return false;
+      if (std::find(fn.fanouts.begin(), fn.fanouts.end(),
+                    static_cast<NodeId>(i)) == fn.fanouts.end())
+        return false;
+    }
+  }
+  for (const Output& o : pos_)
+    if (o.driver == kNoNode || !nodes_[static_cast<std::size_t>(o.driver)].alive)
+      return false;
+  (void)topo_order();  // asserts on cycles in debug builds
+  return true;
+}
+
+std::string Network::fresh_name(const std::string& prefix) {
+  for (;;) {
+    std::string candidate = prefix + std::to_string(name_counter_++);
+    if (find_node(candidate) == kNoNode) return candidate;
+  }
+}
+
+}  // namespace rarsub

@@ -1,0 +1,140 @@
+#pragma once
+// Multi-level Boolean network: a DAG of nodes, each carrying a
+// sum-of-products function over its immediate fanins (the SIS network
+// model). This is the object the optimization commands (eliminate,
+// simplify, gcx, gkx, resub, and the paper's RAR-based substitution)
+// transform.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sop/sop.hpp"
+
+namespace rarsub {
+
+using NodeId = int;
+inline constexpr NodeId kNoNode = -1;
+
+struct Node {
+  std::string name;
+  bool is_pi = false;
+  bool alive = true;
+  /// Bumped on every set_function; lets per-pass caches (e.g. node
+  /// complements) invalidate cheaply.
+  int version = 0;
+  /// Signals feeding this node; variable i of `func` refers to fanins[i].
+  std::vector<NodeId> fanins;
+  /// Local function over the fanins (on-set cover). Zero cubes = constant 0;
+  /// a universe cube = constant 1. Unused for PIs.
+  Sop func;
+  /// Derived: nodes that list this node among their fanins.
+  std::vector<NodeId> fanouts;
+};
+
+struct Output {
+  std::string name;
+  NodeId driver = kNoNode;
+};
+
+/// Result of a compose preview: the fanin list and function a node would
+/// have after absorbing one of its fanin nodes.
+struct ComposedNode {
+  std::vector<NodeId> fanins;
+  Sop func;
+};
+
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::string model_name) : name_(std::move(model_name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  NodeId add_pi(const std::string& name);
+  NodeId add_node(const std::string& name, std::vector<NodeId> fanins, Sop func);
+  void add_po(const std::string& name, NodeId driver);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  Node& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
+
+  const std::vector<NodeId>& pis() const { return pis_; }
+  const std::vector<Output>& pos() const { return pos_; }
+  std::vector<Output>& pos() { return pos_; }
+
+  NodeId find_node(const std::string& name) const;
+
+  /// Replace the function (and fanin list) of an internal node, keeping
+  /// fanout bookkeeping consistent. The new fanins must not create a cycle.
+  void set_function(NodeId id, std::vector<NodeId> fanins, Sop func);
+
+  /// Number of primary outputs a node drives (counts as extra fanout).
+  int num_po_refs(NodeId id) const;
+
+  /// Total fanout references (node fanouts + PO refs).
+  int fanout_refs(NodeId id) const;
+
+  /// Internal (non-PI, alive) nodes in topological order (fanins first).
+  std::vector<NodeId> topo_order() const;
+
+  /// True if `b` is in the transitive fanin of `a` (a depends on b).
+  bool depends_on(NodeId a, NodeId b) const;
+
+  /// Sum over internal nodes of flat SOP literals.
+  int sop_literals() const;
+
+  /// Sum over internal nodes of quick-factored literals — the paper's
+  /// reported metric.
+  int factored_literals() const;
+
+  /// Remove dead internal nodes (no fanouts, no PO refs), propagate
+  /// constants and collapse single-input identity/inverter nodes.
+  void sweep();
+
+  /// Collapse node `id` into all of its fanouts and delete it. The node
+  /// must be internal and must not drive a PO. Returns false (and leaves
+  /// the network unchanged) if a composed cover would exceed `cube_limit`.
+  bool collapse_into_fanouts(NodeId id, int cube_limit = 5000);
+
+  /// Compose the function of `inner` into `outer` (outer gains inner's
+  /// fanins in place of the literal). Exposed for eliminate and testing.
+  bool compose(NodeId outer, NodeId inner, int cube_limit = 5000);
+
+  /// Non-mutating preview of compose(): what `outer` would become. Used by
+  /// eliminate to compute the TRUE literal value of a collapse instead of
+  /// the crude (fanouts-1)*(lits-1)-1 estimate. nullopt when the composed
+  /// cover would exceed `cube_limit`.
+  std::optional<ComposedNode> compose_preview(NodeId outer, NodeId inner,
+                                              int cube_limit = 5000) const;
+
+  /// Run internal consistency checks (fanin/fanout symmetry, acyclicity,
+  /// function arity); aborts via assert in debug builds, returns false on
+  /// inconsistency otherwise.
+  bool check() const;
+
+  /// Fresh unique node name with the given prefix.
+  std::string fresh_name(const std::string& prefix);
+
+ private:
+  void add_fanout_refs(NodeId id);
+  void remove_fanout_refs(NodeId id);
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> pis_;
+  std::vector<Output> pos_;
+  int name_counter_ = 0;
+};
+
+/// SIS-style `eliminate`: repeatedly collapse internal nodes whose value
+///   (fanout_refs - 1) * (factored_lits - 1) - 1
+/// is <= `threshold` into their fanouts (nodes driving POs are kept).
+/// Returns the number of nodes eliminated.
+int eliminate(Network& net, int threshold, int cube_limit = 5000);
+
+/// Run espresso-lite on every internal node function (SIS `simplify`).
+void simplify_network(Network& net);
+
+}  // namespace rarsub

@@ -1,0 +1,180 @@
+#include "network/pla.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace rarsub {
+
+Network read_pla(std::istream& in) {
+  Network net("pla");
+  int ni = -1, no = -1;
+  std::vector<std::string> input_names, output_names;
+  std::vector<std::pair<std::string, std::string>> rows;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (auto pos = line.find('#'); pos != std::string::npos) line.resize(pos);
+    std::istringstream ss(line);
+    std::string tok;
+    if (!(ss >> tok)) continue;
+    if (tok == ".i") {
+      if (!(ss >> ni)) throw std::runtime_error("read_pla: bad .i");
+    } else if (tok == ".o") {
+      if (!(ss >> no)) throw std::runtime_error("read_pla: bad .o");
+    } else if (tok == ".ilb") {
+      std::string n;
+      while (ss >> n) input_names.push_back(n);
+    } else if (tok == ".ob") {
+      std::string n;
+      while (ss >> n) output_names.push_back(n);
+    } else if (tok == ".p" || tok == ".type") {
+      // cube count / type hints: accepted and ignored
+      std::string rest;
+      ss >> rest;
+    } else if (tok == ".e" || tok == ".end") {
+      break;
+    } else if (tok[0] == '.') {
+      throw std::runtime_error("read_pla: unsupported directive " + tok);
+    } else {
+      std::string out_plane;
+      if (!(ss >> out_plane))
+        throw std::runtime_error("read_pla: row missing output plane");
+      rows.emplace_back(tok, out_plane);
+    }
+  }
+  if (ni < 0 || no < 0) throw std::runtime_error("read_pla: missing .i/.o");
+
+  std::vector<NodeId> pis;
+  for (int i = 0; i < ni; ++i) {
+    const std::string name = i < static_cast<int>(input_names.size())
+                                 ? input_names[static_cast<std::size_t>(i)]
+                                 : "i" + std::to_string(i);
+    pis.push_back(net.add_pi(name));
+  }
+
+  std::vector<Sop> covers(static_cast<std::size_t>(no), Sop(ni));
+  for (const auto& [in_plane, out_plane] : rows) {
+    if (static_cast<int>(in_plane.size()) != ni ||
+        static_cast<int>(out_plane.size()) != no)
+      throw std::runtime_error("read_pla: row width mismatch");
+    Cube c(ni);
+    for (int v = 0; v < ni; ++v) {
+      const char ch = in_plane[static_cast<std::size_t>(v)];
+      if (ch == '1') c.set_lit(v, Lit::Pos);
+      else if (ch == '0') c.set_lit(v, Lit::Neg);
+      else if (ch != '-' && ch != '2')
+        throw std::runtime_error("read_pla: bad input char");
+    }
+    for (int o = 0; o < no; ++o) {
+      const char ch = out_plane[static_cast<std::size_t>(o)];
+      if (ch == '1' || ch == '4') covers[static_cast<std::size_t>(o)].add_cube(c);
+      else if (ch != '0' && ch != '-' && ch != '~' && ch != '2' && ch != '3')
+        throw std::runtime_error("read_pla: bad output char");
+    }
+  }
+
+  for (int o = 0; o < no; ++o) {
+    const std::string name = o < static_cast<int>(output_names.size())
+                                 ? output_names[static_cast<std::size_t>(o)]
+                                 : "o" + std::to_string(o);
+    const NodeId n = net.add_node(name, pis, covers[static_cast<std::size_t>(o)]);
+    net.add_po(name, n);
+  }
+  return net;
+}
+
+Network read_pla_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_pla(ss);
+}
+
+Network read_pla_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_pla_file: cannot open " + path);
+  return read_pla(f);
+}
+
+std::optional<Sop> collapse_to_pis(const Network& net, NodeId node,
+                                   int cube_limit) {
+  const int ni = static_cast<int>(net.pis().size());
+  std::map<NodeId, int> pi_index;
+  for (int i = 0; i < ni; ++i) pi_index[net.pis()[static_cast<std::size_t>(i)]] = i;
+
+  // Covers over PI space per node, built bottom-up.
+  std::map<NodeId, Sop> cover;
+  for (NodeId id : net.topo_order()) {
+    const Node& nd = net.node(id);
+    Sop acc(ni);
+    for (const Cube& c : nd.func.cubes()) {
+      Sop term = Sop::one(ni);
+      for (int v = 0; v < nd.func.num_vars() && !term.is_zero(); ++v) {
+        const Lit l = c.lit(v);
+        if (l == Lit::Absent) continue;
+        const NodeId src = nd.fanins[static_cast<std::size_t>(v)];
+        Sop src_cover(ni);
+        if (net.node(src).is_pi) {
+          Cube pc(ni);
+          pc.set_lit(pi_index.at(src), Lit::Pos);
+          src_cover.add_cube(pc);
+        } else {
+          src_cover = cover.at(src);
+        }
+        if (l == Lit::Neg) src_cover = src_cover.complement();
+        term = term.boolean_and(src_cover);
+        if (term.num_cubes() > cube_limit) return std::nullopt;
+      }
+      acc = acc.boolean_or(term);
+      if (acc.num_cubes() > cube_limit) return std::nullopt;
+    }
+    cover.emplace(id, std::move(acc));
+  }
+
+  const Node& nd = net.node(node);
+  if (nd.is_pi) {
+    Sop f(ni);
+    Cube pc(ni);
+    pc.set_lit(pi_index.at(node), Lit::Pos);
+    f.add_cube(pc);
+    return f;
+  }
+  auto it = cover.find(node);
+  if (it == cover.end()) return std::nullopt;
+  return it->second;
+}
+
+void write_pla(const Network& net, std::ostream& out, int cube_limit) {
+  const int ni = static_cast<int>(net.pis().size());
+  const int no = static_cast<int>(net.pos().size());
+
+  // One merged cube list: (input plane, output index).
+  std::vector<std::pair<std::string, int>> rows;
+  for (int o = 0; o < no; ++o) {
+    const std::optional<Sop> f =
+        collapse_to_pis(net, net.pos()[static_cast<std::size_t>(o)].driver, cube_limit);
+    if (!f) throw std::runtime_error("write_pla: cover exceeds cube limit");
+    for (const Cube& c : f->cubes()) rows.emplace_back(c.to_string(), o);
+  }
+
+  out << ".i " << ni << "\n.o " << no << "\n";
+  out << ".ilb";
+  for (NodeId pi : net.pis()) out << " " << net.node(pi).name;
+  out << "\n.ob";
+  for (const Output& o : net.pos()) out << " " << o.name;
+  out << "\n.p " << rows.size() << "\n";
+  for (const auto& [plane, o] : rows) {
+    std::string outp(static_cast<std::size_t>(no), '0');
+    outp[static_cast<std::size_t>(o)] = '1';
+    out << plane << " " << outp << "\n";
+  }
+  out << ".e\n";
+}
+
+std::string write_pla_string(const Network& net, int cube_limit) {
+  std::ostringstream ss;
+  write_pla(net, ss, cube_limit);
+  return ss.str();
+}
+
+}  // namespace rarsub

@@ -1,0 +1,33 @@
+#pragma once
+// Espresso-format PLA reader/writer (.i/.o/.p/.ilb/.ob/.e): the two-level
+// interchange format of the MCNC benchmark set. A PLA loads as a network
+// with one node per output.
+
+#include <iosfwd>
+#include <string>
+
+#include "network/network.hpp"
+
+namespace rarsub {
+
+/// Parse an espresso PLA (type f / fd); throws std::runtime_error on
+/// malformed input. Output column '1' adds the row's input cube to that
+/// output's on-set; '-' (type fd) is recorded as a don't care and dropped
+/// (on-set semantics); '0' and '~' are ignored.
+Network read_pla(std::istream& in);
+Network read_pla_string(const std::string& text);
+Network read_pla_file(const std::string& path);
+
+/// Serialize a (two-level) view: every PO's node function collapsed to the
+/// primary inputs. Intended for small networks (collapse guard applies);
+/// throws std::runtime_error when a cover exceeds `cube_limit`.
+void write_pla(const Network& net, std::ostream& out, int cube_limit = 4096);
+std::string write_pla_string(const Network& net, int cube_limit = 4096);
+
+/// Collapse a node's global function to a cover over the primary inputs
+/// (variable i = i-th PI). nullopt when an intermediate cover exceeds
+/// `cube_limit`. Also used by the two-level verification paths.
+std::optional<Sop> collapse_to_pis(const Network& net, NodeId node,
+                                   int cube_limit = 4096);
+
+}  // namespace rarsub

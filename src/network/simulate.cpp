@@ -1,0 +1,49 @@
+#include "network/simulate.hpp"
+
+#include <cassert>
+
+namespace rarsub {
+
+std::vector<std::uint64_t> simulate64(const Network& net,
+                                      const std::vector<std::uint64_t>& pi_words) {
+  assert(pi_words.size() == net.pis().size());
+  std::vector<std::uint64_t> value(static_cast<std::size_t>(net.num_nodes()), 0);
+  for (std::size_t i = 0; i < net.pis().size(); ++i)
+    value[static_cast<std::size_t>(net.pis()[i])] = pi_words[i];
+
+  for (NodeId id : net.topo_order()) {
+    const Node& nd = net.node(id);
+    std::uint64_t acc = 0;
+    for (const Cube& c : nd.func.cubes()) {
+      std::uint64_t cube_val = ~0ULL;
+      for (int v = 0; v < nd.func.num_vars() && cube_val; ++v) {
+        const Lit l = c.lit(v);
+        if (l == Lit::Absent) continue;
+        const std::uint64_t w =
+            value[static_cast<std::size_t>(nd.fanins[static_cast<std::size_t>(v)])];
+        cube_val &= (l == Lit::Pos) ? w : ~w;
+      }
+      acc |= cube_val;
+    }
+    value[static_cast<std::size_t>(id)] = acc;
+  }
+
+  std::vector<std::uint64_t> out;
+  out.reserve(net.pos().size());
+  for (const Output& o : net.pos())
+    out.push_back(value[static_cast<std::size_t>(o.driver)]);
+  return out;
+}
+
+std::vector<bool> simulate1(const Network& net, std::uint64_t assignment) {
+  std::vector<std::uint64_t> pi_words(net.pis().size(), 0);
+  for (std::size_t i = 0; i < pi_words.size(); ++i)
+    pi_words[i] = ((assignment >> i) & 1) ? ~0ULL : 0ULL;
+  const std::vector<std::uint64_t> words = simulate64(net, pi_words);
+  std::vector<bool> out;
+  out.reserve(words.size());
+  for (std::uint64_t w : words) out.push_back((w & 1) != 0);
+  return out;
+}
+
+}  // namespace rarsub

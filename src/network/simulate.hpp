@@ -1,0 +1,22 @@
+#pragma once
+// Bit-parallel network simulation (64 patterns per word), used by the
+// verification module and by tests to confirm that every optimization step
+// preserves the primary-output functions.
+
+#include <cstdint>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace rarsub {
+
+/// Evaluate the network on 64 parallel input patterns. `pi_words[i]` holds
+/// the pattern bits of the i-th primary input (in pis() order). Returns one
+/// word per primary output (in pos() order).
+std::vector<std::uint64_t> simulate64(const Network& net,
+                                      const std::vector<std::uint64_t>& pi_words);
+
+/// Evaluate a single full assignment (bit i of `assignment` = i-th PI).
+std::vector<bool> simulate1(const Network& net, std::uint64_t assignment);
+
+}  // namespace rarsub

@@ -1,0 +1,106 @@
+#include "opt/decomp.hpp"
+
+#include <algorithm>
+
+#include "sop/algdiv.hpp"
+#include "sop/factor.hpp"
+#include "sop/kernel.hpp"
+
+namespace rarsub {
+
+namespace {
+
+// Split node `id` once along its quick divisor: id = q·k + r with k (and q,
+// when it has more than one cube) extracted as new nodes. Returns false if
+// no useful kernel exists.
+bool split_once(Network& net, NodeId id, const DecompOptions& opts) {
+  // Copy everything needed up front: add_node below may reallocate the
+  // node storage and invalidate references into it.
+  const Sop func = net.node(id).func;
+  const std::vector<NodeId> node_fanins = net.node(id).fanins;
+  const std::string node_name = net.node(id).name;
+  if (func.num_cubes() < opts.min_cubes) return false;
+  if (func.num_literals() < opts.min_literals) return false;
+
+  const Sop k = quick_divisor(func);
+  if (k.num_cubes() < 2) return false;
+  const AlgDivResult dv = weak_divide(func, k);
+  if (dv.quotient.num_cubes() == 0) return false;
+
+  const int m = func.num_vars();
+
+  // Materialize the kernel on the support it actually uses.
+  auto make_node = [&](const Sop& cover, const char* tag) {
+    const std::vector<int> supp = cover.support();
+    std::vector<NodeId> fanins;
+    std::vector<int> back(static_cast<std::size_t>(m), 0);
+    for (std::size_t i = 0; i < supp.size(); ++i) {
+      back[static_cast<std::size_t>(supp[i])] = static_cast<int>(i);
+      fanins.push_back(node_fanins[static_cast<std::size_t>(supp[i])]);
+    }
+    Sop local = cover.remap(static_cast<int>(supp.size()), back);
+    return net.add_node(net.fresh_name(node_name + tag), fanins,
+                        std::move(local));
+  };
+  const NodeId nk = make_node(k, "_k");
+  const NodeId nq = dv.quotient.num_cubes() > 1 ? make_node(dv.quotient, "_q")
+                                                : kNoNode;
+
+  // id = y_q·y_k + r  (or  q_cube·y_k + r when the quotient is one cube).
+  std::vector<NodeId> fanins = net.node(id).fanins;
+  const int vk = static_cast<int>(fanins.size());
+  fanins.push_back(nk);
+  int vq = -1;
+  if (nq != kNoNode) {
+    vq = static_cast<int>(fanins.size());
+    fanins.push_back(nq);
+  }
+  const int nv = static_cast<int>(fanins.size());
+  std::vector<int> ext(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) ext[static_cast<std::size_t>(i)] = i;
+
+  Sop newfunc(nv);
+  if (nq != kNoNode) {
+    Cube c(nv);
+    c.set_lit(vk, Lit::Pos);
+    c.set_lit(vq, Lit::Pos);
+    newfunc.add_cube(c);
+  } else {
+    const Sop q_ext = dv.quotient.remap(nv, ext);
+    for (Cube c : q_ext.cubes()) {
+      c.set_lit(vk, Lit::Pos);
+      newfunc.add_cube(std::move(c));
+    }
+  }
+  const Sop r_ext = dv.remainder.remap(nv, ext);
+  for (const Cube& c : r_ext.cubes()) newfunc.add_cube(c);
+  newfunc.scc_minimize();
+  net.set_function(id, std::move(fanins), std::move(newfunc));
+  return true;
+}
+
+}  // namespace
+
+DecompStats decomp_network(Network& net, const DecompOptions& opts) {
+  DecompStats stats;
+  stats.literals_before = net.factored_literals();
+  int rounds = 0;
+  bool changed = true;
+  while (changed && rounds < opts.max_rounds) {
+    changed = false;
+    for (NodeId id : net.topo_order()) {
+      if (!net.node(id).alive || net.node(id).is_pi) continue;
+      if (split_once(net, id, opts)) {
+        ++stats.nodes_created;
+        changed = true;
+        ++rounds;
+        if (rounds >= opts.max_rounds) break;
+      }
+    }
+  }
+  net.sweep();
+  stats.literals_after = net.factored_literals();
+  return stats;
+}
+
+}  // namespace rarsub

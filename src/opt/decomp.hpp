@@ -1,0 +1,29 @@
+#pragma once
+// SIS-style `decomp -g`: break large node functions apart along their best
+// kernels, introducing new intermediate nodes (f = q·k + r with k and q as
+// fresh nodes). The structural inverse of `eliminate` — useful before
+// technology mapping and as a preprocessing alternative for substitution
+// experiments (more, smaller divisors in the network).
+
+#include "network/network.hpp"
+
+namespace rarsub {
+
+struct DecompOptions {
+  /// Only nodes with at least this many cubes are considered.
+  int min_cubes = 3;
+  /// Stop splitting a node once its cover drops below this many literals.
+  int min_literals = 6;
+  int max_rounds = 200;
+};
+
+struct DecompStats {
+  int nodes_created = 0;
+  int literals_before = 0;
+  int literals_after = 0;
+};
+
+/// Greedy kernel decomposition of every eligible node. Function-preserving.
+DecompStats decomp_network(Network& net, const DecompOptions& opts = {});
+
+}  // namespace rarsub

@@ -1,0 +1,33 @@
+#pragma once
+// Multi-node extraction commands: `gcx` (greedy common-cube extraction)
+// and `gkx` (greedy kernel extraction) — the SIS preprocessing steps of
+// the paper's Scripts B and C ("the commands gcx and gkx are also
+// typically good steps before applying the resub command").
+//
+// Both work over a global literal space where a literal is a (node,
+// polarity) pair, so sharing is discovered across node boundaries.
+
+#include "network/network.hpp"
+
+namespace rarsub {
+
+struct ExtractOptions {
+  int max_rounds = 50;       ///< extractions per call
+  int max_kernels_per_node = 50;
+};
+
+struct ExtractStats {
+  int extracted = 0;       ///< new nodes created
+  int literals_before = 0;
+  int literals_after = 0;
+};
+
+/// Greedy common-cube extraction: repeatedly pull out the best cube that
+/// appears (as a literal subset) in several cubes of the network.
+ExtractStats gcx(Network& net, const ExtractOptions& opts = {});
+
+/// Greedy kernel extraction: repeatedly pull out the best level-0 kernel
+/// shared across node functions, substituting it by algebraic division.
+ExtractStats gkx(Network& net, const ExtractOptions& opts = {});
+
+}  // namespace rarsub

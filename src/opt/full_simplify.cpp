@@ -1,0 +1,172 @@
+#include "opt/full_simplify.hpp"
+
+#include <algorithm>
+
+#include "network/simulate.hpp"
+#include "sop/espresso.hpp"
+#include "sop/factor.hpp"
+
+namespace rarsub {
+
+namespace {
+
+// PIs in the transitive fanin of the given nodes; nullopt when more than
+// `max_pis` are involved.
+std::optional<std::vector<NodeId>> tfi_pis(const Network& net,
+                                           const std::vector<NodeId>& roots,
+                                           int max_pis) {
+  std::vector<bool> seen(static_cast<std::size_t>(net.num_nodes()), false);
+  std::vector<NodeId> stack = roots;
+  std::vector<NodeId> pis;
+  for (NodeId r : roots) seen[static_cast<std::size_t>(r)] = true;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (net.node(n).is_pi) {
+      pis.push_back(n);
+      if (static_cast<int>(pis.size()) > max_pis) return std::nullopt;
+      continue;
+    }
+    for (NodeId f : net.node(n).fanins)
+      if (!seen[static_cast<std::size_t>(f)]) {
+        seen[static_cast<std::size_t>(f)] = true;
+        stack.push_back(f);
+      }
+  }
+  return pis;
+}
+
+// Bit-parallel evaluation of the whole network; `forced` (if >= 0) is
+// overridden with `forced_word` instead of being computed.
+std::vector<std::uint64_t> eval_forced(const Network& net,
+                                       const std::vector<NodeId>& topo,
+                                       const std::vector<std::uint64_t>& pi_words,
+                                       NodeId forced,
+                                       std::uint64_t forced_word) {
+  std::vector<std::uint64_t> value(static_cast<std::size_t>(net.num_nodes()), 0);
+  for (std::size_t i = 0; i < net.pis().size(); ++i)
+    value[static_cast<std::size_t>(net.pis()[i])] = pi_words[i];
+  for (NodeId n : topo) {
+    if (n == forced) {
+      value[static_cast<std::size_t>(n)] = forced_word;
+      continue;
+    }
+    const Node& g = net.node(n);
+    std::uint64_t acc = 0;
+    for (const Cube& c : g.func.cubes()) {
+      std::uint64_t cube_val = ~0ULL;
+      for (int v = 0; v < g.func.num_vars() && cube_val; ++v) {
+        const Lit l = c.lit(v);
+        if (l == Lit::Absent) continue;
+        const std::uint64_t w =
+            value[static_cast<std::size_t>(g.fanins[static_cast<std::size_t>(v)])];
+        cube_val &= (l == Lit::Pos) ? w : ~w;
+      }
+      acc |= cube_val;
+    }
+    value[static_cast<std::size_t>(n)] = acc;
+  }
+  return value;
+}
+
+}  // namespace
+
+FullSimplifyStats full_simplify_network(Network& net,
+                                        const FullSimplifyOptions& opts) {
+  FullSimplifyStats stats;
+  stats.literals_before = net.factored_literals();
+
+  const bool odc_possible =
+      opts.use_observability &&
+      static_cast<int>(net.pis().size()) <= opts.max_network_pis;
+
+  for (NodeId id : net.topo_order()) {
+    const Node& nd = net.node(id);
+    const int k = static_cast<int>(nd.fanins.size());
+    if (k == 0 || k > opts.max_fanins) continue;
+    if (nd.func.num_cubes() == 0) continue;
+
+    // Cut selection: SDC-only mode enumerates the joint fanin TFI; ODC
+    // mode must sweep every PI (observability depends on side inputs).
+    std::vector<NodeId> cut;
+    if (odc_possible) {
+      cut = net.pis();
+    } else {
+      const auto pis = tfi_pis(net, nd.fanins, opts.max_tfi_pis);
+      if (!pis) continue;
+      cut = *pis;
+    }
+    std::vector<std::size_t> pi_pos;
+    for (NodeId p : cut) {
+      const auto it = std::find(net.pis().begin(), net.pis().end(), p);
+      pi_pos.push_back(static_cast<std::size_t>(it - net.pis().begin()));
+    }
+
+    // For every reachable local input vector, remember whether the node's
+    // value is ever observable at a primary output while producing it.
+    std::vector<bool> reachable(static_cast<std::size_t>(1) << k, false);
+    std::vector<bool> observable_for(static_cast<std::size_t>(1) << k, false);
+    const std::vector<NodeId> topo = net.topo_order();
+    const std::uint64_t total = 1ULL << cut.size();
+    std::vector<std::uint64_t> words(net.pis().size(), 0);
+    for (std::uint64_t base = 0; base < total; base += 64) {
+      for (std::size_t i = 0; i < cut.size(); ++i) {
+        std::uint64_t w = 0;
+        for (std::uint64_t m = 0; m < 64 && base + m < total; ++m)
+          if (((base + m) >> i) & 1) w |= 1ULL << m;
+        words[pi_pos[i]] = w;
+      }
+      const auto value = eval_forced(net, topo, words, kNoNode, 0);
+
+      std::uint64_t observed = ~0ULL;
+      if (odc_possible) {
+        // Flip-visibility: evaluate with the node forced to 0 and to 1;
+        // an assignment observes the node iff some PO differs.
+        const auto v0 = eval_forced(net, topo, words, id, 0);
+        const auto v1 = eval_forced(net, topo, words, id, ~0ULL);
+        observed = 0;
+        for (const Output& o : net.pos())
+          observed |= v0[static_cast<std::size_t>(o.driver)] ^
+                      v1[static_cast<std::size_t>(o.driver)];
+      }
+
+      const std::uint64_t limit = std::min<std::uint64_t>(64, total - base);
+      for (std::uint64_t m = 0; m < limit; ++m) {
+        unsigned vec = 0;
+        for (int v = 0; v < k; ++v)
+          if ((value[static_cast<std::size_t>(
+                   nd.fanins[static_cast<std::size_t>(v)])] >>
+               m) &
+              1)
+            vec |= 1u << v;
+        reachable[vec] = true;
+        if ((observed >> m) & 1) observable_for[vec] = true;
+      }
+    }
+
+    // DC = unreachable vectors, plus (in ODC mode) reachable-but-never-
+    // observable vectors.
+    Sop dc(k);
+    for (unsigned vec = 0; vec < (1u << k); ++vec) {
+      if (reachable[vec] && (!odc_possible || observable_for[vec])) continue;
+      Cube c(k);
+      for (int v = 0; v < k; ++v)
+        c.set_lit(v, ((vec >> v) & 1) ? Lit::Pos : Lit::Neg);
+      dc.add_cube(c);
+    }
+    if (dc.num_cubes() == 0) continue;
+    dc = simplify_cover(dc);
+
+    Sop minimized = espresso_lite(nd.func, dc);
+    if (factored_literal_count(minimized) < factored_literal_count(nd.func)) {
+      net.set_function(id, nd.fanins, std::move(minimized));
+      ++stats.nodes_simplified;
+    }
+  }
+
+  net.sweep();
+  stats.literals_after = net.factored_literals();
+  return stats;
+}
+
+}  // namespace rarsub

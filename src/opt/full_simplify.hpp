@@ -1,0 +1,44 @@
+#pragma once
+// full_simplify: node minimization against satisfiability don't cares, the
+// strongest node-local cleanup in the SIS flow (script.algebraic ends with
+// `full_simplify -m nocomp`).
+//
+// For each node, the local input vectors its fanins can actually produce
+// are enumerated exhaustively over the joint transitive-fanin PI support
+// (bounded); every unreachable local vector is a don't care handed to the
+// two-level minimizer. This is the *exact* local SDC for nodes with small
+// TFI cones — complementary to the paper's implication-based don't cares,
+// which trade exactness for scalability.
+
+#include "network/network.hpp"
+
+namespace rarsub {
+
+struct FullSimplifyOptions {
+  /// Skip nodes whose joint fanin TFI touches more than this many PIs
+  /// (the enumeration is 2^pis).
+  int max_tfi_pis = 12;
+  /// Skip nodes with more fanins than this (the reachable-set bitmap is
+  /// 2^fanins wide).
+  int max_fanins = 10;
+  /// Also compute observability don't cares: a reachable local vector is
+  /// still a don't care when flipping the node's output is invisible at
+  /// every primary output for every producing PI assignment. Requires
+  /// enumerating the FULL PI space of the network, so it only engages when
+  /// the network has at most `max_network_pis` primary inputs.
+  bool use_observability = false;
+  int max_network_pis = 12;
+};
+
+struct FullSimplifyStats {
+  int nodes_simplified = 0;
+  int literals_before = 0;
+  int literals_after = 0;
+};
+
+/// Run SDC-aware (and optionally ODC-aware) simplification over every
+/// eligible node. Preserves all primary-output functions.
+FullSimplifyStats full_simplify_network(Network& net,
+                                        const FullSimplifyOptions& opts = {});
+
+}  // namespace rarsub

@@ -1,0 +1,208 @@
+// Greedy common-cube extraction. Literals live in a global space of
+// (node, polarity) pairs so a cube shared between different node functions
+// is found regardless of local variable numbering.
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "opt/extract.hpp"
+#include "sop/factor.hpp"
+
+namespace rarsub {
+
+namespace {
+
+using GlobalLit = int;  // node id * 2 + (negated ? 1 : 0)
+
+GlobalLit make_lit(NodeId n, bool neg) { return n * 2 + (neg ? 1 : 0); }
+NodeId lit_node(GlobalLit l) { return l / 2; }
+bool lit_neg(GlobalLit l) { return (l & 1) != 0; }
+
+struct GlobalCube {
+  NodeId owner;
+  int cube_index;
+  std::vector<GlobalLit> lits;  // sorted
+};
+
+std::vector<GlobalCube> collect_cubes(const Network& net) {
+  std::vector<GlobalCube> out;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const Node& nd = net.node(id);
+    if (!nd.alive || nd.is_pi) continue;
+    for (int ci = 0; ci < nd.func.num_cubes(); ++ci) {
+      GlobalCube gc{id, ci, {}};
+      const Cube& c = nd.func.cube(ci);
+      for (int v = 0; v < c.num_vars(); ++v) {
+        const Lit l = c.lit(v);
+        if (l == Lit::Absent) continue;
+        gc.lits.push_back(
+            make_lit(nd.fanins[static_cast<std::size_t>(v)], l == Lit::Neg));
+      }
+      std::sort(gc.lits.begin(), gc.lits.end());
+      out.push_back(std::move(gc));
+    }
+  }
+  return out;
+}
+
+bool contains_all(const std::vector<GlobalLit>& cube,
+                  const std::vector<GlobalLit>& sub) {
+  return std::includes(cube.begin(), cube.end(), sub.begin(), sub.end());
+}
+
+// SIS-style value of extracting cube `s` occurring in `occ` cubes:
+// each occurrence replaces |s| literals by one, and the new node costs |s|.
+int cube_value(int occurrences, int size) {
+  return occurrences * (size - 1) - size;
+}
+
+}  // namespace
+
+ExtractStats gcx(Network& net, const ExtractOptions& opts) {
+  ExtractStats stats;
+  stats.literals_before = net.factored_literals();
+
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    const std::vector<GlobalCube> cubes = collect_cubes(net);
+
+    // Count co-occurring literal pairs.
+    std::map<std::pair<GlobalLit, GlobalLit>, int> pair_count;
+    for (const GlobalCube& gc : cubes)
+      for (std::size_t i = 0; i < gc.lits.size(); ++i)
+        for (std::size_t j = i + 1; j < gc.lits.size(); ++j)
+          ++pair_count[{gc.lits[i], gc.lits[j]}];
+
+    // Grow the most frequent pairs greedily into bigger common cubes.
+    std::vector<std::pair<int, std::pair<GlobalLit, GlobalLit>>> seeds;
+    for (const auto& [p, n] : pair_count)
+      if (n >= 2) seeds.push_back({n, p});
+    std::sort(seeds.begin(), seeds.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    if (seeds.size() > 12) seeds.resize(12);
+
+    std::vector<GlobalLit> best_cube;
+    int best_value = 0;
+    for (const auto& [count, seed] : seeds) {
+      (void)count;
+      std::vector<GlobalLit> s{seed.first, seed.second};
+      for (;;) {
+        // Occurrences of s and the literal that would keep the most of
+        // them when added.
+        std::map<GlobalLit, int> extension_count;
+        int occ = 0;
+        for (const GlobalCube& gc : cubes) {
+          if (!contains_all(gc.lits, s)) continue;
+          ++occ;
+          for (GlobalLit l : gc.lits)
+            if (!std::binary_search(s.begin(), s.end(), l)) ++extension_count[l];
+        }
+        const int value = cube_value(occ, static_cast<int>(s.size()));
+        if (value > best_value) {
+          best_value = value;
+          best_cube = s;
+        }
+        GlobalLit grow = -1;
+        int grow_occ = 0;
+        for (const auto& [l, n] : extension_count)
+          if (n > grow_occ) {
+            grow_occ = n;
+            grow = l;
+          }
+        if (grow < 0 || grow_occ < 2) break;
+        std::vector<GlobalLit> next = s;
+        next.insert(std::lower_bound(next.begin(), next.end(), grow), grow);
+        if (cube_value(grow_occ, static_cast<int>(next.size())) <
+            cube_value(occ, static_cast<int>(s.size())) - 1)
+          break;
+        s = std::move(next);
+      }
+    }
+    if (best_cube.empty() || best_value <= 0) break;
+
+    // Plan the rewrite: for every node whose cubes contain the extracted
+    // cube, compute the would-be function and its FACTORED literal delta.
+    // Only nodes that actually get cheaper are rewritten, and the round is
+    // committed only when the kept deltas pay for the new node — flat
+    // cube counting alone can be a factored-form loss.
+    struct Plan {
+      NodeId node;
+      std::vector<NodeId> fanins;
+      Sop func;
+      int delta;
+    };
+    std::vector<Plan> plans;
+    const NodeId nc_placeholder = net.num_nodes();  // id the new node will get
+    for (NodeId id = 0; id < net.num_nodes(); ++id) {
+      const Node& nd = net.node(id);
+      if (!nd.alive || nd.is_pi) continue;
+      bool would_cycle = false;
+      for (GlobalLit l : best_cube) {
+        const NodeId src = lit_node(l);
+        if (src == id || net.depends_on(src, id)) would_cycle = true;
+      }
+      if (would_cycle) continue;
+
+      bool any = false;
+      std::vector<NodeId> nf = nd.fanins;
+      nf.push_back(nc_placeholder);
+      const int nv = static_cast<int>(nf.size());
+      Sop nfunc(nv);
+      for (int ci = 0; ci < nd.func.num_cubes(); ++ci) {
+        const Cube& cc = nd.func.cube(ci);
+        Cube out(nv);
+        std::vector<GlobalLit> lits;
+        for (int v = 0; v < cc.num_vars(); ++v)
+          if (cc.lit(v) != Lit::Absent)
+            lits.push_back(make_lit(nd.fanins[static_cast<std::size_t>(v)],
+                                    cc.lit(v) == Lit::Neg));
+        std::sort(lits.begin(), lits.end());
+        if (contains_all(lits, best_cube)) {
+          for (int v = 0; v < cc.num_vars(); ++v) {
+            const Lit l = cc.lit(v);
+            if (l == Lit::Absent) continue;
+            const GlobalLit gl =
+                make_lit(nd.fanins[static_cast<std::size_t>(v)], l == Lit::Neg);
+            if (!std::binary_search(best_cube.begin(), best_cube.end(), gl))
+              out.set_lit(v, l);
+          }
+          out.set_lit(nv - 1, Lit::Pos);
+          any = true;
+        } else {
+          for (int v = 0; v < cc.num_vars(); ++v) out.set_lit(v, cc.lit(v));
+        }
+        nfunc.add_cube(out);
+      }
+      if (!any) continue;
+      nfunc.scc_minimize();
+      const int delta = factored_literal_count(nfunc) -
+                        factored_literal_count(nd.func);
+      if (delta >= 0) continue;  // this node would not benefit
+      plans.push_back(Plan{id, std::move(nf), std::move(nfunc), delta});
+    }
+
+    int total = static_cast<int>(best_cube.size());  // cost of the new node
+    for (const Plan& p : plans) total += p.delta;
+    if (plans.size() < 2 || total >= 0) break;  // round not profitable
+
+    std::vector<NodeId> fanins;
+    Sop func(static_cast<int>(best_cube.size()));
+    Cube c(static_cast<int>(best_cube.size()));
+    for (std::size_t i = 0; i < best_cube.size(); ++i) {
+      fanins.push_back(lit_node(best_cube[i]));
+      c.set_lit(static_cast<int>(i), lit_neg(best_cube[i]) ? Lit::Neg : Lit::Pos);
+    }
+    func.add_cube(c);
+    const NodeId nc = net.add_node(net.fresh_name("cx"), fanins, func);
+    assert(nc == nc_placeholder);
+    for (Plan& p : plans)
+      net.set_function(p.node, std::move(p.fanins), std::move(p.func));
+    ++stats.extracted;
+    net.sweep();
+  }
+
+  stats.literals_after = net.factored_literals();
+  return stats;
+}
+
+}  // namespace rarsub

@@ -1,0 +1,136 @@
+// Greedy kernel extraction: gather level-0 kernels of every node in a
+// global literal space, score each distinct kernel by the factored
+// literals its extraction would save, extract the best one as a new node,
+// and substitute it by algebraic division.
+
+#include <algorithm>
+#include <map>
+
+#include "opt/extract.hpp"
+#include "resub/algebraic_resub.hpp"
+#include "sop/factor.hpp"
+#include "sop/kernel.hpp"
+
+namespace rarsub {
+
+namespace {
+
+using GlobalLit = int;  // node id * 2 + (negated ? 1 : 0)
+
+// A kernel lifted to the global literal space: sorted cubes of sorted lits.
+using GlobalKernel = std::vector<std::vector<GlobalLit>>;
+
+GlobalKernel lift(const Sop& kernel, const std::vector<NodeId>& fanins) {
+  GlobalKernel gk;
+  for (const Cube& c : kernel.cubes()) {
+    std::vector<GlobalLit> lits;
+    for (int v = 0; v < c.num_vars(); ++v) {
+      const Lit l = c.lit(v);
+      if (l == Lit::Absent) continue;
+      lits.push_back(fanins[static_cast<std::size_t>(v)] * 2 +
+                     (l == Lit::Neg ? 1 : 0));
+    }
+    std::sort(lits.begin(), lits.end());
+    gk.push_back(std::move(lits));
+  }
+  std::sort(gk.begin(), gk.end());
+  return gk;
+}
+
+}  // namespace
+
+ExtractStats gkx(Network& net, const ExtractOptions& opts) {
+  ExtractStats stats;
+  stats.literals_before = net.factored_literals();
+
+  ResubOptions ropts;
+  ropts.use_complement = false;
+
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    // Gather kernels across the network.
+    std::map<GlobalKernel, std::vector<NodeId>> occurrences;
+    for (NodeId id = 0; id < net.num_nodes(); ++id) {
+      const Node& nd = net.node(id);
+      if (!nd.alive || nd.is_pi) continue;
+      if (nd.func.num_cubes() < 2 || nd.func.num_cubes() > 48) continue;
+      KernelOptions kopts;
+      kopts.level0_only = true;
+      kopts.max_kernels = opts.max_kernels_per_node;
+      for (const KernelEntry& k : find_kernels(nd.func, kopts)) {
+        auto& occ = occurrences[lift(k.kernel, nd.fanins)];
+        if (occ.empty() || occ.back() != id) occ.push_back(id);
+      }
+    }
+
+    // Rank kernels by a rough sharing heuristic, then confirm the top
+    // candidates by dry-running the actual substitutions: the committed
+    // value is the sum of real per-node factored gains minus the cost of
+    // materializing the kernel as a node.
+    std::vector<std::pair<int, const GlobalKernel*>> ranked;
+    for (const auto& [gk, nodes] : occurrences) {
+      int lits = 0;
+      for (const auto& c : gk) lits += static_cast<int>(c.size());
+      const int rough = static_cast<int>(nodes.size()) * (lits - 1) - lits;
+      if (static_cast<int>(nodes.size()) >= 2 || rough > 0)
+        ranked.push_back({rough, &gk});
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    if (ranked.size() > 8) ranked.resize(8);
+
+    bool committed = false;
+    for (const auto& [rough, gk] : ranked) {
+      (void)rough;
+      // Materialize the kernel as a node.
+      std::vector<NodeId> fanins;
+      for (const auto& c : *gk)
+        for (GlobalLit l : c) {
+          const NodeId n = l / 2;
+          if (std::find(fanins.begin(), fanins.end(), n) == fanins.end())
+            fanins.push_back(n);
+        }
+      const int nv = static_cast<int>(fanins.size());
+      Sop func(nv);
+      for (const auto& c : *gk) {
+        Cube cube(nv);
+        for (GlobalLit l : c) {
+          const auto it = std::find(fanins.begin(), fanins.end(), l / 2);
+          cube.set_lit(static_cast<int>(it - fanins.begin()),
+                       (l & 1) ? Lit::Neg : Lit::Pos);
+        }
+        func.add_cube(cube);
+      }
+      const NodeId nk = net.add_node(net.fresh_name("kx"), fanins, func);
+
+      // Dry-run the real gains.
+      int total = -factored_literal_count(func);
+      const auto& nodes = occurrences.at(*gk);
+      for (NodeId id : nodes) {
+        if (!net.node(id).alive || net.depends_on(nk, id)) continue;
+        const auto gain = algebraic_substitute(net, id, nk, ropts, false);
+        if (gain) total += *gain;
+      }
+      if (total <= 0) {
+        net.sweep();  // removes the orphan candidate node
+        continue;
+      }
+      int uses = 0;
+      for (NodeId id : nodes) {
+        if (!net.node(id).alive || net.depends_on(nk, id)) continue;
+        if (algebraic_substitute(net, id, nk, ropts, /*commit=*/true)) ++uses;
+      }
+      net.sweep();
+      if (uses > 0) {
+        ++stats.extracted;
+        committed = true;
+        break;
+      }
+    }
+    if (!committed) break;
+  }
+
+  stats.literals_after = net.factored_literals();
+  return stats;
+}
+
+}  // namespace rarsub

@@ -1,0 +1,91 @@
+#include "opt/scripts.hpp"
+
+#include "division/substitute.hpp"
+#include "opt/extract.hpp"
+#include "opt/full_simplify.hpp"
+#include "resub/algebraic_resub.hpp"
+
+namespace rarsub {
+
+std::string method_name(ResubMethod m) {
+  switch (m) {
+    case ResubMethod::None: return "none";
+    case ResubMethod::SisAlgebraic: return "sis";
+    case ResubMethod::Basic: return "basic";
+    case ResubMethod::Extended: return "ext";
+    case ResubMethod::ExtendedGdc: return "ext_gdc";
+  }
+  return "?";
+}
+
+void run_resub(Network& net, ResubMethod method) {
+  switch (method) {
+    case ResubMethod::None:
+      return;
+    case ResubMethod::SisAlgebraic: {
+      ResubOptions opts;
+      algebraic_resub(net, opts);
+      return;
+    }
+    case ResubMethod::Basic: {
+      SubstituteOptions opts;
+      opts.method = SubstMethod::Basic;
+      substitute_network(net, opts);
+      return;
+    }
+    case ResubMethod::Extended: {
+      SubstituteOptions opts;
+      opts.method = SubstMethod::Extended;
+      substitute_network(net, opts);
+      return;
+    }
+    case ResubMethod::ExtendedGdc: {
+      SubstituteOptions opts;
+      opts.method = SubstMethod::ExtendedGdc;
+      substitute_network(net, opts);
+      return;
+    }
+  }
+}
+
+void script_a(Network& net) {
+  // "eliminate 0" creates complex gates by collapsing low-value nodes,
+  // "since complex gates are more suitable for substitution".
+  net.sweep();
+  eliminate(net, 0);
+  simplify_network(net);
+}
+
+void script_b(Network& net) {
+  script_a(net);
+  gcx(net);
+}
+
+void script_c(Network& net) {
+  script_a(net);
+  gkx(net);
+}
+
+void script_algebraic(Network& net, ResubMethod method) {
+  net.sweep();
+  eliminate(net, -1);
+  simplify_network(net);
+  eliminate(net, -1);
+  net.sweep();
+  eliminate(net, 5);
+  simplify_network(net);
+  run_resub(net, method);
+  gkx(net);
+  run_resub(net, method);
+  gcx(net);
+  run_resub(net, method);
+  net.sweep();
+  eliminate(net, -1);
+  net.sweep();
+  // SIS ends the flow with full_simplify -m nocomp; our SDC-exact variant
+  // (bounded TFI enumeration) plays that role.
+  full_simplify_network(net);
+  simplify_network(net);
+}
+
+}  // namespace rarsub

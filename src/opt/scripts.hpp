@@ -1,0 +1,43 @@
+#pragma once
+// The SIS script setups of the paper's experiments (Sec. V):
+//
+//   Script A:  eliminate 0; simplify
+//   Script B:  eliminate 0; simplify; gcx
+//   Script C:  eliminate 0; simplify; gkx
+//   script.algebraic: the full SIS flow, with every `resub` occurrence
+//                     replaced by the method under test (Table V).
+//
+// The A/B/C scripts only *prepare* the initial circuit; the four
+// resubstitution methods are then applied to fresh copies of it.
+
+#include <string>
+
+#include "network/network.hpp"
+
+namespace rarsub {
+
+/// The four columns of the paper's tables.
+enum class ResubMethod {
+  None,          ///< no resubstitution (for measuring initial literals)
+  SisAlgebraic,  ///< the `resub -d` baseline
+  Basic,
+  Extended,
+  ExtendedGdc,
+};
+
+std::string method_name(ResubMethod m);
+
+/// Run the selected resubstitution method once over the network.
+void run_resub(Network& net, ResubMethod method);
+
+/// Scripts A/B/C preprocessing (paper Sec. V).
+void script_a(Network& net);
+void script_b(Network& net);
+void script_c(Network& net);
+
+/// Our rendition of SIS `script.algebraic` with `resub` replaced by
+/// `method` (Table V). Chosen "because it is one of the scripts that
+/// contain the most resub's".
+void script_algebraic(Network& net, ResubMethod method);
+
+}  // namespace rarsub

@@ -1,0 +1,102 @@
+#include "rar/network_rr.hpp"
+
+#include <cassert>
+
+#include "gatenet/build.hpp"
+#include "rar/redundancy.hpp"
+
+namespace rarsub {
+
+NetworkRrStats network_redundancy_removal(Network& net,
+                                          const NetworkRrOptions& opts) {
+  NetworkRrStats stats;
+  stats.literals_before = net.factored_literals();
+
+  GateNetMap map;
+  GateNet gn = build_gatenet(net, map);
+
+  RemoveOptions ropts;
+  ropts.learning_depth = opts.learning_depth;
+  ropts.both_polarities = opts.both_polarities;
+  ropts.to_fixpoint = true;
+  stats.wires_removed = remove_all_redundancies(gn, ropts);
+  if (stats.wires_removed == 0) {
+    stats.literals_after = stats.literals_before;
+    return stats;
+  }
+
+  // Fold the surviving gate structure back into node covers. By
+  // construction every internal node is (cube AND gates) -> (one OR gate);
+  // removals only delete pins or constant-ize gates, so the shape is
+  // intact and each node can be read back independently.
+  std::vector<int> gate_owner_var(static_cast<std::size_t>(gn.num_gates()), -1);
+  for (NodeId id : net.topo_order()) {
+    const Node& nd = net.node(id);
+    const int root = map.node_out[static_cast<std::size_t>(id)];
+    const int nv = static_cast<int>(nd.fanins.size());
+
+    // Map source gates back to local variables of this node.
+    for (int v = 0; v < nv; ++v)
+      gate_owner_var[static_cast<std::size_t>(
+          map.node_out[static_cast<std::size_t>(nd.fanins[static_cast<std::size_t>(v)])])] = v;
+
+    Sop func(nv);
+    const Gate& rg = gn.gate(root);
+    bool valid = true;
+    if (rg.type == GateType::Const0) {
+      // func stays empty
+    } else if (rg.type == GateType::Const1) {
+      func.add_cube(Cube(nv));
+    } else if (rg.type == GateType::Or) {
+      for (const Signal& cs : rg.fanins) {
+        const Gate& cg = gn.gate(cs.gate);
+        if (!cs.neg && cg.type == GateType::Const0) continue;  // dead cube
+        if (!cs.neg && cg.type == GateType::Const1) {
+          func.add_cube(Cube(nv));  // constant-1 cube: node is tautology
+          continue;
+        }
+        if (cs.neg || cg.type != GateType::And) {
+          valid = false;  // unexpected shape; leave the node alone
+          break;
+        }
+        Cube c(nv);
+        bool cube_ok = true;
+        for (const Signal& lit : cg.fanins) {
+          const int v = gate_owner_var[static_cast<std::size_t>(lit.gate)];
+          if (v < 0) {
+            cube_ok = false;
+            break;
+          }
+          // Merged literals intersect (clash -> empty cube).
+          const Lit want = lit.neg ? Lit::Neg : Lit::Pos;
+          const Lit cur = c.lit(v);
+          if (cur != Lit::Absent && cur != want) {
+            c = Cube(nv);
+            cube_ok = false;  // contradictory literals: cube is empty
+            break;
+          }
+          c.set_lit(v, want);
+        }
+        if (cube_ok) func.add_cube(std::move(c));
+      }
+    } else {
+      valid = false;
+    }
+
+    // Undo the variable markers before moving on.
+    for (int v = 0; v < nv; ++v)
+      gate_owner_var[static_cast<std::size_t>(
+          map.node_out[static_cast<std::size_t>(nd.fanins[static_cast<std::size_t>(v)])])] = -1;
+
+    if (!valid) continue;
+    func.scc_minimize();
+    if (func == nd.func) continue;
+    net.set_function(id, nd.fanins, std::move(func));
+  }
+
+  net.sweep();
+  stats.literals_after = net.factored_literals();
+  return stats;
+}
+
+}  // namespace rarsub

@@ -1,0 +1,31 @@
+#pragma once
+// Network-level redundancy removal: decompose the whole network into the
+// two-level gate view, run ATPG-based redundancy removal over every wire
+// (the classical use of the paper's Sec. II machinery), and fold the
+// surviving structure back into the nodes' SOP covers.
+//
+// Removals are justified against primary-output observability, so — like
+// the GDC substitution configuration — node functions may change on
+// unobservable input combinations while every PO is preserved.
+
+#include "network/network.hpp"
+
+namespace rarsub {
+
+struct NetworkRrOptions {
+  int learning_depth = 0;
+  /// Also test the gate-constant-izing fault polarity.
+  bool both_polarities = true;
+};
+
+struct NetworkRrStats {
+  int wires_removed = 0;
+  int literals_before = 0;
+  int literals_after = 0;
+};
+
+/// Remove redundant literals and cubes everywhere in the network.
+NetworkRrStats network_redundancy_removal(Network& net,
+                                          const NetworkRrOptions& opts = {});
+
+}  // namespace rarsub

@@ -1,0 +1,31 @@
+#pragma once
+// Classic single-wire redundancy-addition-and-removal optimizer
+// (Sec. II review; Entrena–Cheng / perturb-and-simplify style): pick a
+// target wire, derive the mandatory assignments of its stuck-at test, add
+// one redundant candidate connection that creates a conflict, and remove
+// the target (plus anything else that became redundant). Kept as the
+// general-purpose baseline the paper's *specialized, multiple-wire* RAR
+// configuration is contrasted with.
+
+#include "gatenet/gatenet.hpp"
+
+namespace rarsub {
+
+struct RarOptions {
+  int learning_depth = 0;
+  /// Give up after this many attempted target wires.
+  int max_targets = 10000;
+};
+
+struct RarStats {
+  int wires_added = 0;
+  int wires_removed = 0;
+  int transformations = 0;  ///< committed add+remove rounds
+};
+
+/// One pass of classic RAR over the circuit. Every committed transformation
+/// strictly decreases the total wire count; the circuit function at the
+/// observables is preserved.
+RarStats rar_optimize(GateNet& net, const RarOptions& opts = {});
+
+}  // namespace rarsub

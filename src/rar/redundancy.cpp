@@ -1,0 +1,91 @@
+#include "rar/redundancy.hpp"
+
+#include <algorithm>
+
+namespace rarsub {
+
+bool wire_redundant(const GateNet& net, WireRef w, bool stuck_value,
+                    int learning_depth) {
+  return analyze_fault(net, w, stuck_value, learning_depth).untestable;
+}
+
+namespace {
+
+// Stable wire identity across pin removals: (gate, source signal, count of
+// identical earlier pins).
+struct WireKey {
+  int gate;
+  Signal src;
+};
+
+// Resolve a key back to a current pin index; -1 if gone.
+int resolve(const GateNet& net, const WireKey& k) {
+  const Gate& gd = net.gate(k.gate);
+  for (int p = 0; p < static_cast<int>(gd.fanins.size()); ++p)
+    if (gd.fanins[static_cast<std::size_t>(p)] == k.src) return p;
+  return -1;
+}
+
+}  // namespace
+
+int remove_redundant_wires(GateNet& net, const std::vector<WireRef>& candidates,
+                           const RemoveOptions& opts) {
+  std::vector<WireKey> keys;
+  keys.reserve(candidates.size());
+  for (const WireRef& w : candidates) {
+    const Gate& gd = net.gate(w.gate);
+    keys.push_back(WireKey{w.gate, gd.fanins[static_cast<std::size_t>(w.pin)]});
+  }
+
+  int removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const WireKey& k : keys) {
+      const Gate& gd = net.gate(k.gate);
+      if (gd.type != GateType::And && gd.type != GateType::Or) continue;
+      const int pin = resolve(net, k);
+      if (pin < 0) continue;
+      const WireRef w{k.gate, pin};
+      const bool del_val = removal_stuck_value(gd.type);
+      if (wire_redundant(net, w, del_val, opts.learning_depth)) {
+        net.remove_fanin(w);
+        ++removed;
+        changed = true;
+        continue;
+      }
+      if (opts.both_polarities &&
+          wire_redundant(net, w, !del_val, opts.learning_depth)) {
+        // Input stuck at the controlling value: the whole gate is constant.
+        net.make_const(k.gate, gd.type == GateType::Or);
+        ++removed;
+        changed = true;
+      }
+    }
+    if (!opts.to_fixpoint) break;
+  }
+  return removed;
+}
+
+int remove_all_redundancies(GateNet& net, const RemoveOptions& opts) {
+  int removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<WireRef> all;
+    for (int g = 0; g < net.num_gates(); ++g) {
+      const Gate& gd = net.gate(g);
+      if (gd.type != GateType::And && gd.type != GateType::Or) continue;
+      for (int p = 0; p < static_cast<int>(gd.fanins.size()); ++p)
+        all.push_back(WireRef{g, p});
+    }
+    RemoveOptions once = opts;
+    once.to_fixpoint = false;
+    const int n = remove_redundant_wires(net, all, once);
+    removed += n;
+    changed = opts.to_fixpoint && n > 0;
+  }
+  return removed;
+}
+
+}  // namespace rarsub

@@ -1,0 +1,35 @@
+#pragma once
+// Redundancy removal: test wires for untestable stuck-at faults and delete
+// them. Inside the division configuration this is the step that "really
+// performs the minimization process" (paper Sec. IV).
+
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "gatenet/gatenet.hpp"
+
+namespace rarsub {
+
+/// Is the stuck-at-`stuck_value` fault on `w` untestable?
+bool wire_redundant(const GateNet& net, WireRef w, bool stuck_value,
+                    int learning_depth = 0);
+
+struct RemoveOptions {
+  int learning_depth = 0;
+  /// Test the constant-izing polarity too (AND input s-a-0 => gate is
+  /// constant 0), not just pin deletion.
+  bool both_polarities = false;
+  /// Iterate to fixpoint (a removal can expose further redundancies).
+  bool to_fixpoint = true;
+};
+
+/// Remove redundant wires among `candidates` (pins are re-resolved by
+/// (gate, source-signal) identity as earlier removals shift pin indices).
+/// Returns the number of deleted pins / constant-ized gates.
+int remove_redundant_wires(GateNet& net, const std::vector<WireRef>& candidates,
+                           const RemoveOptions& opts = {});
+
+/// Whole-circuit redundancy removal over every AND/OR input pin.
+int remove_all_redundancies(GateNet& net, const RemoveOptions& opts = {});
+
+}  // namespace rarsub

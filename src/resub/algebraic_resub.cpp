@@ -1,0 +1,183 @@
+#include "resub/algebraic_resub.hpp"
+
+#include <algorithm>
+
+#include "network/complement_cache.hpp"
+#include "sop/algdiv.hpp"
+#include "sop/factor.hpp"
+
+namespace rarsub {
+
+namespace {
+
+// Dividend/divisor covers aligned on the union of the two fanin lists.
+struct Pair {
+  std::vector<NodeId> vars;
+  Sop f_sop;
+  Sop d_sop;
+};
+
+Pair align(const Network& net, NodeId f, NodeId d) {
+  Pair p;
+  const Node& fn = net.node(f);
+  const Node& dn = net.node(d);
+  p.vars = fn.fanins;
+  std::vector<int> dmap;
+  for (NodeId x : dn.fanins) {
+    auto it = std::find(p.vars.begin(), p.vars.end(), x);
+    if (it == p.vars.end()) {
+      p.vars.push_back(x);
+      dmap.push_back(static_cast<int>(p.vars.size() - 1));
+    } else {
+      dmap.push_back(static_cast<int>(it - p.vars.begin()));
+    }
+  }
+  const int nv = static_cast<int>(p.vars.size());
+  std::vector<int> fmap(fn.fanins.size());
+  for (std::size_t i = 0; i < fn.fanins.size(); ++i) fmap[i] = static_cast<int>(i);
+  p.f_sop = fn.func.remap(nv, fmap);
+  p.d_sop = dn.func.remap(nv, dmap);
+  return p;
+}
+
+}  // namespace
+
+// Attempt one algebraic division; returns the gain on success.
+std::optional<int> algebraic_substitute_cached(Network& net, NodeId f, NodeId d,
+                                               const ResubOptions& opts,
+                                               bool commit,
+                                               ComplementCache* comps) {
+  const Node& fn = net.node(f);
+  const Node& dn = net.node(d);
+  if (fn.is_pi || dn.is_pi || !fn.alive || !dn.alive || f == d)
+    return std::nullopt;
+  if (fn.func.num_cubes() == 0 || dn.func.num_cubes() == 0) return std::nullopt;
+  if (fn.func.num_cubes() > opts.max_node_cubes ||
+      dn.func.num_cubes() > opts.max_divisor_cubes)
+    return std::nullopt;
+  if (net.depends_on(d, f)) return std::nullopt;
+
+  const Pair p = align(net, f, d);
+  const int nv = static_cast<int>(p.vars.size());
+
+  int best_gain = 0;
+  bool best_neg = false;
+  AlgDivResult best_div;
+
+  auto consider = [&](const Sop& divisor, bool negated) {
+    const AlgDivResult r = weak_divide(p.f_sop, divisor);
+    if (r.quotient.num_cubes() == 0) return;
+    // new_f = q·y + r over nv+1 vars (y possibly complemented).
+    std::vector<int> ext(static_cast<std::size_t>(nv));
+    for (int i = 0; i < nv; ++i) ext[static_cast<std::size_t>(i)] = i;
+    Sop g(nv + 1);
+    const Sop q_ext = r.quotient.remap(nv + 1, ext);
+    for (Cube c : q_ext.cubes()) {
+      c.set_lit(nv, negated ? Lit::Neg : Lit::Pos);
+      g.add_cube(std::move(c));
+    }
+    const Sop r_ext = r.remainder.remap(nv + 1, ext);
+    for (const Cube& c : r_ext.cubes()) g.add_cube(c);
+    const int gain =
+        factored_literal_count(p.f_sop) - factored_literal_count(g);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_neg = negated;
+      best_div = r;
+    }
+  };
+
+  consider(p.d_sop, false);
+  if (opts.use_complement) {
+    ComplementCache local;
+    const Sop& d_comp_local = (comps ? *comps : local).get(net, d);
+    if (d_comp_local.num_cubes() > 0 &&
+        d_comp_local.num_cubes() <= opts.max_complement_cubes) {
+      std::vector<int> dmap;
+      for (NodeId x : dn.fanins) {
+        auto it = std::find(p.vars.begin(), p.vars.end(), x);
+        dmap.push_back(static_cast<int>(it - p.vars.begin()));
+      }
+      consider(d_comp_local.remap(nv, dmap), true);
+    }
+  }
+
+  if (best_gain <= 0) return std::nullopt;
+  if (!commit) return best_gain;
+
+  // Commit: f = q·(y or !y) + r with y = d appended to the fanins.
+  std::vector<int> ext(static_cast<std::size_t>(nv));
+  for (int i = 0; i < nv; ++i) ext[static_cast<std::size_t>(i)] = i;
+  Sop g(nv + 1);
+  const Sop q_ext = best_div.quotient.remap(nv + 1, ext);
+  for (Cube c : q_ext.cubes()) {
+    c.set_lit(nv, best_neg ? Lit::Neg : Lit::Pos);
+    g.add_cube(std::move(c));
+  }
+  const Sop r_ext = best_div.remainder.remap(nv + 1, ext);
+  for (const Cube& c : r_ext.cubes()) g.add_cube(c);
+  g.scc_minimize();
+
+  std::vector<NodeId> fanins;
+  std::vector<int> var_map(static_cast<std::size_t>(nv + 1), 0);
+  for (int v : g.support()) {
+    const NodeId node = (v == nv) ? d : p.vars[static_cast<std::size_t>(v)];
+    auto it = std::find(fanins.begin(), fanins.end(), node);
+    if (it == fanins.end()) {
+      fanins.push_back(node);
+      var_map[static_cast<std::size_t>(v)] = static_cast<int>(fanins.size() - 1);
+    } else {
+      var_map[static_cast<std::size_t>(v)] = static_cast<int>(it - fanins.begin());
+    }
+  }
+  Sop func = g.remap(static_cast<int>(fanins.size()), var_map);
+  func.scc_minimize();
+  net.set_function(f, std::move(fanins), std::move(func));
+  return best_gain;
+}
+
+std::optional<int> algebraic_substitute(Network& net, NodeId f, NodeId d,
+                                        const ResubOptions& opts, bool commit) {
+  return algebraic_substitute_cached(net, f, d, opts, commit, nullptr);
+}
+
+ResubStats algebraic_resub(Network& net, const ResubOptions& opts) {
+  ResubStats stats;
+  stats.literals_before = net.factored_literals();
+  ComplementCache comps;
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    bool changed = false;
+    const std::vector<NodeId> order = net.topo_order();
+    for (NodeId f : order) {
+      if (!net.node(f).alive || net.node(f).is_pi) continue;
+      NodeId best_d = kNoNode;
+      int best_gain = 0;
+      for (NodeId d : order) {
+        if (!net.node(d).alive || d == f) continue;
+        const std::optional<int> gain =
+            algebraic_substitute_cached(net, f, d, opts, false, &comps);
+        if (!gain || *gain <= 0) continue;
+        if (opts.first_positive) {
+          best_d = d;
+          break;
+        }
+        if (*gain > best_gain) {
+          best_gain = *gain;
+          best_d = d;
+        }
+      }
+      if (best_d != kNoNode) {
+        if (algebraic_substitute_cached(net, f, best_d, opts, true, &comps)) {
+          ++stats.substitutions;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  net.sweep();
+  stats.literals_after = net.factored_literals();
+  return stats;
+}
+
+}  // namespace rarsub

@@ -1,0 +1,42 @@
+#pragma once
+// Algebraic resubstitution — the SIS `resub -d` baseline of the paper's
+// experiments. Each node is weak-divided by every other node (and by its
+// complement, when small); a rewrite is committed when it saves factored
+// literals.
+
+#include <optional>
+
+#include "network/network.hpp"
+
+namespace rarsub {
+
+struct ResubOptions {
+  /// Also try dividing by the complement of the divisor node (`-d` uses
+  /// node functions and their complements in SIS).
+  bool use_complement = true;
+  /// Commit the first positive-gain division per node (matching the greedy
+  /// setup of the paper's own configurations).
+  bool first_positive = true;
+  int max_passes = 4;
+  int max_node_cubes = 64;
+  int max_divisor_cubes = 24;
+  int max_complement_cubes = 24;
+};
+
+struct ResubStats {
+  int substitutions = 0;
+  int literals_before = 0;
+  int literals_after = 0;
+};
+
+ResubStats algebraic_resub(Network& net, const ResubOptions& opts = {});
+
+/// One dividend/divisor attempt: weak-divide node `f` by node `d` (and by
+/// its complement when `opts.use_complement`), committing the rewrite when
+/// the factored-literal gain is positive and `commit` is set. Returns the
+/// gain, or nullopt when no division applies. Shared with `gkx`, which
+/// substitutes freshly extracted kernels the same way.
+std::optional<int> algebraic_substitute(Network& net, NodeId f, NodeId d,
+                                        const ResubOptions& opts, bool commit);
+
+}  // namespace rarsub

@@ -1,0 +1,177 @@
+#include "resub/boolean_baselines.hpp"
+
+#include <algorithm>
+
+#include "bdd/bdd_div.hpp"
+#include "sop/espresso.hpp"
+#include "sop/factor.hpp"
+
+namespace rarsub {
+
+std::optional<Sop> espresso_boolean_divide(const Sop& f, const Sop& d) {
+  if (d.num_cubes() == 0 || d.is_tautology()) return std::nullopt;
+  const int nv = f.num_vars();
+
+  // Lift both covers to nv+1 variables; y is variable nv.
+  std::vector<int> ext(static_cast<std::size_t>(nv));
+  for (int i = 0; i < nv; ++i) ext[static_cast<std::size_t>(i)] = i;
+  const Sop f_ext = f.remap(nv + 1, ext);
+  const Sop d_ext = d.remap(nv + 1, ext);
+
+  // DC = y ⊕ d(x) = y·d' + y'·d : assignments where the fresh input
+  // disagrees with the divisor can never happen in the circuit.
+  const Sop d_comp = d_ext.complement();
+  Sop dc(nv + 1);
+  for (Cube c : d_comp.cubes()) {
+    c.set_lit(nv, Lit::Pos);
+    dc.add_cube(std::move(c));
+  }
+  for (Cube c : d_ext.cubes()) {
+    c.set_lit(nv, Lit::Neg);
+    dc.add_cube(std::move(c));
+  }
+
+  Sop result = espresso_lite(f_ext, dc);
+  // Useful only when the divisor literal actually appears.
+  for (const Cube& c : result.cubes())
+    if (c.lit(nv) != Lit::Absent) return result;
+  return std::nullopt;
+}
+
+namespace {
+
+// Aligned covers over the union of the two fanin lists (same convention as
+// the other substitution drivers).
+struct Pair {
+  std::vector<NodeId> vars;
+  Sop f_sop;
+  Sop d_sop;
+};
+
+Pair align(const Network& net, NodeId f, NodeId d) {
+  Pair p;
+  const Node& fn = net.node(f);
+  const Node& dn = net.node(d);
+  p.vars = fn.fanins;
+  std::vector<int> dmap;
+  for (NodeId x : dn.fanins) {
+    auto it = std::find(p.vars.begin(), p.vars.end(), x);
+    if (it == p.vars.end()) {
+      p.vars.push_back(x);
+      dmap.push_back(static_cast<int>(p.vars.size() - 1));
+    } else {
+      dmap.push_back(static_cast<int>(it - p.vars.begin()));
+    }
+  }
+  const int nv = static_cast<int>(p.vars.size());
+  std::vector<int> fmap(fn.fanins.size());
+  for (std::size_t i = 0; i < fn.fanins.size(); ++i) fmap[i] = static_cast<int>(i);
+  p.f_sop = fn.func.remap(nv, fmap);
+  p.d_sop = dn.func.remap(nv, dmap);
+  return p;
+}
+
+// f re-expressed with the y literal using generalized cofactors.
+std::optional<Sop> bdd_boolean_divide(const Sop& f, const Sop& d) {
+  const BddDivResult r = bdd_divide(f, d);
+  if (!r.success || r.quotient.num_cubes() == 0) return std::nullopt;
+  const int nv = f.num_vars();
+  std::vector<int> ext(static_cast<std::size_t>(nv));
+  for (int i = 0; i < nv; ++i) ext[static_cast<std::size_t>(i)] = i;
+  Sop g(nv + 1);
+  const Sop q_ext = r.quotient.remap(nv + 1, ext);
+  for (Cube c : q_ext.cubes()) {
+    c.set_lit(nv, Lit::Pos);
+    g.add_cube(std::move(c));
+  }
+  const Sop r_ext = r.remainder.remap(nv + 1, ext);
+  for (const Cube& c : r_ext.cubes()) g.add_cube(c);
+  g.scc_minimize();
+  for (const Cube& c : g.cubes())
+    if (c.lit(nv) != Lit::Absent) return g;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<int> baseline_substitute(Network& net, NodeId f, NodeId d,
+                                       const BaselineOptions& opts, bool commit) {
+  const Node& fn = net.node(f);
+  const Node& dn = net.node(d);
+  if (fn.is_pi || dn.is_pi || !fn.alive || !dn.alive || f == d)
+    return std::nullopt;
+  if (fn.func.num_cubes() == 0 || dn.func.num_cubes() == 0) return std::nullopt;
+  if (fn.func.num_cubes() > opts.max_node_cubes ||
+      dn.func.num_cubes() > opts.max_divisor_cubes)
+    return std::nullopt;
+  if (net.depends_on(d, f)) return std::nullopt;
+
+  const Pair p = align(net, f, d);
+  const int nv = static_cast<int>(p.vars.size());
+  if (nv > opts.max_common_vars) return std::nullopt;
+
+  std::optional<Sop> g = (opts.kind == BooleanBaseline::EspressoDc)
+                             ? espresso_boolean_divide(p.f_sop, p.d_sop)
+                             : bdd_boolean_divide(p.f_sop, p.d_sop);
+  if (!g) return std::nullopt;
+
+  const int gain =
+      factored_literal_count(p.f_sop) - factored_literal_count(*g);
+  if (gain <= 0) return std::nullopt;
+  if (!commit) return gain;
+
+  std::vector<NodeId> fanins;
+  std::vector<int> var_map(static_cast<std::size_t>(nv + 1), 0);
+  for (int v : g->support()) {
+    const NodeId node = (v == nv) ? d : p.vars[static_cast<std::size_t>(v)];
+    auto it = std::find(fanins.begin(), fanins.end(), node);
+    if (it == fanins.end()) {
+      fanins.push_back(node);
+      var_map[static_cast<std::size_t>(v)] = static_cast<int>(fanins.size() - 1);
+    } else {
+      var_map[static_cast<std::size_t>(v)] = static_cast<int>(it - fanins.begin());
+    }
+  }
+  Sop func = g->remap(static_cast<int>(fanins.size()), var_map);
+  func.scc_minimize();
+  net.set_function(f, std::move(fanins), std::move(func));
+  return gain;
+}
+
+BaselineStats boolean_baseline_resub(Network& net, const BaselineOptions& opts) {
+  BaselineStats stats;
+  stats.literals_before = net.factored_literals();
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    bool changed = false;
+    const std::vector<NodeId> order = net.topo_order();
+    for (NodeId f : order) {
+      if (!net.node(f).alive || net.node(f).is_pi) continue;
+      NodeId best_d = kNoNode;
+      int best_gain = 0;
+      for (NodeId d : order) {
+        if (!net.node(d).alive || d == f) continue;
+        const std::optional<int> gain = baseline_substitute(net, f, d, opts, false);
+        if (!gain || *gain <= 0) continue;
+        if (opts.first_positive) {
+          best_d = d;
+          break;
+        }
+        if (*gain > best_gain) {
+          best_gain = *gain;
+          best_d = d;
+        }
+      }
+      if (best_d != kNoNode &&
+          baseline_substitute(net, f, best_d, opts, true)) {
+        ++stats.substitutions;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  net.sweep();
+  stats.literals_after = net.factored_literals();
+  return stats;
+}
+
+}  // namespace rarsub

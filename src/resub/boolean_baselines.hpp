@@ -1,0 +1,58 @@
+#pragma once
+// The two prior Boolean-division approaches the paper reviews in Sec. I,
+// implemented as network-level substitution baselines:
+//
+//  * Espresso-with-don't-cares (the "ad-hoc setup ... based on a good
+//    two-level optimizer"): to divide f by d, minimize f over the extended
+//    space (vars ∪ y) with the don't-care set y ⊕ d(vars) — every
+//    assignment where the new input y disagrees with the divisor function
+//    can never occur, and the minimizer exploits it, producing a cover of
+//    f that uses the y literal.
+//
+//  * BDD division (Stanion–Sechen [14]): quotient = f ⇓ d via generalized
+//    cofactors (see bdd/bdd_div.hpp), lifted from cover pairs to network
+//    substitution.
+//
+// Both commit on positive factored-literal gain, mirroring the RAR-based
+// driver, so `bench/ablation_baselines` compares all four Boolean division
+// engines from identical starting points.
+
+#include <optional>
+
+#include "network/network.hpp"
+
+namespace rarsub {
+
+enum class BooleanBaseline {
+  EspressoDc,  ///< two-level minimization against y ⊕ d don't cares
+  BddDivision, ///< generalized-cofactor quotient/remainder
+};
+
+struct BaselineOptions {
+  BooleanBaseline kind = BooleanBaseline::EspressoDc;
+  bool first_positive = true;
+  int max_passes = 4;
+  int max_node_cubes = 64;
+  int max_divisor_cubes = 24;
+  int max_common_vars = 22;  ///< both baselines enumerate the joint space
+};
+
+struct BaselineStats {
+  int substitutions = 0;
+  int literals_before = 0;
+  int literals_after = 0;
+};
+
+/// One dividend/divisor attempt with the selected baseline engine.
+std::optional<int> baseline_substitute(Network& net, NodeId f, NodeId d,
+                                       const BaselineOptions& opts, bool commit);
+
+/// Greedy whole-network pass, same protocol as the other drivers.
+BaselineStats boolean_baseline_resub(Network& net, const BaselineOptions& opts = {});
+
+/// Cover-level Espresso-DC division: returns f re-expressed over
+/// num_vars+1 variables (the extra variable y is the divisor literal), or
+/// nullopt when the divisor is constant or the result does not use y.
+std::optional<Sop> espresso_boolean_divide(const Sop& f, const Sop& d);
+
+}  // namespace rarsub

@@ -1,0 +1,43 @@
+#pragma once
+// Algebraic (weak) division and related helpers (Brayton–McMullen).
+//
+// Algebraic division treats covers as polynomials over literals: f = q·d + r
+// where the product q·d is restricted to variable-disjoint factors. This is
+// the machinery behind the SIS `resub` baseline the paper compares against,
+// and behind kernel/cube extraction (`gkx`/`gcx`).
+
+#include <utility>
+
+#include "sop/sop.hpp"
+
+namespace rarsub {
+
+struct AlgDivResult {
+  Sop quotient;
+  Sop remainder;
+};
+
+/// Weak division of `f` by `d`: the unique maximal algebraic quotient
+/// q = f / d and remainder r = f − q·d. Returns an empty quotient when no
+/// cube of `d` algebraically divides any cube of `f`.
+AlgDivResult weak_divide(const Sop& f, const Sop& d);
+
+/// Divide by a single cube (fast path of weak division).
+AlgDivResult divide_by_cube(const Sop& f, const Cube& d);
+
+/// Largest cube dividing every cube of `f` (the "common cube"); universe
+/// cube if none.
+Cube largest_common_cube(const Sop& f);
+
+/// True if no single cube divides every cube of `f` and f has >= 2 cubes
+/// (the standard kernel precondition).
+bool is_cube_free(const Sop& f);
+
+/// Remove the largest common cube, making the cover cube-free.
+Sop make_cube_free(const Sop& f);
+
+/// Algebraic product q·d (assumes variable-disjointness is acceptable;
+/// cubes with clashing polarities are dropped as empty).
+Sop algebraic_product(const Sop& q, const Sop& d);
+
+}  // namespace rarsub

@@ -1,0 +1,83 @@
+// Cover complement via the unate-recursive paradigm:
+//   comp(F) = x'·comp(F_x') + x·comp(F_x)
+// with De-Morgan base case for single-cube covers, plus single-cube-
+// containment minimization of intermediate results to keep sizes in check.
+
+#include <cassert>
+
+#include "sop/sop.hpp"
+
+namespace rarsub {
+
+namespace {
+
+// Complement of a single cube by De Morgan: one cube per literal.
+Sop complement_cube(const Cube& c) {
+  Sop r(c.num_vars());
+  for (int v = 0; v < c.num_vars(); ++v) {
+    const Lit l = c.lit(v);
+    if (l == Lit::Absent) continue;
+    Cube nc(c.num_vars());
+    nc.set_lit(v, l == Lit::Pos ? Lit::Neg : Lit::Pos);
+    r.add_cube(std::move(nc));
+  }
+  return r;
+}
+
+// r := r OR (literal AND g), merging the literal into every cube of g.
+void or_literal_and(Sop& r, int var, bool value, const Sop& g) {
+  for (const Cube& c : g.cubes()) {
+    Cube nc = c;
+    const Lit cur = nc.lit(var);
+    const Lit want = value ? Lit::Pos : Lit::Neg;
+    if (cur != Lit::Absent && cur != want) continue;  // empty product
+    nc.set_lit(var, want);
+    r.add_cube(std::move(nc));
+  }
+}
+
+Sop comp_rec(const Sop& f) {
+  // Base cases.
+  bool all_empty = true;
+  for (const Cube& c : f.cubes()) {
+    if (c.is_empty()) continue;
+    all_empty = false;
+    if (c.is_universe()) return Sop::zero(f.num_vars());
+  }
+  if (all_empty) return Sop::one(f.num_vars());
+
+  int n_nonempty = 0;
+  const Cube* single = nullptr;
+  for (const Cube& c : f.cubes())
+    if (!c.is_empty()) {
+      ++n_nonempty;
+      single = &c;
+    }
+  if (n_nonempty == 1) return complement_cube(*single);
+
+  // Split on the most binate variable, or the most frequent one if unate.
+  std::optional<int> v = most_binate_var(f);
+  if (!v.has_value()) v = most_frequent_var(f);
+  assert(v.has_value());
+
+  const Sop f0 = f.cofactor(*v, false);
+  const Sop f1 = f.cofactor(*v, true);
+  Sop c0 = comp_rec(f0);
+  Sop c1 = comp_rec(f1);
+
+  Sop r(f.num_vars());
+  or_literal_and(r, *v, false, c0);
+  or_literal_and(r, *v, true, c1);
+  r.scc_minimize();
+  return r;
+}
+
+}  // namespace
+
+Sop Sop::complement() const {
+  Sop r = comp_rec(*this);
+  r.scc_minimize();
+  return r;
+}
+
+}  // namespace rarsub

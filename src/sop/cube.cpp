@@ -1,0 +1,247 @@
+#include "sop/cube.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace rarsub {
+
+namespace {
+
+// Mask with the low bit of every pair set: 01 01 01 ...
+constexpr std::uint64_t kLoMask = 0x5555555555555555ULL;
+
+// Mask covering the pairs of the first `n` variables in a word.
+std::uint64_t tail_mask(int n) {
+  return n >= 32 ? ~0ULL : ((1ULL << (2 * n)) - 1);
+}
+
+}  // namespace
+
+Cube::Cube(int num_vars) : num_vars_(num_vars) {
+  assert(num_vars >= 0);
+  const int words = (num_vars + kVarsPerWord - 1) / kVarsPerWord;
+  words_.assign(static_cast<std::size_t>(words), ~0ULL);
+  if (num_vars > 0) {
+    const int rem = num_vars % kVarsPerWord;
+    if (rem != 0) words_.back() = tail_mask(rem);
+  }
+}
+
+Cube Cube::from_string(const std::string& s) {
+  Cube c(static_cast<int>(s.size()));
+  for (int i = 0; i < static_cast<int>(s.size()); ++i) {
+    switch (s[static_cast<std::size_t>(i)]) {
+      case '1': c.set_lit(i, Lit::Pos); break;
+      case '0': c.set_lit(i, Lit::Neg); break;
+      case '-': break;
+      default: throw std::invalid_argument("Cube::from_string: bad char");
+    }
+  }
+  return c;
+}
+
+int Cube::num_literals() const {
+  // A literal is a pair with exactly one bit set; absent pairs are 11.
+  int count = 0;
+  for (std::uint64_t w : words_) {
+    const std::uint64_t both = (w >> 1) & w & kLoMask;  // 11 pairs
+    const std::uint64_t any = ((w >> 1) | w) & kLoMask;  // non-00 pairs
+    count += std::popcount(any & ~both);
+  }
+  return count;
+}
+
+Lit Cube::lit(int var) const {
+  assert(var >= 0 && var < num_vars_);
+  const std::uint64_t pair =
+      (words_[static_cast<std::size_t>(word_index(var))] >> bit_shift(var)) & 3;
+  switch (pair) {
+    case 0b11: return Lit::Absent;
+    case 0b10: return Lit::Pos;  // only value-1 bit set
+    case 0b01: return Lit::Neg;  // only value-0 bit set
+    default: return Lit::Absent;  // 00 empty pair reads as Absent for lit()
+  }
+}
+
+void Cube::set_lit(int var, Lit l) {
+  assert(var >= 0 && var < num_vars_);
+  std::uint64_t pair = 0b11;
+  if (l == Lit::Pos) pair = 0b10;
+  if (l == Lit::Neg) pair = 0b01;
+  auto& w = words_[static_cast<std::size_t>(word_index(var))];
+  w = (w & ~(3ULL << bit_shift(var))) | (pair << bit_shift(var));
+}
+
+bool Cube::is_empty() const {
+  if (num_vars_ == 0) return false;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t w = words_[i];
+    const std::uint64_t any = ((w >> 1) | w) & kLoMask;
+    // Only inspect pairs belonging to real variables: trailing pairs beyond
+    // num_vars_ were initialized to 0 by tail_mask and must be ignored.
+    std::uint64_t valid = kLoMask;
+    if (i + 1 == words_.size() && num_vars_ % kVarsPerWord != 0)
+      valid &= tail_mask(num_vars_ % kVarsPerWord) & kLoMask;
+    if ((any & valid) != valid) return true;
+  }
+  return false;
+}
+
+bool Cube::is_universe() const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t full = ~0ULL;
+    if (i + 1 == words_.size() && num_vars_ % kVarsPerWord != 0)
+      full = tail_mask(num_vars_ % kVarsPerWord);
+    if (words_[i] != full) return false;
+  }
+  return true;
+}
+
+bool Cube::contains(const Cube& other) const {
+  assert(num_vars_ == other.num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if ((other.words_[i] & words_[i]) != other.words_[i]) return false;
+  return true;
+}
+
+Cube Cube::intersect(const Cube& other) const {
+  assert(num_vars_ == other.num_vars_);
+  Cube r(*this);
+  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] &= other.words_[i];
+  return r;
+}
+
+int Cube::distance(const Cube& other) const {
+  assert(num_vars_ == other.num_vars_);
+  int d = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t w = words_[i] & other.words_[i];
+    std::uint64_t none = ~((w >> 1) | w) & kLoMask;  // pairs that became 00
+    if (i + 1 == words_.size() && num_vars_ % kVarsPerWord != 0)
+      none &= tail_mask(num_vars_ % kVarsPerWord);
+    d += std::popcount(none);
+  }
+  return d;
+}
+
+Cube Cube::consensus(const Cube& other) const {
+  assert(distance(other) == 1);
+  Cube r(*this);
+  for (std::size_t i = 0; i < r.words_.size(); ++i) {
+    const std::uint64_t w = words_[i] & other.words_[i];
+    std::uint64_t none = ~((w >> 1) | w) & kLoMask;
+    if (i + 1 == r.words_.size() && num_vars_ % kVarsPerWord != 0)
+      none &= tail_mask(num_vars_ % kVarsPerWord);
+    // Raise the single conflicting pair to 11; AND elsewhere.
+    r.words_[i] = w | none | (none << 1);
+  }
+  return r;
+}
+
+Cube Cube::supercube(const Cube& other) const {
+  assert(num_vars_ == other.num_vars_);
+  Cube r(*this);
+  for (std::size_t i = 0; i < r.words_.size(); ++i) r.words_[i] |= other.words_[i];
+  return r;
+}
+
+Cube Cube::cofactor(int var, bool value) const {
+  const Lit l = lit(var);
+  Cube r(*this);
+  if (l == Lit::Absent) {
+    return r;  // variable not constrained; nothing to drop
+  }
+  if ((l == Lit::Pos) != value) {
+    // Cube requires the opposite value: empty cofactor (pair forced to 00).
+    auto& w = r.words_[static_cast<std::size_t>(word_index(var))];
+    w &= ~(3ULL << bit_shift(var));
+    return r;
+  }
+  r.set_lit(var, Lit::Absent);
+  return r;
+}
+
+bool Cube::has_all_literals_of(const Cube& other) const {
+  // *this must constrain at least as much: bitwise subset in this direction.
+  assert(num_vars_ == other.num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if ((words_[i] & other.words_[i]) != words_[i]) return false;
+  return true;
+}
+
+Cube Cube::remove_literals_of(const Cube& other) const {
+  assert(has_all_literals_of(other));
+  Cube r(*this);
+  for (std::size_t i = 0; i < r.words_.size(); ++i) {
+    const std::uint64_t w = other.words_[i];
+    // Pairs where `other` has a literal (exactly one bit set): raise to 11.
+    const std::uint64_t both = (w >> 1) & w & kLoMask;
+    const std::uint64_t any = ((w >> 1) | w) & kLoMask;
+    const std::uint64_t litp = any & ~both;
+    r.words_[i] |= litp | (litp << 1);
+  }
+  return r;
+}
+
+Cube Cube::product(const Cube& other) const { return intersect(other); }
+
+bool Cube::shares_literal_with(const Cube& other) const {
+  assert(num_vars_ == other.num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t a = words_[i], b = other.words_[i];
+    // Pairs where `a` holds a literal (exactly one bit of the pair set).
+    const std::uint64_t lit_a = (((a >> 1) | a) & ~((a >> 1) & a)) & kLoMask;
+    // Pairs where the two words agree bit-for-bit.
+    const std::uint64_t diff = a ^ b;
+    const std::uint64_t same = ~((diff >> 1) | diff) & kLoMask;
+    if ((lit_a & same) != 0) return true;
+  }
+  return false;
+}
+
+Cube Cube::common_literals(const Cube& other) const {
+  assert(num_vars_ == other.num_vars_);
+  Cube r(num_vars_);
+  for (int v = 0; v < num_vars_; ++v) {
+    const Lit a = lit(v);
+    if (a != Lit::Absent && a == other.lit(v)) r.set_lit(v, a);
+  }
+  return r;
+}
+
+bool Cube::operator<(const Cube& other) const {
+  if (num_vars_ != other.num_vars_) return num_vars_ < other.num_vars_;
+  return words_ < other.words_;
+}
+
+bool Cube::eval(std::uint64_t assignment) const {
+  assert(num_vars_ <= 64);
+  for (int v = 0; v < num_vars_; ++v) {
+    const bool val = (assignment >> v) & 1;
+    const Lit l = lit(v);
+    if (l == Lit::Pos && !val) return false;
+    if (l == Lit::Neg && val) return false;
+  }
+  return !is_empty();
+}
+
+std::string Cube::to_string() const {
+  std::string s(static_cast<std::size_t>(num_vars_), '-');
+  for (int v = 0; v < num_vars_; ++v) {
+    switch (lit(v)) {
+      case Lit::Pos: s[static_cast<std::size_t>(v)] = '1'; break;
+      case Lit::Neg: s[static_cast<std::size_t>(v)] = '0'; break;
+      case Lit::Absent: break;
+    }
+  }
+  return s;
+}
+
+std::size_t Cube::hash() const {
+  std::size_t h = static_cast<std::size_t>(num_vars_) * 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t w : words_) h = (h ^ w) * 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace rarsub

@@ -1,0 +1,130 @@
+#pragma once
+// Cube: a product term in espresso-style positional cube notation.
+//
+// Each variable occupies a pair of bits. Within the pair, the low bit set
+// means "the variable may take value 0" and the high bit set means "the
+// variable may take value 1":
+//
+//   11  variable absent from the cube (don't care)
+//   01  negative literal  !x   (only value 0 allowed)
+//   10  positive literal   x   (only value 1 allowed)
+//   00  empty              the cube denotes the empty set of minterms
+//
+// With this encoding cube intersection is bitwise AND and cube containment
+// is a bitwise subset test, which is what makes the SOS/POS checks of the
+// paper (single-cube containment) cheap.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rarsub {
+
+/// Ternary literal polarity of one variable inside a cube.
+enum class Lit : std::uint8_t {
+  Absent = 0,  ///< variable does not appear (bit pair 11)
+  Pos = 1,     ///< positive literal x      (bit pair 10)
+  Neg = 2,     ///< negative literal !x     (bit pair 01)
+};
+
+class Cube {
+ public:
+  Cube() = default;
+
+  /// Universe cube (no literals) over `num_vars` variables.
+  explicit Cube(int num_vars);
+
+  /// Parse from a character string, one char per variable:
+  /// '1' positive literal, '0' negative literal, '-' absent.
+  static Cube from_string(const std::string& s);
+
+  int num_vars() const { return num_vars_; }
+
+  /// Number of literals (variables that appear).
+  int num_literals() const;
+
+  Lit lit(int var) const;
+  void set_lit(int var, Lit l);
+
+  /// True if some variable pair is 00 (the cube denotes no minterm).
+  bool is_empty() const;
+
+  /// True if no variable appears (the cube is the universe / tautology).
+  bool is_universe() const;
+
+  /// Set-containment: does this cube's minterm set contain `other`'s?
+  /// (Equivalent to: every literal of *this appears identically in `other`.)
+  bool contains(const Cube& other) const;
+
+  /// Intersection of minterm sets (bitwise AND); may be empty.
+  Cube intersect(const Cube& other) const;
+
+  /// Number of variables on which the two cubes have disjoint value sets
+  /// (pair-wise AND == 00). Distance 0 means the cubes intersect;
+  /// distance 1 enables consensus.
+  int distance(const Cube& other) const;
+
+  /// Consensus on the unique conflicting variable; only valid when
+  /// distance(other) == 1. The result contains the shared boundary.
+  Cube consensus(const Cube& other) const;
+
+  /// Smallest cube containing both (bitwise OR).
+  Cube supercube(const Cube& other) const;
+
+  /// Cofactor with respect to a single literal: the cube restricted to the
+  /// subspace var=value, expressed over the same variable set with `var`
+  /// removed (set to Absent). Returns an empty cube if the cube requires
+  /// the opposite value.
+  Cube cofactor(int var, bool value) const;
+
+  /// Algebraic view: does this cube's literal set include all literals of
+  /// `other` with identical polarity? (e.g. abc ⊇_lit ab). Used by weak
+  /// division and kernel extraction.
+  bool has_all_literals_of(const Cube& other) const;
+
+  /// Algebraic quotient: this cube with the literals of `other` removed.
+  /// Precondition: has_all_literals_of(other).
+  Cube remove_literals_of(const Cube& other) const;
+
+  /// Literal-wise union: cube whose literal set is the union (product of the
+  /// two cubes as an algebraic product). Empty if polarities clash.
+  Cube product(const Cube& other) const;
+
+  /// True if the two cubes share at least one identical literal.
+  bool shares_literal_with(const Cube& other) const;
+
+  /// The common literals of the two cubes (largest common sub-cube in the
+  /// algebraic sense); may be the universe cube when nothing is shared.
+  Cube common_literals(const Cube& other) const;
+
+  bool operator==(const Cube& other) const = default;
+
+  /// Lexicographic order on the raw words; any total order works for
+  /// canonicalization.
+  bool operator<(const Cube& other) const;
+
+  /// Evaluate on a complete assignment (bit i of `assignment` = var i).
+  bool eval(std::uint64_t assignment) const;
+
+  /// '1'/'0'/'-' string, one char per variable.
+  std::string to_string() const;
+
+  std::size_t hash() const;
+
+ private:
+  static constexpr int kVarsPerWord = 32;  // 2 bits per variable
+
+  int word_index(int var) const { return var / kVarsPerWord; }
+  int bit_shift(int var) const { return 2 * (var % kVarsPerWord); }
+
+  int num_vars_ = 0;
+  std::vector<std::uint64_t> words_;
+
+  friend struct CubeHash;
+};
+
+struct CubeHash {
+  std::size_t operator()(const Cube& c) const { return c.hash(); }
+};
+
+}  // namespace rarsub

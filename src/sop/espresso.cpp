@@ -1,0 +1,113 @@
+#include "sop/espresso.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rarsub {
+
+Sop espresso_expand(const Sop& f, const Sop& fun) {
+  Sop out(f.num_vars());
+  std::vector<Cube> cubes = f.cubes();
+  // Expanding big cubes first tends to let them swallow the small ones.
+  std::sort(cubes.begin(), cubes.end(), [](const Cube& a, const Cube& b) {
+    return a.num_literals() < b.num_literals();
+  });
+  for (Cube c : cubes) {
+    if (c.is_empty()) continue;
+    for (int v = 0; v < f.num_vars(); ++v) {
+      const Lit l = c.lit(v);
+      if (l == Lit::Absent) continue;
+      Cube raised = c;
+      raised.set_lit(v, Lit::Absent);
+      if (fun.contains_cube(raised)) c = raised;
+    }
+    out.add_cube(std::move(c));
+  }
+  out.scc_minimize();
+  return out;
+}
+
+Sop espresso_irredundant(const Sop& f, const Sop& dc) {
+  std::vector<Cube> cubes = f.cubes();
+  // Drop small cubes first: they are the most likely to be covered.
+  std::sort(cubes.begin(), cubes.end(), [](const Cube& a, const Cube& b) {
+    return a.num_literals() > b.num_literals();
+  });
+  std::vector<bool> keep(cubes.size(), true);
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    Sop rest(f.num_vars());
+    for (std::size_t j = 0; j < cubes.size(); ++j)
+      if (j != i && keep[j]) rest.add_cube(cubes[j]);
+    for (const Cube& d : dc.cubes()) rest.add_cube(d);
+    if (rest.contains_cube(cubes[i])) keep[i] = false;
+  }
+  Sop out(f.num_vars());
+  for (std::size_t i = 0; i < cubes.size(); ++i)
+    if (keep[i]) out.add_cube(cubes[i]);
+  return out;
+}
+
+Sop espresso_reduce(const Sop& f, const Sop& dc) {
+  // REDUCE is order-dependent and must be computed against the CURRENT
+  // cover: once a cube has been reduced, later cubes see its reduced form.
+  // Reducing every cube against the original cover lets two cubes that
+  // jointly cover a minterm both retreat from it, losing the on-set.
+  std::vector<Cube> cubes = f.cubes();
+  // Espresso heuristic: shrink the biggest cubes first.
+  std::sort(cubes.begin(), cubes.end(), [](const Cube& a, const Cube& b) {
+    return a.num_literals() < b.num_literals();
+  });
+  std::vector<bool> dropped(cubes.size(), false);
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    const Cube c = cubes[i];
+    // Part of the function covered by the other cubes (plus dc), seen from
+    // inside c: G = (F_current \ c  |  dc) cofactored by c.
+    Sop g(f.num_vars());
+    for (std::size_t j = 0; j < cubes.size(); ++j)
+      if (j != i && !dropped[j]) g.add_cube(cubes[j]);
+    for (const Cube& d : dc.cubes()) g.add_cube(d);
+    const Sop gc = g.cofactor(c);
+    const Sop need = gc.complement();  // minterms only c covers
+    if (need.is_zero()) {
+      dropped[i] = true;  // cube fully covered by the rest: drop it
+      continue;
+    }
+    // Smallest cube containing `need`, intersected back with c.
+    Cube sc = need.cube(0);
+    for (int k = 1; k < need.num_cubes(); ++k) sc = sc.supercube(need.cube(k));
+    cubes[i] = c.intersect(sc);
+  }
+  Sop out(f.num_vars());
+  for (std::size_t i = 0; i < cubes.size(); ++i)
+    if (!dropped[i]) out.add_cube(cubes[i]);
+  return out;
+}
+
+Sop espresso_lite(const Sop& on, const Sop& dc) {
+  if (on.is_zero()) return Sop::zero(on.num_vars());
+  Sop fun = on;
+  for (const Cube& d : dc.cubes()) fun.add_cube(d);
+  if (fun.is_tautology()) return Sop::one(on.num_vars());
+
+  Sop cur = on;
+  cur.scc_minimize();
+  int best_cost = cur.num_literals() + 1000000;
+  Sop best = cur;
+  for (int iter = 0; iter < 3; ++iter) {
+    cur = espresso_expand(cur, fun);
+    cur = espresso_irredundant(cur, dc);
+    const int cost = cur.num_literals() * 8 + cur.num_cubes();
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = cur;
+    } else {
+      break;  // no improvement from the last reduce/expand round
+    }
+    cur = espresso_reduce(cur, dc);
+  }
+  return best;
+}
+
+Sop simplify_cover(const Sop& on) { return espresso_lite(on, Sop::zero(on.num_vars())); }
+
+}  // namespace rarsub

@@ -1,0 +1,32 @@
+#pragma once
+// Espresso-lite: a compact EXPAND / IRREDUNDANT / REDUCE loop giving a prime
+// and irredundant cover of `on` against the don't-care set `dc`.
+//
+// This is the substrate for the SIS `simplify` command used by the paper's
+// Scripts A/B/C, and the "good two-level optimizer" the paper contrasts
+// against as the ad-hoc way of doing Boolean division (Sec. I).
+
+#include "sop/sop.hpp"
+
+namespace rarsub {
+
+/// Minimize `on` using `dc` as don't cares. The result covers `on`, is
+/// covered by `on | dc`, and is prime and irredundant with respect to it.
+Sop espresso_lite(const Sop& on, const Sop& dc);
+
+/// Minimize without don't cares.
+Sop simplify_cover(const Sop& on);
+
+/// EXPAND each cube of `f` to a prime of `fun` (= on | dc); assumes every
+/// cube of `f` is contained in `fun`. Exposed for testing.
+Sop espresso_expand(const Sop& f, const Sop& fun);
+
+/// Remove relatively redundant cubes (each removed cube is covered by the
+/// remaining cover plus `dc`). Exposed for testing.
+Sop espresso_irredundant(const Sop& f, const Sop& dc);
+
+/// REDUCE each cube to the smallest cube that still covers its share of the
+/// on-set; enables subsequent re-expansion in a different direction.
+Sop espresso_reduce(const Sop& f, const Sop& dc);
+
+}  // namespace rarsub

@@ -1,0 +1,182 @@
+#include "sop/factor.hpp"
+
+#include <cassert>
+
+#include "sop/algdiv.hpp"
+#include "sop/kernel.hpp"
+
+namespace rarsub {
+
+namespace {
+
+std::unique_ptr<FactorNode> make_const(bool one) {
+  auto n = std::make_unique<FactorNode>();
+  n->kind = one ? FactorNode::Kind::Const1 : FactorNode::Kind::Const0;
+  return n;
+}
+
+std::unique_ptr<FactorNode> make_literal(int var, bool positive) {
+  auto n = std::make_unique<FactorNode>();
+  n->kind = FactorNode::Kind::Literal;
+  n->var = var;
+  n->positive = positive;
+  return n;
+}
+
+std::unique_ptr<FactorNode> factor_cube(const Cube& c) {
+  auto n = std::make_unique<FactorNode>();
+  n->kind = FactorNode::Kind::And;
+  for (int v = 0; v < c.num_vars(); ++v) {
+    const Lit l = c.lit(v);
+    if (l != Lit::Absent) n->children.push_back(make_literal(v, l == Lit::Pos));
+  }
+  if (n->children.empty()) return make_const(true);
+  if (n->children.size() == 1) return std::move(n->children.front());
+  return n;
+}
+
+std::unique_ptr<FactorNode> make_or(std::unique_ptr<FactorNode> a,
+                                    std::unique_ptr<FactorNode> b) {
+  if (a->kind == FactorNode::Kind::Const0) return b;
+  if (b->kind == FactorNode::Kind::Const0) return a;
+  auto n = std::make_unique<FactorNode>();
+  n->kind = FactorNode::Kind::Or;
+  n->children.push_back(std::move(a));
+  n->children.push_back(std::move(b));
+  return n;
+}
+
+std::unique_ptr<FactorNode> make_and(std::unique_ptr<FactorNode> a,
+                                     std::unique_ptr<FactorNode> b) {
+  if (a->kind == FactorNode::Kind::Const1) return b;
+  if (b->kind == FactorNode::Kind::Const1) return a;
+  auto n = std::make_unique<FactorNode>();
+  n->kind = FactorNode::Kind::And;
+  n->children.push_back(std::move(a));
+  n->children.push_back(std::move(b));
+  return n;
+}
+
+std::unique_ptr<FactorNode> qf_rec(const Sop& f, int depth) {
+  if (f.num_cubes() == 0) return make_const(false);
+  if (f.num_cubes() == 1) return factor_cube(f.cube(0));
+  for (const Cube& c : f.cubes())
+    if (c.is_universe()) return make_const(true);
+
+  // Safety valve for pathological recursion.
+  if (depth > 64) {
+    auto n = std::make_unique<FactorNode>();
+    n->kind = FactorNode::Kind::Or;
+    for (const Cube& c : f.cubes()) n->children.push_back(factor_cube(c));
+    return n;
+  }
+
+  // Pull out the common cube first: f = common * (f / common).
+  const Cube common = largest_common_cube(f);
+  if (common.num_literals() > 0) {
+    Sop cf = make_cube_free(f);
+    return make_and(factor_cube(common), qf_rec(cf, depth + 1));
+  }
+
+  Sop d = quick_divisor(f);
+  if (d.num_cubes() < 2) {
+    // No kernel: divide by the most frequent literal l: f = l*q + r.
+    const std::vector<int> counts = f.literal_counts();
+    int best = -1, best_count = 1;
+    Lit pol = Lit::Pos;
+    for (int v = 0; v < f.num_vars(); ++v) {
+      if (counts[static_cast<std::size_t>(2 * v)] > best_count) {
+        best = v;
+        best_count = counts[static_cast<std::size_t>(2 * v)];
+        pol = Lit::Pos;
+      }
+      if (counts[static_cast<std::size_t>(2 * v + 1)] > best_count) {
+        best = v;
+        best_count = counts[static_cast<std::size_t>(2 * v + 1)];
+        pol = Lit::Neg;
+      }
+    }
+    if (best < 0) {
+      // Every literal appears at most once: the SOP is its own best form.
+      auto n = std::make_unique<FactorNode>();
+      n->kind = FactorNode::Kind::Or;
+      for (const Cube& c : f.cubes()) n->children.push_back(factor_cube(c));
+      return n;
+    }
+    Cube lc(f.num_vars());
+    lc.set_lit(best, pol);
+    AlgDivResult dv = divide_by_cube(f, lc);
+    return make_or(make_and(make_literal(best, pol == Lit::Pos),
+                            qf_rec(dv.quotient, depth + 1)),
+                   qf_rec(dv.remainder, depth + 1));
+  }
+
+  AlgDivResult dv = weak_divide(f, d);
+  if (dv.quotient.num_cubes() == 0) {
+    // Shouldn't happen for a true kernel, but stay safe.
+    auto n = std::make_unique<FactorNode>();
+    n->kind = FactorNode::Kind::Or;
+    for (const Cube& c : f.cubes()) n->children.push_back(factor_cube(c));
+    return n;
+  }
+  return make_or(
+      make_and(qf_rec(dv.quotient, depth + 1), qf_rec(d, depth + 1)),
+      qf_rec(dv.remainder, depth + 1));
+}
+
+}  // namespace
+
+int FactorNode::literal_count() const {
+  switch (kind) {
+    case Kind::Literal: return 1;
+    case Kind::Const0:
+    case Kind::Const1: return 0;
+    case Kind::And:
+    case Kind::Or: {
+      int n = 0;
+      for (const auto& c : children) n += c->literal_count();
+      return n;
+    }
+  }
+  return 0;
+}
+
+std::unique_ptr<FactorNode> quick_factor(const Sop& f) { return qf_rec(f, 0); }
+
+int factored_literal_count(const Sop& f) { return quick_factor(f)->literal_count(); }
+
+std::string factor_to_string(const FactorNode& n,
+                             const std::vector<std::string>& var_names) {
+  switch (n.kind) {
+    case FactorNode::Kind::Const0: return "0";
+    case FactorNode::Kind::Const1: return "1";
+    case FactorNode::Kind::Literal: {
+      std::string s = n.var < static_cast<int>(var_names.size())
+                          ? var_names[static_cast<std::size_t>(n.var)]
+                          : "v" + std::to_string(n.var);
+      if (!n.positive) s += "'";
+      return s;
+    }
+    case FactorNode::Kind::And: {
+      std::string s;
+      for (const auto& c : n.children) {
+        if (!s.empty()) s += "*";
+        const bool paren = c->kind == FactorNode::Kind::Or;
+        s += paren ? "(" + factor_to_string(*c, var_names) + ")"
+                   : factor_to_string(*c, var_names);
+      }
+      return s.empty() ? "1" : s;
+    }
+    case FactorNode::Kind::Or: {
+      std::string s;
+      for (const auto& c : n.children) {
+        if (!s.empty()) s += " + ";
+        s += factor_to_string(*c, var_names);
+      }
+      return s.empty() ? "0" : s;
+    }
+  }
+  return "?";
+}
+
+}  // namespace rarsub

@@ -1,0 +1,39 @@
+#pragma once
+// Factored-form literal counting (quick-factor style), the cost metric of
+// the paper's experiments: "All literal counts are in factor form".
+//
+// quick_factor recursively divides by a quick divisor (a level-0 kernel) or
+// the best literal, mirroring SIS's quick_factor; the returned tree is used
+// both for counting and for pretty-printing factored expressions in the
+// examples.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sop/sop.hpp"
+
+namespace rarsub {
+
+/// Node of a factored expression tree.
+struct FactorNode {
+  enum class Kind { Literal, And, Or, Const0, Const1 };
+  Kind kind = Kind::Const0;
+  int var = -1;          ///< for Literal
+  bool positive = true;  ///< for Literal
+  std::vector<std::unique_ptr<FactorNode>> children;
+
+  int literal_count() const;
+};
+
+/// Quick-factor the cover; never null.
+std::unique_ptr<FactorNode> quick_factor(const Sop& f);
+
+/// Number of literals in the quick-factored form of `f`.
+int factored_literal_count(const Sop& f);
+
+/// Render with the given variable names ("a*b + c*(d + e)" style).
+std::string factor_to_string(const FactorNode& n,
+                             const std::vector<std::string>& var_names);
+
+}  // namespace rarsub

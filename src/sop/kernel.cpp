@@ -1,0 +1,117 @@
+#include "sop/kernel.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "sop/algdiv.hpp"
+
+namespace rarsub {
+
+namespace {
+
+struct KernelCtx {
+  const KernelOptions* opts;
+  std::vector<KernelEntry>* out;
+  std::set<std::vector<Cube>>* seen;
+  int num_vars;
+};
+
+// Literals (var, polarity) appearing in >= 2 cubes of f.
+std::vector<std::pair<int, Lit>> frequent_literals(const Sop& f) {
+  std::vector<std::pair<int, Lit>> lits;
+  const std::vector<int> counts = f.literal_counts();
+  for (int v = 0; v < f.num_vars(); ++v) {
+    if (counts[static_cast<std::size_t>(2 * v)] >= 2) lits.emplace_back(v, Lit::Pos);
+    if (counts[static_cast<std::size_t>(2 * v + 1)] >= 2) lits.emplace_back(v, Lit::Neg);
+  }
+  return lits;
+}
+
+// Record the kernel if new; returns false when the cap was hit.
+bool record(KernelCtx& ctx, Sop kernel, const Cube& cokernel, int level) {
+  if (static_cast<int>(ctx.out->size()) >= ctx.opts->max_kernels) return false;
+  // Canonical order WITHOUT containment minimization: a kernel is an
+  // algebraic object, its cube list must stay intact.
+  std::sort(kernel.cubes().begin(), kernel.cubes().end());
+  kernel.cubes().erase(
+      std::unique(kernel.cubes().begin(), kernel.cubes().end()),
+      kernel.cubes().end());
+  if (kernel.num_cubes() < 2) return true;
+  if (!ctx.seen->insert(kernel.cubes()).second) return true;
+  // Exact level-0 test: a kernel is level 0 iff no literal appears in two
+  // or more of its cubes (then it has no kernel other than itself). The
+  // literal-index pruning of the search can otherwise under-report levels.
+  if (frequent_literals(kernel).empty()) level = 0;
+  else if (level == 0) level = 1;
+  ctx.out->push_back(KernelEntry{std::move(kernel), cokernel, level});
+  return true;
+}
+
+// Returns the depth of kernels found below; level assignment follows the
+// convention that kernels with no sub-kernels are level 0.
+int kernel_rec(KernelCtx& ctx, const Sop& f, int min_lit_index) {
+  const auto lits = frequent_literals(f);
+  int depth = 0;
+  bool found_sub = false;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (static_cast<int>(i) < min_lit_index) continue;
+    Cube lc(ctx.num_vars);
+    lc.set_lit(lits[i].first, lits[i].second);
+    Sop q = divide_by_cube(f, lc).quotient;
+    if (q.num_cubes() < 2) continue;
+    const Cube common = largest_common_cube(q);
+    Sop cf = make_cube_free(q);
+    const int sub_depth = kernel_rec(ctx, cf, static_cast<int>(i) + 1);
+    if (!record(ctx, cf, lc.product(common), sub_depth)) return depth;
+    found_sub = true;
+    depth = std::max(depth, sub_depth + 1);
+  }
+  (void)found_sub;
+  return depth;
+}
+
+}  // namespace
+
+std::vector<KernelEntry> find_kernels(const Sop& f, const KernelOptions& opts) {
+  std::vector<KernelEntry> out;
+  std::set<std::vector<Cube>> seen;
+  KernelCtx ctx{&opts, &out, &seen, f.num_vars()};
+
+  Sop cf = make_cube_free(f);
+  const int depth = kernel_rec(ctx, cf, 0);
+  if (cf.num_cubes() >= 2 && is_cube_free(cf))
+    record(ctx, cf, largest_common_cube(f), depth);
+
+  if (opts.level0_only) {
+    std::vector<KernelEntry> l0;
+    for (KernelEntry& k : out)
+      if (k.level == 0) l0.push_back(std::move(k));
+    return l0;
+  }
+  return out;
+}
+
+Sop quick_divisor(const Sop& f) {
+  // Descend along the first frequent literal until a cube-free quotient with
+  // no further sub-kernels is found.
+  Sop cur = make_cube_free(f);
+  if (cur.num_cubes() < 2) return Sop(f.num_vars());
+  for (;;) {
+    const auto lits = frequent_literals(cur);
+    bool descended = false;
+    for (const auto& [v, pol] : lits) {
+      Cube lc(f.num_vars());
+      lc.set_lit(v, pol);
+      Sop q = divide_by_cube(cur, lc).quotient;
+      if (q.num_cubes() >= 2) {
+        cur = make_cube_free(q);
+        descended = true;
+        break;
+      }
+    }
+    if (!descended) break;
+  }
+  return cur.num_cubes() >= 2 ? cur : Sop(f.num_vars());
+}
+
+}  // namespace rarsub

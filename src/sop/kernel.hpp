@@ -1,0 +1,31 @@
+#pragma once
+// Kernel / co-kernel extraction (Brayton–McMullen): the cube-free primary
+// divisors of a cover. Substrate for `gkx` (kernel extraction) and for the
+// quick-factor literal-count metric.
+
+#include <vector>
+
+#include "sop/sop.hpp"
+
+namespace rarsub {
+
+struct KernelEntry {
+  Sop kernel;     ///< cube-free divisor
+  Cube cokernel;  ///< cube c such that kernel = (f / c) made cube-free
+  int level = 0;  ///< 0 = innermost (level-0) kernel
+};
+
+struct KernelOptions {
+  bool level0_only = false;  ///< stop at level-0 kernels (cheaper, gkx-style)
+  int max_kernels = 2000;    ///< safety cap
+};
+
+/// All kernels of `f` (including f itself made cube-free, when cube-free
+/// with >= 2 cubes). Deduplicated by canonical cover.
+std::vector<KernelEntry> find_kernels(const Sop& f, const KernelOptions& opts = {});
+
+/// A cheap "quick divisor": one level-0 kernel (the first found), or an
+/// empty Sop if the cover has none (e.g. a single cube).
+Sop quick_divisor(const Sop& f);
+
+}  // namespace rarsub

@@ -1,0 +1,275 @@
+#include "sop/sop.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rarsub {
+
+Sop::Sop(int num_vars, std::vector<Cube> cubes)
+    : num_vars_(num_vars), cubes_(std::move(cubes)) {
+  for (const Cube& c : cubes_) {
+    (void)c;
+    assert(c.num_vars() == num_vars_);
+  }
+}
+
+Sop Sop::from_strings(const std::vector<std::string>& cube_strings) {
+  assert(!cube_strings.empty());
+  Sop f(static_cast<int>(cube_strings.front().size()));
+  for (const std::string& s : cube_strings) f.add_cube(Cube::from_string(s));
+  return f;
+}
+
+Sop Sop::one(int num_vars) {
+  Sop f(num_vars);
+  f.add_cube(Cube(num_vars));
+  return f;
+}
+
+void Sop::add_cube(Cube c) {
+  assert(c.num_vars() == num_vars_);
+  if (!c.is_empty()) cubes_.push_back(std::move(c));
+}
+
+int Sop::num_literals() const {
+  int n = 0;
+  for (const Cube& c : cubes_) n += c.num_literals();
+  return n;
+}
+
+bool Sop::is_zero() const {
+  for (const Cube& c : cubes_)
+    if (!c.is_empty()) return false;
+  return true;
+}
+
+bool Sop::contains_cube(const Cube& c) const {
+  if (c.is_empty()) return true;
+  return cofactor(c).is_tautology();
+}
+
+bool Sop::scc_contains(const Cube& c) const {
+  for (const Cube& d : cubes_)
+    if (d.contains(c)) return true;
+  return false;
+}
+
+bool Sop::is_sos_of(const Sop& d) const {
+  for (const Cube& c : cubes_)
+    if (!d.scc_contains(c)) return false;
+  return true;
+}
+
+bool Sop::equals(const Sop& other) const {
+  assert(num_vars_ == other.num_vars_);
+  for (const Cube& c : cubes_)
+    if (!other.contains_cube(c)) return false;
+  for (const Cube& c : other.cubes_)
+    if (!contains_cube(c)) return false;
+  return true;
+}
+
+Sop Sop::cofactor(int var, bool value) const {
+  Sop r(num_vars_);
+  for (const Cube& c : cubes_) {
+    Cube cc = c.cofactor(var, value);
+    if (!cc.is_empty()) r.cubes_.push_back(std::move(cc));
+  }
+  return r;
+}
+
+Sop Sop::cofactor(const Cube& c) const {
+  Sop r(num_vars_);
+  for (const Cube& f : cubes_) {
+    if (f.distance(c) > 0) continue;  // disjoint from the cofactor cube
+    // Standard cofactor: drop the literals that c fixes.
+    Cube g = f;
+    for (int v = 0; v < num_vars_; ++v) {
+      const Lit l = c.lit(v);
+      if (l != Lit::Absent) g.set_lit(v, Lit::Absent);
+    }
+    r.cubes_.push_back(std::move(g));
+  }
+  return r;
+}
+
+Sop Sop::boolean_and(const Sop& other) const {
+  assert(num_vars_ == other.num_vars_);
+  Sop r(num_vars_);
+  for (const Cube& a : cubes_)
+    for (const Cube& b : other.cubes_) {
+      Cube p = a.intersect(b);
+      if (!p.is_empty()) r.cubes_.push_back(std::move(p));
+    }
+  r.scc_minimize();
+  return r;
+}
+
+Sop Sop::boolean_or(const Sop& other) const {
+  assert(num_vars_ == other.num_vars_);
+  Sop r = *this;
+  r.cubes_.insert(r.cubes_.end(), other.cubes_.begin(), other.cubes_.end());
+  r.scc_minimize();
+  return r;
+}
+
+namespace {
+
+// a # b: the part of cube a outside cube b, as a disjoint list of cubes.
+std::vector<Cube> cube_sharp(const Cube& a, const Cube& b) {
+  if (a.distance(b) > 0) return {a};  // disjoint: nothing removed
+  std::vector<Cube> out;
+  Cube prefix = a;
+  for (int v = 0; v < a.num_vars(); ++v) {
+    const Lit lb = b.lit(v);
+    if (lb == Lit::Absent) continue;
+    const Lit la = prefix.lit(v);
+    if (la == lb) continue;           // b does not cut a on this variable
+    if (la != Lit::Absent) return out;  // opposite literal: a already outside
+    Cube piece = prefix;
+    piece.set_lit(v, lb == Lit::Pos ? Lit::Neg : Lit::Pos);
+    out.push_back(std::move(piece));
+    prefix.set_lit(v, lb);            // continue inside b on this variable
+  }
+  return out;  // prefix now lies fully inside b: dropped
+}
+
+}  // namespace
+
+Sop Sop::sharp(const Sop& other) const {
+  assert(num_vars_ == other.num_vars_);
+  std::vector<Cube> cur = cubes_;
+  for (const Cube& b : other.cubes_) {
+    std::vector<Cube> next;
+    for (const Cube& a : cur) {
+      std::vector<Cube> pieces = cube_sharp(a, b);
+      next.insert(next.end(), pieces.begin(), pieces.end());
+    }
+    cur = std::move(next);
+  }
+  Sop r(num_vars_, std::move(cur));
+  r.scc_minimize();
+  return r;
+}
+
+void Sop::scc_minimize() {
+  std::vector<Cube> keep;
+  keep.reserve(cubes_.size());
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    const Cube& c = cubes_[i];
+    if (c.is_empty()) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < cubes_.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (cubes_[j].is_empty()) continue;
+      if (cubes_[j].contains(c)) {
+        // Break ties (equal cubes) by index so exactly one copy survives.
+        if (!c.contains(cubes_[j]) || j < i) dominated = true;
+      }
+    }
+    if (!dominated) keep.push_back(c);
+  }
+  cubes_ = std::move(keep);
+}
+
+void Sop::canonicalize() {
+  scc_minimize();
+  std::sort(cubes_.begin(), cubes_.end());
+  cubes_.erase(std::unique(cubes_.begin(), cubes_.end()), cubes_.end());
+}
+
+bool Sop::eval(std::uint64_t assignment) const {
+  for (const Cube& c : cubes_)
+    if (c.eval(assignment)) return true;
+  return false;
+}
+
+std::vector<int> Sop::support() const {
+  std::vector<int> vars;
+  for (int v = 0; v < num_vars_; ++v) {
+    for (const Cube& c : cubes_) {
+      if (c.lit(v) != Lit::Absent) {
+        vars.push_back(v);
+        break;
+      }
+    }
+  }
+  return vars;
+}
+
+std::vector<int> Sop::literal_counts() const {
+  std::vector<int> counts(static_cast<std::size_t>(2 * num_vars_), 0);
+  for (const Cube& c : cubes_)
+    for (int v = 0; v < num_vars_; ++v) {
+      const Lit l = c.lit(v);
+      if (l == Lit::Pos) ++counts[static_cast<std::size_t>(2 * v)];
+      if (l == Lit::Neg) ++counts[static_cast<std::size_t>(2 * v + 1)];
+    }
+  return counts;
+}
+
+Sop Sop::remap(int new_num_vars, const std::vector<int>& var_map) const {
+  assert(static_cast<int>(var_map.size()) == num_vars_);
+  Sop r(new_num_vars);
+  for (const Cube& c : cubes_) {
+    Cube nc(new_num_vars);
+    bool empty = false;
+    for (int v = 0; v < num_vars_ && !empty; ++v) {
+      const Lit l = c.lit(v);
+      if (l == Lit::Absent) continue;
+      const int t = var_map[static_cast<std::size_t>(v)];
+      assert(t >= 0 && t < new_num_vars);
+      // Two source variables may land on the same target (e.g. the divisor
+      // appears both as an old fanin and as the new divisor literal during
+      // substitution commits): literals must be INTERSECTED, not
+      // overwritten — clashing polarities empty the cube.
+      const Lit cur = nc.lit(t);
+      if (cur == Lit::Absent) nc.set_lit(t, l);
+      else if (cur != l) empty = true;
+    }
+    if (!empty) r.cubes_.push_back(std::move(nc));
+  }
+  return r;
+}
+
+std::string Sop::to_string() const {
+  if (cubes_.empty()) return "<zero>";
+  std::string s;
+  for (const Cube& c : cubes_) {
+    if (!s.empty()) s += " | ";
+    s += c.to_string();
+  }
+  return s;
+}
+
+std::optional<int> most_binate_var(const Sop& f) {
+  const std::vector<int> counts = f.literal_counts();
+  int best = -1, best_count = -1;
+  for (int v = 0; v < f.num_vars(); ++v) {
+    const int pos = counts[static_cast<std::size_t>(2 * v)];
+    const int neg = counts[static_cast<std::size_t>(2 * v + 1)];
+    if (pos > 0 && neg > 0 && pos + neg > best_count) {
+      best = v;
+      best_count = pos + neg;
+    }
+  }
+  if (best < 0) return std::nullopt;
+  return best;
+}
+
+std::optional<int> most_frequent_var(const Sop& f) {
+  const std::vector<int> counts = f.literal_counts();
+  int best = -1, best_count = 0;
+  for (int v = 0; v < f.num_vars(); ++v) {
+    const int n = counts[static_cast<std::size_t>(2 * v)] +
+                  counts[static_cast<std::size_t>(2 * v + 1)];
+    if (n > best_count) {
+      best = v;
+      best_count = n;
+    }
+  }
+  if (best < 0) return std::nullopt;
+  return best;
+}
+
+}  // namespace rarsub

@@ -1,0 +1,128 @@
+#pragma once
+// Sop: a sum-of-products cover (list of cubes over a fixed variable count).
+//
+// This is the two-level representation every node of the Boolean network
+// carries, and the object the paper's SOS/POS machinery manipulates:
+//   - SOS test (every cube contained by some cube of the divisor, Def. SOS)
+//   - remainder split for basic division (Sec. III-B)
+//   - complement / tautology (unate-recursive), used by espresso-lite,
+//     POS duality (Lemma 2) and verification.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sop/cube.hpp"
+
+namespace rarsub {
+
+class Sop {
+ public:
+  Sop() = default;
+  explicit Sop(int num_vars) : num_vars_(num_vars) {}
+  Sop(int num_vars, std::vector<Cube> cubes);
+
+  /// Parse "101-\n-01-\n..." style text (one cube string per line, '|' or
+  /// whitespace separated also accepted).
+  static Sop from_strings(const std::vector<std::string>& cubes);
+
+  /// Constant-zero / constant-one covers.
+  static Sop zero(int num_vars) { return Sop(num_vars); }
+  static Sop one(int num_vars);
+
+  int num_vars() const { return num_vars_; }
+  int num_cubes() const { return static_cast<int>(cubes_.size()); }
+  bool empty() const { return cubes_.empty(); }
+
+  const std::vector<Cube>& cubes() const { return cubes_; }
+  std::vector<Cube>& cubes() { return cubes_; }
+  const Cube& cube(int i) const { return cubes_[static_cast<std::size_t>(i)]; }
+
+  void add_cube(Cube c);
+
+  /// Total number of literals over all cubes (flat / SOP literal count).
+  int num_literals() const;
+
+  /// True if the cover is functionally the constant 1 (tautology check,
+  /// unate-recursive paradigm).
+  bool is_tautology() const;
+
+  /// True if the cover denotes the empty function (no non-empty cube).
+  bool is_zero() const;
+
+  /// Does the cover contain the single cube `c` (i.e. c implies the cover)?
+  /// Decided by tautology of the cofactor — a *functional* test, unlike
+  /// single-cube containment.
+  bool contains_cube(const Cube& c) const;
+
+  /// Single-cube containment: is `c` contained by at least one cube of this
+  /// cover? This is the paper's SOS building block (cheap, structural).
+  bool scc_contains(const Cube& c) const;
+
+  /// Paper Def. SOS: every cube of *this is contained by >= 1 cube of `d`.
+  /// (States "*this is a sum-of-subproducts of d"; Lemma 1 then gives
+  /// (*this AND d) == *this.)
+  bool is_sos_of(const Sop& d) const;
+
+  /// Functional equality via mutual containment (tautology based).
+  bool equals(const Sop& other) const;
+
+  /// Cofactor of the whole cover by literal (var=value).
+  Sop cofactor(int var, bool value) const;
+
+  /// Shannon cofactor by a cube (generalized for espresso routines).
+  Sop cofactor(const Cube& c) const;
+
+  /// Complement via the unate-recursive paradigm; result is SCC-minimal.
+  Sop complement() const;
+
+  /// Boolean AND / OR of covers (OR is concatenation + SCC minimization;
+  /// AND is pairwise intersection + SCC minimization).
+  Sop boolean_and(const Sop& other) const;
+  Sop boolean_or(const Sop& other) const;
+
+  /// Sharp (set difference): this AND NOT other, via the classic
+  /// cube-by-cube disjoint sharp. SCC-minimal result.
+  Sop sharp(const Sop& other) const;
+
+  /// Remove cubes contained in other cubes of the same cover and empty
+  /// cubes (single-cube-containment minimization). Stable order.
+  void scc_minimize();
+
+  /// Sort cubes canonically and deduplicate.
+  void canonicalize();
+
+  /// Evaluate on a complete assignment (num_vars() <= 64).
+  bool eval(std::uint64_t assignment) const;
+
+  /// Variables actually appearing in some cube.
+  std::vector<int> support() const;
+
+  /// Count of occurrences of each literal: result[2*v] = positive literal
+  /// count of var v, result[2*v+1] = negative.
+  std::vector<int> literal_counts() const;
+
+  /// Re-express over a larger variable space: variable i becomes
+  /// `var_map[i]` in a cover with `new_num_vars` variables.
+  Sop remap(int new_num_vars, const std::vector<int>& var_map) const;
+
+  std::string to_string() const;
+
+  bool operator==(const Sop& other) const = default;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<Cube> cubes_;
+};
+
+/// The most binate variable of a cover (appears in both polarities, with
+/// maximal total count); returns nullopt if the cover is unate.
+std::optional<int> most_binate_var(const Sop& f);
+
+/// A variable appearing in the most cubes (for unate splitting); nullopt
+/// when no cube has any literal.
+std::optional<int> most_frequent_var(const Sop& f);
+
+}  // namespace rarsub

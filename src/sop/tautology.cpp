@@ -1,0 +1,54 @@
+// Tautology check using the unate-recursive paradigm (Brayton et al.,
+// "Logic Minimization Algorithms for VLSI Synthesis").
+
+#include <cassert>
+
+#include "sop/sop.hpp"
+
+namespace rarsub {
+
+namespace {
+
+// Quick structural answers; returns -1 when undecided.
+int taut_special_cases(const Sop& f) {
+  bool any = false;
+  for (const Cube& c : f.cubes()) {
+    if (c.is_empty()) continue;
+    any = true;
+    if (c.is_universe()) return 1;  // a row of all don't-cares
+  }
+  if (!any) return 0;  // empty cover
+  return -1;
+}
+
+bool taut_rec(const Sop& f) {
+  const int special = taut_special_cases(f);
+  if (special >= 0) return special == 1;
+
+  // Unate shortcut: a unate cover is a tautology iff it has a universe row
+  // (already checked above), so if unate we can answer 'no'.
+  const std::optional<int> binate = most_binate_var(f);
+  if (!binate.has_value()) {
+    // Unate cover with no universe cube. A single-literal check: if some
+    // variable appears in every cube with the same polarity the cover cannot
+    // be a tautology; in general a unate cover without the universe cube is
+    // never a tautology.
+    return false;
+  }
+
+  const int v = *binate;
+  return taut_rec(f.cofactor(v, false)) && taut_rec(f.cofactor(v, true));
+}
+
+}  // namespace
+
+bool Sop::is_tautology() const {
+  if (num_vars_ == 0) {
+    for (const Cube& c : cubes_)
+      if (!c.is_empty()) return true;
+    return false;
+  }
+  return taut_rec(*this);
+}
+
+}  // namespace rarsub

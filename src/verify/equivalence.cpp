@@ -1,0 +1,114 @@
+#include "verify/equivalence.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <random>
+
+#include "network/simulate.hpp"
+
+namespace rarsub {
+
+namespace {
+
+// b's PI words arranged to match a's PI order via names.
+struct PinMap {
+  bool ok = false;
+  std::vector<std::size_t> pi_of_a;  // index into b's PI list
+  std::vector<std::size_t> po_of_a;  // index into b's PO list
+  std::string error;
+};
+
+PinMap match_pins(const Network& a, const Network& b) {
+  PinMap m;
+  if (a.pis().size() != b.pis().size() || a.pos().size() != b.pos().size()) {
+    m.error = "PI/PO count mismatch";
+    return m;
+  }
+  std::map<std::string, std::size_t> b_pi, b_po;
+  for (std::size_t i = 0; i < b.pis().size(); ++i)
+    b_pi[b.node(b.pis()[i]).name] = i;
+  for (std::size_t i = 0; i < b.pos().size(); ++i) b_po[b.pos()[i].name] = i;
+  for (NodeId pi : a.pis()) {
+    auto it = b_pi.find(a.node(pi).name);
+    if (it == b_pi.end()) {
+      m.error = "missing PI " + a.node(pi).name;
+      return m;
+    }
+    m.pi_of_a.push_back(it->second);
+  }
+  for (const Output& po : a.pos()) {
+    auto it = b_po.find(po.name);
+    if (it == b_po.end()) {
+      m.error = "missing PO " + po.name;
+      return m;
+    }
+    m.po_of_a.push_back(it->second);
+  }
+  m.ok = true;
+  return m;
+}
+
+}  // namespace
+
+EquivalenceResult check_equivalence(const Network& a, const Network& b,
+                                    const EquivalenceOptions& opts) {
+  EquivalenceResult res;
+  const PinMap pins = match_pins(a, b);
+  if (!pins.ok) {
+    res.message = pins.error;
+    return res;
+  }
+  const std::size_t n = a.pis().size();
+
+  auto run_words = [&](const std::vector<std::uint64_t>& words_a,
+                       std::uint64_t base_assignment,
+                       bool exhaustive) -> bool {
+    std::vector<std::uint64_t> words_b(n);
+    for (std::size_t i = 0; i < n; ++i) words_b[pins.pi_of_a[i]] = words_a[i];
+    const auto out_a = simulate64(a, words_a);
+    const auto out_b = simulate64(b, words_b);
+    for (std::size_t o = 0; o < out_a.size(); ++o) {
+      const std::uint64_t diff = out_a[o] ^ out_b[pins.po_of_a[o]];
+      if (diff == 0) continue;
+      res.message = "PO " + a.pos()[o].name + " differs";
+      if (exhaustive) {
+        const int bit = std::countr_zero(diff);
+        res.counterexample = base_assignment + static_cast<std::uint64_t>(bit);
+      }
+      return false;
+    }
+    return true;
+  };
+
+  if (static_cast<int>(n) <= opts.max_exhaustive_pis) {
+    // Exhaustive: 64 assignments per block, PIs 0..5 cycle inside a word.
+    const std::uint64_t total = 1ULL << n;
+    for (std::uint64_t base = 0; base < total; base += 64) {
+      std::vector<std::uint64_t> words(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t w = 0;
+        for (std::uint64_t m = 0; m < 64 && base + m < total; ++m) {
+          const std::uint64_t assignment = base + m;
+          if ((assignment >> i) & 1) w |= 1ULL << m;
+        }
+        words[i] = w;
+      }
+      if (!run_words(words, base, true)) return res;
+    }
+    res.equivalent = true;
+    return res;
+  }
+
+  std::mt19937_64 rng(opts.seed);
+  for (int round = 0; round < opts.random_rounds; ++round) {
+    std::vector<std::uint64_t> words(n);
+    for (std::size_t i = 0; i < n; ++i) words[i] = rng();
+    if (!run_words(words, 0, false)) return res;
+  }
+  res.equivalent = true;
+  res.message = "random simulation only (" + std::to_string(n) + " PIs)";
+  return res;
+}
+
+}  // namespace rarsub

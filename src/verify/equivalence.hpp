@@ -1,0 +1,35 @@
+#pragma once
+// Combinational equivalence checking used as the safety net of the whole
+// project: every optimization pass is validated (in tests and optionally
+// in the benches) by comparing primary-output functions before and after.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "network/network.hpp"
+
+namespace rarsub {
+
+struct EquivalenceResult {
+  bool equivalent = false;
+  /// A distinguishing PI assignment (bit i = i-th PI of `a`) when not
+  /// equivalent and one was found.
+  std::optional<std::uint64_t> counterexample;
+  std::string message;
+};
+
+struct EquivalenceOptions {
+  /// Exhaustive simulation up to this many PIs; random beyond.
+  int max_exhaustive_pis = 14;
+  /// 64-pattern random rounds for larger circuits.
+  int random_rounds = 512;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// Compare two networks' primary outputs. PIs and POs are matched by name
+/// (order-independent); a name mismatch is reported as non-equivalent.
+EquivalenceResult check_equivalence(const Network& a, const Network& b,
+                                    const EquivalenceOptions& opts = {});
+
+}  // namespace rarsub

@@ -1,0 +1,133 @@
+#include "sop/algdiv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sop/kernel.hpp"
+#include "test_util.hpp"
+
+namespace rarsub {
+namespace {
+
+using testutil::random_sop;
+using testutil::same_function;
+
+// Variable order used in string cubes below: a,b,c,d,e -> 0..4.
+
+TEST(AlgDiv, DivideByCube) {
+  // f = abc + abd + e ; divide by ab -> q = c + d, r = e.
+  const Sop f = Sop::from_strings({"111--", "11-1-", "----1"});
+  const Cube ab = Cube::from_string("11---");
+  const AlgDivResult res = divide_by_cube(f, ab);
+  EXPECT_TRUE(same_function(res.quotient, Sop::from_strings({"--1--", "---1-"})));
+  EXPECT_TRUE(same_function(res.remainder, Sop::from_strings({"----1"})));
+}
+
+TEST(AlgDiv, WeakDivisionTextbook) {
+  // f = ac + ad + bc + bd + e, d = a + b -> q = c + d(var), r = e.
+  const Sop f =
+      Sop::from_strings({"1-1--", "1--1-", "-11--", "-1-1-", "----1"});
+  const Sop d = Sop::from_strings({"1----", "-1---"});
+  const AlgDivResult res = weak_divide(f, d);
+  EXPECT_TRUE(same_function(res.quotient, Sop::from_strings({"--1--", "---1-"})));
+  EXPECT_TRUE(same_function(res.remainder, Sop::from_strings({"----1"})));
+}
+
+TEST(AlgDiv, PaperIntroAlgebraicExample) {
+  // Paper Sec. I: algebraic division of f by d gives a weaker result than
+  // Boolean division. The algebraic identity f = q*d + r must still hold.
+  // Use f = ab + ac + bc with d = a + b: q = c, r = ab.
+  const Sop f = Sop::from_strings({"11-", "1-1", "-11"});
+  const Sop d = Sop::from_strings({"1--", "-1-"});
+  const AlgDivResult res = weak_divide(f, d);
+  EXPECT_TRUE(same_function(res.quotient, Sop::from_strings({"--1"})));
+  EXPECT_TRUE(same_function(res.remainder, Sop::from_strings({"11-"})));
+}
+
+TEST(AlgDiv, QuotientZeroWhenDivisorSharesNothing) {
+  // Paper Sec. I: dividing f (no dependence on e) by a divisor containing e
+  // yields quotient zero under basic/algebraic division.
+  const Sop f = Sop::from_strings({"11---"});
+  const Sop d = Sop::from_strings({"----1"});
+  const AlgDivResult res = weak_divide(f, d);
+  EXPECT_EQ(res.quotient.num_cubes(), 0);
+  EXPECT_TRUE(same_function(res.remainder, f));
+}
+
+TEST(AlgDivProperty, ReconstructionIdentity) {
+  // f == q*d + r as an algebraic identity (set of cubes), hence as functions.
+  std::mt19937 rng(41);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Sop f = random_sop(rng, 6, 6, 0.4);
+    const Sop d = random_sop(rng, 6, 2, 0.3);
+    if (d.num_cubes() == 0) continue;
+    const AlgDivResult res = weak_divide(f, d);
+    const Sop rebuilt =
+        algebraic_product(res.quotient, d).boolean_or(res.remainder);
+    EXPECT_TRUE(same_function(rebuilt, f)) << f.to_string() << " / " << d.to_string();
+  }
+}
+
+TEST(AlgDiv, CommonCubeAndCubeFree) {
+  const Sop f = Sop::from_strings({"111-", "11-1"});
+  EXPECT_EQ(largest_common_cube(f).to_string(), "11--");
+  EXPECT_FALSE(is_cube_free(f));
+  const Sop cf = make_cube_free(f);
+  EXPECT_TRUE(is_cube_free(cf));
+  EXPECT_TRUE(same_function(cf, Sop::from_strings({"--1-", "---1"})));
+}
+
+TEST(Kernel, TextbookKernels) {
+  // f = adf + aef + bdf + bef + cdf + cef + g  (vars a..g -> 0..6)
+  // kernels include (a+b+c) with cokernel df/ef, (d+e) with cokernels af..cf,
+  // and the cube-free f itself.
+  const Sop f = Sop::from_strings({
+      "1--1-1-", "1---11-", "-1-1-1-", "-1--11-", "--11-1-", "--1-11-",
+      "------1"});
+  const auto kernels = find_kernels(f);
+  bool found_abc = false, found_de = false;
+  const Sop abc = Sop::from_strings({"1------", "-1-----", "--1----"});
+  const Sop de = Sop::from_strings({"---1---", "----1--"});
+  for (const KernelEntry& k : kernels) {
+    if (same_function(k.kernel, abc)) found_abc = true;
+    if (same_function(k.kernel, de)) found_de = true;
+  }
+  EXPECT_TRUE(found_abc);
+  EXPECT_TRUE(found_de);
+}
+
+TEST(Kernel, Level0AreLeaves) {
+  const Sop f = Sop::from_strings({
+      "1--1-1-", "1---11-", "-1-1-1-", "-1--11-", "--11-1-", "--1-11-",
+      "------1"});
+  const auto l0 = find_kernels(f, KernelOptions{.level0_only = true});
+  for (const KernelEntry& k : l0) {
+    EXPECT_EQ(k.level, 0);
+    // A level-0 kernel has no kernels other than itself.
+    const auto sub = find_kernels(k.kernel);
+    for (const KernelEntry& s : sub)
+      EXPECT_TRUE(same_function(s.kernel, make_cube_free(k.kernel)));
+  }
+  EXPECT_FALSE(l0.empty());
+}
+
+TEST(Kernel, SingleCubeHasNoKernels) {
+  const Sop f = Sop::from_strings({"111"});
+  EXPECT_TRUE(find_kernels(f).empty());
+  EXPECT_EQ(quick_divisor(f).num_cubes(), 0);
+}
+
+TEST(KernelProperty, QuickDivisorDividesWithNonTrivialQuotient) {
+  std::mt19937 rng(43);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Sop f = random_sop(rng, 6, 6, 0.45);
+    const Sop d = quick_divisor(f);
+    if (d.num_cubes() < 2) continue;
+    const AlgDivResult res = weak_divide(f, d);
+    EXPECT_GE(res.quotient.num_cubes(), 1) << f.to_string();
+    const Sop rebuilt = algebraic_product(res.quotient, d).boolean_or(res.remainder);
+    EXPECT_TRUE(same_function(rebuilt, f));
+  }
+}
+
+}  // namespace
+}  // namespace rarsub

@@ -1,0 +1,313 @@
+#include "atpg/fault.hpp"
+#include "atpg/implication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace rarsub {
+namespace {
+
+// ---------------------------------------------------------------------
+// Random circuit generator for the soundness properties.
+GateNet random_gatenet(std::mt19937& rng, int num_pis, int num_gates) {
+  GateNet gn;
+  for (int i = 0; i < num_pis; ++i) gn.add_pi("x" + std::to_string(i));
+  std::uniform_int_distribution<int> nfan(1, 3);
+  for (int i = 0; i < num_gates; ++i) {
+    const int existing = gn.num_gates();
+    std::uniform_int_distribution<int> pick(0, existing - 1);
+    std::vector<Signal> fanins;
+    const int k = nfan(rng);
+    for (int j = 0; j < k; ++j) fanins.push_back({pick(rng), (rng() & 1) != 0});
+    gn.add_gate((rng() & 1) ? GateType::And : GateType::Or, std::move(fanins));
+  }
+  // Last couple of gates observable.
+  gn.add_output(gn.num_gates() - 1);
+  if (num_gates >= 2) gn.add_output(gn.num_gates() - 2);
+  return gn;
+}
+
+// Enumerate all PI assignments (num PIs <= 16) and return gate values.
+std::vector<std::vector<bool>> all_evals(const GateNet& gn) {
+  std::vector<std::vector<bool>> evals;
+  const std::size_t n = gn.pis().size();
+  for (std::uint64_t a = 0; a < (1ULL << n); ++a) {
+    std::vector<bool> pi(n);
+    for (std::size_t i = 0; i < n; ++i) pi[i] = (a >> i) & 1;
+    evals.push_back(gn.eval(pi));
+  }
+  return evals;
+}
+
+// ---------------------------------------------------------------------
+
+TEST(Implication, ForwardAnd) {
+  GateNet gn;
+  const int a = gn.add_pi("a");
+  const int b = gn.add_pi("b");
+  const int g = gn.add_gate(GateType::And, {{a, false}, {b, false}});
+  ImplicationEngine eng(gn);
+  ASSERT_TRUE(eng.assign(a, false));
+  EXPECT_EQ(eng.value(g), TV::Zero);
+
+  eng.reset();
+  ASSERT_TRUE(eng.assign(a, true));
+  EXPECT_EQ(eng.value(g), TV::X);
+  ASSERT_TRUE(eng.assign(b, true));
+  EXPECT_EQ(eng.value(g), TV::One);
+}
+
+TEST(Implication, BackwardAnd) {
+  GateNet gn;
+  const int a = gn.add_pi("a");
+  const int b = gn.add_pi("b");
+  const int g = gn.add_gate(GateType::And, {{a, false}, {b, false}});
+  ImplicationEngine eng(gn);
+  ASSERT_TRUE(eng.assign(g, true));
+  EXPECT_EQ(eng.value(a), TV::One);
+  EXPECT_EQ(eng.value(b), TV::One);
+
+  eng.reset();
+  ASSERT_TRUE(eng.assign(g, false));
+  ASSERT_TRUE(eng.assign(a, true));
+  EXPECT_EQ(eng.value(b), TV::Zero);  // last-free-input rule
+}
+
+TEST(Implication, NegatedEdges) {
+  GateNet gn;
+  const int a = gn.add_pi("a");
+  const int g = gn.add_gate(GateType::Or, {{a, true}});  // g = !a
+  ImplicationEngine eng(gn);
+  ASSERT_TRUE(eng.assign(a, true));
+  EXPECT_EQ(eng.value(g), TV::Zero);
+  eng.reset();
+  ASSERT_TRUE(eng.assign(g, true));
+  EXPECT_EQ(eng.value(a), TV::Zero);
+}
+
+TEST(Implication, ConflictDetected) {
+  GateNet gn;
+  const int a = gn.add_pi("a");
+  const int b = gn.add_pi("b");
+  const int g = gn.add_gate(GateType::And, {{a, false}, {b, false}});
+  ImplicationEngine eng(gn);
+  ASSERT_TRUE(eng.assign(g, true));  // forces a=b=1
+  EXPECT_FALSE(eng.assign(a, false));
+  EXPECT_TRUE(eng.in_conflict());
+}
+
+TEST(Implication, PaperFig2ConflictExample) {
+  // Sec. III-B: the wire-u stuck-at-one test conflicts because the bold
+  // AND demands divisor=1 while activation+side values force it to 0.
+  // Model: q = OR(c1, c2) with c1 = a&b, c2 = a&c; bold = AND(q, d) with
+  // d = OR(k1, k2), k1 = a&b, k2 = a&c. Fault: pin b of c1 s-a-1:
+  // activation b=0, side a=1; propagation via q: c2 must be 0 -> with a=1
+  // implies c=0; through bold: d must be 1, but k1=(a&b)=0 and k2=(a&c)=0
+  // force d=0 — conflict.
+  GateNet gn;
+  const int a = gn.add_pi("a");
+  const int b = gn.add_pi("b");
+  const int c = gn.add_pi("c");
+  const int c1 = gn.add_gate(GateType::And, {{a, false}, {b, false}});
+  const int c2 = gn.add_gate(GateType::And, {{a, false}, {c, false}});
+  const int q = gn.add_gate(GateType::Or, {{c1, false}, {c2, false}});
+  const int k1 = gn.add_gate(GateType::And, {{a, false}, {b, false}});
+  const int k2 = gn.add_gate(GateType::And, {{a, false}, {c, false}});
+  const int d = gn.add_gate(GateType::Or, {{k1, false}, {k2, false}});
+  const int bold = gn.add_gate(GateType::And, {{q, false}, {d, false}});
+  gn.add_output(bold);
+
+  const FaultResult fr = analyze_fault(gn, WireRef{c1, 1}, /*stuck=*/true);
+  EXPECT_TRUE(fr.untestable);
+}
+
+TEST(Fault, DominatorsOfChain) {
+  GateNet gn;
+  const int a = gn.add_pi("a");
+  const int b = gn.add_pi("b");
+  const int g1 = gn.add_gate(GateType::And, {{a, false}, {b, false}});
+  const int g2 = gn.add_gate(GateType::Or, {{g1, false}, {b, false}});
+  const int g3 = gn.add_gate(GateType::And, {{g2, false}, {a, false}});
+  gn.add_output(g3);
+  const auto doms = propagation_dominators(gn, g1);
+  EXPECT_EQ(doms, (std::vector<int>{g2, g3}));
+}
+
+TEST(Fault, DominatorsWithReconvergence) {
+  GateNet gn;
+  const int a = gn.add_pi("a");
+  const int g = gn.add_gate(GateType::And, {{a, false}});
+  const int p1 = gn.add_gate(GateType::And, {{g, false}});
+  const int p2 = gn.add_gate(GateType::Or, {{g, false}});
+  const int m = gn.add_gate(GateType::And, {{p1, false}, {p2, false}});
+  gn.add_output(m);
+  const auto doms = propagation_dominators(gn, g);
+  EXPECT_EQ(doms, (std::vector<int>{m}));  // p1, p2 are on parallel paths
+}
+
+TEST(Fault, UnobservableWireIsRedundant) {
+  GateNet gn;
+  const int a = gn.add_pi("a");
+  const int g = gn.add_gate(GateType::And, {{a, false}});
+  (void)g;
+  const int h = gn.add_gate(GateType::Or, {{a, false}});
+  gn.add_output(h);  // g never reaches an output
+  const FaultResult fr = analyze_fault(gn, WireRef{g, 0}, true);
+  EXPECT_TRUE(fr.untestable);
+  EXPECT_TRUE(fr.unobservable);
+}
+
+TEST(Fault, DuplicatedLiteralIsRedundant) {
+  // g = a & a: either pin's s-a-1 is untestable.
+  GateNet gn;
+  const int a = gn.add_pi("a");
+  const int g = gn.add_gate(GateType::And, {{a, false}, {a, false}});
+  gn.add_output(g);
+  EXPECT_TRUE(analyze_fault(gn, WireRef{g, 0}, true).untestable);
+  EXPECT_TRUE(analyze_fault(gn, WireRef{g, 1}, true).untestable);
+}
+
+TEST(Fault, IrredundantWireIsNotReported) {
+  GateNet gn;
+  const int a = gn.add_pi("a");
+  const int b = gn.add_pi("b");
+  const int g = gn.add_gate(GateType::And, {{a, false}, {b, false}});
+  gn.add_output(g);
+  EXPECT_FALSE(analyze_fault(gn, WireRef{g, 0}, true).untestable);
+  EXPECT_FALSE(analyze_fault(gn, WireRef{g, 0}, false).untestable);
+}
+
+TEST(Implication, RecursiveLearningFindsCommonImplication) {
+  // g = (x·y1) + (x·y2): justifying g=1 has two choices, but BOTH imply
+  // x=1 — exactly what depth-1 recursive learning (Kunz–Pradhan) extracts
+  // and direct implications cannot.
+  GateNet gn;
+  const int x = gn.add_pi("x");
+  const int y1 = gn.add_pi("y1");
+  const int y2 = gn.add_pi("y2");
+  const int a1 = gn.add_gate(GateType::And, {{x, false}, {y1, false}});
+  const int a2 = gn.add_gate(GateType::And, {{x, false}, {y2, false}});
+  const int g = gn.add_gate(GateType::Or, {{a1, false}, {a2, false}});
+  gn.add_output(g);
+
+  ImplicationEngine direct(gn, /*learning_depth=*/0);
+  ASSERT_TRUE(direct.assign(g, true));
+  EXPECT_EQ(direct.value(x), TV::X);  // direct implications see nothing
+
+  ImplicationEngine learning(gn, /*learning_depth=*/1);
+  ASSERT_TRUE(learning.assign(g, true));
+  EXPECT_EQ(learning.value(x), TV::One);  // learned across the case split
+}
+
+TEST(Implication, RecursiveLearningDetectsDeepConflict) {
+  // Same circuit plus x forced 0: g=1 is then unsatisfiable; learning
+  // notices (all justification branches conflict).
+  GateNet gn;
+  const int x = gn.add_pi("x");
+  const int y1 = gn.add_pi("y1");
+  const int y2 = gn.add_pi("y2");
+  const int a1 = gn.add_gate(GateType::And, {{x, false}, {y1, false}});
+  const int a2 = gn.add_gate(GateType::And, {{x, false}, {y2, false}});
+  const int g = gn.add_gate(GateType::Or, {{a1, false}, {a2, false}});
+  gn.add_output(g);
+
+  ImplicationEngine eng(gn, /*learning_depth=*/1);
+  ASSERT_TRUE(eng.assign(x, false));
+  EXPECT_FALSE(eng.assign(g, true));
+  EXPECT_TRUE(eng.in_conflict());
+}
+
+// ---------------------------------------------------------------------
+// Soundness properties on random circuits.
+
+struct SoundnessParam {
+  int seed;
+  int pis;
+  int gates;
+  int learning;
+};
+
+class FaultSoundness : public ::testing::TestWithParam<SoundnessParam> {};
+
+// If analyze_fault says untestable, then forcing the wire to its stuck
+// value must not change any observable output, for every input pattern.
+TEST_P(FaultSoundness, UntestableImpliesSafeRemoval) {
+  const auto p = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(p.seed));
+  for (int iter = 0; iter < 25; ++iter) {
+    GateNet gn = random_gatenet(rng, p.pis, p.gates);
+    const auto before = all_evals(gn);
+    for (int g = 0; g < gn.num_gates(); ++g) {
+      const Gate& gd = gn.gate(g);
+      if (gd.type != GateType::And && gd.type != GateType::Or) continue;
+      for (int pin = 0; pin < static_cast<int>(gd.fanins.size()); ++pin) {
+        for (const bool stuck : {false, true}) {
+          const FaultResult fr =
+              analyze_fault(gn, WireRef{g, pin}, stuck, p.learning);
+          if (!fr.untestable) continue;
+          // Emulate the stuck wire on a copy and compare all outputs.
+          GateNet copy = gn;
+          const int cgate = copy.add_const(stuck);
+          copy.gate(g).fanins[static_cast<std::size_t>(pin)] =
+              Signal{cgate, false};
+          copy.gate(cgate).fanouts.push_back(g);
+          const auto after = all_evals(copy);
+          for (std::size_t a = 0; a < before.size(); ++a)
+            for (int o : gn.outputs())
+              ASSERT_EQ(before[a][static_cast<std::size_t>(o)],
+                        after[a][static_cast<std::size_t>(o)])
+                  << "seed=" << p.seed << " iter=" << iter << " gate=" << g
+                  << " pin=" << pin << " stuck=" << stuck;
+        }
+      }
+    }
+  }
+}
+
+// Values implied by the engine must hold in every consistent completion.
+TEST_P(FaultSoundness, ImpliedValuesAreNecessary) {
+  const auto p = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(p.seed) + 500);
+  for (int iter = 0; iter < 25; ++iter) {
+    GateNet gn = random_gatenet(rng, p.pis, p.gates);
+    const auto evals = all_evals(gn);
+    // Random assumptions on up to 2 gates.
+    std::uniform_int_distribution<int> pickg(0, gn.num_gates() - 1);
+    const int g1 = pickg(rng), g2 = pickg(rng);
+    const bool v1 = (rng() & 1) != 0, v2 = (rng() & 1) != 0;
+    ImplicationEngine eng(gn, p.learning);
+    bool ok = eng.assign(g1, v1);
+    if (ok) ok = eng.assign(g2, v2);
+
+    // Collect completions consistent with the assumptions.
+    std::vector<const std::vector<bool>*> models;
+    for (const auto& ev : evals)
+      if (ev[static_cast<std::size_t>(g1)] == v1 &&
+          ev[static_cast<std::size_t>(g2)] == v2)
+        models.push_back(&ev);
+
+    if (!ok) {
+      EXPECT_TRUE(models.empty())
+          << "conflict reported but a consistent completion exists";
+      continue;
+    }
+    for (int g = 0; g < gn.num_gates(); ++g) {
+      const TV v = eng.value(g);
+      if (v == TV::X) continue;
+      for (const auto* m : models)
+        ASSERT_EQ((*m)[static_cast<std::size_t>(g)], v == TV::One)
+            << "gate " << g << " implied wrongly";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FaultSoundness,
+    ::testing::Values(SoundnessParam{1, 4, 8, 0}, SoundnessParam{2, 5, 12, 0},
+                      SoundnessParam{3, 6, 16, 0}, SoundnessParam{4, 5, 10, 1},
+                      SoundnessParam{5, 6, 14, 1},
+                      SoundnessParam{6, 7, 20, 0}));
+
+}  // namespace
+}  // namespace rarsub

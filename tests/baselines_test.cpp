@@ -1,0 +1,224 @@
+#include "resub/boolean_baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opt/full_simplify.hpp"
+#include "test_util.hpp"
+#include "verify/equivalence.hpp"
+
+namespace rarsub {
+namespace {
+
+using testutil::random_sop;
+
+// g(x, y=d(x)) must equal f(x): the substitution identity every Boolean
+// division must satisfy.
+void expect_substitution_identity(const Sop& f, const Sop& d, const Sop& g) {
+  ASSERT_EQ(g.num_vars(), f.num_vars() + 1);
+  for (std::uint64_t x = 0; x < (1ULL << f.num_vars()); ++x) {
+    const bool dv = d.eval(x);
+    const std::uint64_t a =
+        x | (static_cast<std::uint64_t>(dv) << f.num_vars());
+    ASSERT_EQ(g.eval(a), f.eval(x))
+        << "x=" << x << "\nf=" << f.to_string() << "\nd=" << d.to_string()
+        << "\ng=" << g.to_string();
+  }
+}
+
+TEST(EspressoDivide, IntroExample) {
+  // The paper's Sec. I setup: force the divisor literal into the result
+  // via don't cares.
+  const Sop f = Sop::from_strings({"10-", "1-1", "-10", "-01"});
+  const Sop d = Sop::from_strings({"11-", "-01"});
+  const auto g = espresso_boolean_divide(f, d);
+  ASSERT_TRUE(g.has_value());
+  expect_substitution_identity(f, d, *g);
+}
+
+TEST(EspressoDivide, RejectsConstantDivisors) {
+  const Sop f = Sop::from_strings({"11"});
+  EXPECT_EQ(espresso_boolean_divide(f, Sop::zero(2)), std::nullopt);
+  EXPECT_EQ(espresso_boolean_divide(f, Sop::one(2)), std::nullopt);
+}
+
+TEST(EspressoDivideProperty, SubstitutionIdentityOnRandomPairs) {
+  std::mt19937 rng(331);
+  int used = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    const Sop f = random_sop(rng, 5, 4, 0.45);
+    const Sop d = random_sop(rng, 5, 2, 0.4);
+    if (f.num_cubes() == 0 || d.num_cubes() == 0) continue;
+    const auto g = espresso_boolean_divide(f, d);
+    if (!g) continue;
+    ++used;
+    expect_substitution_identity(f, d, *g);
+  }
+  EXPECT_GT(used, 5);
+}
+
+TEST(Baselines, NetworkPassPreservesPOs) {
+  std::mt19937 rng(337);
+  for (const BooleanBaseline kind :
+       {BooleanBaseline::EspressoDc, BooleanBaseline::BddDivision}) {
+    for (int iter = 0; iter < 6; ++iter) {
+      // Reuse the shared-structure generator from test_util-ish inline.
+      Network net("b");
+      std::vector<NodeId> pool;
+      for (int i = 0; i < 5; ++i)
+        pool.push_back(net.add_pi("x" + std::to_string(i)));
+      for (int i = 0; i < 8; ++i) {
+        const int k = 2 + static_cast<int>(rng() % 3);
+        std::vector<NodeId> fanins;
+        while (static_cast<int>(fanins.size()) < k) {
+          const NodeId cand = pool[rng() % pool.size()];
+          if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end())
+            fanins.push_back(cand);
+        }
+        Sop func = random_sop(rng, k, 3, 0.6);
+        if (func.num_cubes() == 0) func = Sop::one(k);
+        pool.push_back(net.add_node("n" + std::to_string(i), fanins, func));
+      }
+      net.add_po("o0", pool[pool.size() - 1]);
+      net.add_po("o1", pool[pool.size() - 2]);
+      const Network before = net;
+      BaselineOptions opts;
+      opts.kind = kind;
+      boolean_baseline_resub(net, opts);
+      ASSERT_TRUE(net.check());
+      EXPECT_TRUE(check_equivalence(before, net).equivalent)
+          << "kind=" << static_cast<int>(kind) << " iter=" << iter;
+    }
+  }
+}
+
+TEST(FullSimplify, ExploitsUnreachableFaninVectors) {
+  // u = a&b, v = a|b feed f = u&!v + ... ; the combination u=1,v=0 can
+  // never occur, so f's cover can use it as a don't care.
+  Network net("fs");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId u = net.add_node("u", {a, b}, Sop::from_strings({"11"}));
+  const NodeId v = net.add_node("v", {a, b}, Sop::from_strings({"1-", "-1"}));
+  // f = u·v (over fanins u, v); since u=1 implies v=1, f == u.
+  const NodeId f = net.add_node("f", {u, v}, Sop::from_strings({"11"}));
+  net.add_po("f", f);
+  net.add_po("v", v);
+
+  const Network before = net;
+  const FullSimplifyStats st = full_simplify_network(net);
+  EXPECT_GE(st.nodes_simplified, 1);
+  EXPECT_TRUE(check_equivalence(before, net).equivalent);
+  const NodeId f2 = net.find_node("f");
+  // f shrank to the single literal u.
+  EXPECT_EQ(net.node(f2).func.num_literals(), 1);
+}
+
+TEST(FullSimplify, SkipsWideTfiCones) {
+  Network net("wide");
+  std::vector<NodeId> pis;
+  for (int i = 0; i < 20; ++i) pis.push_back(net.add_pi("x" + std::to_string(i)));
+  // One node whose fanins' TFI covers all 20 PIs via two big ORs.
+  Sop wide(10);
+  Cube c(10);
+  for (int i = 0; i < 10; ++i) c.set_lit(i, Lit::Pos);
+  wide.add_cube(c);
+  const NodeId u = net.add_node("u", {pis.begin(), pis.begin() + 10}, wide);
+  const NodeId v = net.add_node("v", {pis.begin() + 10, pis.end()}, wide);
+  const NodeId f = net.add_node("f", {u, v}, Sop::from_strings({"11"}));
+  net.add_po("f", f);
+  FullSimplifyOptions opts;
+  opts.max_tfi_pis = 12;
+  const FullSimplifyStats st = full_simplify_network(net, opts);
+  EXPECT_EQ(st.nodes_simplified, 0);  // guard trips, nothing changes
+  EXPECT_TRUE(net.check());
+}
+
+TEST(FullSimplify, ObservabilityDontCares) {
+  // n = b XOR c feeds f = n & a, with a == b (a is a copy of b): whenever
+  // b = 0, a = 0 and n is unobservable, so n may treat every b=0 local
+  // vector as a don't care and simplify to n = b·c' (1 fewer literal,
+  // from XOR's 4 to 2).
+  Network net("odc");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId a = net.add_node("a", {b}, Sop::from_strings({"1"}));
+  const NodeId n = net.add_node("n", {b, c}, Sop::from_strings({"10", "01"}));
+  const NodeId f = net.add_node("f", {n, a}, Sop::from_strings({"11"}));
+  net.add_po("f", f);
+
+  const Network before = net;
+  FullSimplifyOptions opts;
+  opts.use_observability = true;
+  const FullSimplifyStats st = full_simplify_network(net, opts);
+  EXPECT_TRUE(check_equivalence(before, net).equivalent);
+  EXPECT_GE(st.nodes_simplified, 1);
+  // The XOR's 4 literals shrink (n may even collapse into a single
+  // inverter literal that sweep absorbs into f).
+  EXPECT_LT(net.factored_literals(), before.factored_literals());
+
+  // Without observability the XOR stays: every (b, c) vector is reachable.
+  Network net2 = before;
+  FullSimplifyOptions sdc_only;
+  full_simplify_network(net2, sdc_only);
+  const NodeId n3 = net2.find_node("n");
+  ASSERT_NE(n3, kNoNode);
+  EXPECT_EQ(net2.node(n3).func.num_literals(), 4);
+}
+
+TEST(FullSimplify, OdcPropertyPreservesPOs) {
+  std::mt19937 rng(353);
+  for (int iter = 0; iter < 5; ++iter) {
+    Network net("op");
+    std::vector<NodeId> pool;
+    for (int i = 0; i < 5; ++i) pool.push_back(net.add_pi("x" + std::to_string(i)));
+    for (int i = 0; i < 8; ++i) {
+      const int k = 2 + static_cast<int>(rng() % 3);
+      std::vector<NodeId> fanins;
+      while (static_cast<int>(fanins.size()) < k) {
+        const NodeId cand = pool[rng() % pool.size()];
+        if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end())
+          fanins.push_back(cand);
+      }
+      Sop func = random_sop(rng, k, 3, 0.55);
+      if (func.num_cubes() == 0) func = Sop::one(k);
+      pool.push_back(net.add_node("n" + std::to_string(i), fanins, func));
+    }
+    net.add_po("o0", pool.back());
+    const Network before = net;
+    FullSimplifyOptions opts;
+    opts.use_observability = true;
+    full_simplify_network(net, opts);
+    ASSERT_TRUE(net.check());
+    EXPECT_TRUE(check_equivalence(before, net).equivalent) << iter;
+  }
+}
+
+TEST(FullSimplify, PropertyPreservesPOs) {
+  std::mt19937 rng(347);
+  for (int iter = 0; iter < 6; ++iter) {
+    Network net("p");
+    std::vector<NodeId> pool;
+    for (int i = 0; i < 6; ++i) pool.push_back(net.add_pi("x" + std::to_string(i)));
+    for (int i = 0; i < 10; ++i) {
+      const int k = 2 + static_cast<int>(rng() % 3);
+      std::vector<NodeId> fanins;
+      while (static_cast<int>(fanins.size()) < k) {
+        const NodeId cand = pool[rng() % pool.size()];
+        if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end())
+          fanins.push_back(cand);
+      }
+      Sop func = random_sop(rng, k, 3, 0.55);
+      if (func.num_cubes() == 0) func = Sop::one(k);
+      pool.push_back(net.add_node("n" + std::to_string(i), fanins, func));
+    }
+    net.add_po("o0", pool.back());
+    net.add_po("o1", pool[pool.size() - 3]);
+    const Network before = net;
+    full_simplify_network(net);
+    ASSERT_TRUE(net.check());
+    EXPECT_TRUE(check_equivalence(before, net).equivalent) << iter;
+  }
+}
+
+}  // namespace
+}  // namespace rarsub

@@ -1,0 +1,136 @@
+#include "bdd/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd_div.hpp"
+#include "test_util.hpp"
+
+namespace rarsub {
+namespace {
+
+using testutil::random_sop;
+using testutil::same_function;
+
+TEST(Bdd, Terminals) {
+  BddManager m(3);
+  EXPECT_NE(m.zero(), m.one());
+  EXPECT_EQ(m.bdd_not(m.zero()), m.one());
+  EXPECT_EQ(m.bdd_and(m.one(), m.zero()), m.zero());
+}
+
+TEST(Bdd, VarSemantics) {
+  BddManager m(3);
+  const BddRef x = m.var(1);
+  EXPECT_TRUE(m.eval(x, 0b010));
+  EXPECT_FALSE(m.eval(x, 0b101));
+  EXPECT_FALSE(m.eval(m.nvar(1), 0b010));
+}
+
+TEST(Bdd, CanonicityGivesPointerEquality) {
+  BddManager m(4);
+  // (a & b) | (a & c) == a & (b | c)
+  const BddRef l = m.bdd_or(m.bdd_and(m.var(0), m.var(1)),
+                            m.bdd_and(m.var(0), m.var(2)));
+  const BddRef r = m.bdd_and(m.var(0), m.bdd_or(m.var(1), m.var(2)));
+  EXPECT_EQ(l, r);
+}
+
+TEST(Bdd, XorAndNot) {
+  BddManager m(2);
+  const BddRef x = m.bdd_xor(m.var(0), m.var(1));
+  EXPECT_FALSE(m.eval(x, 0b00));
+  EXPECT_TRUE(m.eval(x, 0b01));
+  EXPECT_TRUE(m.eval(x, 0b10));
+  EXPECT_FALSE(m.eval(x, 0b11));
+}
+
+TEST(Bdd, RestrictAndExists) {
+  BddManager m(3);
+  const BddRef f = m.bdd_and(m.var(0), m.var(1));
+  EXPECT_EQ(m.restrict_var(f, 0, true), m.var(1));
+  EXPECT_EQ(m.restrict_var(f, 0, false), m.zero());
+  EXPECT_EQ(m.exists(f, 0), m.var(1));
+}
+
+TEST(Bdd, FromToSopRoundTrip) {
+  std::mt19937 rng(53);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Sop f = random_sop(rng, 6, 5, 0.4);
+    BddManager m(6);
+    const BddRef b = m.from_sop(f);
+    const Sop back = m.to_sop(b);
+    EXPECT_TRUE(same_function(back, f)) << f.to_string();
+  }
+}
+
+TEST(Bdd, CountMinterms) {
+  BddManager m(4);
+  EXPECT_DOUBLE_EQ(m.count_minterms(m.one()), 16.0);
+  EXPECT_DOUBLE_EQ(m.count_minterms(m.var(0)), 8.0);
+  EXPECT_DOUBLE_EQ(m.count_minterms(m.bdd_and(m.var(0), m.var(1))), 4.0);
+}
+
+TEST(Bdd, ConstrainIdentity) {
+  // Generalized cofactor identity: f = c·(f ⇓ c) + c'·(f ⇓ c').
+  std::mt19937 rng(59);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Sop fs = random_sop(rng, 5, 4, 0.45);
+    const Sop cs = random_sop(rng, 5, 2, 0.45);
+    BddManager m(5);
+    const BddRef f = m.from_sop(fs);
+    const BddRef c = m.from_sop(cs);
+    if (c == m.zero() || c == m.one()) continue;
+    const BddRef rebuilt =
+        m.bdd_or(m.bdd_and(c, m.constrain(f, c)),
+                 m.bdd_and(m.bdd_not(c), m.constrain(f, m.bdd_not(c))));
+    EXPECT_EQ(rebuilt, f);
+  }
+}
+
+TEST(Bdd, ConstrainAgreesOnCareSet) {
+  std::mt19937 rng(61);
+  for (int iter = 0; iter < 50; ++iter) {
+    const Sop fs = random_sop(rng, 5, 4, 0.45);
+    const Sop cs = random_sop(rng, 5, 2, 0.45);
+    BddManager m(5);
+    const BddRef f = m.from_sop(fs);
+    const BddRef c = m.from_sop(cs);
+    if (c == m.zero()) continue;
+    const BddRef g = m.constrain(f, c);
+    for (std::uint64_t a = 0; a < 32; ++a)
+      if (m.eval(c, a)) {
+        EXPECT_EQ(m.eval(g, a), m.eval(f, a));
+      }
+  }
+}
+
+TEST(BddDiv, StanionSechenDivision) {
+  // f = ab + cd divided by d = ab: q covers ab, and f == q·d + r.
+  const Sop f = Sop::from_strings({"11--", "--11"});
+  const Sop d = Sop::from_strings({"11--"});
+  const BddDivResult res = bdd_divide(f, d);
+  ASSERT_TRUE(res.success);
+  const Sop rebuilt = res.quotient.boolean_and(d).boolean_or(res.remainder);
+  EXPECT_TRUE(same_function(rebuilt, f));
+}
+
+TEST(BddDiv, FailsOnConstantDivisor) {
+  const Sop f = Sop::from_strings({"11"});
+  EXPECT_FALSE(bdd_divide(f, Sop::zero(2)).success);
+  EXPECT_FALSE(bdd_divide(f, Sop::one(2)).success);
+}
+
+TEST(BddDivProperty, ReconstructionOnRandomPairs) {
+  std::mt19937 rng(67);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Sop f = random_sop(rng, 6, 5, 0.4);
+    const Sop d = random_sop(rng, 6, 2, 0.4);
+    const BddDivResult res = bdd_divide(f, d);
+    if (!res.success) continue;
+    const Sop rebuilt = res.quotient.boolean_and(d).boolean_or(res.remainder);
+    EXPECT_TRUE(same_function(rebuilt, f)) << f.to_string() << " / " << d.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace rarsub

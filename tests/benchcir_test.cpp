@@ -1,0 +1,205 @@
+#include "benchcir/classics.hpp"
+#include "benchcir/suite.hpp"
+#include "benchcir/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+#include "network/simulate.hpp"
+
+namespace rarsub {
+namespace {
+
+TEST(Classics, C17TruthTable) {
+  Network net = make_c17();
+  // c17: out22 = nand(nand(1,3), nand(2, nand(3,6)))
+  //      out23 = nand(nand(2,nand(3,6)), nand(nand(3,6),7))
+  for (std::uint64_t x = 0; x < 32; ++x) {
+    const bool i1 = x & 1, i2 = x & 2, i3 = x & 4, i6 = x & 8, i7 = x & 16;
+    const bool n10 = !(i1 && i3);
+    const bool n11 = !(i3 && i6);
+    const bool n16 = !(i2 && n11);
+    const bool n19 = !(n11 && i7);
+    const bool o22 = !(n10 && n16);
+    const bool o23 = !(n16 && n19);
+    const auto out = simulate1(net, x);
+    EXPECT_EQ(out[0], o22) << x;
+    EXPECT_EQ(out[1], o23) << x;
+  }
+}
+
+TEST(Classics, AdderAddsCorrectly) {
+  const int bits = 5;
+  Network net = make_adder(bits);
+  for (std::uint64_t x = 0; x < (1u << (2 * bits)); ++x) {
+    const std::uint64_t a = x & ((1u << bits) - 1);
+    const std::uint64_t b = x >> bits;
+    const std::uint64_t sum = a + b;
+    const auto out = simulate1(net, x);  // PIs: a0..a4 then b0..b4
+    for (int i = 0; i < bits; ++i)
+      ASSERT_EQ(out[static_cast<std::size_t>(i)], ((sum >> i) & 1) != 0)
+          << "a=" << a << " b=" << b << " bit " << i;
+    ASSERT_EQ(out[static_cast<std::size_t>(bits)], ((sum >> bits) & 1) != 0);
+  }
+}
+
+TEST(Classics, ParityCounts) {
+  Network net = make_parity(7);
+  for (std::uint64_t x = 0; x < 128; ++x)
+    EXPECT_EQ(simulate1(net, x)[0], (std::popcount(x) & 1) != 0);
+}
+
+TEST(Classics, MajorityVotes) {
+  Network net = make_majority(5);
+  for (std::uint64_t x = 0; x < 32; ++x)
+    EXPECT_EQ(simulate1(net, x)[0], std::popcount(x) >= 3);
+}
+
+TEST(Classics, SymThresholdProfile) {
+  Network net = make_sym_threshold(9, 3, 6);
+  std::mt19937_64 rng(5);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::uint64_t x = rng() & 0x1FF;
+    const int ones = std::popcount(x);
+    EXPECT_EQ(simulate1(net, x)[0], ones >= 3 && ones <= 6);
+  }
+}
+
+TEST(Classics, DecoderOneHot) {
+  Network net = make_decoder(3);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    const auto out = simulate1(net, x);
+    for (std::uint64_t o = 0; o < 8; ++o)
+      EXPECT_EQ(out[o], o == x);
+  }
+}
+
+TEST(Classics, MuxSelects) {
+  Network net = make_mux(2);  // PIs: s0 s1 d0..d3
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    const std::uint64_t sel = x & 3;
+    const bool expected = (x >> (2 + sel)) & 1;
+    EXPECT_EQ(simulate1(net, x)[0], expected);
+  }
+}
+
+TEST(Classics, ComparatorOrders) {
+  const int bits = 4;
+  Network net = make_comparator(bits);
+  for (std::uint64_t x = 0; x < (1u << (2 * bits)); ++x) {
+    const std::uint64_t a = x & 0xF, b = x >> bits;
+    const auto out = simulate1(net, x);  // lt, eq, gt
+    EXPECT_EQ(out[0], a < b);
+    EXPECT_EQ(out[1], a == b);
+    EXPECT_EQ(out[2], a > b);
+  }
+}
+
+TEST(Classics, AluSliceOps) {
+  const int bits = 3;
+  Network net = make_alu_slice(bits);  // PIs: op0 op1 a0..a2 b0..b2
+  for (std::uint64_t x = 0; x < (1u << (2 + 2 * bits)); ++x) {
+    const bool op0 = x & 1, op1 = x & 2;
+    const std::uint64_t a = (x >> 2) & 7, b = (x >> (2 + bits)) & 7;
+    const auto out = simulate1(net, x);
+    std::uint64_t expect = 0;
+    if (!op1 && !op0) expect = a & b;
+    else if (!op1 && op0) expect = a | b;
+    else if (op1 && !op0) expect = a ^ b;
+    else expect = (a + b) & 7;
+    for (int i = 0; i < bits; ++i)
+      ASSERT_EQ(out[static_cast<std::size_t>(i)], ((expect >> i) & 1) != 0)
+          << "x=" << x;
+  }
+}
+
+TEST(Classics, MultiplierMultiplies) {
+  const int bits = 3;
+  Network net = make_multiplier(bits);
+  for (std::uint64_t x = 0; x < (1u << (2 * bits)); ++x) {
+    const std::uint64_t a = x & 7, b = x >> bits;
+    const std::uint64_t p = a * b;
+    const auto out = simulate1(net, x);
+    for (int i = 0; i < 2 * bits; ++i)
+      ASSERT_EQ(out[static_cast<std::size_t>(i)], ((p >> i) & 1) != 0)
+          << a << "*" << b << " bit " << i;
+  }
+}
+
+TEST(Classics, Bcd7SegDigits) {
+  Network net = make_bcd7seg();
+  // Digit 8 lights every segment; digit 1 lights only b and c.
+  const auto d8 = simulate1(net, 8);
+  for (bool seg : d8) EXPECT_TRUE(seg);
+  const auto d1 = simulate1(net, 1);
+  EXPECT_FALSE(d1[0]);  // a
+  EXPECT_TRUE(d1[1]);   // b
+  EXPECT_TRUE(d1[2]);   // c
+  EXPECT_FALSE(d1[6]);  // g
+}
+
+TEST(Classics, PriorityEncoderPicksLowestLine) {
+  const int lines = 6;
+  Network net = make_priority_encoder(lines);
+  for (std::uint64_t x = 0; x < (1u << lines); ++x) {
+    const auto out = simulate1(net, x);
+    int expect = -1;
+    for (int i = 0; i < lines; ++i)
+      if ((x >> i) & 1) {
+        expect = i;
+        break;
+      }
+    const bool valid = out.back();
+    EXPECT_EQ(valid, expect >= 0);
+    if (expect >= 0) {
+      int got = 0;
+      for (std::size_t b = 0; b + 1 < out.size(); ++b)
+        if (out[b]) got |= 1 << b;
+      EXPECT_EQ(got, expect) << "x=" << x;
+    }
+  }
+}
+
+TEST(Synth, DeterministicForSameSpec) {
+  SynthSpec spec;
+  spec.seed = 42;
+  Network a = make_synthetic(spec);
+  Network b = make_synthetic(spec);
+  EXPECT_EQ(a.factored_literals(), b.factored_literals());
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+}
+
+TEST(Synth, DifferentSeedsDiffer) {
+  SynthSpec s1, s2;
+  s1.seed = 1;
+  s2.seed = 2;
+  EXPECT_NE(make_synthetic(s1).factored_literals(),
+            make_synthetic(s2).factored_literals());
+}
+
+TEST(Synth, ProducesValidNonTrivialNetworks) {
+  SynthSpec spec;
+  spec.seed = 7;
+  Network net = make_synthetic(spec);
+  EXPECT_TRUE(net.check());
+  EXPECT_GT(net.factored_literals(), 20);
+  EXPECT_FALSE(net.pos().empty());
+}
+
+TEST(Suite, AllEntriesBuildAndCheck) {
+  for (const BenchmarkEntry& e : benchmark_suite()) {
+    Network net = e.build();
+    EXPECT_TRUE(net.check()) << e.name;
+    EXPECT_FALSE(net.pos().empty()) << e.name;
+  }
+}
+
+TEST(Suite, LookupByName) {
+  EXPECT_NO_THROW(build_benchmark("c17"));
+  EXPECT_THROW(build_benchmark("nope"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rarsub

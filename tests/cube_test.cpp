@@ -1,0 +1,170 @@
+#include "sop/cube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace rarsub {
+namespace {
+
+TEST(Cube, UniverseHasNoLiterals) {
+  Cube c(5);
+  EXPECT_EQ(c.num_literals(), 0);
+  EXPECT_TRUE(c.is_universe());
+  EXPECT_FALSE(c.is_empty());
+}
+
+TEST(Cube, FromStringRoundTrip) {
+  const Cube c = Cube::from_string("10-1-");
+  EXPECT_EQ(c.to_string(), "10-1-");
+  EXPECT_EQ(c.num_literals(), 3);
+  EXPECT_EQ(c.lit(0), Lit::Pos);
+  EXPECT_EQ(c.lit(1), Lit::Neg);
+  EXPECT_EQ(c.lit(2), Lit::Absent);
+  EXPECT_EQ(c.lit(3), Lit::Pos);
+}
+
+TEST(Cube, SetLitOverwrites) {
+  Cube c(3);
+  c.set_lit(1, Lit::Pos);
+  EXPECT_EQ(c.lit(1), Lit::Pos);
+  c.set_lit(1, Lit::Neg);
+  EXPECT_EQ(c.lit(1), Lit::Neg);
+  c.set_lit(1, Lit::Absent);
+  EXPECT_EQ(c.lit(1), Lit::Absent);
+  EXPECT_TRUE(c.is_universe());
+}
+
+TEST(Cube, ContainmentMatchesPaperExamples) {
+  // Paper Sec. III-A: cube ab contains cube abc'.
+  const Cube ab = Cube::from_string("11-");
+  const Cube abc_bar = Cube::from_string("110");
+  EXPECT_TRUE(ab.contains(abc_bar));
+  EXPECT_FALSE(abc_bar.contains(ab));
+  EXPECT_TRUE(ab.contains(ab));
+}
+
+TEST(Cube, IntersectionAndDistance) {
+  const Cube a = Cube::from_string("1-0");
+  const Cube b = Cube::from_string("-10");
+  const Cube i = a.intersect(b);
+  EXPECT_EQ(i.to_string(), "110");
+  EXPECT_EQ(a.distance(b), 0);
+
+  const Cube c = Cube::from_string("0--");
+  EXPECT_EQ(a.distance(c), 1);
+  EXPECT_TRUE(a.intersect(c).is_empty());
+}
+
+TEST(Cube, ConsensusAtDistanceOne) {
+  const Cube a = Cube::from_string("11-");
+  const Cube b = Cube::from_string("0-1");
+  ASSERT_EQ(a.distance(b), 1);
+  EXPECT_EQ(a.consensus(b).to_string(), "-11");
+}
+
+TEST(Cube, SupercubeIsSmallestContaining) {
+  const Cube a = Cube::from_string("110");
+  const Cube b = Cube::from_string("100");
+  const Cube s = a.supercube(b);
+  EXPECT_EQ(s.to_string(), "1-0");
+  EXPECT_TRUE(s.contains(a));
+  EXPECT_TRUE(s.contains(b));
+}
+
+TEST(Cube, CofactorDropsOrEmpties) {
+  const Cube a = Cube::from_string("10-");
+  EXPECT_EQ(a.cofactor(0, true).to_string(), "-0-");
+  EXPECT_TRUE(a.cofactor(0, false).is_empty());
+  EXPECT_EQ(a.cofactor(2, true).to_string(), "10-");
+}
+
+TEST(Cube, AlgebraicLiteralOps) {
+  const Cube abc = Cube::from_string("111");
+  const Cube ab = Cube::from_string("11-");
+  EXPECT_TRUE(abc.has_all_literals_of(ab));
+  EXPECT_FALSE(ab.has_all_literals_of(abc));
+  EXPECT_EQ(abc.remove_literals_of(ab).to_string(), "--1");
+
+  const Cube a_bbar = Cube::from_string("10-");
+  EXPECT_FALSE(a_bbar.has_all_literals_of(ab));  // polarity mismatch
+}
+
+TEST(Cube, SharesLiteral) {
+  EXPECT_TRUE(Cube::from_string("1-0").shares_literal_with(Cube::from_string("1-1")));
+  EXPECT_FALSE(Cube::from_string("1--").shares_literal_with(Cube::from_string("0--")));
+  EXPECT_FALSE(Cube::from_string("1--").shares_literal_with(Cube::from_string("-1-")));
+}
+
+TEST(Cube, CommonLiterals) {
+  const Cube a = Cube::from_string("110-");
+  const Cube b = Cube::from_string("1-00");
+  EXPECT_EQ(a.common_literals(b).to_string(), "1-0-");
+}
+
+TEST(Cube, EvalAgainstDefinition) {
+  const Cube c = Cube::from_string("1-0");
+  EXPECT_TRUE(c.eval(0b001));   // a=1, b=0, c=0
+  EXPECT_TRUE(c.eval(0b011));   // a=1, b=1, c=0
+  EXPECT_FALSE(c.eval(0b101));  // c=1 violates
+  EXPECT_FALSE(c.eval(0b000));  // a=0 violates
+}
+
+TEST(Cube, WideCubesCrossWordBoundary) {
+  // 70 variables spans three 64-bit words (32 vars per word).
+  Cube c(70);
+  c.set_lit(0, Lit::Pos);
+  c.set_lit(31, Lit::Neg);
+  c.set_lit(32, Lit::Pos);
+  c.set_lit(69, Lit::Neg);
+  EXPECT_EQ(c.num_literals(), 4);
+  EXPECT_EQ(c.lit(31), Lit::Neg);
+  EXPECT_EQ(c.lit(32), Lit::Pos);
+  EXPECT_EQ(c.lit(69), Lit::Neg);
+  EXPECT_FALSE(c.is_empty());
+  EXPECT_FALSE(c.is_universe());
+  Cube u(70);
+  EXPECT_TRUE(u.contains(c));
+  EXPECT_FALSE(c.contains(u));
+}
+
+// Property: containment agrees with minterm-set containment on random cubes.
+TEST(CubeProperty, ContainmentMatchesSemantics) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> pick(0, 2);
+  const int n = 6;
+  for (int iter = 0; iter < 300; ++iter) {
+    Cube a(n), b(n);
+    for (int v = 0; v < n; ++v) {
+      a.set_lit(v, static_cast<Lit>(pick(rng)));
+      b.set_lit(v, static_cast<Lit>(pick(rng)));
+    }
+    bool semantic = true;
+    for (std::uint64_t m = 0; m < (1u << n); ++m)
+      if (b.eval(m) && !a.eval(m)) {
+        semantic = false;
+        break;
+      }
+    EXPECT_EQ(a.contains(b), semantic) << a.to_string() << " vs " << b.to_string();
+  }
+}
+
+// Property: intersection semantics.
+TEST(CubeProperty, IntersectionMatchesSemantics) {
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<int> pick(0, 2);
+  const int n = 5;
+  for (int iter = 0; iter < 300; ++iter) {
+    Cube a(n), b(n);
+    for (int v = 0; v < n; ++v) {
+      a.set_lit(v, static_cast<Lit>(pick(rng)));
+      b.set_lit(v, static_cast<Lit>(pick(rng)));
+    }
+    const Cube i = a.intersect(b);
+    for (std::uint64_t m = 0; m < (1u << n); ++m)
+      EXPECT_EQ(i.eval(m), a.eval(m) && b.eval(m));
+  }
+}
+
+}  // namespace
+}  // namespace rarsub

@@ -1,0 +1,197 @@
+#include "sop/espresso.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rarsub {
+namespace {
+
+using testutil::random_sop;
+using testutil::truth_table;
+
+TEST(Espresso, MergesAdjacentCubes) {
+  // ab + ab' == a.
+  const Sop f = Sop::from_strings({"11", "10"});
+  const Sop m = simplify_cover(f);
+  EXPECT_EQ(m.num_cubes(), 1);
+  EXPECT_EQ(m.num_literals(), 1);
+}
+
+TEST(Espresso, ClassicXorStaysTwoCubes) {
+  const Sop f = Sop::from_strings({"10", "01"});
+  const Sop m = simplify_cover(f);
+  EXPECT_EQ(m.num_cubes(), 2);
+  EXPECT_EQ(m.num_literals(), 4);
+}
+
+TEST(Espresso, RemovesRedundantConsensusCube) {
+  // ab + a'c + bc: the bc cube is redundant.
+  const Sop f = Sop::from_strings({"11-", "0-1", "-11"});
+  const Sop m = simplify_cover(f);
+  EXPECT_EQ(m.num_cubes(), 2);
+  EXPECT_TRUE(testutil::same_function(m, f));
+}
+
+TEST(Espresso, UsesDontCaresForBooleanDivisionSetup) {
+  // The paper's Sec. I Espresso trick: minimizing f with dc can shrink the
+  // cover below what the on-set alone allows.
+  const Sop on = Sop::from_strings({"110", "011"});
+  const Sop dc = Sop::from_strings({"111"});
+  const Sop m = espresso_lite(on, dc);
+  EXPECT_LE(m.num_literals(), 4);
+  // Result covers on-set and stays inside on|dc.
+  const auto t_on = truth_table(on);
+  const auto t_dc = truth_table(dc);
+  const auto t_m = truth_table(m);
+  for (std::size_t i = 0; i < t_on.size(); ++i) {
+    if (t_on[i]) {
+      EXPECT_TRUE(t_m[i]);
+    }
+    if (t_m[i]) {
+      EXPECT_TRUE(t_on[i] || t_dc[i]);
+    }
+  }
+}
+
+TEST(Espresso, ConstantResults) {
+  EXPECT_TRUE(simplify_cover(Sop::zero(3)).is_zero());
+  EXPECT_TRUE(simplify_cover(Sop::one(3)).is_tautology());
+  // Covering tautology in pieces collapses to the universe cube.
+  const Sop f = Sop::from_strings({"1-", "0-"});
+  const Sop m = simplify_cover(f);
+  EXPECT_EQ(m.num_literals(), 0);
+}
+
+TEST(Espresso, TautologyViaDontCares) {
+  const Sop on = Sop::from_strings({"1-"});
+  const Sop dc = Sop::from_strings({"0-"});
+  EXPECT_TRUE(espresso_lite(on, dc).is_tautology());
+}
+
+TEST(Espresso, ExpandProducesContainedPrimes) {
+  const Sop f = Sop::from_strings({"110", "111"});
+  const Sop fun = f;  // no dc
+  const Sop e = espresso_expand(f, fun);
+  for (const Cube& c : e.cubes()) EXPECT_TRUE(fun.contains_cube(c));
+  EXPECT_TRUE(testutil::same_function(e, f));
+}
+
+TEST(Espresso, IrredundantKeepsFunction) {
+  const Sop f = Sop::from_strings({"11-", "0-1", "-11"});
+  const Sop r = espresso_irredundant(f, Sop::zero(3));
+  EXPECT_TRUE(testutil::same_function(r, f));
+  EXPECT_LT(r.num_cubes(), f.num_cubes());
+}
+
+struct EspressoParam {
+  int seed;
+  int vars;
+  int cubes;
+  double density;
+};
+
+class EspressoProperty : public ::testing::TestWithParam<EspressoParam> {};
+
+TEST_P(EspressoProperty, PreservesFunctionAndNeverGrows) {
+  const EspressoParam p = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(p.seed));
+  for (int iter = 0; iter < 30; ++iter) {
+    const Sop f = random_sop(rng, p.vars, p.cubes, p.density);
+    const Sop m = simplify_cover(f);
+    EXPECT_EQ(truth_table(m), truth_table(f)) << f.to_string();
+    EXPECT_LE(m.num_literals(), std::max(f.num_literals(), 1));
+  }
+}
+
+TEST_P(EspressoProperty, RespectsDontCares) {
+  const EspressoParam p = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(p.seed) + 1000);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Sop on = random_sop(rng, p.vars, p.cubes, p.density);
+    const Sop dc = random_sop(rng, p.vars, 2, p.density);
+    const Sop m = espresso_lite(on, dc);
+    const auto t_on = truth_table(on);
+    const auto t_dc = truth_table(dc);
+    const auto t_m = truth_table(m);
+    for (std::size_t i = 0; i < t_on.size(); ++i) {
+      if (t_on[i] && !t_dc[i]) {
+        EXPECT_TRUE(t_m[i]) << "lost on-set minterm";
+      }
+      if (t_m[i]) {
+        EXPECT_TRUE(t_on[i] || t_dc[i]) << "grew beyond on|dc";
+      }
+    }
+  }
+}
+
+TEST(Espresso, ReduceRegressionJointlyCoveredMinterm) {
+  // Regression: two cubes jointly covering an on-set minterm must not both
+  // retreat from it during REDUCE (found via the espresso-DC division
+  // baseline; on and dc overlap here).
+  const Sop on = Sop::from_strings({"0-----", "1101--", "-10-0-", "10----"});
+  const Sop dc =
+      Sop::from_strings({"01---1", "10---1", "11---0", "00---0"});
+  const Sop m = espresso_lite(on, dc);
+  const auto t_on = truth_table(on);
+  const auto t_dc = truth_table(dc);
+  const auto t_m = truth_table(m);
+  for (std::size_t i = 0; i < t_on.size(); ++i) {
+    if (t_on[i] && !t_dc[i]) {
+      EXPECT_TRUE(t_m[i]) << "lost minterm " << i;
+    }
+    if (t_m[i]) {
+      EXPECT_TRUE(t_on[i] || t_dc[i]);
+    }
+  }
+}
+
+TEST(Espresso, ReduceAloneKeepsCoverage) {
+  std::mt19937 rng(401);
+  for (int iter = 0; iter < 120; ++iter) {
+    const Sop on = random_sop(rng, 6, 5, 0.4);
+    const Sop dc = random_sop(rng, 6, 3, 0.4);  // may overlap the on-set
+    const Sop r = espresso_reduce(on, dc);
+    const auto t_on = truth_table(on);
+    const auto t_dc = truth_table(dc);
+    const auto t_r = truth_table(r);
+    for (std::size_t i = 0; i < t_on.size(); ++i)
+      if (t_on[i] && !t_dc[i]) {
+        ASSERT_TRUE(t_r[i]) << "reduce lost minterm " << i;
+      }
+  }
+}
+
+TEST_P(EspressoProperty, RespectsOverlappingDontCares) {
+  // on and dc intentionally overlap — the configuration the Boolean
+  // division baselines produce.
+  const EspressoParam p = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(p.seed) + 2000);
+  for (int iter = 0; iter < 25; ++iter) {
+    const Sop on = random_sop(rng, p.vars, p.cubes, p.density);
+    Sop dc = random_sop(rng, p.vars, 3, p.density);
+    if (on.num_cubes() > 0) dc.add_cube(on.cube(0));  // force overlap
+    const Sop m = espresso_lite(on, dc);
+    const auto t_on = truth_table(on);
+    const auto t_dc = truth_table(dc);
+    const auto t_m = truth_table(m);
+    for (std::size_t i = 0; i < t_on.size(); ++i) {
+      if (t_on[i] && !t_dc[i]) {
+        ASSERT_TRUE(t_m[i]) << "lost on-set minterm " << i;
+      }
+      if (t_m[i]) {
+        ASSERT_TRUE(t_on[i] || t_dc[i]) << "grew beyond on|dc";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EspressoProperty,
+    ::testing::Values(EspressoParam{1, 4, 4, 0.5}, EspressoParam{2, 5, 6, 0.4},
+                      EspressoParam{3, 6, 8, 0.35}, EspressoParam{4, 6, 3, 0.6},
+                      EspressoParam{5, 7, 10, 0.3},
+                      EspressoParam{6, 5, 12, 0.5}));
+
+}  // namespace
+}  // namespace rarsub

@@ -1,0 +1,91 @@
+#include "sop/factor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rarsub {
+namespace {
+
+using testutil::random_sop;
+
+// Evaluate a factor tree on a complete assignment; ground truth for the
+// "factoring preserves the function" property.
+bool eval_factor(const FactorNode& n, std::uint64_t a) {
+  switch (n.kind) {
+    case FactorNode::Kind::Const0: return false;
+    case FactorNode::Kind::Const1: return true;
+    case FactorNode::Kind::Literal: {
+      const bool v = (a >> n.var) & 1;
+      return n.positive ? v : !v;
+    }
+    case FactorNode::Kind::And:
+      for (const auto& c : n.children)
+        if (!eval_factor(*c, a)) return false;
+      return true;
+    case FactorNode::Kind::Or:
+      for (const auto& c : n.children)
+        if (eval_factor(*c, a)) return true;
+      return false;
+  }
+  return false;
+}
+
+TEST(Factor, SingleCube) {
+  const Sop f = Sop::from_strings({"110"});
+  EXPECT_EQ(factored_literal_count(f), 3);
+}
+
+TEST(Factor, ConstantCovers) {
+  EXPECT_EQ(factored_literal_count(Sop::zero(3)), 0);
+  EXPECT_EQ(factored_literal_count(Sop::one(3)), 0);
+}
+
+TEST(Factor, PaperIntroSixLiteralExample) {
+  // Paper Sec. I: "function f has six literals before substitution" —
+  // a function like f = ac + bc + ad' + bd' factors to (a+b)(c+d') = 4 lits;
+  // its flat form has 8. Quick factor must do no worse than 6.
+  const Sop f = Sop::from_strings({"1-1-", "-11-", "1--0", "-1-0"});
+  EXPECT_EQ(f.num_literals(), 8);
+  EXPECT_LE(factored_literal_count(f), 6);
+  EXPECT_GE(factored_literal_count(f), 4);
+}
+
+TEST(Factor, CommonCubeIsShared) {
+  // ab c + ab d = ab(c+d): 4 literals factored, 6 flat.
+  const Sop f = Sop::from_strings({"111-", "11-1"});
+  EXPECT_EQ(f.num_literals(), 6);
+  EXPECT_EQ(factored_literal_count(f), 4);
+}
+
+TEST(Factor, KernelIsShared) {
+  // ac + ad + bc + bd = (a+b)(c+d): 4 literals factored, 8 flat.
+  const Sop f = Sop::from_strings({"1-1-", "1--1", "-11-", "-1-1"});
+  EXPECT_EQ(factored_literal_count(f), 4);
+}
+
+TEST(Factor, ToStringRendersTree) {
+  const Sop f = Sop::from_strings({"111-", "11-1"});
+  const auto tree = quick_factor(f);
+  const std::string s = factor_to_string(*tree, {"a", "b", "c", "d"});
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("+"), std::string::npos);
+}
+
+class FactorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FactorProperty, TreeMatchesCoverAndNeverBeatenByFlat) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  for (int iter = 0; iter < 60; ++iter) {
+    const Sop f = random_sop(rng, 6, 6, 0.45);
+    const auto tree = quick_factor(f);
+    for (std::uint64_t a = 0; a < (1u << 6); ++a)
+      ASSERT_EQ(eval_factor(*tree, a), f.eval(a)) << f.to_string();
+    EXPECT_LE(tree->literal_count(), std::max(1, f.num_literals()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FactorProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace rarsub

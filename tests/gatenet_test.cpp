@@ -1,0 +1,136 @@
+#include "gatenet/gatenet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gatenet/build.hpp"
+#include "network/network.hpp"
+#include "network/simulate.hpp"
+
+namespace rarsub {
+namespace {
+
+TEST(GateNet, BasicEval) {
+  GateNet gn;
+  const int a = gn.add_pi("a");
+  const int b = gn.add_pi("b");
+  const int g = gn.add_gate(GateType::And, {{a, false}, {b, true}});  // a & !b
+  const int h = gn.add_gate(GateType::Or, {{g, false}, {b, false}});  // g | b
+  gn.add_output(h);
+
+  auto v = gn.eval({true, false});
+  EXPECT_TRUE(v[static_cast<std::size_t>(g)]);
+  EXPECT_TRUE(v[static_cast<std::size_t>(h)]);
+  v = gn.eval({false, false});
+  EXPECT_FALSE(v[static_cast<std::size_t>(h)]);
+  v = gn.eval({false, true});
+  EXPECT_TRUE(v[static_cast<std::size_t>(h)]);
+}
+
+TEST(GateNet, EmptyGatesAreConstants) {
+  GateNet gn;
+  const int t = gn.add_gate(GateType::And, {});
+  const int f = gn.add_gate(GateType::Or, {});
+  const auto v = gn.eval({});
+  EXPECT_TRUE(v[static_cast<std::size_t>(t)]);
+  EXPECT_FALSE(v[static_cast<std::size_t>(f)]);
+}
+
+TEST(GateNet, AddRemoveFaninKeepsBookkeeping) {
+  GateNet gn;
+  const int a = gn.add_pi("a");
+  const int b = gn.add_pi("b");
+  const int g = gn.add_gate(GateType::And, {{a, false}});
+  const WireRef w = gn.add_fanin(g, {b, false});
+  EXPECT_EQ(gn.gate(g).fanins.size(), 2u);
+  EXPECT_EQ(gn.gate(b).fanouts.size(), 1u);
+  gn.remove_fanin(w);
+  EXPECT_EQ(gn.gate(g).fanins.size(), 1u);
+  EXPECT_TRUE(gn.gate(b).fanouts.empty());
+}
+
+TEST(GateNet, MakeConstDetachesInputs) {
+  GateNet gn;
+  const int a = gn.add_pi("a");
+  const int g = gn.add_gate(GateType::And, {{a, false}});
+  gn.make_const(g, false);
+  EXPECT_EQ(gn.gate(g).type, GateType::Const0);
+  EXPECT_TRUE(gn.gate(a).fanouts.empty());
+  EXPECT_FALSE(gn.eval({true})[static_cast<std::size_t>(g)]);
+}
+
+TEST(GateNet, TopoOrderAndTfo) {
+  GateNet gn;
+  const int a = gn.add_pi("a");
+  const int g = gn.add_gate(GateType::And, {{a, false}});
+  const int h = gn.add_gate(GateType::Or, {{g, false}});
+  const auto mask = gn.tfo_mask(a);
+  EXPECT_TRUE(mask[static_cast<std::size_t>(g)]);
+  EXPECT_TRUE(mask[static_cast<std::size_t>(h)]);
+  EXPECT_FALSE(mask[static_cast<std::size_t>(a)]);
+}
+
+TEST(GateNet, ReachesOutputRespectsBlocking) {
+  GateNet gn;
+  const int a = gn.add_pi("a");
+  const int g = gn.add_gate(GateType::And, {{a, false}});
+  const int h = gn.add_gate(GateType::Or, {{g, false}});
+  gn.add_output(h);
+  std::vector<bool> blocked(static_cast<std::size_t>(gn.num_gates()), false);
+  EXPECT_TRUE(gn.reaches_output(a, blocked));
+  blocked[static_cast<std::size_t>(g)] = true;
+  EXPECT_FALSE(gn.reaches_output(a, blocked));
+}
+
+TEST(Build, NetworkDecompositionMatchesSimulation) {
+  Network net("t");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId g =
+      net.add_node("g", {a, b, c}, Sop::from_strings({"11-", "0-1"}));
+  const NodeId h = net.add_node("h", {g, c}, Sop::from_strings({"10"}));
+  net.add_po("h", h);
+
+  GateNetMap map;
+  GateNet gn = build_gatenet(net, map);
+  ASSERT_EQ(map.node_cubes[static_cast<std::size_t>(g)].size(), 2u);
+
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    std::vector<bool> pi_vals{(x & 1) != 0, (x & 2) != 0, (x & 4) != 0};
+    const auto gv = gn.eval(pi_vals);
+    const auto nv = simulate1(net, x);
+    EXPECT_EQ(gv[static_cast<std::size_t>(map.node_out[static_cast<std::size_t>(h)])],
+              nv[0])
+        << x;
+  }
+}
+
+TEST(Build, CubeGatePinsFollowVariableOrder) {
+  Network net("t");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId g = net.add_node("g", {a, b}, Sop::from_strings({"10"}));
+  net.add_po("g", g);
+  GateNetMap map;
+  GateNet gn = build_gatenet(net, map);
+  const int cg = map.node_cubes[static_cast<std::size_t>(g)][0];
+  ASSERT_EQ(gn.gate(cg).fanins.size(), 2u);
+  EXPECT_FALSE(gn.gate(cg).fanins[0].neg);  // a positive
+  EXPECT_TRUE(gn.gate(cg).fanins[1].neg);   // b negative
+}
+
+TEST(Build, ConstantNodes) {
+  Network net("t");
+  const NodeId k0 = net.add_node("k0", {}, Sop::zero(0));
+  const NodeId k1 = net.add_node("k1", {}, Sop::one(0));
+  net.add_po("k0", k0);
+  net.add_po("k1", k1);
+  GateNetMap map;
+  GateNet gn = build_gatenet(net, map);
+  const auto v = gn.eval({});
+  EXPECT_FALSE(v[static_cast<std::size_t>(map.node_out[static_cast<std::size_t>(k0)])]);
+  EXPECT_TRUE(v[static_cast<std::size_t>(map.node_out[static_cast<std::size_t>(k1)])]);
+}
+
+}  // namespace
+}  // namespace rarsub

@@ -1,0 +1,151 @@
+// Targeted tests of the global-don't-care configuration: cases where
+// region-local implications cannot justify a removal but whole-circuit
+// implications can (the paper's third experimental configuration), plus
+// the eliminate value model that feeds Script A.
+
+#include <gtest/gtest.h>
+
+#include "division/substitute.hpp"
+#include "network/simulate.hpp"
+#include "verify/equivalence.hpp"
+
+namespace rarsub {
+namespace {
+
+// f = a·b·g1·x where g1 is a node computing a·b (the expanded product and
+// the node literal coexist — a satisfiability don't care). Dividing f by
+// the node d = ab: region-local implications remove the a and b literal
+// wires (the divisor cube ab conflicts), but only GLOBAL implications can
+// also remove the g1 literal — the conflict needs g1's own definition
+// (d=1 forces a=b=1 forces g1=1 while the fault demands g1=0).
+Network sdc_network() {
+  Network net("sdc");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId x = net.add_pi("x");
+  const NodeId g1 = net.add_node("g1", {a, b}, Sop::from_strings({"11"}));
+  const NodeId d = net.add_node("d", {a, b}, Sop::from_strings({"11"}));
+  const NodeId f =
+      net.add_node("f", {a, b, g1, x}, Sop::from_strings({"1111"}));
+  net.add_po("f", f);
+  net.add_po("g1", g1);
+  net.add_po("d", d);
+  return net;
+}
+
+TEST(Gdc, RegionModeLeavesCorrelatedLiteral) {
+  Network net = sdc_network();
+  SubstituteOptions opts;
+  opts.method = SubstMethod::Extended;  // region-local
+  const std::optional<int> gain = try_substitution(
+      net, net.find_node("f"), net.find_node("d"), opts, /*commit=*/false);
+  // Region mode removes a and b but must keep g1: gain at most 1.
+  ASSERT_TRUE(gain.has_value());
+  EXPECT_LE(*gain, 1);
+}
+
+TEST(Gdc, GlobalModeRemovesCorrelatedLiteral) {
+  Network net = sdc_network();
+  const Network before = net;
+  SubstituteOptions opts;
+  opts.method = SubstMethod::ExtendedGdc;
+  const std::optional<int> gain = try_substitution(
+      net, net.find_node("f"), net.find_node("d"), opts, /*commit=*/true);
+  ASSERT_TRUE(gain.has_value());
+  EXPECT_EQ(*gain, 2);  // both ab and the g1 literal disappear
+  EXPECT_TRUE(net.check());
+  EXPECT_TRUE(check_equivalence(before, net).equivalent);
+  // f now reads the divisor and x only: 2 literals.
+  const NodeId f = net.find_node("f");
+  EXPECT_EQ(net.node(f).func.num_literals(), 2);
+}
+
+TEST(Gdc, SubstituteNetworkGdcFindsTheWin) {
+  Network net = sdc_network();
+  const Network before = net;
+  SubstituteOptions opts;
+  opts.method = SubstMethod::ExtendedGdc;
+  const SubstituteStats st = substitute_network(net, opts);
+  EXPECT_GE(st.substitutions, 1);
+  EXPECT_LT(st.literals_after, st.literals_before);
+  EXPECT_TRUE(check_equivalence(before, net).equivalent);
+}
+
+// ---------------------------------------------------------------------
+// eliminate's true-value model.
+
+TEST(Eliminate, ComposePreviewMatchesCompose) {
+  Network net("p");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId g = net.add_node("g", {a, b}, Sop::from_strings({"10", "01"}));
+  const NodeId h = net.add_node("h", {g, c}, Sop::from_strings({"10", "01"}));
+  net.add_po("h", h);
+  const auto preview = net.compose_preview(h, g);
+  ASSERT_TRUE(preview.has_value());
+  ASSERT_TRUE(net.compose(h, g));
+  EXPECT_EQ(net.node(h).fanins, preview->fanins);
+  EXPECT_TRUE(net.node(h).func.equals(preview->func));
+}
+
+TEST(Eliminate, DoesNotExplodeXorTrees) {
+  // A chain of XOR nodes: collapsing doubles the cover each time, so the
+  // true-value eliminate must stop early instead of flattening the parity
+  // function into 2^(n-1) cubes.
+  Network net("xors");
+  std::vector<NodeId> pis;
+  for (int i = 0; i < 8; ++i) pis.push_back(net.add_pi("x" + std::to_string(i)));
+  NodeId acc = net.add_node("p0", {pis[0], pis[1]}, Sop::from_strings({"10", "01"}));
+  for (int i = 2; i < 8; ++i)
+    acc = net.add_node("p" + std::to_string(i - 1), {acc, pis[static_cast<std::size_t>(i)]},
+                       Sop::from_strings({"10", "01"}));
+  net.add_po("parity", acc);
+  const Network before = net;
+  const int lits_before = net.factored_literals();
+  eliminate(net, 0);
+  EXPECT_TRUE(net.check());
+  EXPECT_TRUE(check_equivalence(before, net).equivalent);
+  // 2-3 levels may merge (xor of 3 inputs is still cheap); wholesale
+  // flattening would cost hundreds of literals.
+  EXPECT_LE(net.factored_literals(), lits_before * 2);
+}
+
+TEST(Eliminate, CollapsesCheapAndChains) {
+  Network net("ands");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId d = net.add_pi("d");
+  const NodeId g1 = net.add_node("g1", {a, b}, Sop::from_strings({"11"}));
+  const NodeId g2 = net.add_node("g2", {g1, c}, Sop::from_strings({"11"}));
+  const NodeId g3 = net.add_node("g3", {g2, d}, Sop::from_strings({"11"}));
+  net.add_po("g3", g3);
+  const Network before = net;
+  const int n = eliminate(net, 0);
+  EXPECT_GE(n, 2);  // g1 and g2 fold into g3
+  EXPECT_TRUE(check_equivalence(before, net).equivalent);
+  const NodeId g3b = net.find_node("g3");
+  EXPECT_EQ(net.node(g3b).func.num_literals(), 4);  // abcd in one cube
+}
+
+TEST(Eliminate, KeepsValuableMultiFanoutNodes) {
+  // A 3-literal node with three fanouts over disjoint extra inputs:
+  // collapsing would triplicate its literals (value +6 at threshold 0).
+  Network net("fan");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId g = net.add_node("g", {a, b, c}, Sop::from_strings({"111"}));
+  for (int i = 0; i < 3; ++i) {
+    const NodeId e = net.add_pi("e" + std::to_string(i));
+    const NodeId u = net.add_node("u" + std::to_string(i), {g, e},
+                                  Sop::from_strings({"11"}));
+    net.add_po("u" + std::to_string(i), u);
+  }
+  eliminate(net, 0);
+  EXPECT_NE(net.find_node("g"), kNoNode);
+}
+
+}  // namespace
+}  // namespace rarsub

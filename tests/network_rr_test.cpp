@@ -1,0 +1,102 @@
+#include "rar/network_rr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "benchcir/classics.hpp"
+#include "benchcir/suite.hpp"
+#include "test_util.hpp"
+#include "verify/equivalence.hpp"
+
+namespace rarsub {
+namespace {
+
+using testutil::random_sop;
+
+TEST(NetworkRr, RemovesConsensusCube) {
+  Network net("rr");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  // f = ab + a'c + bc: the consensus cube bc is redundant.
+  const NodeId f = net.add_node(
+      "f", {a, b, c}, Sop::from_strings({"11-", "0-1", "-11"}));
+  net.add_po("f", f);
+  const Network before = net;
+  const NetworkRrStats st = network_redundancy_removal(net);
+  EXPECT_GE(st.wires_removed, 1);
+  EXPECT_LT(st.literals_after, st.literals_before);
+  EXPECT_TRUE(net.check());
+  EXPECT_TRUE(check_equivalence(before, net).equivalent);
+  EXPECT_EQ(net.node(net.find_node("f")).func.num_cubes(), 2);
+}
+
+TEST(NetworkRr, ExploitsUnobservability) {
+  // u = a&b and f = u&a: the a literal in f is redundant (u=1 implies a=1).
+  Network net("obs");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId u = net.add_node("u", {a, b}, Sop::from_strings({"11"}));
+  const NodeId f = net.add_node("f", {u, a}, Sop::from_strings({"11"}));
+  net.add_po("f", f);
+  net.add_po("u", u);
+  const Network before = net;
+  const NetworkRrStats st = network_redundancy_removal(net);
+  EXPECT_GE(st.wires_removed, 1);
+  EXPECT_TRUE(check_equivalence(before, net).equivalent);
+  const NodeId f2 = net.find_node("f");
+  EXPECT_EQ(net.node(f2).func.num_literals(), 1);  // f == u
+}
+
+TEST(NetworkRr, IrredundantNetworkUntouched) {
+  Network net = make_c17();
+  const int lits = net.factored_literals();
+  const NetworkRrStats st = network_redundancy_removal(net);
+  EXPECT_EQ(st.wires_removed, 0);
+  EXPECT_EQ(net.factored_literals(), lits);
+}
+
+TEST(NetworkRr, PropertyPreservesPOs) {
+  std::mt19937 rng(421);
+  for (int iter = 0; iter < 10; ++iter) {
+    Network net("p");
+    std::vector<NodeId> pool;
+    for (int i = 0; i < 6; ++i) pool.push_back(net.add_pi("x" + std::to_string(i)));
+    for (int i = 0; i < 10; ++i) {
+      const int k = 2 + static_cast<int>(rng() % 3);
+      std::vector<NodeId> fanins;
+      while (static_cast<int>(fanins.size()) < k) {
+        const NodeId cand = pool[rng() % pool.size()];
+        if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end())
+          fanins.push_back(cand);
+      }
+      Sop func = random_sop(rng, k, 3, 0.55);
+      if (func.num_cubes() == 0) func = Sop::one(k);
+      pool.push_back(net.add_node("n" + std::to_string(i), fanins, func));
+    }
+    net.add_po("o0", pool.back());
+    net.add_po("o1", pool[pool.size() - 2]);
+    const Network before = net;
+    NetworkRrOptions opts;
+    opts.both_polarities = (iter % 2) == 0;
+    opts.learning_depth = (iter % 3) == 0 ? 1 : 0;
+    const NetworkRrStats st = network_redundancy_removal(net, opts);
+    EXPECT_LE(st.literals_after, st.literals_before);
+    ASSERT_TRUE(net.check());
+    EXPECT_TRUE(check_equivalence(before, net).equivalent) << iter;
+  }
+}
+
+TEST(NetworkRr, BenchmarkCircuitsSound) {
+  for (const char* name : {"alu4", "add8", "syn_c432"}) {
+    Network net = build_benchmark(name);
+    const Network before = net;
+    const NetworkRrStats st = network_redundancy_removal(net);
+    EXPECT_LE(st.literals_after, st.literals_before);
+    EXPECT_TRUE(check_equivalence(before, net).equivalent) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rarsub

@@ -1,0 +1,217 @@
+#include "network/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/blif.hpp"
+#include "network/simulate.hpp"
+#include "test_util.hpp"
+
+namespace rarsub {
+namespace {
+
+// A small two-level network: g = a&b, h = g | c, POs: h.
+Network make_small() {
+  Network net("small");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId g = net.add_node("g", {a, b}, Sop::from_strings({"11"}));
+  const NodeId h = net.add_node("h", {g, c}, Sop::from_strings({"1-", "-1"}));
+  net.add_po("h", h);
+  return net;
+}
+
+std::vector<bool> po_truth_table(const Network& net) {
+  std::vector<bool> tt;
+  const std::size_t n = net.pis().size();
+  for (std::uint64_t a = 0; a < (1ULL << n); ++a) {
+    const auto out = simulate1(net, a);
+    for (bool b : out) tt.push_back(b);
+  }
+  return tt;
+}
+
+TEST(Network, BuildAndQuery) {
+  Network net = make_small();
+  EXPECT_TRUE(net.check());
+  EXPECT_EQ(net.pis().size(), 3u);
+  EXPECT_EQ(net.pos().size(), 1u);
+  const NodeId g = net.find_node("g");
+  ASSERT_NE(g, kNoNode);
+  EXPECT_EQ(net.fanout_refs(g), 1);
+  const NodeId h = net.find_node("h");
+  EXPECT_EQ(net.num_po_refs(h), 1);
+  EXPECT_TRUE(net.depends_on(h, g));
+  EXPECT_FALSE(net.depends_on(g, h));
+}
+
+TEST(Network, TopoOrderRespectsDependencies) {
+  Network net = make_small();
+  const auto order = net.topo_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(net.node(order[0]).name, "g");
+  EXPECT_EQ(net.node(order[1]).name, "h");
+}
+
+TEST(Network, SimulationMatchesSemantics) {
+  Network net = make_small();
+  // h = ab + c.
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    const bool expect = (((a & 1) && (a & 2)) || (a & 4));
+    EXPECT_EQ(simulate1(net, a)[0], expect) << a;
+  }
+}
+
+TEST(Network, LiteralCounts) {
+  Network net = make_small();
+  EXPECT_EQ(net.sop_literals(), 4);
+  EXPECT_EQ(net.factored_literals(), 4);
+}
+
+TEST(Network, SetFunctionRewiresFanouts) {
+  Network net = make_small();
+  const NodeId h = net.find_node("h");
+  const NodeId a = net.pis()[0];
+  const NodeId c = net.pis()[2];
+  net.set_function(h, {a, c}, Sop::from_strings({"11"}));
+  EXPECT_TRUE(net.check());
+  const NodeId g = net.find_node("g");
+  EXPECT_EQ(net.fanout_refs(g), 0);
+}
+
+TEST(Network, ComposeCollapsesInnerIntoOuter) {
+  Network net = make_small();
+  const auto before = po_truth_table(net);
+  const NodeId g = net.find_node("g");
+  const NodeId h = net.find_node("h");
+  ASSERT_TRUE(net.compose(h, g));
+  EXPECT_TRUE(net.check());
+  EXPECT_EQ(po_truth_table(net), before);
+  // h no longer references g.
+  for (NodeId f : net.node(h).fanins) EXPECT_NE(f, g);
+}
+
+TEST(Network, ComposeHandlesNegativeLiteral) {
+  Network net("neg");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId g = net.add_node("g", {a, b}, Sop::from_strings({"11"}));
+  // h = !g.
+  const NodeId h = net.add_node("h", {g}, Sop::from_strings({"0"}));
+  net.add_po("h", h);
+  const auto before = po_truth_table(net);
+  ASSERT_TRUE(net.compose(h, g));
+  EXPECT_EQ(po_truth_table(net), before);  // h = !(ab) = a' + b'
+  EXPECT_TRUE(net.check());
+}
+
+TEST(Network, SweepRemovesDeadAndConstants) {
+  Network net = make_small();
+  // Add a dead node and a constant node feeding h'.
+  const NodeId a = net.pis()[0];
+  net.add_node("dead", {a}, Sop::from_strings({"1"}));
+  const auto before = po_truth_table(net);
+  net.sweep();
+  EXPECT_EQ(net.find_node("dead"), kNoNode);
+  EXPECT_EQ(po_truth_table(net), before);
+  EXPECT_TRUE(net.check());
+}
+
+TEST(Network, EliminateCollapsesSingleFanout) {
+  Network net = make_small();
+  const auto before = po_truth_table(net);
+  const int n = eliminate(net, 0);
+  EXPECT_GE(n, 1);  // g collapses into h
+  EXPECT_EQ(net.find_node("g"), kNoNode);
+  EXPECT_EQ(po_truth_table(net), before);
+  EXPECT_TRUE(net.check());
+}
+
+TEST(Network, SimplifyNetworkPreservesPOs) {
+  Network net("s");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId g =
+      net.add_node("g", {a, b}, Sop::from_strings({"11", "10"}));  // == a
+  net.add_po("g", g);
+  const auto before = po_truth_table(net);
+  simplify_network(net);
+  EXPECT_EQ(po_truth_table(net), before);
+  const NodeId g2 = net.find_node("g");
+  ASSERT_NE(g2, kNoNode);
+  EXPECT_LE(net.node(g2).func.num_literals(), 1);
+}
+
+TEST(Blif, ParseSmall) {
+  const std::string blif = R"(
+.model test
+.inputs a b c
+.outputs f
+.names a b g
+11 1
+.names g c f
+1- 1
+-1 1
+.end
+)";
+  Network net = read_blif_string(blif);
+  EXPECT_TRUE(net.check());
+  EXPECT_EQ(net.pis().size(), 3u);
+  EXPECT_EQ(net.pos().size(), 1u);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    const bool expect = (((a & 1) && (a & 2)) || (a & 4));
+    EXPECT_EQ(simulate1(net, a)[0], expect);
+  }
+}
+
+TEST(Blif, ParseOffsetCover) {
+  const std::string blif = R"(
+.model t
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+)";
+  Network net = read_blif_string(blif);
+  // f = !(ab)
+  EXPECT_TRUE(simulate1(net, 0b00)[0]);
+  EXPECT_FALSE(simulate1(net, 0b11)[0]);
+}
+
+TEST(Blif, ParseConstantsAndComments) {
+  const std::string blif = R"(
+# a comment
+.model t
+.inputs a
+.outputs f z
+.names one
+1
+.names a one f
+11 1
+.names z
+.end
+)";
+  Network net = read_blif_string(blif);
+  EXPECT_TRUE(simulate1(net, 0b1)[0]);
+  EXPECT_FALSE(simulate1(net, 0b0)[0]);
+  EXPECT_FALSE(simulate1(net, 0b1)[1]);  // z = const 0
+}
+
+TEST(Blif, RoundTripPreservesFunction) {
+  Network net = make_small();
+  const auto before = po_truth_table(net);
+  Network back = read_blif_string(write_blif_string(net));
+  EXPECT_EQ(po_truth_table(back), before);
+  EXPECT_TRUE(back.check());
+}
+
+TEST(Blif, RejectsMalformed) {
+  EXPECT_THROW(read_blif_string(".model t\n.latch a b\n.end\n"), std::runtime_error);
+  EXPECT_THROW(read_blif_string("11 1\n"), std::runtime_error);
+  EXPECT_THROW(read_blif_string(".model t\n.inputs a\n.outputs f\n.end\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rarsub

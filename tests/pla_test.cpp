@@ -1,0 +1,82 @@
+#include "network/pla.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchcir/classics.hpp"
+#include "network/simulate.hpp"
+#include "verify/equivalence.hpp"
+
+namespace rarsub {
+namespace {
+
+TEST(Pla, ParseBasic) {
+  const std::string pla = R"(
+# a 2-output example
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+11- 10
+--1 10
+0-0 01
+.e
+)";
+  Network net = read_pla_string(pla);
+  EXPECT_TRUE(net.check());
+  ASSERT_EQ(net.pis().size(), 3u);
+  ASSERT_EQ(net.pos().size(), 2u);
+  EXPECT_EQ(net.node(net.pis()[0]).name, "a");
+  EXPECT_EQ(net.pos()[1].name, "g");
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    const bool a = x & 1, b = x & 2, c = x & 4;
+    const auto out = simulate1(net, x);
+    EXPECT_EQ(out[0], (a && b) || c);
+    EXPECT_EQ(out[1], !a && !c);
+  }
+}
+
+TEST(Pla, DefaultNamesAndDontCareOutputs) {
+  const std::string pla = ".i 2\n.o 1\n11 1\n00 -\n.e\n";
+  Network net = read_pla_string(pla);
+  EXPECT_EQ(net.node(net.pis()[0]).name, "i0");
+  EXPECT_TRUE(simulate1(net, 0b11)[0]);
+  EXPECT_FALSE(simulate1(net, 0b00)[0]);  // dc rows drop to off-set
+}
+
+TEST(Pla, RejectsMalformed) {
+  EXPECT_THROW(read_pla_string("11 1\n"), std::runtime_error);        // no .i/.o
+  EXPECT_THROW(read_pla_string(".i 2\n.o 1\n111 1\n"), std::runtime_error);
+  EXPECT_THROW(read_pla_string(".i 2\n.o 1\n1x 1\n"), std::runtime_error);
+  EXPECT_THROW(read_pla_string(".i 2\n.o 1\n.kiss\n"), std::runtime_error);
+}
+
+TEST(Pla, RoundTripPreservesFunction) {
+  Network net = make_comparator(3);
+  Network back = read_pla_string(write_pla_string(net));
+  EXPECT_TRUE(check_equivalence(net, back).equivalent);
+}
+
+TEST(Pla, CollapseToPisMatchesSimulation) {
+  Network net = make_adder(3);
+  for (const Output& o : net.pos()) {
+    const auto cover = collapse_to_pis(net, o.driver);
+    ASSERT_TRUE(cover.has_value()) << o.name;
+    for (std::uint64_t x = 0; x < 64; ++x) {
+      const auto out = simulate1(net, x);
+      std::size_t po_index = 0;
+      for (std::size_t i = 0; i < net.pos().size(); ++i)
+        if (net.pos()[i].name == o.name) po_index = i;
+      EXPECT_EQ(cover->eval(x), out[po_index]) << o.name << " x=" << x;
+    }
+  }
+}
+
+TEST(Pla, CollapseRespectsCubeLimit) {
+  Network net = make_parity(12);
+  // Parity of 12 inputs needs 2^11 cubes; a small limit must refuse.
+  EXPECT_EQ(collapse_to_pis(net, net.pos()[0].driver, 100), std::nullopt);
+}
+
+}  // namespace
+}  // namespace rarsub

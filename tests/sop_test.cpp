@@ -1,0 +1,203 @@
+#include "sop/sop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rarsub {
+namespace {
+
+using testutil::random_sop;
+using testutil::same_function;
+using testutil::truth_table;
+
+TEST(Sop, BasicConstruction) {
+  Sop f = Sop::from_strings({"11-", "0-1"});
+  EXPECT_EQ(f.num_vars(), 3);
+  EXPECT_EQ(f.num_cubes(), 2);
+  EXPECT_EQ(f.num_literals(), 4);
+  EXPECT_FALSE(f.is_zero());
+}
+
+TEST(Sop, ZeroAndOne) {
+  EXPECT_TRUE(Sop::zero(4).is_zero());
+  EXPECT_TRUE(Sop::one(4).is_tautology());
+  EXPECT_FALSE(Sop::zero(4).is_tautology());
+  EXPECT_FALSE(Sop::one(4).is_zero());
+}
+
+TEST(Sop, EmptyCubesAreDropped) {
+  Sop f(3);
+  Cube c = Cube::from_string("1--").intersect(Cube::from_string("0--"));
+  ASSERT_TRUE(c.is_empty());
+  f.add_cube(c);
+  EXPECT_EQ(f.num_cubes(), 0);
+}
+
+TEST(Sop, SccContainsIsStructural) {
+  const Sop f = Sop::from_strings({"11-", "0-1"});
+  EXPECT_TRUE(f.scc_contains(Cube::from_string("111")));
+  EXPECT_FALSE(f.scc_contains(Cube::from_string("1-1")));  // needs two cubes
+}
+
+TEST(Sop, ContainsCubeIsFunctional) {
+  // f = ab + ab' contains cube a even though no single cube does.
+  const Sop f = Sop::from_strings({"11", "10"});
+  EXPECT_FALSE(f.scc_contains(Cube::from_string("1-")));
+  EXPECT_TRUE(f.contains_cube(Cube::from_string("1-")));
+}
+
+TEST(Sop, SosDefinitionFromPaper) {
+  // Paper Sec. III-A example family: every cube of g is contained by at
+  // least one cube of d.
+  const Sop d = Sop::from_strings({"11--", "--11"});   // ab + cd
+  const Sop g = Sop::from_strings({"111-", "-111"});   // abc + bcd
+  EXPECT_TRUE(g.is_sos_of(d));
+  const Sop h = Sop::from_strings({"111-", "1--1"});   // abc + ad
+  EXPECT_FALSE(h.is_sos_of(d));
+}
+
+TEST(Sop, Lemma1SosImpliesAndInvariance) {
+  // Lemma 1: if F is an SOS of D then F & D == F.
+  const Sop d = Sop::from_strings({"11--", "--11"});
+  const Sop f = Sop::from_strings({"111-", "-111", "11-0"});
+  ASSERT_TRUE(f.is_sos_of(d));
+  EXPECT_TRUE(same_function(f.boolean_and(d), f));
+}
+
+TEST(SopProperty, Lemma1OnRandomCovers) {
+  std::mt19937 rng(17);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Sop d = random_sop(rng, 6, 4, 0.4);
+    if (d.num_cubes() == 0) continue;
+    // Build F as random sub-cubes of cubes of d -> F is an SOS of D.
+    Sop f(6);
+    std::uniform_int_distribution<int> pick_cube(0, d.num_cubes() - 1);
+    std::uniform_int_distribution<int> pick_var(0, 5);
+    for (int k = 0; k < 5; ++k) {
+      Cube c = d.cube(pick_cube(rng));
+      for (int j = 0; j < 2; ++j) {
+        const int v = pick_var(rng);
+        if (c.lit(v) == Lit::Absent)
+          c.set_lit(v, (rng() & 1) ? Lit::Pos : Lit::Neg);
+      }
+      f.add_cube(c);
+    }
+    ASSERT_TRUE(f.is_sos_of(d));
+    EXPECT_TRUE(same_function(f.boolean_and(d), f));
+  }
+}
+
+TEST(Sop, CofactorByVar) {
+  const Sop f = Sop::from_strings({"11-", "0-1"});
+  const Sop f1 = f.cofactor(0, true);
+  EXPECT_TRUE(same_function(f1, Sop::from_strings({"-1-"})));
+  const Sop f0 = f.cofactor(0, false);
+  EXPECT_TRUE(same_function(f0, Sop::from_strings({"--1"})));
+}
+
+TEST(Sop, TautologyKnownCases) {
+  EXPECT_TRUE(Sop::from_strings({"1-", "0-"}).is_tautology());
+  EXPECT_TRUE(Sop::from_strings({"1-", "01", "00"}).is_tautology());
+  EXPECT_FALSE(Sop::from_strings({"1-", "01"}).is_tautology());
+  EXPECT_TRUE(Sop::from_strings({"--"}).is_tautology());
+}
+
+TEST(SopProperty, TautologyMatchesTruthTable) {
+  std::mt19937 rng(23);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Sop f = random_sop(rng, 5, 6, 0.35);
+    const auto tt = truth_table(f);
+    const bool taut = std::all_of(tt.begin(), tt.end(), [](bool b) { return b; });
+    EXPECT_EQ(f.is_tautology(), taut) << f.to_string();
+  }
+}
+
+TEST(Sop, ComplementKnownCases) {
+  const Sop f = Sop::from_strings({"1-", "-1"});  // a + b
+  const Sop fc = f.complement();                  // a'b'
+  EXPECT_TRUE(same_function(fc, Sop::from_strings({"00"})));
+  EXPECT_TRUE(Sop::zero(3).complement().is_tautology());
+  EXPECT_TRUE(Sop::one(3).complement().is_zero());
+}
+
+TEST(SopProperty, ComplementMatchesTruthTable) {
+  std::mt19937 rng(29);
+  for (int iter = 0; iter < 150; ++iter) {
+    const Sop f = random_sop(rng, 6, 5, 0.4);
+    const Sop fc = f.complement();
+    const auto tf = truth_table(f);
+    const auto tc = truth_table(fc);
+    for (std::size_t m = 0; m < tf.size(); ++m)
+      ASSERT_NE(tf[m], tc[m]) << "minterm " << m << " of " << f.to_string();
+  }
+}
+
+TEST(SopProperty, BooleanOpsMatchTruthTable) {
+  std::mt19937 rng(31);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Sop f = random_sop(rng, 5, 4, 0.45);
+    const Sop g = random_sop(rng, 5, 4, 0.45);
+    const auto tf = truth_table(f), tg = truth_table(g);
+    const auto ta = truth_table(f.boolean_and(g));
+    const auto to = truth_table(f.boolean_or(g));
+    for (std::size_t m = 0; m < tf.size(); ++m) {
+      ASSERT_EQ(ta[m], tf[m] && tg[m]);
+      ASSERT_EQ(to[m], tf[m] || tg[m]);
+    }
+  }
+}
+
+TEST(Sop, SccMinimizeRemovesContainedAndDuplicate) {
+  Sop f = Sop::from_strings({"11-", "111", "11-"});
+  f.scc_minimize();
+  EXPECT_EQ(f.num_cubes(), 1);
+  EXPECT_EQ(f.cube(0).to_string(), "11-");
+}
+
+TEST(Sop, SupportAndLiteralCounts) {
+  const Sop f = Sop::from_strings({"1-0-", "-10-"});
+  EXPECT_EQ(f.support(), (std::vector<int>{0, 1, 2}));
+  const auto counts = f.literal_counts();
+  EXPECT_EQ(counts[0], 1);  // var0 positive
+  EXPECT_EQ(counts[5], 2);  // var2 negative
+}
+
+TEST(Sop, RemapMovesVariables) {
+  const Sop f = Sop::from_strings({"10"});
+  const Sop g = f.remap(4, {3, 1});
+  EXPECT_EQ(g.cube(0).to_string(), "-0-1");
+}
+
+TEST(Sop, SharpKnownCases) {
+  // (a) # (ab) = ab'.
+  const Sop a = Sop::from_strings({"1-"});
+  const Sop ab = Sop::from_strings({"11"});
+  EXPECT_TRUE(same_function(a.sharp(ab), Sop::from_strings({"10"})));
+  // x # x = 0; x # 0 = x; 1 # x = complement(x).
+  EXPECT_TRUE(a.sharp(a).is_zero());
+  EXPECT_TRUE(same_function(a.sharp(Sop::zero(2)), a));
+  EXPECT_TRUE(same_function(Sop::one(2).sharp(a), a.complement()));
+}
+
+TEST(SopProperty, SharpMatchesTruthTable) {
+  std::mt19937 rng(467);
+  for (int iter = 0; iter < 120; ++iter) {
+    const Sop f = random_sop(rng, 6, 5, 0.4);
+    const Sop g = random_sop(rng, 6, 4, 0.4);
+    const Sop s = f.sharp(g);
+    const auto tf = truth_table(f), tg = truth_table(g), ts = truth_table(s);
+    for (std::size_t m = 0; m < tf.size(); ++m)
+      ASSERT_EQ(ts[m], tf[m] && !tg[m]) << m;
+  }
+}
+
+TEST(Sop, EqualsIsFunctional) {
+  const Sop f = Sop::from_strings({"11", "10"});
+  const Sop g = Sop::from_strings({"1-"});
+  EXPECT_TRUE(f.equals(g));
+  EXPECT_FALSE(f == g);
+}
+
+}  // namespace
+}  // namespace rarsub

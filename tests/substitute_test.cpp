@@ -1,0 +1,325 @@
+#include "division/substitute.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "network/simulate.hpp"
+#include "test_util.hpp"
+
+namespace rarsub {
+namespace {
+
+std::vector<std::uint64_t> po_signature(const Network& net) {
+  // Exhaustive over up to 6 PIs using one 64-bit word; beyond that, a
+  // fixed set of random patterns.
+  const std::size_t n = net.pis().size();
+  std::vector<std::uint64_t> pi_words(n);
+  if (n <= 6) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t w = 0;
+      for (int m = 0; m < 64; ++m)
+        if ((m >> i) & 1) w |= 1ULL << m;
+      pi_words[i] = w;
+    }
+    return simulate64(net, pi_words);
+  }
+  std::mt19937_64 rng(12345);
+  std::vector<std::uint64_t> sig;
+  for (int round = 0; round < 8; ++round) {
+    for (std::size_t i = 0; i < n; ++i) pi_words[i] = rng();
+    const auto out = simulate64(net, pi_words);
+    sig.insert(sig.end(), out.begin(), out.end());
+  }
+  return sig;
+}
+
+// Paper Sec. I example: f = ab' + ac + bc' + b'c, node d with the function
+// ab + b'c (SOS substitution makes f cheaper).
+Network intro_example() {
+  Network net("intro");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId f = net.add_node(
+      "f", {a, b, c}, Sop::from_strings({"10-", "1-1", "-10", "-01"}));
+  const NodeId d =
+      net.add_node("d", {a, b, c}, Sop::from_strings({"11-", "-01"}));
+  net.add_po("f", f);
+  net.add_po("d", d);
+  return net;
+}
+
+TEST(Substitute, BasicCommitsPositiveGainAndPreservesPOs) {
+  Network net = intro_example();
+  const auto before = po_signature(net);
+  const int lits_before = net.factored_literals();
+
+  SubstituteOptions opts;
+  opts.method = SubstMethod::Basic;
+  const SubstituteStats st = substitute_network(net, opts);
+  EXPECT_TRUE(net.check());
+  EXPECT_EQ(po_signature(net), before);
+  EXPECT_LE(net.factored_literals(), lits_before);
+  EXPECT_EQ(st.literals_after, net.factored_literals());
+  if (st.substitutions > 0) {
+    // f must now read d.
+    const NodeId f = net.find_node("f");
+    const NodeId d = net.find_node("d");
+    bool reads = false;
+    for (NodeId x : net.node(f).fanins) reads |= (x == d);
+    EXPECT_TRUE(reads);
+  }
+}
+
+TEST(Substitute, PosSubstitutionOnProductOfSums) {
+  // Paper Sec. I: h = (a+b)(c+d) and x = a+b exist; POS substitution
+  // rewrites h = x(c+d) — "completely not possible in the traditional
+  // approaches".
+  Network net("pos");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId d = net.add_pi("d");
+  // h = (a+b)(c+d) as SOP: ac + ad + bc + bd.
+  const NodeId h = net.add_node(
+      "h", {a, b, c, d},
+      Sop::from_strings({"1-1-", "1--1", "-11-", "-1-1"}));
+  const NodeId x = net.add_node("x", {a, b}, Sop::from_strings({"1-", "-1"}));
+  net.add_po("h", h);
+  net.add_po("x", x);
+
+  const auto before = po_signature(net);
+  const int lits_before = net.factored_literals();  // 4 (h factored) + 2
+
+  SubstituteOptions opts;
+  opts.method = SubstMethod::Basic;
+  opts.try_pos = true;
+  const SubstituteStats st = substitute_network(net, opts);
+  EXPECT_TRUE(net.check());
+  EXPECT_EQ(po_signature(net), before);
+  EXPECT_LT(net.factored_literals(), lits_before);
+  EXPECT_GE(st.substitutions, 1);
+  // h = x(c+d): 3 literals.
+  const NodeId h2 = net.find_node("h");
+  EXPECT_LE(net.node(h2).func.num_literals(), 4);
+  bool reads_x = false;
+  for (NodeId y : net.node(h2).fanins) reads_x |= (y == net.find_node("x"));
+  EXPECT_TRUE(reads_x);
+}
+
+TEST(Substitute, ExtendedDecomposesDivisor) {
+  // Divisor g = ab + cd + e; dividend f = abx + cdx. Basic division by g
+  // fails (no cube of f is contained by cube e... actually by any g cube
+  // it is: abx ⊆ ab). The win: extended division splits g so f = x·g_c.
+  Network net("ext");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId d = net.add_pi("d");
+  const NodeId e = net.add_pi("e");
+  const NodeId x = net.add_pi("x");
+  const NodeId g = net.add_node(
+      "g", {a, b, c, d, e}, Sop::from_strings({"11---", "--11-", "----1"}));
+  const NodeId f = net.add_node(
+      "f", {a, b, c, d, x}, Sop::from_strings({"11--1", "--111"}));
+  net.add_po("f", f);
+  net.add_po("g", g);
+
+  const auto before = po_signature(net);
+  SubstituteOptions opts;
+  opts.method = SubstMethod::Extended;
+  const SubstituteStats st = substitute_network(net, opts);
+  EXPECT_TRUE(net.check());
+  EXPECT_EQ(po_signature(net), before);
+  if (st.substitutions > 0 && st.decompositions > 0) {
+    // g must now be an OR of the new core node and its rest.
+    const NodeId g2 = net.find_node("g");
+    EXPECT_GE(net.node(g2).fanins.size(), 1u);
+  }
+}
+
+TEST(Substitute, GdcModeUsesDontCaresAndPreservesPOs) {
+  Network net = intro_example();
+  const auto before = po_signature(net);
+  SubstituteOptions opts;
+  opts.method = SubstMethod::ExtendedGdc;
+  const SubstituteStats st = substitute_network(net, opts);
+  (void)st;
+  EXPECT_TRUE(net.check());
+  EXPECT_EQ(po_signature(net), before);
+}
+
+TEST(Substitute, RejectsCyclicDivisor) {
+  Network net("cyc");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId f = net.add_node("f", {a, b}, Sop::from_strings({"11"}));
+  const NodeId g = net.add_node("g", {f, a}, Sop::from_strings({"11"}));
+  net.add_po("g", g);
+  SubstituteOptions opts;
+  // g depends on f: substituting g into f would create a cycle.
+  EXPECT_EQ(try_substitution(net, f, g, opts, true), std::nullopt);
+  EXPECT_TRUE(net.check());
+}
+
+TEST(Substitute, TrySubstitutionDryRunDoesNotMutate) {
+  Network net = intro_example();
+  const std::string before = [&] {
+    std::string s;
+    for (NodeId id = 0; id < net.num_nodes(); ++id)
+      if (net.node(id).alive && !net.node(id).is_pi)
+        s += net.node(id).func.to_string() + ";";
+    return s;
+  }();
+  SubstituteOptions opts;
+  (void)try_substitution(net, net.find_node("f"), net.find_node("d"), opts,
+                         /*commit=*/false);
+  const std::string after = [&] {
+    std::string s;
+    for (NodeId id = 0; id < net.num_nodes(); ++id)
+      if (net.node(id).alive && !net.node(id).is_pi)
+        s += net.node(id).func.to_string() + ";";
+    return s;
+  }();
+  EXPECT_EQ(before, after);
+}
+
+// ---------------------------------------------------------------------
+// Property: every method preserves PO functions on random multi-level
+// networks with shared structure.
+
+Network random_network(std::mt19937& rng, int num_pis, int num_nodes) {
+  Network net("rand");
+  std::vector<NodeId> pool;
+  for (int i = 0; i < num_pis; ++i)
+    pool.push_back(net.add_pi("x" + std::to_string(i)));
+  std::uniform_int_distribution<int> nfan(2, 4);
+  std::uniform_int_distribution<int> ncube(1, 4);
+  for (int i = 0; i < num_nodes; ++i) {
+    const int k = std::min<int>(nfan(rng), static_cast<int>(pool.size()));
+    std::vector<NodeId> fanins;
+    while (static_cast<int>(fanins.size()) < k) {
+      const NodeId cand = pool[rng() % pool.size()];
+      if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end())
+        fanins.push_back(cand);
+    }
+    Sop func(k);
+    const int cubes = ncube(rng);
+    for (int cidx = 0; cidx < cubes; ++cidx) {
+      Cube c(k);
+      for (int v = 0; v < k; ++v) {
+        const int r = static_cast<int>(rng() % 3);
+        if (r == 0) c.set_lit(v, Lit::Pos);
+        if (r == 1) c.set_lit(v, Lit::Neg);
+      }
+      func.add_cube(c);
+    }
+    if (func.num_cubes() == 0) func = Sop::one(k);
+    pool.push_back(net.add_node("n" + std::to_string(i), fanins, func));
+  }
+  // A few POs from the deepest nodes.
+  for (int i = 0; i < 3; ++i)
+    net.add_po("o" + std::to_string(i),
+               pool[pool.size() - 1 - static_cast<std::size_t>(i)]);
+  return net;
+}
+
+struct MethodParam {
+  int seed;
+  SubstMethod method;
+  bool pos;
+};
+
+class SubstituteProperty : public ::testing::TestWithParam<MethodParam> {};
+
+TEST_P(SubstituteProperty, PreservesPrimaryOutputs) {
+  const MethodParam p = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(p.seed));
+  for (int iter = 0; iter < 8; ++iter) {
+    Network net = random_network(rng, 5, 10);
+    const auto before = po_signature(net);
+    SubstituteOptions opts;
+    opts.method = p.method;
+    opts.try_pos = p.pos;
+    opts.max_passes = 2;
+    substitute_network(net, opts);
+    ASSERT_TRUE(net.check());
+    EXPECT_EQ(po_signature(net), before) << "seed=" << p.seed << " iter=" << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, SubstituteProperty,
+    ::testing::Values(MethodParam{11, SubstMethod::Basic, false},
+                      MethodParam{12, SubstMethod::Basic, true},
+                      MethodParam{13, SubstMethod::Extended, false},
+                      MethodParam{14, SubstMethod::Extended, true},
+                      MethodParam{15, SubstMethod::ExtendedGdc, true},
+                      MethodParam{16, SubstMethod::ExtendedGdc, false}));
+
+
+TEST(Substitute, DivisorPoolMechanics) {
+  // Fig. 3(c) generalization: the useful core (ab) is buried inside d1
+  // (= ab + e) while d2 contributes pool context. The pooled vote table
+  // selects {ab}. Under per-node factored accounting the new node cannot
+  // pay for itself for a single dividend (see substitute.hpp), so the
+  // call declines — and must leave the network untouched.
+  Network net("pool");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId d = net.add_pi("d");
+  const NodeId e = net.add_pi("e");
+  const NodeId x = net.add_pi("x");
+  const NodeId y = net.add_pi("y");
+  const NodeId z = net.add_pi("z");
+  const NodeId f = net.add_node(
+      "f", {a, b, x, y, z},
+      Sop::from_strings({"111--", "11-1-", "11--1"}));
+  const NodeId d1 =
+      net.add_node("d1", {a, b, e}, Sop::from_strings({"11-", "--1"}));
+  const NodeId d2 = net.add_node("d2", {c, d}, Sop::from_strings({"11"}));
+  net.add_po("f", f);
+  net.add_po("d1", d1);
+  net.add_po("d2", d2);
+
+  const Network before = net;
+  SubstituteOptions opts;
+  opts.method = SubstMethod::Extended;
+  const std::optional<int> gain = try_pool_substitution(net, f, {d1, d2}, opts);
+  EXPECT_TRUE(net.check());
+  EXPECT_EQ(po_signature(net), po_signature(before));
+  if (gain.has_value()) {
+    // If it does commit, the gain is positive and a fresh core node feeds f.
+    EXPECT_GT(*gain, 0);
+    const NodeId f2 = net.find_node("f");
+    bool has_new_fanin = false;
+    for (NodeId nf : net.node(f2).fanins) {
+      const Node& nd = net.node(nf);
+      if (!nd.is_pi && nd.name != "d1" && nd.name != "d2") has_new_fanin = true;
+    }
+    EXPECT_TRUE(has_new_fanin);
+  } else {
+    // Declined: the node functions are untouched.
+    const NodeId f2 = net.find_node("f");
+    EXPECT_EQ(net.node(f2).func, before.node(before.find_node("f")).func);
+  }
+}
+
+TEST(Substitute, DivisorPoolRejectsUnprofitableAndSingleDivisor) {
+  Network net("pool2");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId f = net.add_node("f", {a, b}, Sop::from_strings({"11"}));
+  const NodeId d1 = net.add_node("d1", {a, b}, Sop::from_strings({"1-", "-1"}));
+  net.add_po("f", f);
+  net.add_po("d1", d1);
+  SubstituteOptions opts;
+  // Fewer than two usable divisors: pool declines.
+  EXPECT_EQ(try_pool_substitution(net, f, {d1}, opts), std::nullopt);
+  EXPECT_TRUE(net.check());
+}
+
+}  // namespace
+}  // namespace rarsub

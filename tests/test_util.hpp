@@ -1,0 +1,45 @@
+#pragma once
+// Shared helpers for the test suites: deterministic random cover
+// generation and exhaustive truth-table comparison (the ground truth all
+// property tests check against).
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sop/sop.hpp"
+
+namespace rarsub::testutil {
+
+/// Deterministic random cover: `num_cubes` cubes over `num_vars` variables;
+/// each variable appears in a cube with probability ~`density` (split
+/// between polarities).
+inline Sop random_sop(std::mt19937& rng, int num_vars, int num_cubes,
+                      double density = 0.5) {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  Sop f(num_vars);
+  for (int i = 0; i < num_cubes; ++i) {
+    Cube c(num_vars);
+    for (int v = 0; v < num_vars; ++v) {
+      const double r = coin(rng);
+      if (r < density / 2) c.set_lit(v, Lit::Pos);
+      else if (r < density) c.set_lit(v, Lit::Neg);
+    }
+    f.add_cube(c);
+  }
+  return f;
+}
+
+/// Truth table of a cover as a bit vector of length 2^num_vars.
+inline std::vector<bool> truth_table(const Sop& f) {
+  const int n = f.num_vars();
+  std::vector<bool> tt(static_cast<std::size_t>(1) << n);
+  for (std::uint64_t a = 0; a < tt.size(); ++a) tt[a] = f.eval(a);
+  return tt;
+}
+
+inline bool same_function(const Sop& a, const Sop& b) {
+  return truth_table(a) == truth_table(b);
+}
+
+}  // namespace rarsub::testutil
