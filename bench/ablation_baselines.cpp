@@ -6,13 +6,13 @@
 //   ext_gdc      — + global internal don't cares
 // plus the algebraic `resub -d` floor.
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 
 #include "benchcir/suite.hpp"
 #include "division/substitute.hpp"
+#include "obs/obs.hpp"
 #include "opt/scripts.hpp"
 #include "resub/algebraic_resub.hpp"
 #include "resub/boolean_baselines.hpp"
@@ -71,11 +71,9 @@ int main() {
     std::printf("%-10s %6d", b.name.c_str(), prepared.factored_literals());
     for (std::size_t i = 0; i < engines.size(); ++i) {
       Network net = prepared;
-      const auto t0 = std::chrono::steady_clock::now();
+      const obs::Timer timer;
       engines[i].run(net);
-      const double ms = std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
+      const double ms = timer.elapsed_ms();
       if (!check_equivalence(prepared, net).equivalent) ++failures;
       tot[i] += net.factored_literals();
       std::printf(" | %7d %8.1f", net.factored_literals(), ms);

@@ -7,12 +7,12 @@
 // Quality (factored literals) should improve monotonically while CPU
 // grows — the trade-off the paper calls out explicitly.
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "benchcir/suite.hpp"
 #include "division/substitute.hpp"
+#include "obs/obs.hpp"
 #include "opt/scripts.hpp"
 #include "verify/equivalence.hpp"
 
@@ -40,11 +40,9 @@ int main() {
       SubstituteOptions opts;
       opts.method = cfg == 0 ? SubstMethod::Extended : SubstMethod::ExtendedGdc;
       opts.gdc_learning_depth = cfg == 2 ? 1 : 0;
-      const auto t0 = std::chrono::steady_clock::now();
+      const obs::Timer timer;
       substitute_network(net, opts);
-      const double ms = std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
+      const double ms = timer.elapsed_ms();
       if (!check_equivalence(prepared, net).equivalent) ++failures;
       tot[cfg + 1] += net.factored_literals();
       ms_tot[cfg] += ms;

@@ -2,12 +2,12 @@
 // also perform substitution in the flavor of product-of-sum form").
 // Extended division with and without the POS dual views.
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "benchcir/suite.hpp"
 #include "division/substitute.hpp"
+#include "obs/obs.hpp"
 #include "opt/scripts.hpp"
 #include "verify/equivalence.hpp"
 
@@ -33,11 +33,9 @@ int main() {
       SubstituteOptions opts;
       opts.method = SubstMethod::Extended;
       opts.try_pos = (cfg == 1);
-      const auto t0 = std::chrono::steady_clock::now();
+      const obs::Timer timer;
       substitute_network(net, opts);
-      const double ms = std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
+      const double ms = timer.elapsed_ms();
       if (!check_equivalence(prepared, net).equivalent) ++failures;
       tot[cfg + 1] += net.factored_literals();
       std::printf(" | %8d %8.1f", net.factored_literals(), ms);

@@ -3,12 +3,12 @@
 // can be marginal") vs evaluating all divisors and committing the best.
 // This is the mechanism behind the Table V ext+GDC anomaly.
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "benchcir/suite.hpp"
 #include "division/substitute.hpp"
+#include "obs/obs.hpp"
 #include "opt/scripts.hpp"
 #include "verify/equivalence.hpp"
 
@@ -34,11 +34,9 @@ int main() {
       SubstituteOptions opts;
       opts.method = SubstMethod::Extended;
       opts.first_positive = (cfg == 0);
-      const auto t0 = std::chrono::steady_clock::now();
+      const obs::Timer timer;
       substitute_network(net, opts);
-      const double ms = std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
+      const double ms = timer.elapsed_ms();
       if (!check_equivalence(prepared, net).equivalent) ++failures;
       tot[cfg + 1] += net.factored_literals();
       std::printf(" | %8d %8.1f", net.factored_literals(), ms);

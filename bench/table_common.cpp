@@ -1,10 +1,12 @@
 #include "table_common.hpp"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "benchcir/suite.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
 #include "verify/equivalence.hpp"
 
 namespace rarsub::benchtool {
@@ -13,6 +15,23 @@ int run_table(const TableConfig& config) {
   const bool small =
       config.small_suite || std::getenv("RARSUB_SMALL") != nullptr;
   const auto suite = small ? benchmark_suite_small() : benchmark_suite();
+
+  const char* report_env = std::getenv("RARSUB_REPORT");
+  const std::string report_path =
+      (report_env != nullptr && *report_env != '\0') ? report_env
+                                                     : config.report_path;
+  const bool reporting = !report_path.empty();
+  std::string report;
+  obs::JsonWriter w(&report);
+  if (reporting) {
+    w.begin_object();
+    w.key("table");
+    w.value(config.title);
+    w.key("suite");
+    w.value(small ? "small" : "full");
+    w.key("circuits");
+    w.begin_array();
+  }
 
   std::printf("%s\n", config.title.c_str());
   std::printf("%-10s %6s", "circuit", "init");
@@ -31,15 +50,26 @@ int run_table(const TableConfig& config) {
     const int init = prepared.factored_literals();
     total_init += init;
     std::printf("%-10s %6d", e.name.c_str(), init);
+    if (reporting) {
+      w.begin_object();
+      w.key("name");
+      w.value(e.name);
+      w.key("init_literals");
+      w.value(init);
+      w.key("methods");
+      w.begin_array();
+    }
 
     for (std::size_t i = 0; i < config.methods.size(); ++i) {
       Network net = prepared;
-      const auto t0 = std::chrono::steady_clock::now();
+      // Per-method observability window: everything the method touches
+      // (division regions, implications, espresso calls, …) lands in this
+      // snapshot and nothing from the previous method leaks in.
+      obs::reset();
+      obs::Timer timer;
       config.apply(net, config.methods[i]);
-      const double ms =
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - t0)
-              .count();
+      const double ms = timer.elapsed_ms();
+      const obs::Snapshot snap = obs::snapshot();
       const int lits = net.factored_literals();
       total_lits[i] += lits;
       total_ms[i] += ms;
@@ -51,8 +81,26 @@ int run_table(const TableConfig& config) {
       }
       std::printf(" | %7d%c %8.1f", lits, ok ? ' ' : '!', ms);
       std::fflush(stdout);
+      if (reporting) {
+        w.begin_object();
+        w.key("method");
+        w.value(method_name(config.methods[i]));
+        w.key("literals");
+        w.value(lits);
+        w.key("cpu_ms");
+        w.value(ms);
+        w.key("equivalent");
+        w.value(ok);
+        w.key("obs");
+        obs::snapshot_to_json(w, snap);
+        w.end_object();
+      }
     }
     std::printf("\n");
+    if (reporting) {
+      w.end_array();
+      w.end_object();
+    }
   }
 
   std::printf("%-10s %6ld", "total", total_init);
@@ -68,6 +116,23 @@ int run_table(const TableConfig& config) {
   std::printf("\n");
   if (failures > 0)
     std::printf("EQUIVALENCE FAILURES: %d\n", failures);
+
+  if (reporting) {
+    w.end_array();
+    w.key("total_init_literals");
+    w.value(static_cast<std::int64_t>(total_init));
+    w.key("equivalence_failures");
+    w.value(failures);
+    w.end_object();
+    report += '\n';
+    std::ofstream out(report_path);
+    if (out) {
+      out << report;
+      std::printf("report written to %s\n", report_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write report to %s\n", report_path.c_str());
+    }
+  }
   return failures;
 }
 

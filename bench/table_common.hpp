@@ -4,6 +4,12 @@
 // resubstitution method to a fresh copy, and prints the paper's row format
 // (per-circuit factored literals + CPU, a totals row, and the percentage
 // improvement over the initial literal count).
+//
+// With RARSUB_REPORT=<file> (or TableConfig::report_path) the harness also
+// writes a machine-readable JSON report: per circuit and per method the
+// literal counts, wall time, equivalence verdict, and the full
+// observability snapshot (counters / distributions / phase timers) of that
+// method's run. See docs/OBSERVABILITY.md for the schema.
 
 #include <functional>
 #include <string>
@@ -30,6 +36,8 @@ struct TableConfig {
   bool verify = true;
   /// Use the reduced suite (also triggered by env RARSUB_SMALL=1).
   bool small_suite = false;
+  /// Write the JSON report here; env RARSUB_REPORT=<file> overrides.
+  std::string report_path;
 };
 
 /// Run and print the table; returns the number of equivalence failures

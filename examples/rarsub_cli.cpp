@@ -10,15 +10,22 @@
 // <circuit> is a .blif path, a .pla path, or a built-in benchmark name.
 // method: sis | basic | ext | ext_gdc (default ext)
 // script: a | b | c | algebraic (default a; `algebraic` runs the full flow)
+//
+// Global observability flags (any command):
+//   --stats           print the counter/timer table to stderr afterwards
+//   --trace <file>    write a Chrome trace-event JSON of the run
+//   --report <file>   write the observability snapshot as JSON
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "benchcir/suite.hpp"
 #include "network/blif.hpp"
+#include "obs/obs.hpp"
 #include "network/eqn.hpp"
 #include "network/pla.hpp"
 #include "opt/decomp.hpp"
@@ -157,20 +164,49 @@ int cmd_list() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the global observability flags; everything else is positional.
+  bool show_stats = false;
+  std::string trace_path, report_path;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--stats") show_stats = true;
+    else if (a == "--trace" && i + 1 < argc) trace_path = argv[++i];
+    else if (a == "--report" && i + 1 < argc) report_path = argv[++i];
+    else args.push_back(a);
+  }
+  if (!trace_path.empty()) obs::trace_begin(trace_path);
+
+  int rc = -1;
   try {
-    const std::string cmd = argc > 1 ? argv[1] : "";
-    if (cmd == "stats" && argc >= 3) return cmd_stats(argv[2]);
-    if (cmd == "optimize" && argc >= 3)
-      return cmd_optimize(argv[2], argc > 3 ? argv[3] : "ext",
-                          argc > 4 ? argv[4] : "a");
-    if (cmd == "verify" && argc >= 4) return cmd_verify(argv[2], argv[3]);
-    if (cmd == "print" && argc >= 3) return cmd_print(argv[2]);
-    if (cmd == "pass" && argc >= 4) return cmd_pass(argv[2], argv[3]);
-    if (cmd == "list") return cmd_list();
+    const std::string cmd = !args.empty() ? args[0] : "";
+    if (cmd == "stats" && args.size() >= 2) rc = cmd_stats(args[1]);
+    else if (cmd == "optimize" && args.size() >= 2)
+      rc = cmd_optimize(args[1], args.size() > 2 ? args[2] : "ext",
+                        args.size() > 3 ? args[3] : "a");
+    else if (cmd == "verify" && args.size() >= 3) rc = cmd_verify(args[1], args[2]);
+    else if (cmd == "print" && args.size() >= 2) rc = cmd_print(args[1]);
+    else if (cmd == "pass" && args.size() >= 3) rc = cmd_pass(args[1], args[2]);
+    else if (cmd == "list") rc = cmd_list();
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());
-    return 1;
+    rc = 1;
   }
+
+  if (rc >= 0) {
+    const obs::Snapshot snap = obs::snapshot();
+    if (show_stats)
+      std::fprintf(stderr, "%s", obs::render_text(snap).c_str());
+    if (!report_path.empty()) {
+      std::ofstream out(report_path);
+      if (out) out << obs::render_json(snap);
+      else std::fprintf(stderr, "cannot write report to %s\n",
+                        report_path.c_str());
+    }
+    if (!trace_path.empty()) obs::trace_end();
+    return rc;
+  }
+
   std::fprintf(stderr,
                "usage:\n"
                "  rarsub_cli stats    <circuit>\n"
@@ -181,6 +217,7 @@ int main(int argc, char** argv) {
                "  rarsub_cli pass     <circuit> <rr|full_simplify|decomp|"
                "eliminate|simplify|sweep>\n"
                "  rarsub_cli list\n"
+               "global flags: --stats | --trace <file> | --report <file>\n"
                "(<circuit> = .blif path, .pla path, or built-in name)\n");
   return 2;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace rarsub {
 
 bool removal_stuck_value(GateType t) {
@@ -80,6 +82,7 @@ std::vector<int> propagation_dominators(const GateNet& net, int g) {
 
 FaultResult analyze_fault(const GateNet& net, WireRef w, bool stuck_value,
                           int learning_depth) {
+  OBS_COUNT("atpg.faults", 1);
   FaultResult res;
   const Gate& gd = net.gate(w.gate);
   assert(gd.type == GateType::And || gd.type == GateType::Or);
@@ -92,6 +95,7 @@ FaultResult analyze_fault(const GateNet& net, WireRef w, bool stuck_value,
     if (!net.reaches_output(w.gate, blocked)) {
       res.untestable = true;
       res.unobservable = true;
+      OBS_COUNT("atpg.faults.untestable", 1);
       return res;
     }
   }
@@ -101,6 +105,7 @@ FaultResult analyze_fault(const GateNet& net, WireRef w, bool stuck_value,
   auto fail = [&]() {
     res.untestable = true;
     res.values = eng.values();
+    OBS_COUNT("atpg.faults.untestable", 1);
     return res;
   };
 

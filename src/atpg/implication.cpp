@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace rarsub {
 
 ImplicationEngine::ImplicationEngine(const GateNet& net, int learning_depth)
@@ -37,6 +39,7 @@ bool ImplicationEngine::set_value(int g, TV v) {
   if (cur == v) return true;
   if (cur != TV::X) {
     conflict_ = true;
+    OBS_COUNT("atpg.conflicts", 1);
     return false;
   }
   cur = v;
@@ -93,6 +96,7 @@ bool ImplicationEngine::imply_gate(int g) {
   } else if (out == out_ctrl && n_ctrl == 0) {
     if (n_x == 0) {
       conflict_ = true;  // output demands a controlling input; none possible
+      OBS_COUNT("atpg.conflicts", 1);
       return false;
     }
     if (n_x == 1) {
@@ -103,12 +107,22 @@ bool ImplicationEngine::imply_gate(int g) {
 }
 
 bool ImplicationEngine::propagate() {
+  // Counted in one batch per drain: the pop loop is the engine's hottest
+  // path, one atomic per gate visit would be measurable.
+  int visits = 0;
+  bool ok = true;
   while (!queue_.empty()) {
     const int g = queue_.back();
     queue_.pop_back();
     queued_[static_cast<std::size_t>(g)] = false;
-    if (!imply_gate(g)) return false;
+    ++visits;
+    if (!imply_gate(g)) {
+      ok = false;
+      break;
+    }
   }
+  OBS_COUNT("atpg.implications", visits);
+  if (!ok) return false;
   if (learning_depth_ > 0) {
     if (!learn_pass()) return false;
     // learn_pass re-queues on success; drain if anything was learned.
@@ -122,6 +136,7 @@ bool ImplicationEngine::learn_pass() {
   // unjustified gate, run direct implications in each branch, and keep the
   // values common to all non-conflicting branches.
   constexpr int kMaxSplits = 48;
+  OBS_COUNT("atpg.learn.passes", 1);
   int splits = 0;
   for (int g = 0; g < net_->num_gates() && splits < kMaxSplits; ++g) {
     const Gate& gd = net_->gate(g);
@@ -138,6 +153,7 @@ bool ImplicationEngine::learn_pass() {
     }
     if (n_ctrl > 0 || n_x < 2) continue;
     ++splits;
+    OBS_COUNT("atpg.learn.splits", 1);
 
     std::vector<TV> common;
     bool first = true;
@@ -158,6 +174,7 @@ bool ImplicationEngine::learn_pass() {
     }
     if (all_conflict) {
       conflict_ = true;
+      OBS_COUNT("atpg.conflicts", 1);
       return false;
     }
     for (std::size_t i = 0; i < common.size(); ++i) {
@@ -171,6 +188,7 @@ bool ImplicationEngine::learn_pass() {
 }
 
 bool ImplicationEngine::assign(int g, bool v) {
+  OBS_COUNT("atpg.assigns", 1);
   if (conflict_) return false;
   if (!set_value(g, tv_of(v))) return false;
   return propagate();

@@ -2,12 +2,14 @@
 
 #include "division/division.hpp"
 #include "gatenet/build.hpp"
+#include "obs/obs.hpp"
 #include "rar/redundancy.hpp"
 
 namespace rarsub {
 
 DivisionRegion build_division_region(const Sop& fprime, const Sop& remainder,
                                      const Sop& d, bool connect_bold) {
+  OBS_COUNT("division.regions", 1);
   assert(fprime.num_vars() == d.num_vars());
   DivisionRegion r;
   const int nv = fprime.num_vars();
@@ -45,6 +47,7 @@ DivisionRegion build_division_region(const Sop& fprime, const Sop& remainder,
 
 int region_redundancy_removal(GateNet& gn, const std::vector<int>& fcube_gates,
                               int q_or, int learning_depth) {
+  OBS_SCOPED_TIMER("division.region_rr");
   std::vector<WireRef> wires;
   for (int g : fcube_gates)
     for (int p = 0; p < static_cast<int>(gn.gate(g).fanins.size()); ++p)
@@ -62,7 +65,9 @@ int region_redundancy_removal(GateNet& gn, const std::vector<int>& fcube_gates,
   RemoveOptions opts;
   opts.learning_depth = learning_depth;
   opts.to_fixpoint = true;
-  return remove_redundant_wires(gn, wires, opts);
+  const int removed = remove_redundant_wires(gn, wires, opts);
+  OBS_COUNT("division.region_wires_removed", removed);
+  return removed;
 }
 
 Sop extract_quotient(const GateNet& gn, const std::vector<int>& fcube_gates,
@@ -92,6 +97,7 @@ Sop extract_quotient(const GateNet& gn, const std::vector<int>& fcube_gates,
 
 DivisionResult basic_boolean_divide(const Sop& f, const Sop& d,
                                     const DivisionOptions& opts) {
+  OBS_SCOPED_TIMER("division.basic");
   DivisionResult res;
   res.quotient = Sop(f.num_vars());
   res.remainder = Sop(f.num_vars());

@@ -4,6 +4,7 @@
 #include "atpg/fault.hpp"
 #include "division/clique.hpp"
 #include "division/division.hpp"
+#include "obs/obs.hpp"
 
 namespace rarsub {
 
@@ -31,6 +32,7 @@ void split_remainder(const Sop& f, const Sop& d, Sop* fprime, Sop* remainder) {
 
 std::vector<VoteEntry> vote_table(const Sop& f, const Sop& d,
                                   const DivisionOptions& opts) {
+  OBS_SCOPED_TIMER("division.vote_table");
   std::vector<VoteEntry> table;
   if (f.num_cubes() == 0 || d.num_cubes() == 0) return table;
 
@@ -69,9 +71,11 @@ std::vector<VoteEntry> vote_table(const Sop& f, const Sop& d,
           e.valid = true;
           break;
         }
+      OBS_COUNT("division.votes", e.candidates.size());
       table.push_back(std::move(e));
     }
   }
+  OBS_VALUE("division.vote_table.entries", table.size());
   return table;
 }
 
@@ -110,6 +114,7 @@ std::vector<int> choose_core_divisor(const Sop& f, const Sop& d,
             adj[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = true;
 
   std::vector<int> clique = max_clique(adj);
+  OBS_VALUE("division.clique.size", clique.size());
   // Core divisor = intersection of the clique's candidate sets. Pairwise
   // intersection does not guarantee a common element, so shrink the clique
   // from the back until the intersection is non-empty.
@@ -123,7 +128,10 @@ std::vector<int> choose_core_divisor(const Sop& f, const Sop& d,
                             other.end(), std::back_inserter(next));
       core = std::move(next);
     }
-    if (!core.empty()) return core;
+    if (!core.empty()) {
+      OBS_VALUE("division.core.size", core.size());
+      return core;
+    }
     clique.pop_back();
   }
   return all;
@@ -131,6 +139,7 @@ std::vector<int> choose_core_divisor(const Sop& f, const Sop& d,
 
 ExtendedResult extended_boolean_divide(const Sop& f, const Sop& d,
                                        const DivisionOptions& opts) {
+  OBS_SCOPED_TIMER("division.extended");
   ExtendedResult res;
   if (d.num_cubes() == 0) {
     res.remainder = f;

@@ -6,6 +6,7 @@
 
 #include "gatenet/build.hpp"
 #include "network/complement_cache.hpp"
+#include "obs/obs.hpp"
 #include "rar/redundancy.hpp"
 #include "sop/factor.hpp"
 
@@ -130,9 +131,15 @@ std::optional<Candidate> score(const Network& net, NodeId f, NodeId d,
 
   if (comp_f) {
     // Lemma 2 dual: we divided the complemented dividend; complement back.
-    if (g.num_cubes() > opts.max_complement_cubes) return std::nullopt;
+    if (g.num_cubes() > opts.max_complement_cubes) {
+      OBS_COUNT("subst.reject.max_complement_cubes", 1);
+      return std::nullopt;
+    }
     g = g.complement();
-    if (g.num_cubes() > 2 * opts.max_node_cubes) return std::nullopt;
+    if (g.num_cubes() > 2 * opts.max_node_cubes) {
+      OBS_COUNT("subst.reject.max_node_cubes", 1);
+      return std::nullopt;
+    }
   }
   // The rewrite must actually use the divisor.
   bool uses_y = false;
@@ -157,7 +164,10 @@ std::optional<Candidate> score(const Network& net, NodeId f, NodeId d,
     if (comp_d) {
       // The new node carries comp(core): d = y_nc · comp(rest).
       nc = nc.complement();
-      if (nc.num_cubes() > opts.max_complement_cubes) return std::nullopt;
+      if (nc.num_cubes() > opts.max_complement_cubes) {
+        OBS_COUNT("subst.reject.max_complement_cubes", 1);
+        return std::nullopt;
+      }
     }
     if (nc.num_cubes() == 0) return std::nullopt;
     cand.nc_local = std::move(nc);
@@ -299,6 +309,9 @@ std::optional<Candidate> evaluate_gdc(const Network& net, NodeId f, NodeId d,
 // ---------------------------------------------------------------------
 void commit(Network& net, NodeId f, NodeId d, const CommonSpace& cs,
             const Candidate& cand, SubstituteStats* stats) {
+  OBS_COUNT("subst.commits", 1);
+  if (cand.comp_f) OBS_COUNT("subst.commits.pos", 1);
+  if (cand.decompose) OBS_COUNT("subst.decompositions", 1);
   NodeId y = d;
   if (cand.decompose) {
     const int m = net.node(d).func.num_vars();
@@ -352,13 +365,23 @@ std::optional<int> attempt(Network& net, NodeId f, NodeId d,
   if (fn.is_pi || dn.is_pi || !fn.alive || !dn.alive || f == d)
     return std::nullopt;
   if (fn.func.num_cubes() == 0 || dn.func.num_cubes() == 0) return std::nullopt;
-  if (fn.func.num_cubes() > opts.max_node_cubes) return std::nullopt;
-  if (dn.func.num_cubes() > opts.max_divisor_cubes) return std::nullopt;
+  if (fn.func.num_cubes() > opts.max_node_cubes) {
+    OBS_COUNT("subst.reject.max_node_cubes", 1);
+    return std::nullopt;
+  }
+  if (dn.func.num_cubes() > opts.max_divisor_cubes) {
+    OBS_COUNT("subst.reject.max_divisor_cubes", 1);
+    return std::nullopt;
+  }
   if (net.depends_on(d, f)) return std::nullopt;  // would create a cycle
 
+  OBS_COUNT("subst.attempts", 1);
+  OBS_SCOPED_TIMER("subst.attempt");
   const CommonSpace cs = make_common_space(net, f, d);
-  if (static_cast<int>(cs.vars.size()) > opts.max_common_vars)
+  if (static_cast<int>(cs.vars.size()) > opts.max_common_vars) {
+    OBS_COUNT("subst.reject.max_common_vars", 1);
     return std::nullopt;
+  }
   const int nv = static_cast<int>(cs.vars.size());
 
   // Complements for the POS dual, computed once in local spaces so cube
@@ -372,6 +395,11 @@ std::optional<int> attempt(Network& net, NodeId f, NodeId d,
         f_comp_local.num_cubes() == 0 ||
         d_comp_local.num_cubes() > opts.max_divisor_cubes ||
         d_comp_local.num_cubes() == 0) {
+      // The POS views are skipped; the SOS views still run.
+      if (f_comp_local.num_cubes() > opts.max_node_cubes)
+        OBS_COUNT("subst.reject.max_node_cubes", 1);
+      if (d_comp_local.num_cubes() > opts.max_divisor_cubes)
+        OBS_COUNT("subst.reject.max_divisor_cubes", 1);
       pos_ok = false;
     } else {
       std::vector<int> fmap(fn.fanins.size());
@@ -432,8 +460,12 @@ std::optional<int> try_pool_substitution(Network& net, NodeId f,
                                          const SubstituteOptions& opts) {
   const Node& fn = net.node(f);
   if (fn.is_pi || !fn.alive || fn.func.num_cubes() == 0 ||
-      fn.func.num_cubes() > opts.max_node_cubes)
+      fn.func.num_cubes() > opts.max_node_cubes) {
+    if (!fn.is_pi && fn.alive && fn.func.num_cubes() > opts.max_node_cubes)
+      OBS_COUNT("subst.reject.max_node_cubes", 1);
     return std::nullopt;
+  }
+  OBS_COUNT("subst.pool.attempts", 1);
 
   // Common variable space: f's fanins plus every pooled divisor's fanins.
   std::vector<NodeId> vars = fn.fanins;
@@ -461,8 +493,10 @@ std::optional<int> try_pool_substitution(Network& net, NodeId f,
     if (net.depends_on(d, f)) continue;
     std::vector<int> dmap;
     for (NodeId x : dn.fanins) dmap.push_back(var_of(x));
-    if (static_cast<int>(vars.size()) > opts.max_common_vars)
+    if (static_cast<int>(vars.size()) > opts.max_common_vars) {
+      OBS_COUNT("subst.reject.max_common_vars", 1);
       return std::nullopt;
+    }
     dmaps.push_back(std::move(dmap));
     used.push_back(d);
   }
@@ -576,11 +610,14 @@ std::optional<int> try_substitution(Network& net, NodeId f, NodeId d,
 }
 
 SubstituteStats substitute_network(Network& net, const SubstituteOptions& opts) {
+  OBS_SCOPED_TIMER("subst.network");
   SubstituteStats stats;
   stats.literals_before = net.factored_literals();
   ComplementCache comps;
 
   for (int pass = 0; pass < opts.max_passes; ++pass) {
+    OBS_SCOPED_TIMER("subst.pass");
+    OBS_COUNT("subst.passes", 1);
     bool changed = false;
     const std::vector<NodeId> order = net.topo_order();
     for (NodeId f : order) {
@@ -626,6 +663,11 @@ SubstituteStats substitute_network(Network& net, const SubstituteOptions& opts) 
 
   net.sweep();
   stats.literals_after = net.factored_literals();
+  // Mirror the public struct into the registry so --stats / RARSUB_REPORT
+  // show one unified table (commit() already counted the per-event
+  // subst.commits / subst.commits.pos / subst.decompositions).
+  OBS_VALUE("subst.literals_before", stats.literals_before);
+  OBS_VALUE("subst.literals_after", stats.literals_after);
   return stats;
 }
 

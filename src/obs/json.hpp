@@ -1,0 +1,103 @@
+#pragma once
+// Minimal streaming JSON writer used by the observability renderers and
+// the bench report emitter. Commas are placed automatically; values are
+// always well-formed JSON (strings escaped, non-finite doubles clamped).
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rarsub::obs {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  void begin_object() { pre(); *out_ += '{'; stack_.push_back(false); }
+  void end_object() { *out_ += '}'; stack_.pop_back(); }
+  void begin_array() { pre(); *out_ += '['; stack_.push_back(false); }
+  void end_array() { *out_ += ']'; stack_.pop_back(); }
+
+  void key(const std::string& k) {
+    pre();
+    *out_ += '"';
+    *out_ += json_escape(k);
+    *out_ += "\":";
+    key_pending_ = true;
+  }
+
+  void value(const std::string& v) {
+    pre();
+    *out_ += '"';
+    *out_ += json_escape(v);
+    *out_ += '"';
+  }
+  void value(const char* v) { value(std::string(v)); }
+  void value(std::int64_t v) {
+    pre();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    *out_ += buf;
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(double v) {
+    pre();
+    if (!std::isfinite(v)) {
+      *out_ += '0';
+      return;
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    *out_ += buf;
+  }
+  void value(bool v) {
+    pre();
+    *out_ += v ? "true" : "false";
+  }
+
+ private:
+  // Emit the separating comma unless this token follows a key or opens the
+  // container.
+  void pre() {
+    if (key_pending_) {
+      key_pending_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) *out_ += ',';
+      stack_.back() = true;
+    }
+  }
+
+  std::string* out_;
+  std::vector<bool> stack_;  // per level: a sibling was already written
+  bool key_pending_ = false;
+};
+
+}  // namespace rarsub::obs

@@ -1,0 +1,294 @@
+#include "obs/obs.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "obs/json.hpp"
+
+namespace rarsub::obs {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Distribution::record(std::int64_t v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::int64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Distribution::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+void TimerStat::record(std::int64_t ns) {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::int64_t cur = max_ns_.load(std::memory_order_relaxed);
+  while (ns > cur &&
+         !max_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+}
+
+void TimerStat::reset() {
+  calls_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+std::atomic<bool> g_trace_on{false};
+}
+
+namespace {
+
+// std::map keeps node addresses stable across insertions, so the
+// references handed out by counter()/distribution()/timer() (and cached in
+// the macros' function-local statics) survive any later registration.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Counter> counters;
+  std::map<std::string, Distribution> distributions;
+  std::map<std::string, TimerStat> timers;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+struct TraceSession {
+  std::mutex mu;
+  std::FILE* file = nullptr;
+  bool first_event = true;
+  std::int64_t t0_ns = 0;
+  std::int64_t min_dur_ns = 0;
+};
+
+TraceSession& trace_session() {
+  static TraceSession t;
+  return t;
+}
+
+// One-time environment gate: RARSUB_TRACE=<file> turns tracing on for the
+// whole process without touching any call site.
+void env_init() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* path = std::getenv("RARSUB_TRACE");
+    if (path != nullptr && *path != '\0') trace_begin(path);
+  });
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  env_init();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.counters[name];
+}
+
+Distribution& distribution(const std::string& name) {
+  env_init();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.distributions[name];
+}
+
+TimerStat& timer(const std::string& name) {
+  env_init();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.timers[name];
+}
+
+bool trace_begin(const std::string& path) {
+  TraceSession& t = trace_session();
+  std::lock_guard<std::mutex> lock(t.mu);
+  if (t.file != nullptr) return false;
+  t.file = std::fopen(path.c_str(), "w");
+  if (t.file == nullptr) return false;
+  t.first_event = true;
+  t.t0_ns = now_ns();
+  t.min_dur_ns = 0;
+  if (const char* min_us = std::getenv("RARSUB_TRACE_MIN_US"))
+    t.min_dur_ns = std::atoll(min_us) * 1000;
+  std::fputs("{\"traceEvents\":[", t.file);
+  detail::g_trace_on.store(true, std::memory_order_relaxed);
+  // Close the JSON even if the process exits without calling trace_end().
+  static bool at_exit_registered = false;
+  if (!at_exit_registered) {
+    at_exit_registered = true;
+    std::atexit([] { trace_end(); });
+  }
+  return true;
+}
+
+void trace_end() {
+  TraceSession& t = trace_session();
+  std::lock_guard<std::mutex> lock(t.mu);
+  if (t.file == nullptr) return;
+  detail::g_trace_on.store(false, std::memory_order_relaxed);
+  std::fputs("]}\n", t.file);
+  std::fclose(t.file);
+  t.file = nullptr;
+}
+
+void trace_emit(const char* name, std::int64_t start_ns, std::int64_t dur_ns) {
+  TraceSession& t = trace_session();
+  std::lock_guard<std::mutex> lock(t.mu);
+  if (t.file == nullptr || dur_ns < t.min_dur_ns) return;
+  const double ts_us = static_cast<double>(start_ns - t.t0_ns) / 1000.0;
+  const double dur_us = static_cast<double>(dur_ns) / 1000.0;
+  const unsigned tid = static_cast<unsigned>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffu);
+  std::fprintf(t.file,
+               "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+               "\"pid\":1,\"tid\":%u}",
+               t.first_event ? "" : ",", json_escape(name).c_str(), ts_us,
+               dur_us, tid);
+  t.first_event = false;
+}
+
+std::int64_t Snapshot::counter(const std::string& name) const {
+  for (const CounterSnap& c : counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+std::int64_t Snapshot::timer_calls(const std::string& name) const {
+  for (const TimerSnap& t : timers)
+    if (t.name == name) return t.calls;
+  return 0;
+}
+
+Snapshot snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Snapshot s;
+  for (const auto& [name, c] : r.counters)
+    if (c.value() != 0) s.counters.push_back(CounterSnap{name, c.value()});
+  for (const auto& [name, d] : r.distributions)
+    if (d.count() != 0)
+      s.distributions.push_back(
+          DistSnap{name, d.count(), d.sum(), d.min(), d.max()});
+  for (const auto& [name, t] : r.timers)
+    if (t.calls() != 0)
+      s.timers.push_back(TimerSnap{name, t.calls(), t.total_ns(), t.max_ns()});
+  return s;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters) c.reset();
+  for (auto& [name, d] : r.distributions) d.reset();
+  for (auto& [name, t] : r.timers) t.reset();
+}
+
+std::string render_text(const Snapshot& s) {
+  std::string out;
+  char buf[256];
+  auto line = [&out, &buf](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out += buf;
+  };
+  if (!s.counters.empty()) {
+    out += "counters\n";
+    for (const CounterSnap& c : s.counters)
+      line("  %-40s %12lld\n", c.name.c_str(),
+           static_cast<long long>(c.value));
+  }
+  if (!s.distributions.empty()) {
+    out += "distributions                              count      avg"
+           "      min      max\n";
+    for (const DistSnap& d : s.distributions)
+      line("  %-40s %8lld %8.1f %8lld %8lld\n", d.name.c_str(),
+           static_cast<long long>(d.count),
+           static_cast<double>(d.sum) / static_cast<double>(d.count),
+           static_cast<long long>(d.min), static_cast<long long>(d.max));
+  }
+  if (!s.timers.empty()) {
+    out += "timers                                     calls total_ms"
+           "   avg_ms   max_ms\n";
+    for (const TimerSnap& t : s.timers)
+      line("  %-40s %8lld %8.1f %8.3f %8.3f\n", t.name.c_str(),
+           static_cast<long long>(t.calls),
+           static_cast<double>(t.total_ns) / 1e6,
+           static_cast<double>(t.total_ns) / 1e6 /
+               static_cast<double>(t.calls),
+           static_cast<double>(t.max_ns) / 1e6);
+  }
+  if (out.empty()) out = "(no observability data)\n";
+  return out;
+}
+
+void snapshot_to_json(JsonWriter& w, const Snapshot& s) {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const CounterSnap& c : s.counters) {
+    w.key(c.name);
+    w.value(c.value);
+  }
+  w.end_object();
+  w.key("distributions");
+  w.begin_object();
+  for (const DistSnap& d : s.distributions) {
+    w.key(d.name);
+    w.begin_object();
+    w.key("count");
+    w.value(d.count);
+    w.key("sum");
+    w.value(d.sum);
+    w.key("min");
+    w.value(d.min);
+    w.key("max");
+    w.value(d.max);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("timers");
+  w.begin_object();
+  for (const TimerSnap& t : s.timers) {
+    w.key(t.name);
+    w.begin_object();
+    w.key("calls");
+    w.value(t.calls);
+    w.key("total_ms");
+    w.value(static_cast<double>(t.total_ns) / 1e6);
+    w.key("max_ms");
+    w.value(static_cast<double>(t.max_ns) / 1e6);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string render_json(const Snapshot& s) {
+  std::string out;
+  JsonWriter w(&out);
+  snapshot_to_json(w, s);
+  out += '\n';
+  return out;
+}
+
+}  // namespace rarsub::obs

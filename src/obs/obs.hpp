@@ -1,0 +1,219 @@
+#pragma once
+// Process-wide observability: named monotonic counters, value
+// distributions, per-phase scoped timers, an optional Chrome trace-event
+// stream, and a snapshot/reset API with text and JSON renderers.
+//
+// The instruments are cheap enough to leave compiled in everywhere:
+//   - OBS_COUNT / OBS_VALUE cost one relaxed atomic RMW per hit; the
+//     name-to-handle lookup happens once per call site through a
+//     function-local static reference (registry entries are never
+//     destroyed or moved, so cached references stay valid across reset()).
+//   - OBS_SCOPED_TIMER adds two steady_clock reads per scope.
+//   - Tracing is off unless RARSUB_TRACE=<file> is set in the environment
+//     (checked once) or trace_begin() is called; when off, a scoped timer
+//     pays a single relaxed atomic load on top of the aggregation.
+//
+// There are no locks on any hot path: the registry mutex guards only
+// first-use handle resolution, snapshot() and reset(); the trace mutex is
+// taken only while tracing is enabled.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rarsub::obs {
+
+/// Monotonic (steady_clock) nanoseconds — the one timing source every
+/// bench and instrument shares.
+std::int64_t now_ns();
+
+/// Simple stopwatch over now_ns(); replaces the per-bench ad-hoc chrono
+/// code.
+class Timer {
+ public:
+  Timer() : start_ns_(now_ns()) {}
+  void restart() { start_ns_ = now_ns(); }
+  std::int64_t elapsed_ns() const { return now_ns() - start_ns_; }
+  double elapsed_ms() const {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+
+ private:
+  std::int64_t start_ns_;
+};
+
+// ---------------------------------------------------------------------
+// Instruments. All operations are thread-safe; reads are relaxed and may
+// be slightly stale under concurrency, which is fine for statistics.
+
+class Counter {
+ public:
+  void add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Value stream summarized as count/sum/min/max.
+class Distribution {
+ public:
+  void record(std::int64_t v);
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::int64_t min() const { return min_.load(std::memory_order_relaxed); }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{INT64_MAX};
+  std::atomic<std::int64_t> max_{INT64_MIN};
+};
+
+/// Per-phase wall-time aggregate fed by ScopedTimer.
+class TimerStat {
+ public:
+  void record(std::int64_t ns);
+  std::int64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  std::int64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  std::int64_t max_ns() const { return max_ns_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::atomic<std::int64_t> calls_{0};
+  std::atomic<std::int64_t> total_ns_{0};
+  std::atomic<std::int64_t> max_ns_{0};
+};
+
+/// Resolve a named instrument, creating it on first use. References stay
+/// valid for the life of the process (entries are reset in place, never
+/// erased).
+Counter& counter(const std::string& name);
+Distribution& distribution(const std::string& name);
+TimerStat& timer(const std::string& name);
+
+// ---------------------------------------------------------------------
+// Tracing: Chrome trace-event JSON (load the file in chrome://tracing or
+// https://ui.perfetto.dev). Every OBS_SCOPED_TIMER scope becomes one
+// complete ("ph":"X") event; nesting renders hierarchically per thread.
+
+namespace detail {
+extern std::atomic<bool> g_trace_on;
+}
+
+inline bool trace_enabled() {
+  return detail::g_trace_on.load(std::memory_order_relaxed);
+}
+
+/// Start writing trace events to `path`. Returns false if the file cannot
+/// be opened or a trace is already active. Also triggered automatically by
+/// the RARSUB_TRACE environment variable on first instrument use;
+/// RARSUB_TRACE_MIN_US=<n> drops events shorter than n microseconds.
+bool trace_begin(const std::string& path);
+
+/// Finalize and close the trace file (also registered via atexit so an
+/// env-var-initiated trace is always well-formed JSON).
+void trace_end();
+
+/// Emit one complete event (no-op unless tracing).
+void trace_emit(const char* name, std::int64_t start_ns, std::int64_t dur_ns);
+
+/// RAII phase timer: aggregates into a TimerStat and emits a trace event
+/// when tracing is on. Use via OBS_SCOPED_TIMER.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimerStat& stat, const char* name)
+      : stat_(stat), name_(name), start_ns_(now_ns()) {}
+  ~ScopedTimer() {
+    const std::int64_t dur = now_ns() - start_ns_;
+    stat_.record(dur);
+    if (trace_enabled()) trace_emit(name_, start_ns_, dur);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerStat& stat_;
+  const char* name_;
+  std::int64_t start_ns_;
+};
+
+// ---------------------------------------------------------------------
+// Snapshot / reset / render.
+
+struct CounterSnap {
+  std::string name;
+  std::int64_t value = 0;
+};
+struct DistSnap {
+  std::string name;
+  std::int64_t count = 0, sum = 0, min = 0, max = 0;
+};
+struct TimerSnap {
+  std::string name;
+  std::int64_t calls = 0, total_ns = 0, max_ns = 0;
+};
+
+struct Snapshot {
+  std::vector<CounterSnap> counters;
+  std::vector<DistSnap> distributions;
+  std::vector<TimerSnap> timers;
+
+  /// Value of a counter in this snapshot; 0 when absent.
+  std::int64_t counter(const std::string& name) const;
+  /// Calls of a timer in this snapshot; 0 when absent.
+  std::int64_t timer_calls(const std::string& name) const;
+};
+
+/// Copy out every instrument with activity (zero-valued entries are
+/// skipped), sorted by name.
+Snapshot snapshot();
+
+/// Zero every instrument in place. Handles cached by the macros remain
+/// valid.
+void reset();
+
+/// Human-readable table (counters, distributions, timers).
+std::string render_text(const Snapshot& s);
+
+/// The snapshot as a JSON object string:
+///   {"counters":{..},"distributions":{..},"timers":{..}}
+std::string render_json(const Snapshot& s);
+
+class JsonWriter;  // obs/json.hpp
+/// Append the snapshot object to an in-progress JsonWriter (for embedding
+/// into larger reports).
+void snapshot_to_json(JsonWriter& w, const Snapshot& s);
+
+}  // namespace rarsub::obs
+
+// ---------------------------------------------------------------------
+// Instrumentation macros. `name` must be a string literal (or otherwise
+// stable for the call site's lifetime): the handle is resolved once.
+
+#define OBS_COUNT(name, n)                                              \
+  do {                                                                  \
+    static ::rarsub::obs::Counter& obs_counter_ =                       \
+        ::rarsub::obs::counter(name);                                   \
+    obs_counter_.add(static_cast<std::int64_t>(n));                     \
+  } while (0)
+
+#define OBS_VALUE(name, v)                                              \
+  do {                                                                  \
+    static ::rarsub::obs::Distribution& obs_dist_ =                     \
+        ::rarsub::obs::distribution(name);                              \
+    obs_dist_.record(static_cast<std::int64_t>(v));                     \
+  } while (0)
+
+#define OBS_SCOPED_TIMER(name) OBS_SCOPED_TIMER_IMPL_(name, __COUNTER__)
+#define OBS_SCOPED_TIMER_IMPL_(name, id) OBS_SCOPED_TIMER_IMPL2_(name, id)
+#define OBS_SCOPED_TIMER_IMPL2_(name, id)                               \
+  static ::rarsub::obs::TimerStat& obs_timer_stat_##id =                \
+      ::rarsub::obs::timer(name);                                       \
+  ::rarsub::obs::ScopedTimer obs_scoped_timer_##id(obs_timer_stat_##id, name)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "atpg/fault.hpp"
+#include "obs/obs.hpp"
 #include "rar/redundancy.hpp"
 
 namespace rarsub {
@@ -22,6 +23,7 @@ int total_wires(const GateNet& net) {
 }  // namespace
 
 RarStats rar_optimize(GateNet& net, const RarOptions& opts) {
+  OBS_SCOPED_TIMER("rar.optimize");
   RarStats stats;
   bool progress = true;
   int targets_tried = 0;
@@ -118,6 +120,12 @@ RarStats rar_optimize(GateNet& net, const RarOptions& opts) {
       }
     }
   }
+  // Publish the run's struct into the registry (RarStats stays the public
+  // API; the counters make the run visible to --stats / RARSUB_REPORT).
+  OBS_COUNT("rar.targets_tried", targets_tried);
+  OBS_COUNT("rar.wires_added", stats.wires_added);
+  OBS_COUNT("rar.wires_removed", stats.wires_removed);
+  OBS_COUNT("rar.transformations", stats.transformations);
   return stats;
 }
 

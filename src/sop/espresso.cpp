@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace rarsub {
 
 Sop espresso_expand(const Sop& f, const Sop& fun) {
+  OBS_COUNT("espresso.expand", 1);
   Sop out(f.num_vars());
   std::vector<Cube> cubes = f.cubes();
   // Expanding big cubes first tends to let them swallow the small ones.
@@ -28,6 +31,7 @@ Sop espresso_expand(const Sop& f, const Sop& fun) {
 }
 
 Sop espresso_irredundant(const Sop& f, const Sop& dc) {
+  OBS_COUNT("espresso.irredundant", 1);
   std::vector<Cube> cubes = f.cubes();
   // Drop small cubes first: they are the most likely to be covered.
   std::sort(cubes.begin(), cubes.end(), [](const Cube& a, const Cube& b) {
@@ -48,6 +52,7 @@ Sop espresso_irredundant(const Sop& f, const Sop& dc) {
 }
 
 Sop espresso_reduce(const Sop& f, const Sop& dc) {
+  OBS_COUNT("espresso.reduce", 1);
   // REDUCE is order-dependent and must be computed against the CURRENT
   // cover: once a cube has been reduced, later cubes see its reduced form.
   // Reducing every cube against the original cover lets two cubes that
@@ -84,6 +89,7 @@ Sop espresso_reduce(const Sop& f, const Sop& dc) {
 }
 
 Sop espresso_lite(const Sop& on, const Sop& dc) {
+  OBS_SCOPED_TIMER("espresso.lite");
   if (on.is_zero()) return Sop::zero(on.num_vars());
   Sop fun = on;
   for (const Cube& d : dc.cubes()) fun.add_cube(d);
@@ -94,6 +100,7 @@ Sop espresso_lite(const Sop& on, const Sop& dc) {
   int best_cost = cur.num_literals() + 1000000;
   Sop best = cur;
   for (int iter = 0; iter < 3; ++iter) {
+    OBS_COUNT("espresso.iterations", 1);
     cur = espresso_expand(cur, fun);
     cur = espresso_irredundant(cur, dc);
     const int cost = cur.num_literals() * 8 + cur.num_cubes();

@@ -1,0 +1,304 @@
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "division/substitute.hpp"
+#include "network/network.hpp"
+#include "obs/json.hpp"
+
+namespace rarsub {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON well-formedness checker — enough to
+// assert that the emitted trace files and reports parse as strict JSON.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+  bool valid() {
+    ws();
+    if (!value()) return false;
+    ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      ws();
+      if (!value()) return false;
+      ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      ws();
+      if (!value()) return false;
+      ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p; ++p, ++pos_)
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Obs, CounterAggregatesAndSurvivesReresolution) {
+  obs::reset();
+  OBS_COUNT("test.counter", 3);
+  OBS_COUNT("test.counter", 4);
+  EXPECT_EQ(obs::snapshot().counter("test.counter"), 7);
+  // A fresh handle resolution sees the same instrument.
+  EXPECT_EQ(obs::counter("test.counter").value(), 7);
+}
+
+TEST(Obs, CounterIsThreadSafe) {
+  obs::reset();
+  constexpr int kPerThread = 10000;
+  auto bump = [] {
+    for (int i = 0; i < kPerThread; ++i) OBS_COUNT("test.mt", 1);
+  };
+  std::thread a(bump), b(bump);
+  a.join();
+  b.join();
+  EXPECT_EQ(obs::snapshot().counter("test.mt"), 2 * kPerThread);
+}
+
+TEST(Obs, DistributionTracksCountSumMinMax) {
+  obs::reset();
+  OBS_VALUE("test.dist", 5);
+  OBS_VALUE("test.dist", -2);
+  OBS_VALUE("test.dist", 9);
+  const obs::Snapshot s = obs::snapshot();
+  ASSERT_EQ(s.distributions.size(), 1u);
+  EXPECT_EQ(s.distributions[0].name, "test.dist");
+  EXPECT_EQ(s.distributions[0].count, 3);
+  EXPECT_EQ(s.distributions[0].sum, 12);
+  EXPECT_EQ(s.distributions[0].min, -2);
+  EXPECT_EQ(s.distributions[0].max, 9);
+}
+
+TEST(Obs, ScopedTimerAggregatesCallsAndBounds) {
+  obs::reset();
+  for (int i = 0; i < 5; ++i) {
+    OBS_SCOPED_TIMER("test.phase");
+  }
+  const obs::Snapshot s = obs::snapshot();
+  ASSERT_EQ(s.timers.size(), 1u);
+  EXPECT_EQ(s.timers[0].name, "test.phase");
+  EXPECT_EQ(s.timers[0].calls, 5);
+  EXPECT_GE(s.timers[0].total_ns, 0);
+  EXPECT_GE(s.timers[0].max_ns, 0);
+  EXPECT_LE(s.timers[0].max_ns, s.timers[0].total_ns);
+  EXPECT_EQ(s.timer_calls("test.phase"), 5);
+}
+
+TEST(Obs, ResetIsolatesSnapshots) {
+  obs::reset();
+  OBS_COUNT("test.isolated", 1);
+  OBS_VALUE("test.isolated.dist", 10);
+  {
+    OBS_SCOPED_TIMER("test.isolated.timer");
+  }
+  EXPECT_EQ(obs::snapshot().counter("test.isolated"), 1);
+  obs::reset();
+  const obs::Snapshot s = obs::snapshot();
+  EXPECT_EQ(s.counter("test.isolated"), 0);
+  EXPECT_EQ(s.timer_calls("test.isolated.timer"), 0);
+  for (const obs::DistSnap& d : s.distributions)
+    EXPECT_NE(d.name, "test.isolated.dist");
+  // The instrument is still usable after reset.
+  OBS_COUNT("test.isolated", 2);
+  EXPECT_EQ(obs::snapshot().counter("test.isolated"), 2);
+}
+
+TEST(Obs, MonotonicTimerNeverGoesBackwards) {
+  obs::Timer t;
+  const std::int64_t a = t.elapsed_ns();
+  const std::int64_t b = t.elapsed_ns();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+  t.restart();
+  EXPECT_GE(t.elapsed_ms(), 0.0);
+}
+
+TEST(Obs, RenderJsonIsWellFormed) {
+  obs::reset();
+  OBS_COUNT("test.json \"quoted\"", 1);  // name needing escaping
+  OBS_VALUE("test.json.dist", 42);
+  {
+    OBS_SCOPED_TIMER("test.json.timer");
+  }
+  const std::string json = obs::render_json(obs::snapshot());
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("counters"), std::string::npos);
+  EXPECT_NE(json.find("timers"), std::string::npos);
+}
+
+TEST(Obs, RenderTextListsEverySection) {
+  obs::reset();
+  OBS_COUNT("test.text.counter", 2);
+  OBS_VALUE("test.text.dist", 7);
+  {
+    OBS_SCOPED_TIMER("test.text.timer");
+  }
+  const std::string text = obs::render_text(obs::snapshot());
+  EXPECT_NE(text.find("test.text.counter"), std::string::npos);
+  EXPECT_NE(text.find("test.text.dist"), std::string::npos);
+  EXPECT_NE(text.find("test.text.timer"), std::string::npos);
+}
+
+TEST(Obs, TraceFileIsWellFormedChromeJson) {
+  const std::string path = testing::TempDir() + "rarsub_obs_trace.json";
+  ASSERT_TRUE(obs::trace_begin(path));
+  EXPECT_TRUE(obs::trace_enabled());
+  EXPECT_FALSE(obs::trace_begin(path));  // no double-begin
+  {
+    OBS_SCOPED_TIMER("trace.outer");
+    OBS_SCOPED_TIMER("trace.inner");
+  }
+  obs::trace_end();
+  EXPECT_FALSE(obs::trace_enabled());
+
+  const std::string trace = read_file(path);
+  JsonChecker checker(trace);
+  EXPECT_TRUE(checker.valid()) << trace;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"trace.outer\""), std::string::npos);
+  EXPECT_NE(trace.find("\"trace.inner\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: a substitution run must feed the registry.
+
+Network intro_example() {
+  Network net("intro");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId f = net.add_node(
+      "f", {a, b, c}, Sop::from_strings({"10-", "1-1", "-10", "-01"}));
+  const NodeId d =
+      net.add_node("d", {a, b, c}, Sop::from_strings({"11-", "-01"}));
+  net.add_po("f", f);
+  net.add_po("d", d);
+  return net;
+}
+
+TEST(Obs, SubstituteNetworkPublishesCounters) {
+  obs::reset();
+  Network net = intro_example();
+  SubstituteOptions opts;
+  opts.method = SubstMethod::Extended;
+  const SubstituteStats st = substitute_network(net, opts);
+
+  const obs::Snapshot s = obs::snapshot();
+  EXPECT_GT(s.counter("subst.attempts"), 0);
+  EXPECT_GT(s.counter("subst.passes"), 0);
+  EXPECT_GT(s.counter("atpg.assigns"), 0);
+  EXPECT_GT(s.counter("atpg.implications"), 0);
+  EXPECT_GT(s.counter("atpg.faults"), 0);
+  EXPECT_GT(s.counter("division.regions"), 0);
+  // The struct and the registry tell the same story.
+  EXPECT_EQ(s.counter("subst.commits"), st.substitutions);
+  EXPECT_EQ(s.counter("subst.commits.pos"), st.pos_substitutions);
+  EXPECT_EQ(s.counter("subst.decompositions"), st.decompositions);
+  EXPECT_GT(s.timer_calls("subst.network"), 0);
+  EXPECT_GT(s.timer_calls("division.basic"), 0);
+}
+
+TEST(Obs, SizeGuardRejectionsAreCounted) {
+  obs::reset();
+  Network net = intro_example();
+  SubstituteOptions opts;
+  opts.method = SubstMethod::Basic;
+  opts.max_node_cubes = 1;  // both nodes have >1 cube: every pair rejected
+  const SubstituteStats st = substitute_network(net, opts);
+  EXPECT_EQ(st.substitutions, 0);
+  EXPECT_GT(obs::snapshot().counter("subst.reject.max_node_cubes"), 0);
+
+  obs::reset();
+  Network net2 = intro_example();
+  SubstituteOptions opts2;
+  opts2.method = SubstMethod::Basic;
+  opts2.max_common_vars = 1;  // common space is 3 vars wide
+  substitute_network(net2, opts2);
+  EXPECT_GT(obs::snapshot().counter("subst.reject.max_common_vars"), 0);
+}
+
+}  // namespace
+}  // namespace rarsub
