@@ -5,6 +5,7 @@
 //   rarsub_cli optimize  <circuit> [method] [script]   optimize + verify,
 //                                                      BLIF on stdout
 //   rarsub_cli verify    <circuit-a> <circuit-b>       PO equivalence
+//   rarsub_cli ledger-summary <file.jsonl>             digest a flight record
 //   rarsub_cli list                                    built-in benchmarks
 //
 // <circuit> is a .blif path, a .pla path, or a built-in benchmark name.
@@ -15,6 +16,7 @@
 //   --stats           print the counter/timer table to stderr afterwards
 //   --trace <file>    write a Chrome trace-event JSON of the run
 //   --report <file>   write the observability snapshot as JSON
+//   --ledger <file>   record the optimization flight ledger as JSONL
 
 #include <cstdio>
 #include <cstring>
@@ -25,6 +27,7 @@
 
 #include "benchcir/suite.hpp"
 #include "network/blif.hpp"
+#include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 #include "network/eqn.hpp"
 #include "network/pla.hpp"
@@ -152,6 +155,17 @@ int cmd_pass(const std::string& source, const std::string& pass) {
   return 0;
 }
 
+int cmd_ledger_summary(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open ledger %s\n", path.c_str());
+    return 2;
+  }
+  const obs::LedgerSummary s = obs::summarize_ledger(in);
+  std::printf("%s", obs::render_ledger_summary(s).c_str());
+  return 0;
+}
+
 int cmd_list() {
   for (const BenchmarkEntry& e : benchmark_suite()) {
     const Network net = e.build();
@@ -166,16 +180,19 @@ int cmd_list() {
 int main(int argc, char** argv) {
   // Strip the global observability flags; everything else is positional.
   bool show_stats = false;
-  std::string trace_path, report_path;
+  std::string trace_path, report_path, ledger_path;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--stats") show_stats = true;
     else if (a == "--trace" && i + 1 < argc) trace_path = argv[++i];
     else if (a == "--report" && i + 1 < argc) report_path = argv[++i];
+    else if (a == "--ledger" && i + 1 < argc) ledger_path = argv[++i];
     else args.push_back(a);
   }
   if (!trace_path.empty()) obs::trace_begin(trace_path);
+  if (!ledger_path.empty() && !obs::ledger_begin(ledger_path))
+    std::fprintf(stderr, "cannot write ledger to %s\n", ledger_path.c_str());
 
   int rc = -1;
   try {
@@ -187,6 +204,8 @@ int main(int argc, char** argv) {
     else if (cmd == "verify" && args.size() >= 3) rc = cmd_verify(args[1], args[2]);
     else if (cmd == "print" && args.size() >= 2) rc = cmd_print(args[1]);
     else if (cmd == "pass" && args.size() >= 3) rc = cmd_pass(args[1], args[2]);
+    else if (cmd == "ledger-summary" && args.size() >= 2)
+      rc = cmd_ledger_summary(args[1]);
     else if (cmd == "list") rc = cmd_list();
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());
@@ -204,6 +223,7 @@ int main(int argc, char** argv) {
                         report_path.c_str());
     }
     if (!trace_path.empty()) obs::trace_end();
+    if (!ledger_path.empty()) obs::ledger_end();
     return rc;
   }
 
@@ -216,8 +236,10 @@ int main(int argc, char** argv) {
                "  rarsub_cli print    <circuit>            (factored equations)\n"
                "  rarsub_cli pass     <circuit> <rr|full_simplify|decomp|"
                "eliminate|simplify|sweep>\n"
+               "  rarsub_cli ledger-summary <file.jsonl>\n"
                "  rarsub_cli list\n"
-               "global flags: --stats | --trace <file> | --report <file>\n"
+               "global flags: --stats | --trace <file> | --report <file> | "
+               "--ledger <file>\n"
                "(<circuit> = .blif path, .pla path, or built-in name)\n");
   return 2;
 }

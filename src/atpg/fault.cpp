@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 
 namespace rarsub {
@@ -88,6 +89,14 @@ FaultResult analyze_fault(const GateNet& net, WireRef w, bool stuck_value,
   assert(gd.type == GateType::And || gd.type == GateType::Or);
   assert(w.pin >= 0 && w.pin < static_cast<int>(gd.fanins.size()));
 
+  // One ledger record per fault analysis: a = untestable verdict,
+  // b = stuck value tested.
+  auto record = [&](bool untestable) {
+    OBS_EVENT(.kind = obs::EventKind::RedundancyTest, .node = w.gate,
+              .divisor = w.pin, .a = untestable ? 1 : 0,
+              .b = stuck_value ? 1 : 0);
+  };
+
   // Observability precheck: if nothing observable is reachable from the
   // fault site, the wire is trivially redundant.
   {
@@ -96,6 +105,7 @@ FaultResult analyze_fault(const GateNet& net, WireRef w, bool stuck_value,
       res.untestable = true;
       res.unobservable = true;
       OBS_COUNT("atpg.faults.untestable", 1);
+      record(true);
       return res;
     }
   }
@@ -106,6 +116,7 @@ FaultResult analyze_fault(const GateNet& net, WireRef w, bool stuck_value,
     res.untestable = true;
     res.values = eng.values();
     OBS_COUNT("atpg.faults.untestable", 1);
+    record(true);
     return res;
   };
 
@@ -138,6 +149,7 @@ FaultResult analyze_fault(const GateNet& net, WireRef w, bool stuck_value,
   }
 
   res.values = eng.values();
+  record(false);
   return res;
 }
 

@@ -2,6 +2,7 @@
 
 #include "division/division.hpp"
 #include "gatenet/build.hpp"
+#include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 #include "rar/redundancy.hpp"
 
@@ -10,6 +11,9 @@ namespace rarsub {
 DivisionRegion build_division_region(const Sop& fprime, const Sop& remainder,
                                      const Sop& d, bool connect_bold) {
   OBS_COUNT("division.regions", 1);
+  OBS_EVENT(.kind = obs::EventKind::DivisionRegion,
+            .a = fprime.num_cubes(), .b = d.num_cubes(),
+            .c = remainder.num_cubes());
   assert(fprime.num_vars() == d.num_vars());
   DivisionRegion r;
   const int nv = fprime.num_vars();

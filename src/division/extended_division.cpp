@@ -4,6 +4,7 @@
 #include "atpg/fault.hpp"
 #include "division/clique.hpp"
 #include "division/division.hpp"
+#include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 
 namespace rarsub {
@@ -130,6 +131,10 @@ std::vector<int> choose_core_divisor(const Sop& f, const Sop& d,
     }
     if (!core.empty()) {
       OBS_VALUE("division.core.size", core.size());
+      OBS_EVENT(.kind = obs::EventKind::CoreDivisor,
+                .a = static_cast<std::int64_t>(table.size()),
+                .b = static_cast<std::int64_t>(clique.size()),
+                .c = static_cast<std::int64_t>(core.size()));
       return core;
     }
     clique.pop_back();

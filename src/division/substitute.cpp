@@ -6,6 +6,7 @@
 
 #include "gatenet/build.hpp"
 #include "network/complement_cache.hpp"
+#include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 #include "rar/redundancy.hpp"
 #include "sop/factor.hpp"
@@ -133,11 +134,17 @@ std::optional<Candidate> score(const Network& net, NodeId f, NodeId d,
     // Lemma 2 dual: we divided the complemented dividend; complement back.
     if (g.num_cubes() > opts.max_complement_cubes) {
       OBS_COUNT("subst.reject.max_complement_cubes", 1);
+      OBS_EVENT(.kind = obs::EventKind::SubstituteReject, .node = f,
+                .divisor = d, .a = g.num_cubes(),
+                .reason = "max_complement_cubes");
       return std::nullopt;
     }
     g = g.complement();
     if (g.num_cubes() > 2 * opts.max_node_cubes) {
       OBS_COUNT("subst.reject.max_node_cubes", 1);
+      OBS_EVENT(.kind = obs::EventKind::SubstituteReject, .node = f,
+                .divisor = d, .a = g.num_cubes(),
+                .reason = "max_node_cubes");
       return std::nullopt;
     }
   }
@@ -166,6 +173,9 @@ std::optional<Candidate> score(const Network& net, NodeId f, NodeId d,
       nc = nc.complement();
       if (nc.num_cubes() > opts.max_complement_cubes) {
         OBS_COUNT("subst.reject.max_complement_cubes", 1);
+        OBS_EVENT(.kind = obs::EventKind::SubstituteReject, .node = f,
+                  .divisor = d, .a = nc.num_cubes(),
+                  .reason = "max_complement_cubes");
         return std::nullopt;
       }
     }
@@ -312,6 +322,12 @@ void commit(Network& net, NodeId f, NodeId d, const CommonSpace& cs,
   OBS_COUNT("subst.commits", 1);
   if (cand.comp_f) OBS_COUNT("subst.commits.pos", 1);
   if (cand.decompose) OBS_COUNT("subst.decompositions", 1);
+  // The commit event precedes the node_update events its set_function /
+  // add_node calls emit, so a replay sees cause before effect.
+  OBS_EVENT(.kind = obs::EventKind::SubstituteCommit, .node = f, .divisor = d,
+            .a = cand.gain, .b = cand.new_f.num_cubes(),
+            .reason = cand.comp_f ? (cand.decompose ? "pos+split" : "pos")
+                                  : (cand.decompose ? "sos+split" : "sos"));
   NodeId y = d;
   if (cand.decompose) {
     const int m = net.node(d).func.num_vars();
@@ -367,19 +383,34 @@ std::optional<int> attempt(Network& net, NodeId f, NodeId d,
   if (fn.func.num_cubes() == 0 || dn.func.num_cubes() == 0) return std::nullopt;
   if (fn.func.num_cubes() > opts.max_node_cubes) {
     OBS_COUNT("subst.reject.max_node_cubes", 1);
+    OBS_EVENT(.kind = obs::EventKind::SubstituteReject, .node = f,
+              .divisor = d, .a = fn.func.num_cubes(),
+              .reason = "max_node_cubes");
     return std::nullopt;
   }
   if (dn.func.num_cubes() > opts.max_divisor_cubes) {
     OBS_COUNT("subst.reject.max_divisor_cubes", 1);
+    OBS_EVENT(.kind = obs::EventKind::SubstituteReject, .node = f,
+              .divisor = d, .a = dn.func.num_cubes(),
+              .reason = "max_divisor_cubes");
     return std::nullopt;
   }
-  if (net.depends_on(d, f)) return std::nullopt;  // would create a cycle
+  if (net.depends_on(d, f)) {
+    OBS_EVENT(.kind = obs::EventKind::SubstituteReject, .node = f,
+              .divisor = d, .reason = "cycle");
+    return std::nullopt;  // would create a cycle
+  }
 
   OBS_COUNT("subst.attempts", 1);
+  OBS_EVENT(.kind = obs::EventKind::SubstituteAttempt, .node = f, .divisor = d,
+            .a = fn.func.num_cubes(), .b = dn.func.num_cubes());
   OBS_SCOPED_TIMER("subst.attempt");
   const CommonSpace cs = make_common_space(net, f, d);
   if (static_cast<int>(cs.vars.size()) > opts.max_common_vars) {
     OBS_COUNT("subst.reject.max_common_vars", 1);
+    OBS_EVENT(.kind = obs::EventKind::SubstituteReject, .node = f,
+              .divisor = d, .a = static_cast<std::int64_t>(cs.vars.size()),
+              .reason = "max_common_vars");
     return std::nullopt;
   }
   const int nv = static_cast<int>(cs.vars.size());
@@ -447,7 +478,12 @@ std::optional<int> attempt(Network& net, NodeId f, NodeId d,
     run(true, true, f_comp, d_comp, d_comp_local);
   }
 
-  if (!best || effective(*best) <= 0) return std::nullopt;
+  if (!best || effective(*best) <= 0) {
+    OBS_EVENT(.kind = obs::EventKind::SubstituteReject, .node = f,
+              .divisor = d, .a = best ? best->gain : 0,
+              .reason = best ? "no_gain" : "no_division");
+    return std::nullopt;
+  }
   if (commit_it) commit(net, f, d, cs, *best, stats);
   return best->gain;
 }

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/ledger.hpp"
 #include "sop/factor.hpp"
 
 namespace rarsub {
@@ -58,6 +59,9 @@ NodeId Network::add_node(const std::string& name, std::vector<NodeId> fanins,
   nodes_.push_back(std::move(n));
   const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
   add_fanout_refs(id);
+  // Flight recorder: new node, a = its factored literal count, b = 0.
+  OBS_EVENT(.kind = obs::EventKind::NodeUpdate, .node = id,
+            .a = factored_literal_count(node(id).func), .reason = "new");
   return id;
 }
 
@@ -89,12 +93,20 @@ void Network::remove_fanout_refs(NodeId id) {
 void Network::set_function(NodeId id, std::vector<NodeId> fanins, Sop func) {
   assert(!node(id).is_pi);
   assert(func.num_vars() == static_cast<int>(fanins.size()));
+  // Flight recorder: factoring the old cover is only worth paying for
+  // while a ledger session is recording.
+  const bool recording = obs::ledger_active();
+  const std::int64_t lits_before =
+      recording ? factored_literal_count(node(id).func) : 0;
   dedup_fanins(fanins, func);
   remove_fanout_refs(id);
   node(id).fanins = std::move(fanins);
   node(id).func = std::move(func);
   node(id).version++;
   add_fanout_refs(id);
+  if (recording)
+    OBS_EVENT(.kind = obs::EventKind::NodeUpdate, .node = id,
+              .a = factored_literal_count(node(id).func), .b = lits_before);
 }
 
 int Network::num_po_refs(NodeId id) const {
@@ -183,6 +195,8 @@ void Network::sweep() {
 
       // Dead node removal.
       if (fanout_refs(id) == 0) {
+        OBS_EVENT(.kind = obs::EventKind::NodeUpdate, .node = id,
+                  .b = factored_literal_count(nd.func), .reason = "sweep");
         remove_fanout_refs(id);
         nd.alive = false;
         changed = true;
@@ -315,6 +329,8 @@ bool Network::collapse_into_fanouts(NodeId id, int cube_limit) {
     if (!compose(fo, id, cube_limit)) return false;
   }
   if (fanout_refs(id) == 0) {
+    OBS_EVENT(.kind = obs::EventKind::NodeUpdate, .node = id,
+              .b = factored_literal_count(node(id).func), .reason = "collapse");
     remove_fanout_refs(id);
     node(id).alive = false;
   }

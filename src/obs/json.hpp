@@ -68,8 +68,14 @@ class JsonWriter {
   void value(int v) { value(static_cast<std::int64_t>(v)); }
   void value(double v) {
     pre();
-    if (!std::isfinite(v)) {
+    // JSON has no NaN/Infinity tokens; clamp to parseable stand-ins that
+    // keep comparisons sane (NaN -> 0, +/-Inf -> huge finite sentinel).
+    if (std::isnan(v)) {
       *out_ += '0';
+      return;
+    }
+    if (std::isinf(v)) {
+      *out_ += (v > 0 ? "1e308" : "-1e308");
       return;
     }
     char buf[48];

@@ -1,0 +1,385 @@
+#include "obs/ledger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <mutex>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+namespace rarsub::obs {
+
+namespace detail {
+std::atomic<bool> g_ledger_on{false};
+}
+
+namespace {
+
+constexpr const char* kKindNames[] = {
+    "substitute_attempt", "substitute_commit", "substitute_reject",
+    "node_update",        "division_region",   "core_divisor",
+    "wire_add",           "wire_remove",       "redundancy_test",
+};
+constexpr std::size_t kNumKinds = sizeof(kKindNames) / sizeof(kKindNames[0]);
+
+// All session state sits behind one mutex; the hot path never reaches it
+// unless recording is on. Sequence numbers are assigned under the lock so
+// the stream (file or ring) is strictly ordered by seq.
+struct LedgerSession {
+  std::mutex mu;
+  std::FILE* file = nullptr;
+  std::vector<Event> ring;  // capacity() fixed at begin; used as circular
+  std::size_t capacity = 0;
+  std::uint64_t emitted = 0;
+  std::int64_t t0_ns = 0;
+};
+
+LedgerSession& session() {
+  static LedgerSession s;
+  return s;
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind k) {
+  const auto i = static_cast<std::size_t>(k);
+  return i < kNumKinds ? kKindNames[i] : "unknown";
+}
+
+bool event_kind_from_name(const std::string& name, EventKind* out) {
+  for (std::size_t i = 0; i < kNumKinds; ++i)
+    if (name == kKindNames[i]) {
+      *out = static_cast<EventKind>(i);
+      return true;
+    }
+  return false;
+}
+
+namespace detail {
+
+bool ledger_env_once() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* path = std::getenv("RARSUB_LEDGER");
+    if (path != nullptr && *path != '\0') ledger_begin(path);
+  });
+  return true;
+}
+
+void ledger_emit(Event e) {
+  LedgerSession& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!g_ledger_on.load(std::memory_order_relaxed)) return;  // raced end()
+  e.seq = s.emitted++;
+  e.t_ns = now_ns();
+  if (s.file != nullptr) {
+    const std::string line = event_to_jsonl(e, s.t0_ns);
+    std::fputs(line.c_str(), s.file);
+    std::fputc('\n', s.file);
+  } else {
+    s.ring[static_cast<std::size_t>(e.seq) % s.capacity] = e;
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+bool begin_locked(std::FILE* file, std::size_t capacity) {
+  LedgerSession& s = session();
+  s.file = file;
+  s.capacity = capacity;
+  s.ring.assign(capacity > 0 ? capacity : 0, Event{});
+  s.emitted = 0;
+  s.t0_ns = now_ns();
+  detail::g_ledger_on.store(true, std::memory_order_relaxed);
+  // Flush and close even if the process exits without ledger_end().
+  static bool at_exit_registered = false;
+  if (!at_exit_registered) {
+    at_exit_registered = true;
+    std::atexit([] { ledger_end(); });
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ledger_begin(const std::string& path) {
+  LedgerSession& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (detail::g_ledger_on.load(std::memory_order_relaxed)) return false;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  return begin_locked(f, 0);
+}
+
+bool ledger_begin_memory(std::size_t capacity) {
+  LedgerSession& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (detail::g_ledger_on.load(std::memory_order_relaxed)) return false;
+  if (capacity == 0) return false;
+  return begin_locked(nullptr, capacity);
+}
+
+void ledger_end() {
+  LedgerSession& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!detail::g_ledger_on.load(std::memory_order_relaxed)) return;
+  detail::g_ledger_on.store(false, std::memory_order_relaxed);
+  if (s.file != nullptr) {
+    std::fclose(s.file);
+    s.file = nullptr;
+  }
+}
+
+std::vector<Event> ledger_events() {
+  LedgerSession& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<Event> out;
+  if (s.capacity == 0) return out;
+  const std::uint64_t kept =
+      std::min<std::uint64_t>(s.emitted, s.capacity);
+  out.reserve(static_cast<std::size_t>(kept));
+  for (std::uint64_t i = s.emitted - kept; i < s.emitted; ++i)
+    out.push_back(s.ring[static_cast<std::size_t>(i) % s.capacity]);
+  return out;
+}
+
+std::uint64_t ledger_emitted() {
+  LedgerSession& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.emitted;
+}
+
+std::uint64_t ledger_dropped() {
+  LedgerSession& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.capacity == 0 || s.emitted <= s.capacity) return 0;
+  return s.emitted - s.capacity;
+}
+
+// ---------------------------------------------------------------------
+// Wire format.
+
+std::string event_to_jsonl(const Event& e, std::int64_t t0_ns) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"seq\":%llu,\"t_us\":%.3f,\"kind\":\"%s\",\"node\":%d,"
+                "\"divisor\":%d,\"a\":%lld,\"b\":%lld,\"c\":%lld",
+                static_cast<unsigned long long>(e.seq),
+                static_cast<double>(e.t_ns - t0_ns) / 1000.0,
+                event_kind_name(e.kind), e.node, e.divisor,
+                static_cast<long long>(e.a), static_cast<long long>(e.b),
+                static_cast<long long>(e.c));
+  std::string out = buf;
+  if (e.reason != nullptr) {
+    out += ",\"reason\":\"";
+    out += json_escape(e.reason);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+namespace {
+
+// Minimal flat-object field extraction — the writer above is the only
+// producer, so every value is a bare number or a quoted string.
+bool find_number(const std::string& line, const char* key, double* out) {
+  const std::string pat = std::string("\"") + key + "\":";
+  const std::size_t at = line.find(pat);
+  if (at == std::string::npos) return false;
+  const char* start = line.c_str() + at + pat.size();
+  char* end = nullptr;
+  *out = std::strtod(start, &end);
+  return end != start;
+}
+
+bool find_string(const std::string& line, const char* key, std::string* out) {
+  const std::string pat = std::string("\"") + key + "\":\"";
+  const std::size_t at = line.find(pat);
+  if (at == std::string::npos) return false;
+  out->clear();
+  for (std::size_t i = at + pat.size(); i < line.size(); ++i) {
+    const char ch = line[i];
+    if (ch == '"') return true;
+    if (ch == '\\' && i + 1 < line.size()) {
+      const char nx = line[++i];
+      switch (nx) {
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        default: *out += nx;
+      }
+    } else {
+      *out += ch;
+    }
+  }
+  return false;  // unterminated string
+}
+
+}  // namespace
+
+bool ledger_parse_line(const std::string& line, ParsedEvent* out) {
+  std::string kind;
+  if (!find_string(line, "kind", &kind)) return false;
+  if (!event_kind_from_name(kind, &out->event.kind)) return false;
+  double seq = 0, t_us = 0, node = -1, divisor = -1, a = 0, b = 0, c = 0;
+  if (!find_number(line, "seq", &seq)) return false;
+  find_number(line, "t_us", &t_us);
+  find_number(line, "node", &node);
+  find_number(line, "divisor", &divisor);
+  find_number(line, "a", &a);
+  find_number(line, "b", &b);
+  find_number(line, "c", &c);
+  out->event.seq = static_cast<std::uint64_t>(seq);
+  out->event.t_ns = static_cast<std::int64_t>(std::llround(t_us * 1000.0));
+  out->event.node = static_cast<std::int32_t>(node);
+  out->event.divisor = static_cast<std::int32_t>(divisor);
+  out->event.a = static_cast<std::int64_t>(a);
+  out->event.b = static_cast<std::int64_t>(b);
+  out->event.c = static_cast<std::int64_t>(c);
+  out->event.reason = nullptr;
+  out->reason.clear();
+  find_string(line, "reason", &out->reason);
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Offline aggregation.
+
+LedgerSummary summarize_events(const std::vector<ParsedEvent>& events) {
+  LedgerSummary s;
+  for (const ParsedEvent& pe : events) {
+    const Event& e = pe.event;
+    ++s.total_events;
+    ++s.by_kind[event_kind_name(e.kind)];
+    switch (e.kind) {
+      case EventKind::SubstituteReject:
+        ++s.rejections[pe.reason.empty() ? "(unspecified)" : pe.reason];
+        break;
+      case EventKind::SubstituteCommit: {
+        LedgerSummary::DivisorAgg& d = s.divisors[e.divisor];
+        ++d.commits;
+        d.gain += e.a;
+        break;
+      }
+      case EventKind::NodeUpdate: {
+        LedgerSummary::NodeAgg& n = s.nodes[e.node];
+        // A "new" event enters at `a` with b = 0 (node did not exist);
+        // attribute from the creation size, not the phantom 0.
+        if (n.updates == 0)
+          n.first_literals = pe.reason == "new" ? e.a : e.b;
+        n.last_literals = e.a;
+        ++n.updates;
+        break;
+      }
+      case EventKind::WireAdd: ++s.wires_added; break;
+      case EventKind::WireRemove: ++s.wires_removed; break;
+      case EventKind::RedundancyTest:
+        ++s.redundancy_tests;
+        if (e.a != 0) ++s.redundancy_untestable;
+        break;
+      default: break;
+    }
+  }
+  return s;
+}
+
+LedgerSummary summarize_ledger(std::istream& in) {
+  std::vector<ParsedEvent> events;
+  std::uint64_t parse_errors = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ParsedEvent pe;
+    if (ledger_parse_line(line, &pe)) events.push_back(std::move(pe));
+    else ++parse_errors;
+  }
+  LedgerSummary s = summarize_events(events);
+  s.parse_errors = parse_errors;
+  return s;
+}
+
+std::string render_ledger_summary(const LedgerSummary& s, int top_n) {
+  std::string out;
+  char buf[256];
+  auto line = [&out, &buf](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out += buf;
+  };
+  line("ledger summary: %llu events",
+       static_cast<unsigned long long>(s.total_events));
+  if (s.parse_errors > 0)
+    line(" (%llu malformed lines skipped)",
+         static_cast<unsigned long long>(s.parse_errors));
+  out += '\n';
+
+  if (!s.by_kind.empty()) {
+    out += "by kind\n";
+    for (const auto& [kind, n] : s.by_kind)
+      line("  %-24s %10llu\n", kind.c_str(),
+           static_cast<unsigned long long>(n));
+  }
+  if (!s.rejections.empty()) {
+    out += "rejection reasons\n";
+    for (const auto& [reason, n] : s.rejections)
+      line("  %-24s %10llu\n", reason.c_str(),
+           static_cast<unsigned long long>(n));
+  }
+
+  if (!s.divisors.empty()) {
+    out += "top divisors (by committed literal gain)\n";
+    std::vector<std::pair<std::int32_t, LedgerSummary::DivisorAgg>> top(
+        s.divisors.begin(), s.divisors.end());
+    std::sort(top.begin(), top.end(), [](const auto& x, const auto& y) {
+      if (x.second.gain != y.second.gain) return x.second.gain > y.second.gain;
+      return x.first < y.first;
+    });
+    if (static_cast<int>(top.size()) > top_n)
+      top.resize(static_cast<std::size_t>(top_n));
+    for (const auto& [node, agg] : top)
+      line("  node %-6d %4lld commit%s  gain %+lld\n", node,
+           static_cast<long long>(agg.commits), agg.commits == 1 ? " " : "s",
+           static_cast<long long>(agg.gain));
+  }
+
+  // Literal attribution: nodes whose recorded literal count moved, biggest
+  // reduction first.
+  std::vector<std::pair<std::int32_t, LedgerSummary::NodeAgg>> moved;
+  for (const auto& [node, agg] : s.nodes)
+    if (agg.first_literals != agg.last_literals) moved.push_back({node, agg});
+  if (!moved.empty()) {
+    out += "per-node literal attribution (node_update)\n";
+    std::sort(moved.begin(), moved.end(), [](const auto& x, const auto& y) {
+      const std::int64_t dx = x.second.last_literals - x.second.first_literals;
+      const std::int64_t dy = y.second.last_literals - y.second.first_literals;
+      if (dx != dy) return dx < dy;
+      return x.first < y.first;
+    });
+    if (static_cast<int>(moved.size()) > top_n)
+      moved.resize(static_cast<std::size_t>(top_n));
+    for (const auto& [node, agg] : moved)
+      line("  node %-6d %4lld -> %-4lld (%+lld)\n", node,
+           static_cast<long long>(agg.first_literals),
+           static_cast<long long>(agg.last_literals),
+           static_cast<long long>(agg.last_literals - agg.first_literals));
+  }
+
+  if (s.wires_added + s.wires_removed + s.redundancy_tests > 0)
+    line("wires: %+lld added, -%lld removed; redundancy tests: %lld "
+         "(%lld untestable)\n",
+         static_cast<long long>(s.wires_added),
+         static_cast<long long>(s.wires_removed),
+         static_cast<long long>(s.redundancy_tests),
+         static_cast<long long>(s.redundancy_untestable));
+
+  if (out.empty()) out = "(empty ledger)\n";
+  return out;
+}
+
+}  // namespace rarsub::obs

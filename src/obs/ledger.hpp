@@ -1,0 +1,164 @@
+#pragma once
+// Optimization flight recorder: a low-overhead, thread-safe, append-only
+// log of typed events emitted by the optimization pipeline — substitution
+// attempts/commits/rejections, division regions and core-divisor
+// selections, wire additions/removals, redundancy tests, and per-node
+// function updates. Each event carries a process-wide, strictly
+// monotonically increasing sequence number, so a recorded run can be
+// replayed step by step (see docs/OBSERVABILITY.md for the schema and the
+// replay contract).
+//
+// Cost model (mirrors the counter macros in obs.hpp):
+//   - Disabled (the default): OBS_EVENT is one function-local-static guard
+//     check plus one relaxed atomic load; the Event payload expression is
+//     not even evaluated.
+//   - Enabled: one mutex acquisition per event. Events either stream as
+//     JSON Lines to the file named by RARSUB_LEDGER=<file> (or
+//     ledger_begin(path) / rarsub_cli --ledger), or accumulate in a
+//     bounded in-memory ring buffer (ledger_begin_memory) that tests and
+//     embedders can read back with ledger_events().
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rarsub::obs {
+
+enum class EventKind : std::uint8_t {
+  SubstituteAttempt = 0,  ///< (f, d) pair entered evaluation past the guards
+  SubstituteCommit,       ///< a rewrite was accepted and applied
+  SubstituteReject,       ///< a candidate was dropped; `reason` says why
+  NodeUpdate,             ///< a network node's function changed (replay unit)
+  DivisionRegion,         ///< a Lemma-1 division region was built
+  CoreDivisor,            ///< extended division selected a core divisor
+  WireAdd,                ///< RAR added a candidate connection
+  WireRemove,             ///< a redundant wire was deleted (or retracted)
+  RedundancyTest,         ///< one stuck-at fault analysis ran
+};
+
+/// Stable wire-format name ("substitute_commit", "wire_remove", …).
+const char* event_kind_name(EventKind k);
+/// Reverse lookup; returns false when `name` is not a known kind.
+bool event_kind_from_name(const std::string& name, EventKind* out);
+
+/// One ledger record. The payload fields a/b/c are kind-specific; the
+/// schema table in docs/OBSERVABILITY.md documents every kind. `reason`
+/// must point to a string with static storage duration (string literals at
+/// the emit sites) or be null.
+struct Event {
+  std::uint64_t seq = 0;   ///< assigned at emit, strictly increasing
+  std::int64_t t_ns = 0;   ///< now_ns() at emit (serialized relative, µs)
+  EventKind kind = EventKind::SubstituteAttempt;
+  std::int32_t node = -1;     ///< primary subject (node / gate id)
+  std::int32_t divisor = -1;  ///< secondary subject (divisor node / pin)
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+  const char* reason = nullptr;
+};
+
+namespace detail {
+extern std::atomic<bool> g_ledger_on;
+/// One-time RARSUB_LEDGER environment gate; always returns true (the value
+/// only feeds a function-local static initializer).
+bool ledger_env_once();
+/// Record `e` (seq and t_ns are assigned inside). Call only when active.
+void ledger_emit(Event e);
+}  // namespace detail
+
+/// Is the recorder on? First call anywhere also honours RARSUB_LEDGER.
+inline bool ledger_active() {
+  static const bool env_checked = detail::ledger_env_once();
+  (void)env_checked;
+  return detail::g_ledger_on.load(std::memory_order_relaxed);
+}
+
+/// Start streaming events to `path` as JSON Lines (one object per line).
+/// Returns false if the file cannot be opened or a session is active.
+bool ledger_begin(const std::string& path);
+
+/// Start recording into an in-memory ring that keeps the most recent
+/// `capacity` events. Returns false if a session is already active.
+bool ledger_begin_memory(std::size_t capacity = 1 << 16);
+
+/// Stop recording and flush/close the stream. Ring contents remain
+/// readable via ledger_events() until the next ledger_begin*().
+void ledger_end();
+
+/// Copy of the ring contents in sequence order (memory sessions only;
+/// empty for streaming sessions).
+std::vector<Event> ledger_events();
+
+/// Events emitted in the current/last session.
+std::uint64_t ledger_emitted();
+
+/// Events overwritten by ring wrap-around in the current/last session.
+std::uint64_t ledger_dropped();
+
+// ---------------------------------------------------------------------
+// Wire format and offline analysis (ledger-summary, tests).
+
+/// Serialize one event as a single JSON object (no trailing newline).
+/// Timestamps are written relative to `t0_ns` in microseconds.
+std::string event_to_jsonl(const Event& e, std::int64_t t0_ns = 0);
+
+/// An event read back from a JSONL file; `reason` owns its storage (the
+/// Event::reason pointer is null after parsing).
+struct ParsedEvent {
+  Event event;
+  std::string reason;
+};
+
+/// Parse one JSONL line. Returns false on malformed input or unknown kind.
+bool ledger_parse_line(const std::string& line, ParsedEvent* out);
+
+/// Aggregates computed from an event stream, ready to render.
+struct LedgerSummary {
+  std::uint64_t total_events = 0;
+  std::uint64_t parse_errors = 0;
+  std::map<std::string, std::uint64_t> by_kind;
+  /// SubstituteReject reasons -> count.
+  std::map<std::string, std::uint64_t> rejections;
+  struct DivisorAgg {
+    std::int64_t commits = 0;
+    std::int64_t gain = 0;  ///< summed committed literal gain
+  };
+  std::map<std::int32_t, DivisorAgg> divisors;
+  struct NodeAgg {
+    std::int64_t first_literals = -1;  ///< b of the node's first update
+    std::int64_t last_literals = -1;   ///< a of the node's last update
+    std::int64_t updates = 0;
+  };
+  /// Per-node literal attribution from NodeUpdate events.
+  std::map<std::int32_t, NodeAgg> nodes;
+  std::int64_t wires_added = 0;
+  std::int64_t wires_removed = 0;
+  std::int64_t redundancy_tests = 0;
+  std::int64_t redundancy_untestable = 0;
+};
+
+LedgerSummary summarize_events(const std::vector<ParsedEvent>& events);
+/// Line-by-line summary of a JSONL stream (malformed lines are counted,
+/// not fatal).
+LedgerSummary summarize_ledger(std::istream& in);
+
+/// Human-readable report: per-kind totals, rejection-reason histogram, top
+/// divisors by committed gain, and per-node literal attribution.
+std::string render_ledger_summary(const LedgerSummary& s, int top_n = 10);
+
+}  // namespace rarsub::obs
+
+// Emit one flight-recorder event. The arguments are a designated
+// initializer list for obs::Event and are only evaluated while a ledger
+// session is active:
+//   OBS_EVENT(.kind = obs::EventKind::WireRemove, .node = g, .divisor = p,
+//             .reason = "pin");
+#define OBS_EVENT(...)                                                  \
+  do {                                                                  \
+    if (::rarsub::obs::ledger_active())                                 \
+      ::rarsub::obs::detail::ledger_emit(                               \
+          ::rarsub::obs::Event{__VA_ARGS__});                           \
+  } while (0)

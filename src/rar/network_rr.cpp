@@ -3,12 +3,15 @@
 #include <cassert>
 
 #include "gatenet/build.hpp"
+#include "obs/obs.hpp"
 #include "rar/redundancy.hpp"
 
 namespace rarsub {
 
 NetworkRrStats network_redundancy_removal(Network& net,
                                           const NetworkRrOptions& opts) {
+  OBS_SCOPED_TIMER("network_rr.run");
+  OBS_COUNT("network_rr.runs", 1);
   NetworkRrStats stats;
   stats.literals_before = net.factored_literals();
 
@@ -20,6 +23,7 @@ NetworkRrStats network_redundancy_removal(Network& net,
   ropts.both_polarities = opts.both_polarities;
   ropts.to_fixpoint = true;
   stats.wires_removed = remove_all_redundancies(gn, ropts);
+  OBS_COUNT("network_rr.wires_removed", stats.wires_removed);
   if (stats.wires_removed == 0) {
     stats.literals_after = stats.literals_before;
     return stats;

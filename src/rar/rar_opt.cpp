@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "atpg/fault.hpp"
+#include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 #include "rar/redundancy.hpp"
 
@@ -40,6 +41,8 @@ RarStats rar_optimize(GateNet& net, const RarOptions& opts) {
         const bool sv = removal_stuck_value(gd.type);
         const FaultResult fr = analyze_fault(net, target, sv, opts.learning_depth);
         if (fr.untestable) {  // already removable for free
+          OBS_EVENT(.kind = obs::EventKind::WireRemove, .node = g,
+                    .divisor = p, .reason = "untestable");
           net.remove_fanin(target);
           ++stats.wires_removed;
           progress = true;
@@ -69,9 +72,13 @@ RarStats rar_optimize(GateNet& net, const RarOptions& opts) {
             const Signal add{cand, mand == d_nctrl};
 
             const WireRef added = net.add_fanin(dom, add);
+            OBS_EVENT(.kind = obs::EventKind::WireAdd, .node = dom,
+                      .divisor = cand, .a = add.neg ? 1 : 0, .b = g);
             // The added connection must itself be redundant.
             if (!wire_redundant(net, added, removal_stuck_value(dg.type),
                                 opts.learning_depth)) {
+              OBS_EVENT(.kind = obs::EventKind::WireRemove, .node = dom,
+                        .divisor = added.pin, .reason = "not_redundant");
               net.remove_fanin(added);
               continue;
             }
@@ -101,6 +108,8 @@ RarStats rar_optimize(GateNet& net, const RarOptions& opts) {
               const Gate& dg2 = net.gate(dom);
               for (int q = 0; q < static_cast<int>(dg2.fanins.size()); ++q)
                 if (dg2.fanins[static_cast<std::size_t>(q)] == add) {
+                  OBS_EVENT(.kind = obs::EventKind::WireRemove, .node = dom,
+                            .divisor = q, .reason = "retract");
                   net.remove_fanin(WireRef{dom, q});
                   break;
                 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/ledger.hpp"
+
 namespace rarsub {
 
 bool wire_redundant(const GateNet& net, WireRef w, bool stuck_value,
@@ -49,6 +51,8 @@ int remove_redundant_wires(GateNet& net, const std::vector<WireRef>& candidates,
       const WireRef w{k.gate, pin};
       const bool del_val = removal_stuck_value(gd.type);
       if (wire_redundant(net, w, del_val, opts.learning_depth)) {
+        OBS_EVENT(.kind = obs::EventKind::WireRemove, .node = w.gate,
+                  .divisor = w.pin, .reason = "pin");
         net.remove_fanin(w);
         ++removed;
         changed = true;
@@ -57,6 +61,8 @@ int remove_redundant_wires(GateNet& net, const std::vector<WireRef>& candidates,
       if (opts.both_polarities &&
           wire_redundant(net, w, !del_val, opts.learning_depth)) {
         // Input stuck at the controlling value: the whole gate is constant.
+        OBS_EVENT(.kind = obs::EventKind::WireRemove, .node = w.gate,
+                  .divisor = w.pin, .reason = "const");
         net.make_const(k.gate, gd.type == GateType::Or);
         ++removed;
         changed = true;

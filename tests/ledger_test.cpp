@@ -1,0 +1,320 @@
+#include "obs/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <thread>
+
+#include "division/substitute.hpp"
+#include "network/network.hpp"
+#include "sop/factor.hpp"
+
+namespace rarsub {
+namespace {
+
+// Every test owns the process-wide session: close any leftover first.
+class LedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::ledger_end(); }
+  void TearDown() override { obs::ledger_end(); }
+};
+
+TEST_F(LedgerTest, KindNamesRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(obs::EventKind::RedundancyTest); ++i) {
+    const auto k = static_cast<obs::EventKind>(i);
+    obs::EventKind back;
+    ASSERT_TRUE(obs::event_kind_from_name(obs::event_kind_name(k), &back))
+        << obs::event_kind_name(k);
+    EXPECT_EQ(back, k);
+  }
+  obs::EventKind dummy;
+  EXPECT_FALSE(obs::event_kind_from_name("not_a_kind", &dummy));
+}
+
+TEST_F(LedgerTest, DisabledRecorderEvaluatesNothing) {
+  ASSERT_FALSE(obs::ledger_active());
+  int evaluated = 0;
+  OBS_EVENT(.kind = obs::EventKind::WireAdd,
+            .a = ++evaluated);  // must not run while disabled
+  EXPECT_EQ(evaluated, 0);
+}
+
+TEST_F(LedgerTest, MemorySessionRecordsInOrder) {
+  ASSERT_TRUE(obs::ledger_begin_memory(64));
+  EXPECT_TRUE(obs::ledger_active());
+  EXPECT_FALSE(obs::ledger_begin_memory(64));  // no double-begin
+
+  OBS_EVENT(.kind = obs::EventKind::WireAdd, .node = 3, .divisor = 7, .a = 1);
+  OBS_EVENT(.kind = obs::EventKind::WireRemove, .node = 3, .divisor = 7,
+            .reason = "pin");
+  obs::ledger_end();
+  EXPECT_FALSE(obs::ledger_active());
+
+  const std::vector<obs::Event> ev = obs::ledger_events();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev[0].seq, 0u);
+  EXPECT_EQ(ev[0].kind, obs::EventKind::WireAdd);
+  EXPECT_EQ(ev[0].node, 3);
+  EXPECT_EQ(ev[0].divisor, 7);
+  EXPECT_EQ(ev[1].seq, 1u);
+  EXPECT_STREQ(ev[1].reason, "pin");
+  EXPECT_GE(ev[1].t_ns, ev[0].t_ns);
+  EXPECT_EQ(obs::ledger_emitted(), 2u);
+  EXPECT_EQ(obs::ledger_dropped(), 0u);
+}
+
+TEST_F(LedgerTest, RingKeepsTheMostRecentEvents) {
+  ASSERT_TRUE(obs::ledger_begin_memory(4));
+  for (int i = 0; i < 10; ++i)
+    OBS_EVENT(.kind = obs::EventKind::RedundancyTest, .node = i);
+  obs::ledger_end();
+  EXPECT_EQ(obs::ledger_emitted(), 10u);
+  EXPECT_EQ(obs::ledger_dropped(), 6u);
+  const std::vector<obs::Event> ev = obs::ledger_events();
+  ASSERT_EQ(ev.size(), 4u);
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    EXPECT_EQ(ev[i].seq, 6 + i);
+    EXPECT_EQ(ev[i].node, static_cast<std::int32_t>(6 + i));
+  }
+}
+
+TEST_F(LedgerTest, ConcurrentEmittersGetUniqueOrderedSeqs) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  ASSERT_TRUE(obs::ledger_begin_memory(kThreads * kPerThread));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i)
+        OBS_EVENT(.kind = obs::EventKind::RedundancyTest, .node = t, .a = i);
+    });
+  for (std::thread& w : workers) w.join();
+  obs::ledger_end();
+
+  EXPECT_EQ(obs::ledger_emitted(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(obs::ledger_dropped(), 0u);
+  const std::vector<obs::Event> ev = obs::ledger_events();
+  ASSERT_EQ(ev.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  // Sequence numbers are dense, unique, and ordered: event i has seq i.
+  for (std::size_t i = 0; i < ev.size(); ++i)
+    ASSERT_EQ(ev[i].seq, i);
+  // Per thread, payloads arrive in the order that thread emitted them.
+  std::vector<std::int64_t> next(kThreads, 0);
+  for (const obs::Event& e : ev) {
+    ASSERT_GE(e.node, 0);
+    ASSERT_LT(e.node, kThreads);
+    EXPECT_EQ(e.a, next[static_cast<std::size_t>(e.node)]++);
+  }
+}
+
+TEST_F(LedgerTest, JsonlRoundTripPreservesEveryField) {
+  obs::Event e;
+  e.seq = 42;
+  e.t_ns = 1234567;
+  e.kind = obs::EventKind::SubstituteReject;
+  e.node = 9;
+  e.divisor = 4;
+  e.a = -3;
+  e.b = 17;
+  e.c = 1;
+  e.reason = "max_node_cubes";
+  const std::string line = obs::event_to_jsonl(e);
+  obs::ParsedEvent p;
+  ASSERT_TRUE(obs::ledger_parse_line(line, &p)) << line;
+  EXPECT_EQ(p.event.seq, 42u);
+  EXPECT_EQ(p.event.t_ns, 1234567);
+  EXPECT_EQ(p.event.kind, obs::EventKind::SubstituteReject);
+  EXPECT_EQ(p.event.node, 9);
+  EXPECT_EQ(p.event.divisor, 4);
+  EXPECT_EQ(p.event.a, -3);
+  EXPECT_EQ(p.event.b, 17);
+  EXPECT_EQ(p.event.c, 1);
+  EXPECT_EQ(p.reason, "max_node_cubes");
+
+  obs::ParsedEvent bad;
+  EXPECT_FALSE(obs::ledger_parse_line("not json", &bad));
+  EXPECT_FALSE(obs::ledger_parse_line("{\"kind\":\"nope\",\"seq\":0}", &bad));
+}
+
+Network intro_example() {
+  Network net("intro");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId f = net.add_node(
+      "f", {a, b, c}, Sop::from_strings({"10-", "1-1", "-10", "-01"}));
+  const NodeId d =
+      net.add_node("d", {a, b, c}, Sop::from_strings({"11-", "-01"}));
+  net.add_po("f", f);
+  net.add_po("d", d);
+  return net;
+}
+
+TEST_F(LedgerTest, FileSessionStreamsParseableJsonl) {
+  const std::string path = testing::TempDir() + "rarsub_ledger.jsonl";
+  ASSERT_TRUE(obs::ledger_begin(path));
+
+  Network net = intro_example();
+  SubstituteOptions opts;
+  opts.method = SubstMethod::Extended;
+  const SubstituteStats st = substitute_network(net, opts);
+  obs::ledger_end();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::uint64_t lines = 0, commits = 0, updates = 0, attempts = 0;
+  std::uint64_t expected_seq = 0;
+  while (std::getline(in, line)) {
+    obs::ParsedEvent p;
+    ASSERT_TRUE(obs::ledger_parse_line(line, &p)) << line;
+    EXPECT_EQ(p.event.seq, expected_seq++);
+    ++lines;
+    if (p.event.kind == obs::EventKind::SubstituteCommit) ++commits;
+    if (p.event.kind == obs::EventKind::NodeUpdate) ++updates;
+    if (p.event.kind == obs::EventKind::SubstituteAttempt) ++attempts;
+  }
+  EXPECT_GT(lines, 0u);
+  EXPECT_GT(attempts, 0u);
+  EXPECT_EQ(commits, static_cast<std::uint64_t>(st.substitutions));
+  if (st.substitutions > 0) {
+    EXPECT_GT(updates, 0u);
+  }
+
+  // The offline summarizer digests the same stream.
+  std::ifstream again(path);
+  const obs::LedgerSummary s = obs::summarize_ledger(again);
+  EXPECT_EQ(s.total_events, lines);
+  EXPECT_EQ(s.parse_errors, 0u);
+  EXPECT_EQ(s.by_kind.at("substitute_attempt"), attempts);
+}
+
+Network random_network(std::mt19937& rng, int num_pis, int num_nodes) {
+  Network net("rand");
+  std::vector<NodeId> pool;
+  for (int i = 0; i < num_pis; ++i)
+    pool.push_back(net.add_pi("x" + std::to_string(i)));
+  std::uniform_int_distribution<int> nfan(2, 4);
+  std::uniform_int_distribution<int> ncube(1, 4);
+  for (int i = 0; i < num_nodes; ++i) {
+    const int k = std::min<int>(nfan(rng), static_cast<int>(pool.size()));
+    std::vector<NodeId> fanins;
+    while (static_cast<int>(fanins.size()) < k) {
+      const NodeId cand = pool[rng() % pool.size()];
+      if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end())
+        fanins.push_back(cand);
+    }
+    Sop func(k);
+    const int cubes = ncube(rng);
+    for (int cidx = 0; cidx < cubes; ++cidx) {
+      Cube c(k);
+      for (int v = 0; v < k; ++v) {
+        const int r = static_cast<int>(rng() % 3);
+        if (r == 0) c.set_lit(v, Lit::Pos);
+        if (r == 1) c.set_lit(v, Lit::Neg);
+      }
+      func.add_cube(c);
+    }
+    if (func.num_cubes() == 0) func = Sop::one(k);
+    pool.push_back(net.add_node("n" + std::to_string(i), fanins, func));
+  }
+  for (int i = 0; i < 3; ++i)
+    net.add_po("o" + std::to_string(i),
+               pool[pool.size() - 1 - static_cast<std::size_t>(i)]);
+  return net;
+}
+
+// The replay contract: applying the recorded node_update stream to an
+// empty model reproduces the final per-node factored literal counts
+// exactly (new nodes enter at `a`, updates move b -> a, swept nodes drop
+// to 0), so sum(a) over live nodes equals Network::factored_literals().
+TEST_F(LedgerTest, ReplayReproducesPerNodeLiteralCounts) {
+  std::mt19937 rng(2024);
+  for (int iter = 0; iter < 6; ++iter) {
+    ASSERT_TRUE(obs::ledger_begin_memory(1 << 16));
+    Network net = random_network(rng, 5, 10);  // add_node events recorded
+    SubstituteOptions opts;
+    opts.method = (iter % 2) ? SubstMethod::Extended : SubstMethod::Basic;
+    opts.try_pos = true;
+    opts.max_passes = 2;
+    substitute_network(net, opts);
+    net.sweep();
+    obs::ledger_end();
+    ASSERT_EQ(obs::ledger_dropped(), 0u);
+
+    std::map<std::int32_t, std::int64_t> replay;
+    for (const obs::Event& e : obs::ledger_events())
+      if (e.kind == obs::EventKind::NodeUpdate) replay[e.node] = e.a;
+
+    std::int64_t total = 0;
+    for (NodeId id = 0; id < net.num_nodes(); ++id) {
+      const Node& nd = net.node(id);
+      if (nd.is_pi) continue;
+      const std::int64_t want =
+          nd.alive ? factored_literal_count(nd.func) : 0;
+      const auto it = replay.find(id);
+      const std::int64_t got = it == replay.end() ? 0 : it->second;
+      EXPECT_EQ(got, want) << "node " << id << " iter " << iter;
+      if (nd.alive) total += want;
+    }
+    EXPECT_EQ(total, net.factored_literals()) << "iter " << iter;
+  }
+}
+
+TEST_F(LedgerTest, SummaryAggregatesAndRenders) {
+  auto mk = [](obs::EventKind k, std::int32_t node, std::int32_t divisor,
+               std::int64_t a, std::int64_t b, const std::string& reason) {
+    obs::ParsedEvent p;
+    p.event.kind = k;
+    p.event.node = node;
+    p.event.divisor = divisor;
+    p.event.a = a;
+    p.event.b = b;
+    p.reason = reason;
+    return p;
+  };
+  std::vector<obs::ParsedEvent> ev;
+  ev.push_back(mk(obs::EventKind::SubstituteAttempt, 5, 6, 4, 2, ""));
+  ev.push_back(mk(obs::EventKind::SubstituteReject, 5, 7, 0, 0, "cycle"));
+  ev.push_back(mk(obs::EventKind::SubstituteReject, 5, 8, 0, 0, "no_gain"));
+  ev.push_back(mk(obs::EventKind::SubstituteReject, 6, 8, 0, 0, "no_gain"));
+  ev.push_back(mk(obs::EventKind::SubstituteCommit, 5, 6, 3, 2, "sos"));
+  ev.push_back(mk(obs::EventKind::SubstituteCommit, 9, 6, 2, 1, "pos"));
+  ev.push_back(mk(obs::EventKind::NodeUpdate, 5, -1, 8, 11, ""));
+  ev.push_back(mk(obs::EventKind::NodeUpdate, 5, -1, 6, 8, ""));
+  ev.push_back(mk(obs::EventKind::WireAdd, 2, 3, 0, 0, ""));
+  ev.push_back(mk(obs::EventKind::WireRemove, 2, 0, 0, 0, "pin"));
+  ev.push_back(mk(obs::EventKind::RedundancyTest, 2, 0, 1, 0, ""));
+  ev.push_back(mk(obs::EventKind::RedundancyTest, 2, 1, 0, 0, ""));
+
+  const obs::LedgerSummary s = obs::summarize_events(ev);
+  EXPECT_EQ(s.total_events, ev.size());
+  EXPECT_EQ(s.by_kind.at("substitute_reject"), 3u);
+  EXPECT_EQ(s.rejections.at("no_gain"), 2u);
+  EXPECT_EQ(s.rejections.at("cycle"), 1u);
+  ASSERT_TRUE(s.divisors.count(6));
+  EXPECT_EQ(s.divisors.at(6).commits, 2);
+  EXPECT_EQ(s.divisors.at(6).gain, 5);
+  ASSERT_TRUE(s.nodes.count(5));
+  EXPECT_EQ(s.nodes.at(5).first_literals, 11);
+  EXPECT_EQ(s.nodes.at(5).last_literals, 6);
+  EXPECT_EQ(s.nodes.at(5).updates, 2);
+  EXPECT_EQ(s.wires_added, 1);
+  EXPECT_EQ(s.wires_removed, 1);
+  EXPECT_EQ(s.redundancy_tests, 2);
+  EXPECT_EQ(s.redundancy_untestable, 1);
+
+  const std::string text = obs::render_ledger_summary(s);
+  EXPECT_NE(text.find("substitute_commit"), std::string::npos);
+  EXPECT_NE(text.find("no_gain"), std::string::npos);
+  EXPECT_NE(text.find("top divisors"), std::string::npos);
+  EXPECT_NE(text.find("node 6"), std::string::npos) << text;
+  EXPECT_NE(text.find("11 -> 6"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace rarsub

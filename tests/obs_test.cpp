@@ -3,13 +3,21 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <fstream>
+#include <limits>
+#include <random>
 #include <sstream>
 #include <thread>
 
+#include "benchcir/suite.hpp"
 #include "division/substitute.hpp"
 #include "network/network.hpp"
 #include "obs/json.hpp"
+#include "opt/scripts.hpp"
+#include "rar/network_rr.hpp"
+#include "rar/rar_opt.hpp"
+#include "rar/redundancy.hpp"
 
 namespace rarsub {
 namespace {
@@ -194,6 +202,27 @@ TEST(Obs, MonotonicTimerNeverGoesBackwards) {
   EXPECT_GE(t.elapsed_ms(), 0.0);
 }
 
+TEST(Json, NonFiniteDoublesStayParseable) {
+  std::string out;
+  obs::JsonWriter w(&out);
+  w.begin_object();
+  w.key("nan");
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.key("pinf");
+  w.value(std::numeric_limits<double>::infinity());
+  w.key("ninf");
+  w.value(-std::numeric_limits<double>::infinity());
+  w.key("fin");
+  w.value(1.5);
+  w.end_object();
+  JsonChecker checker(out);
+  EXPECT_TRUE(checker.valid()) << out;
+  EXPECT_NE(out.find("\"nan\":0"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"pinf\":1e308"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"ninf\":-1e308"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"fin\":1.5"), std::string::npos) << out;
+}
+
 TEST(Obs, RenderJsonIsWellFormed) {
   obs::reset();
   OBS_COUNT("test.json \"quoted\"", 1);  // name needing escaping
@@ -298,6 +327,178 @@ TEST(Obs, SizeGuardRejectionsAreCounted) {
   opts2.max_common_vars = 1;  // common space is 3 vars wide
   substitute_network(net2, opts2);
   EXPECT_GT(obs::snapshot().counter("subst.reject.max_common_vars"), 0);
+}
+
+// ---------------------------------------------------------------------
+// The metric catalogue in docs/OBSERVABILITY.md must stay live: every
+// documented counter/distribution/timer name has to show up (non-zero) in
+// the snapshot of a real run. A renamed or dropped instrument fails here
+// instead of silently rotting the docs.
+
+std::vector<std::string> doc_metric_names(const std::string& doc,
+                                          const std::string& section_start,
+                                          const std::string& section_end) {
+  std::vector<std::string> names;
+  const std::size_t begin = doc.find(section_start);
+  if (begin == std::string::npos) return names;
+  std::size_t end = doc.find(section_end, begin);
+  if (end == std::string::npos) end = doc.size();
+  std::istringstream ss(doc.substr(begin, end - begin));
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (line.rfind("| `", 0) != 0) continue;  // table rows only
+    const std::string cell = line.substr(0, line.find('|', 1));
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t open = cell.find('`', pos);
+      if (open == std::string::npos) break;
+      const std::size_t close = cell.find('`', open + 1);
+      if (close == std::string::npos) break;
+      names.push_back(cell.substr(open + 1, close - open - 1));
+      pos = close + 1;
+    }
+  }
+  return names;
+}
+
+GateNet random_gatenet(std::mt19937& rng, int num_pis, int num_gates) {
+  GateNet gn;
+  for (int i = 0; i < num_pis; ++i) gn.add_pi("x" + std::to_string(i));
+  std::uniform_int_distribution<int> nfan(1, 3);
+  for (int i = 0; i < num_gates; ++i) {
+    const int existing = gn.num_gates();
+    std::uniform_int_distribution<int> pick(0, existing - 1);
+    std::vector<Signal> fanins;
+    const int k = nfan(rng);
+    for (int j = 0; j < k; ++j) fanins.push_back({pick(rng), (rng() & 1) != 0});
+    gn.add_gate((rng() & 1) ? GateType::And : GateType::Or, std::move(fanins));
+  }
+  gn.add_output(gn.num_gates() - 1);
+  return gn;
+}
+
+// One composed scenario that makes every documented instrument fire.
+void exercise_every_subsystem() {
+  // Extended division with global don't cares: atpg.* (incl. recursive
+  // learning), division.*, subst.* core counters.
+  {
+    Network net = intro_example();
+    SubstituteOptions o;
+    o.method = SubstMethod::ExtendedGdc;
+    o.try_pos = true;
+    substitute_network(net, o);
+  }
+  // A real circuit drives the rarer paths: on syn_c432 after script A,
+  // extended substitution with the POS dual commits at least one POS
+  // rewrite and one divisor decomposition (~65 ms).
+  {
+    Network net = build_benchmark("syn_c432");
+    script_a(net);
+    SubstituteOptions o;
+    o.method = SubstMethod::Extended;
+    o.try_pos = true;
+    substitute_network(net, o);
+  }
+  // Every size guard rejects at least once (one tight guard per run).
+  for (int guard = 0; guard < 4; ++guard) {
+    Network net = intro_example();
+    SubstituteOptions o;
+    o.method = SubstMethod::Basic;
+    if (guard == 0) o.max_node_cubes = 1;
+    if (guard == 1) o.max_divisor_cubes = 1;
+    if (guard == 2) o.max_common_vars = 1;
+    if (guard == 3) o.max_complement_cubes = 1;
+    substitute_network(net, o);
+  }
+  // Multi-divisor pool attempt.
+  {
+    Network net("pool");
+    const NodeId a = net.add_pi("a");
+    const NodeId b = net.add_pi("b");
+    const NodeId c = net.add_pi("c");
+    const NodeId d = net.add_pi("d");
+    const NodeId e = net.add_pi("e");
+    const NodeId x = net.add_pi("x");
+    const NodeId y = net.add_pi("y");
+    const NodeId z = net.add_pi("z");
+    const NodeId f = net.add_node(
+        "f", {a, b, x, y, z}, Sop::from_strings({"111--", "11-1-", "11--1"}));
+    const NodeId d1 =
+        net.add_node("d1", {a, b, e}, Sop::from_strings({"11-", "--1"}));
+    const NodeId d2 = net.add_node("d2", {c, d}, Sop::from_strings({"11"}));
+    net.add_po("f", f);
+    net.add_po("d1", d1);
+    net.add_po("d2", d2);
+    SubstituteOptions o;
+    o.method = SubstMethod::Extended;
+    (void)try_pool_substitution(net, f, {d1, d2}, o);
+  }
+  // Espresso-lite: simplify non-minimal covers.
+  {
+    Network net = intro_example();
+    simplify_network(net);
+  }
+  // Classic RAR + ATPG redundancy removal over random gate-level circuits
+  // (wires get added and removed; recursive learning exercised).
+  std::mt19937 rng(101);
+  for (int iter = 0; iter < 25; ++iter) {
+    GateNet gn = random_gatenet(rng, 5, 12);
+    RarOptions ro;
+    ro.learning_depth = iter % 2;
+    rar_optimize(gn, ro);
+  }
+  {
+    std::mt19937 rng2(97);
+    for (int iter = 0; iter < 10; ++iter) {
+      GateNet gn = random_gatenet(rng2, 5, 14);
+      RemoveOptions ro;
+      ro.both_polarities = true;
+      ro.learning_depth = 1;
+      remove_all_redundancies(gn, ro);
+    }
+  }
+  // Network-level redundancy removal: f = ab + a'c + bc has a redundant
+  // consensus cube.
+  {
+    Network net("rr");
+    const NodeId a = net.add_pi("a");
+    const NodeId b = net.add_pi("b");
+    const NodeId c = net.add_pi("c");
+    const NodeId f = net.add_node(
+        "f", {a, b, c}, Sop::from_strings({"11-", "0-1", "-11"}));
+    net.add_po("f", f);
+    network_redundancy_removal(net);
+  }
+}
+
+TEST(Obs, DocumentedMetricCatalogueIsLive) {
+  const std::string doc =
+      read_file(std::string(RARSUB_SOURCE_DIR) + "/docs/OBSERVABILITY.md");
+  ASSERT_FALSE(doc.empty()) << "docs/OBSERVABILITY.md not found";
+  const std::vector<std::string> counters =
+      doc_metric_names(doc, "Counters (monotonic):", "Distributions (");
+  const std::vector<std::string> dists =
+      doc_metric_names(doc, "Distributions (", "Timers (");
+  const std::vector<std::string> timers =
+      doc_metric_names(doc, "Timers (", "## Bench report");
+  ASSERT_GT(counters.size(), 20u);  // the parser found the tables
+  ASSERT_GT(dists.size(), 3u);
+  ASSERT_GT(timers.size(), 6u);
+
+  obs::reset();
+  exercise_every_subsystem();
+  const obs::Snapshot s = obs::snapshot();
+
+  for (const std::string& name : counters)
+    EXPECT_GT(s.counter(name), 0) << "documented counter never fired: " << name;
+  for (const std::string& name : dists) {
+    bool found = false;
+    for (const obs::DistSnap& d : s.distributions) found |= (d.name == name);
+    EXPECT_TRUE(found) << "documented distribution never fired: " << name;
+  }
+  for (const std::string& name : timers)
+    EXPECT_GT(s.timer_calls(name), 0)
+        << "documented timer never fired: " << name;
 }
 
 }  // namespace

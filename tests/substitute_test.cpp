@@ -5,6 +5,7 @@
 #include <random>
 
 #include "network/simulate.hpp"
+#include "obs/ledger.hpp"
 #include "test_util.hpp"
 
 namespace rarsub {
@@ -304,6 +305,38 @@ TEST(Substitute, DivisorPoolMechanics) {
     // Declined: the node functions are untouched.
     const NodeId f2 = net.find_node("f");
     EXPECT_EQ(net.node(f2).func, before.node(before.find_node("f")).func);
+  }
+}
+
+// Flight-recorder contract: the commit events of a run agree with the
+// published stats, and the node_update deltas account for the network's
+// literal-count change exactly — nothing mutates covers off the record.
+TEST(Substitute, LedgerCommitEventsReconcileWithLiteralDelta) {
+  std::mt19937 rng(77);
+  for (int iter = 0; iter < 6; ++iter) {
+    Network net = random_network(rng, 5, 10);
+    const int lits_before = net.factored_literals();
+
+    obs::ledger_end();  // take over any stray session
+    ASSERT_TRUE(obs::ledger_begin_memory(1 << 16));
+    SubstituteOptions opts;
+    opts.method = (iter % 2) ? SubstMethod::Extended : SubstMethod::Basic;
+    opts.try_pos = true;
+    opts.max_passes = 2;
+    const SubstituteStats st = substitute_network(net, opts);
+    obs::ledger_end();
+    ASSERT_EQ(obs::ledger_dropped(), 0u);
+
+    std::int64_t delta = 0;
+    int commits = 0;
+    for (const obs::Event& e : obs::ledger_events()) {
+      if (e.kind == obs::EventKind::NodeUpdate) delta += e.a - e.b;
+      if (e.kind == obs::EventKind::SubstituteCommit) ++commits;
+    }
+    EXPECT_EQ(commits, st.substitutions) << "iter " << iter;
+    EXPECT_EQ(lits_before + delta, net.factored_literals()) << "iter " << iter;
+    EXPECT_EQ(st.literals_before, lits_before);
+    EXPECT_EQ(st.literals_after, net.factored_literals());
   }
 }
 

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Compare two RARSUB_REPORT bench JSONs and gate on regressions.
+
+Usage:
+  bench_compare.py BASELINE CURRENT [--cpu-threshold PCT] [--out FILE]
+  bench_compare.py --self-test
+
+Reads the JSON reports written by the bench tables (bench/table_common.cpp,
+env RARSUB_REPORT=<file>), matches per-(circuit, method) rows by name, and
+prints a delta table of literal counts and CPU times.
+
+Exit status:
+  0  no regression
+  1  regression: any per-row literal-count increase, a per-method total CPU
+     increase beyond --cpu-threshold percent, missing coverage in CURRENT,
+     or equivalence failures in CURRENT
+  2  bad invocation / unreadable or malformed report
+
+Literal counts are deterministic, so the literal gate is strict (any
+increase fails). CPU time is noisy, so it is gated on per-method *totals*
+with a percentage threshold (default 5%; CI uses a larger value to absorb
+machine-to-machine variance).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    rows = {}
+    for circuit in report.get("circuits", []):
+        cname = circuit["name"]
+        for m in circuit.get("methods", []):
+            rows[(cname, m["method"])] = {
+                "literals": int(m["literals"]),
+                "cpu_ms": float(m["cpu_ms"]),
+                "equivalent": bool(m.get("equivalent", True)),
+            }
+    return report, rows
+
+
+def compare(base_report, base_rows, cur_report, cur_rows, cpu_threshold):
+    """Returns (lines, failures) where lines is the rendered delta table
+    and failures is a list of human-readable regression descriptions."""
+    lines = []
+    failures = []
+
+    header = "%-12s %-10s %9s %9s %7s %10s %10s %8s" % (
+        "circuit", "method", "base_lit", "cur_lit", "d_lit",
+        "base_ms", "cur_ms", "d_cpu%")
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    missing = sorted(set(base_rows) - set(cur_rows))
+    extra = sorted(set(cur_rows) - set(base_rows))
+    for key in missing:
+        failures.append("missing in current: %s/%s" % key)
+    for key in extra:
+        lines.append("(new, not in baseline: %s/%s)" % key)
+
+    method_cpu = {}  # method -> [base_total, cur_total]
+    for key in sorted(base_rows):
+        if key not in cur_rows:
+            continue
+        b, c = base_rows[key], cur_rows[key]
+        d_lit = c["literals"] - b["literals"]
+        d_cpu = (100.0 * (c["cpu_ms"] - b["cpu_ms"]) / b["cpu_ms"]
+                 if b["cpu_ms"] > 0 else 0.0)
+        mark = ""
+        if d_lit > 0:
+            mark = "  <-- literal regression"
+            failures.append("%s/%s: literals %d -> %d" %
+                            (key[0], key[1], b["literals"], c["literals"]))
+        if not c["equivalent"]:
+            mark += "  <-- NOT EQUIVALENT"
+        lines.append("%-12s %-10s %9d %9d %+7d %10.1f %10.1f %+7.1f%%%s" % (
+            key[0], key[1], b["literals"], c["literals"], d_lit,
+            b["cpu_ms"], c["cpu_ms"], d_cpu, mark))
+        totals = method_cpu.setdefault(key[1], [0.0, 0.0])
+        totals[0] += b["cpu_ms"]
+        totals[1] += c["cpu_ms"]
+
+    lines.append("")
+    lines.append("%-10s %12s %12s %8s  (threshold %.1f%%)" % (
+        "method", "base_ms", "cur_ms", "d_cpu%", cpu_threshold))
+    for method in sorted(method_cpu):
+        bt, ct = method_cpu[method]
+        d = 100.0 * (ct - bt) / bt if bt > 0 else 0.0
+        mark = ""
+        if d > cpu_threshold:
+            mark = "  <-- CPU regression"
+            failures.append("method %s: total CPU %.1fms -> %.1fms (%+.1f%% > %.1f%%)"
+                            % (method, bt, ct, d, cpu_threshold))
+        lines.append("%-10s %12.1f %12.1f %+7.1f%%%s" % (method, bt, ct, d, mark))
+
+    eq_fail = int(cur_report.get("equivalence_failures", 0))
+    if eq_fail > 0:
+        failures.append("current report has %d equivalence failure(s)" % eq_fail)
+
+    return lines, failures
+
+
+def run_compare(args):
+    try:
+        base_report, base_rows = load_report(args.baseline)
+        cur_report, cur_rows = load_report(args.current)
+    except (OSError, ValueError, KeyError) as e:
+        print("bench_compare: cannot read report: %s" % e, file=sys.stderr)
+        return 2
+    if not base_rows:
+        print("bench_compare: baseline has no circuit rows", file=sys.stderr)
+        return 2
+
+    lines, failures = compare(base_report, base_rows, cur_report, cur_rows,
+                              args.cpu_threshold)
+    text = "\n".join(lines) + "\n"
+    if failures:
+        text += "\nREGRESSIONS:\n" + "\n".join("  - " + f for f in failures) + "\n"
+    else:
+        text += "\nno regressions (literal gate strict, CPU gate %.1f%%)\n" \
+                % args.cpu_threshold
+    print(text, end="")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(text)
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+# Self test: synthesizes reports in memory and checks the gate logic,
+# including that an injected 10% CPU regression fails at the default
+# threshold. Run from ctest so the comparator itself is covered.
+
+def _report(rows, eq_failures=0):
+    circuits = {}
+    for (circuit, method), (lits, ms) in rows.items():
+        circuits.setdefault(circuit, []).append(
+            {"method": method, "literals": lits, "cpu_ms": ms,
+             "equivalent": True})
+    return {
+        "table": "self-test", "suite": "small",
+        "circuits": [{"name": c, "init_literals": 0, "methods": ms}
+                     for c, ms in sorted(circuits.items())],
+        "total_init_literals": 0,
+        "equivalence_failures": eq_failures,
+    }
+
+
+def _rows_of(report):
+    rows = {}
+    for circuit in report["circuits"]:
+        for m in circuit["methods"]:
+            rows[(circuit["name"], m["method"])] = {
+                "literals": m["literals"], "cpu_ms": m["cpu_ms"],
+                "equivalent": m["equivalent"]}
+    return rows
+
+
+def self_test():
+    base = _report({("c432", "ext"): (200, 100.0), ("c880", "ext"): (300, 200.0)})
+
+    def verdict(cur, threshold):
+        _, failures = compare(base, _rows_of(base), cur, _rows_of(cur), threshold)
+        return failures
+
+    checks = [
+        ("identical reports pass",
+         not verdict(base, 5.0)),
+        ("literal improvement passes",
+         not verdict(_report({("c432", "ext"): (195, 100.0),
+                              ("c880", "ext"): (300, 200.0)}), 5.0)),
+        ("single literal regression fails",
+         bool(verdict(_report({("c432", "ext"): (201, 100.0),
+                               ("c880", "ext"): (300, 200.0)}), 5.0))),
+        ("10% CPU regression fails at default threshold",
+         bool(verdict(_report({("c432", "ext"): (200, 110.0),
+                               ("c880", "ext"): (300, 220.0)}), 5.0))),
+        ("10% CPU regression passes at 50% threshold",
+         not verdict(_report({("c432", "ext"): (200, 110.0),
+                              ("c880", "ext"): (300, 220.0)}), 50.0)),
+        ("missing coverage fails",
+         bool(verdict(_report({("c432", "ext"): (200, 100.0)}), 5.0))),
+        ("equivalence failure fails",
+         bool(verdict(_report({("c432", "ext"): (200, 100.0),
+                               ("c880", "ext"): (300, 200.0)},
+                              eq_failures=1), 5.0))),
+    ]
+    ok = True
+    for name, passed in checks:
+        print("%-45s %s" % (name, "PASS" if passed else "FAIL"))
+        ok = ok and passed
+    return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", nargs="?", help="baseline RARSUB_REPORT JSON")
+    ap.add_argument("current", nargs="?", help="current RARSUB_REPORT JSON")
+    ap.add_argument("--cpu-threshold", type=float, default=5.0,
+                    help="max allowed per-method total CPU increase, percent "
+                         "(default %(default)s)")
+    ap.add_argument("--out", help="also write the delta table to this file")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in gate-logic checks and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.baseline or not args.current:
+        ap.print_usage(sys.stderr)
+        sys.exit(2)
+    sys.exit(run_compare(args))
+
+
+if __name__ == "__main__":
+    main()
