@@ -9,8 +9,13 @@
 
 #include "atpg/fault.hpp"
 #include "bdd/bdd.hpp"
+#include "benchcir/suite.hpp"
+#include "division/candidates.hpp"
 #include "division/division.hpp"
+#include "division/substitute.hpp"
 #include "gatenet/build.hpp"
+#include "network/complement_cache.hpp"
+#include "opt/scripts.hpp"
 #include "sop/algdiv.hpp"
 #include "sop/espresso.hpp"
 #include "sop/factor.hpp"
@@ -158,6 +163,57 @@ void BM_ExtendedBooleanDivide(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(extended_boolean_divide(f, d));
 }
 BENCHMARK(BM_ExtendedBooleanDivide);
+
+// The substitution candidate filter (division/candidates.hpp): cost of
+// refreshing one node's signature/support view after its function changed,
+// and steady-state pair-classification throughput over a real circuit.
+
+void BM_FilterSignatureUpdate(benchmark::State& state) {
+  Network net = build_benchmark("syn_c432");
+  script_a(net);
+  const std::vector<NodeId> order = net.topo_order();
+  const NodeId f = order[order.size() / 2];
+  const NodeId d = order[order.size() / 2 + 1];
+  const Sop f0 = net.node(f).func;
+  Sop f1 = f0;
+  f1.add_cube(Cube(f0.num_vars()));  // tautology cube: cheap, version-bumping
+  const std::vector<NodeId> fi = net.node(f).fanins;
+
+  SubstituteOptions opts;
+  ComplementCache comps;
+  CandidateFilter filter(net, opts, &comps);
+  filter.begin_target(f);
+  bool flip = false;
+  for (auto _ : state) {
+    net.set_function(f, fi, flip ? f1 : f0);  // invalidates f's cached view
+    flip = !flip;
+    benchmark::DoNotOptimize(filter.check(f, d));
+  }
+}
+BENCHMARK(BM_FilterSignatureUpdate);
+
+void BM_PairFilterThroughput(benchmark::State& state) {
+  Network net = build_benchmark("syn_c432");
+  script_a(net);
+  const std::vector<NodeId> order = net.topo_order();
+
+  SubstituteOptions opts;
+  ComplementCache comps;
+  CandidateFilter filter(net, opts, &comps);
+  std::int64_t pairs = 0;
+  for (auto _ : state) {
+    for (const NodeId f : order) {
+      filter.begin_target(f);
+      for (const NodeId d : order) {
+        if (d == f) continue;
+        benchmark::DoNotOptimize(filter.check(f, d));
+        ++pairs;
+      }
+    }
+  }
+  state.SetItemsProcessed(pairs);
+}
+BENCHMARK(BM_PairFilterThroughput);
 
 void BM_BddFromSop(benchmark::State& state) {
   std::mt19937 rng(12);

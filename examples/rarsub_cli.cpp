@@ -17,8 +17,13 @@
 //   --trace <file>    write a Chrome trace-event JSON of the run
 //   --report <file>   write the observability snapshot as JSON
 //   --ledger <file>   record the optimization flight ledger as JSONL
+//   --jobs <n>        worker threads for best-gain evaluation (results are
+//                     identical for every n; see docs/PERFORMANCE.md)
+//   --no-prune        disable the substitution candidate filter (sound to
+//                     toggle: changes run time only, never the result)
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -73,7 +78,7 @@ int cmd_stats(const std::string& source) {
 }
 
 int cmd_optimize(const std::string& source, const std::string& method,
-                 const std::string& script) {
+                 const std::string& script, const ResubTuning& tuning) {
   Network net = load(source);
   const Network original = net;
 
@@ -90,7 +95,7 @@ int cmd_optimize(const std::string& source, const std::string& method,
   std::fprintf(stderr, "initial: %d factored literals\n",
                net.factored_literals());
   if (script == "algebraic") {
-    script_algebraic(net, m);
+    script_algebraic(net, m, tuning);
   } else {
     if (script == "a") script_a(net);
     else if (script == "b") script_b(net);
@@ -101,7 +106,7 @@ int cmd_optimize(const std::string& source, const std::string& method,
     }
     std::fprintf(stderr, "after script %s: %d literals\n", script.c_str(),
                  net.factored_literals());
-    run_resub(net, m);
+    run_resub(net, m, tuning);
   }
   std::fprintf(stderr, "after %s resubstitution: %d literals\n",
                method.c_str(), net.factored_literals());
@@ -181,6 +186,7 @@ int main(int argc, char** argv) {
   // Strip the global observability flags; everything else is positional.
   bool show_stats = false;
   std::string trace_path, report_path, ledger_path;
+  ResubTuning tuning;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -188,7 +194,13 @@ int main(int argc, char** argv) {
     else if (a == "--trace" && i + 1 < argc) trace_path = argv[++i];
     else if (a == "--report" && i + 1 < argc) report_path = argv[++i];
     else if (a == "--ledger" && i + 1 < argc) ledger_path = argv[++i];
+    else if (a == "--jobs" && i + 1 < argc) tuning.jobs = std::atoi(argv[++i]);
+    else if (a == "--no-prune") tuning.prune = false;
     else args.push_back(a);
+  }
+  if (tuning.jobs < 1) {
+    std::fprintf(stderr, "--jobs must be >= 1\n");
+    return 2;
   }
   if (!trace_path.empty()) obs::trace_begin(trace_path);
   if (!ledger_path.empty() && !obs::ledger_begin(ledger_path))
@@ -200,7 +212,7 @@ int main(int argc, char** argv) {
     if (cmd == "stats" && args.size() >= 2) rc = cmd_stats(args[1]);
     else if (cmd == "optimize" && args.size() >= 2)
       rc = cmd_optimize(args[1], args.size() > 2 ? args[2] : "ext",
-                        args.size() > 3 ? args[3] : "a");
+                        args.size() > 3 ? args[3] : "a", tuning);
     else if (cmd == "verify" && args.size() >= 3) rc = cmd_verify(args[1], args[2]);
     else if (cmd == "print" && args.size() >= 2) rc = cmd_print(args[1]);
     else if (cmd == "pass" && args.size() >= 3) rc = cmd_pass(args[1], args[2]);
@@ -240,6 +252,8 @@ int main(int argc, char** argv) {
                "  rarsub_cli list\n"
                "global flags: --stats | --trace <file> | --report <file> | "
                "--ledger <file>\n"
+               "              --jobs <n> (parallel gain evaluation, "
+               "deterministic) | --no-prune\n"
                "(<circuit> = .blif path, .pla path, or built-in name)\n");
   return 2;
 }

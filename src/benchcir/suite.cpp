@@ -49,6 +49,7 @@ std::vector<BenchmarkEntry> benchmark_suite() {
   v.push_back({"syn_rot", [] { return make_synthetic(spec("syn_rot", 2718, 30, 18, 60, 18)); }});
   v.push_back({"syn_t481", [] { return make_synthetic(spec("syn_t481", 481, 16, 12, 36, 8)); }});
   v.push_back({"syn_k2", [] { return make_synthetic(spec("syn_k2", 1618, 22, 14, 44, 12)); }});
+  v.push_back({"syn_vda", [] { return make_synthetic(spec("syn_vda", 640, 22, 15, 46, 13)); }});
   return v;
 }
 
@@ -59,6 +60,10 @@ std::vector<BenchmarkEntry> benchmark_suite_small() {
   v.push_back({"alu4", [] { return make_alu_slice(4); }});
   v.push_back({"syn_c432", [] { return make_synthetic(spec("syn_c432", 432, 18, 10, 28, 7)); }});
   v.push_back({"syn_t481", [] { return make_synthetic(spec("syn_t481", 481, 16, 12, 36, 8)); }});
+  // The largest member of the quick suite: wide enough that the candidate
+  // filter and the negative-pair memo dominate the sweep cost, so quick
+  // regression runs exercise the pruning layer for real.
+  v.push_back({"syn_vda", [] { return make_synthetic(spec("syn_vda", 640, 22, 15, 46, 13)); }});
   return v;
 }
 

@@ -1,0 +1,308 @@
+#include "division/candidates.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "obs/ledger.hpp"
+#include "obs/obs.hpp"
+
+namespace rarsub {
+
+namespace {
+
+// Deterministic per-node 64-bit words (splitmix64 of the node id): bit k
+// of word_of(x) is node x's value in the k-th sampled assignment. Keying
+// on node ids — not local variable indices — makes the samples consistent
+// across every node that shares a fanin, which is what lets signatures of
+// a dividend and a divisor be compared at all.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t word_of(NodeId x) {
+  return splitmix64(static_cast<std::uint64_t>(x) + 1);
+}
+
+// One Bloom bit per (node, polarity) literal. A set bit outside the
+// other side's mask is a witness that the literal cannot be matched.
+std::uint64_t lit_bit(NodeId x, bool neg) {
+  return 1ULL
+         << (splitmix64(2 * static_cast<std::uint64_t>(x) + (neg ? 1 : 0) +
+                        0x51ed270b0a5bd4f1ULL) &
+             63);
+}
+
+// Signature and literal-Bloom mask of one cube over `fanins`.
+void cube_masks(const Cube& c, const std::vector<NodeId>& fanins,
+                std::uint64_t* sig, std::uint64_t* bloom) {
+  if (c.is_empty()) {
+    // Empty cubes evaluate false everywhere and are structurally contained
+    // by anything; make them unable to refute (sig 0 passes every
+    // containment test, bloom ~0 treats every divisor cube as fitting).
+    *sig = 0;
+    *bloom = ~0ULL;
+    return;
+  }
+  std::uint64_t s = ~0ULL;
+  std::uint64_t b = 0;
+  for (int v = 0; v < c.num_vars(); ++v) {
+    const Lit l = c.lit(v);
+    if (l == Lit::Absent) continue;
+    const NodeId x = fanins[static_cast<std::size_t>(v)];
+    if (l == Lit::Pos) {
+      s &= word_of(x);
+      b |= lit_bit(x, false);
+    } else {
+      s &= ~word_of(x);
+      b |= lit_bit(x, true);
+    }
+  }
+  *sig = s;
+  *bloom = b;
+}
+
+void cover_masks(const Sop& cover, const std::vector<NodeId>& fanins,
+                 std::uint64_t* sig, std::uint64_t* lit_union,
+                 std::vector<std::uint64_t>* cube_sig,
+                 std::vector<std::uint64_t>* cube_bloom) {
+  *sig = 0;
+  *lit_union = 0;
+  cube_sig->clear();
+  cube_bloom->clear();
+  cube_sig->reserve(static_cast<std::size_t>(cover.num_cubes()));
+  cube_bloom->reserve(static_cast<std::size_t>(cover.num_cubes()));
+  for (const Cube& c : cover.cubes()) {
+    std::uint64_t s, b;
+    cube_masks(c, fanins, &s, &b);
+    *sig |= s;
+    if (b != ~0ULL) *lit_union |= b;
+    cube_sig->push_back(s);
+    cube_bloom->push_back(b);
+  }
+}
+
+// Can division view (dividend, divisor) possibly produce a candidate?
+// attempt() only evaluates a view when some dividend cube is structurally
+// contained by some divisor cube (sos_possible). Containment of cube c by
+// cube t demands (a) t's literal set is a subset of c's — witnessed
+// through the Bloom masks — and (b) wherever c evaluates 1, the divisor
+// evaluates 1 — witnessed through the exact 64-sample signatures. If no
+// (c, t) pair survives both witnesses, the view cannot contribute.
+bool view_possible(const std::vector<std::uint64_t>& divd_cube_sig,
+                   const std::vector<std::uint64_t>& divd_cube_bloom,
+                   std::uint64_t divd_lit_union,
+                   const std::vector<std::uint64_t>& divr_cube_sig,
+                   const std::vector<std::uint64_t>& divr_cube_bloom,
+                   std::uint64_t divr_sig) {
+  // Node-level rejection first: some divisor cube must fit inside the
+  // dividend's literal union for any pairwise fit to exist.
+  bool any_t = false;
+  for (std::uint64_t b : divr_cube_bloom) {
+    if ((b & ~divd_lit_union) == 0) {
+      any_t = true;
+      break;
+    }
+  }
+  if (!any_t) return false;
+  for (std::size_t i = 0; i < divd_cube_sig.size(); ++i) {
+    // c must be contained by the divisor as a whole before any single
+    // divisor cube can contain it.
+    if ((divd_cube_sig[i] & ~divr_sig) != 0) continue;
+    for (std::size_t j = 0; j < divr_cube_sig.size(); ++j) {
+      if ((divr_cube_bloom[j] & ~divd_cube_bloom[i]) == 0 &&
+          (divd_cube_sig[i] & ~divr_cube_sig[j]) == 0)
+        return true;
+    }
+  }
+  return false;
+}
+
+int union_popcount(const std::vector<std::uint64_t>& a,
+                   const std::vector<std::uint64_t>& b) {
+  int n = 0;
+  const std::size_t lo = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < lo; ++i) n += std::popcount(a[i] | b[i]);
+  const std::vector<std::uint64_t>& rest = a.size() > b.size() ? a : b;
+  for (std::size_t i = lo; i < rest.size(); ++i) n += std::popcount(rest[i]);
+  return n;
+}
+
+std::uint64_t pair_key(NodeId f, NodeId d) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(f)) << 32) |
+         static_cast<std::uint32_t>(d);
+}
+
+}  // namespace
+
+CandidateFilter::CandidateFilter(const Network& net,
+                                 const SubstituteOptions& opts,
+                                 ComplementCache* comps)
+    : net_(net), opts_(opts), comps_(comps) {
+  views_.resize(static_cast<std::size_t>(net.num_nodes()));
+}
+
+CandidateFilter::NodeView& CandidateFilter::base_view(NodeId id) {
+  if (static_cast<std::size_t>(id) >= views_.size())
+    views_.resize(static_cast<std::size_t>(id) + 1);
+  NodeView& v = views_[static_cast<std::size_t>(id)];
+  const Node& nd = net_.node(id);
+  if (v.version == nd.version) return v;
+  OBS_COUNT("subst.filter.node_refresh", 1);
+  v.version = nd.version;
+  v.has_comp = false;
+  v.comp_cubes = -1;
+  cover_masks(nd.func, nd.fanins, &v.sig, &v.lit_bloom, &v.cube_sig,
+              &v.cube_bloom);
+  v.supp.clear();
+  for (NodeId x : nd.fanins) {
+    const std::size_t w = static_cast<std::size_t>(x) / 64;
+    if (w >= v.supp.size()) v.supp.resize(w + 1, 0);
+    v.supp[w] |= 1ULL << (static_cast<std::uint64_t>(x) % 64);
+  }
+  return v;
+}
+
+CandidateFilter::NodeView& CandidateFilter::comp_view(NodeId id) {
+  NodeView& v = base_view(id);
+  if (v.has_comp) return v;
+  const Sop& comp = comps_->get(net_, id);
+  v.comp_cubes = comp.num_cubes();
+  std::uint64_t comp_sig;  // exactly ~sig by construction; not stored
+  cover_masks(comp, net_.node(id).fanins, &comp_sig, &v.comp_lit_bloom,
+              &v.comp_cube_sig, &v.comp_cube_bloom);
+  assert(comp_sig == static_cast<std::uint64_t>(~v.sig));
+  v.has_comp = true;
+  return v;
+}
+
+void CandidateFilter::begin_target(NodeId f) {
+  target_ = f;
+  target_mutations_ = net_.mutations();
+  tfo_.assign((static_cast<std::size_t>(net_.num_nodes()) + 63) / 64, 0);
+  auto mark = [&](NodeId x) {
+    const std::size_t w = static_cast<std::size_t>(x) / 64;
+    const std::uint64_t bit = 1ULL << (static_cast<std::uint64_t>(x) % 64);
+    const bool seen = (tfo_[w] & bit) != 0;
+    tfo_[w] |= bit;
+    return seen;
+  };
+  std::vector<NodeId> stack{f};
+  mark(f);
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (NodeId o : net_.node(n).fanouts)
+      if (!mark(o)) stack.push_back(o);
+  }
+}
+
+PairDecision CandidateFilter::check(NodeId f, NodeId d) {
+  PairDecision dec;
+  // Grow the view table up front: base_view/comp_view hand out references
+  // into it, which a mid-check resize would invalidate.
+  const std::size_t hi = static_cast<std::size_t>(f > d ? f : d);
+  if (hi >= views_.size()) views_.resize(hi + 1);
+  const Node& fn = net_.node(f);
+  const Node& dn = net_.node(d);
+  // Pairs one of attempt()'s cheap guards would reject go straight
+  // through: the guard keeps its counter/event, and the rejection is too
+  // cheap to be worth memoizing.
+  if (fn.is_pi || dn.is_pi || !fn.alive || !dn.alive || f == d) return dec;
+  if (fn.func.num_cubes() == 0 || dn.func.num_cubes() == 0) return dec;
+  if (fn.func.num_cubes() > opts_.max_node_cubes ||
+      dn.func.num_cubes() > opts_.max_divisor_cubes)
+    return dec;
+
+  const auto it = memo_.find(pair_key(f, d));
+  if (it != memo_.end() && it->second.f_version == fn.version &&
+      it->second.d_version == dn.version &&
+      (opts_.method != SubstMethod::ExtendedGdc ||
+       it->second.mutations == net_.mutations())) {
+    OBS_COUNT("subst.pairs_pruned_memo", 1);
+    OBS_EVENT(.kind = obs::EventKind::PairPruned, .node = f, .divisor = d,
+              .reason = "memo");
+    dec.verdict = PairDecision::Verdict::PrunedMemo;
+    dec.reason = "memo";
+    return dec;
+  }
+
+  if (f == target_ && target_mutations_ == net_.mutations()) {
+    dec.cycle_checked = true;
+    const std::size_t w = static_cast<std::size_t>(d) / 64;
+    if (w < tfo_.size() &&
+        (tfo_[w] >> (static_cast<std::uint64_t>(d) % 64)) & 1) {
+      OBS_COUNT("subst.pairs_pruned_cycle", 1);
+      OBS_EVENT(.kind = obs::EventKind::PairPruned, .node = f, .divisor = d,
+                .reason = "cycle");
+      dec.verdict = PairDecision::Verdict::PrunedCycle;
+      dec.reason = "cycle";
+      return dec;
+    }
+  }
+
+  const NodeView& vf = base_view(f);
+  const NodeView& vd = base_view(d);
+
+  // Exact |fanins(f) ∪ fanins(d)|: the common space attempt() would build
+  // has precisely this many variables, so exceeding the guard here is the
+  // same rejection without the two cover remaps.
+  if (union_popcount(vf.supp, vd.supp) > opts_.max_common_vars) {
+    OBS_COUNT("subst.pairs_pruned_sig", 1);
+    OBS_EVENT(.kind = obs::EventKind::PairPruned, .node = f, .divisor = d,
+              .a = union_popcount(vf.supp, vd.supp), .reason = "support");
+    dec.verdict = PairDecision::Verdict::PrunedSig;
+    dec.reason = "support";
+    return dec;
+  }
+
+  unsigned mask = 0;
+  if (view_possible(vf.cube_sig, vf.cube_bloom, vf.lit_bloom, vd.cube_sig,
+                    vd.cube_bloom, vd.sig))
+    mask |= kViewSosSos;
+  if (opts_.try_pos) {
+    const NodeView& cf = comp_view(f);
+    const NodeView& cd = comp_view(d);
+    // Mirrors attempt()'s pos_ok: both complements must be non-trivial and
+    // within the role-specific cube caps or no POS view runs at all.
+    const bool pos_ok = cf.comp_cubes > 0 &&
+                        cf.comp_cubes <= opts_.max_node_cubes &&
+                        cd.comp_cubes > 0 &&
+                        cd.comp_cubes <= opts_.max_divisor_cubes;
+    if (pos_ok) {
+      const std::uint64_t sig_dbar = ~vd.sig;
+      if (view_possible(vf.cube_sig, vf.cube_bloom, vf.lit_bloom,
+                        cd.comp_cube_sig, cd.comp_cube_bloom, sig_dbar))
+        mask |= kViewSosPos;
+      if (view_possible(cf.comp_cube_sig, cf.comp_cube_bloom,
+                        cf.comp_lit_bloom, cd.comp_cube_sig,
+                        cd.comp_cube_bloom, sig_dbar))
+        mask |= kViewPosPos;
+      if (view_possible(cf.comp_cube_sig, cf.comp_cube_bloom,
+                        cf.comp_lit_bloom, vd.cube_sig, vd.cube_bloom,
+                        vd.sig))
+        mask |= kViewPosSos;
+    }
+  }
+  if (mask == 0) {
+    OBS_COUNT("subst.pairs_pruned_sig", 1);
+    OBS_EVENT(.kind = obs::EventKind::PairPruned, .node = f, .divisor = d,
+              .reason = "views");
+    dec.verdict = PairDecision::Verdict::PrunedSig;
+    dec.reason = "views";
+    return dec;
+  }
+
+  OBS_COUNT("subst.pairs_tried", 1);
+  dec.view_mask = mask;
+  return dec;
+}
+
+void CandidateFilter::record_failure(NodeId f, NodeId d) {
+  memo_[pair_key(f, d)] = MemoEntry{net_.node(f).version,
+                                    net_.node(d).version, net_.mutations()};
+}
+
+}  // namespace rarsub

@@ -1,0 +1,135 @@
+#pragma once
+// Candidate pruning layer for the substitution sweep.
+//
+// substitute_network tries every alive node as a divisor for every target
+// — an O(n²) cross-product per pass in which the vast majority of (f, d)
+// pairs cannot possibly yield a positive-gain division. This filter
+// rejects those pairs (and, at finer grain, individual division views)
+// from cheap per-node evidence before any cover is remapped, complemented
+// or divided. Three stacked mechanisms:
+//
+//   1. Signature / support pruning. Each node caches, keyed by its
+//      Node::version: an exact fanin-support bitset, a polarity-aware
+//      64-bit literal Bloom mask per cube, and a 64-bit random-simulation
+//      signature per cube (the node function evaluated on 64 fixed
+//      pseudo-random assignments of its fanin *node ids*, so signatures of
+//      different nodes are comparable wherever their supports overlap).
+//      The same data is kept for the node's complement cover (shared with
+//      the ComplementCache the evaluator uses), which makes all four
+//      division views of a pair — (f,d), (f,d̄), (f̄,d̄), (f̄,d) —
+//      individually refutable. A kill is always a *witness* of
+//      impossibility (a divisor cube literal outside the dividend's
+//      literal union; a sampled assignment where the dividend cube holds
+//      but the divisor doesn't), never a probabilistic guess, so pruning
+//      cannot change the optimization result.
+//
+//   2. Negative-pair memoization. A pair that was evaluated and produced
+//      no commit is remembered with both endpoints' versions (plus the
+//      network-wide mutation stamp for the ExtendedGdc method, whose
+//      outcome depends on the whole circuit). Later passes skip the pair
+//      until an endpoint actually changes — the sweep revisits only the
+//      dirty frontier.
+//
+//   3. Transitive-fanout cycle test. The per-pair depends_on DFS is
+//      replaced by one fanout-cone bitset per target, making the
+//      would-create-a-cycle test O(1) per divisor.
+//
+// Every decision is published through src/obs/ counters
+// (subst.pairs_tried / subst.pairs_pruned_{sig,memo,cycle}) and, when a
+// ledger session is active, as pair_pruned flight-recorder events.
+// docs/PERFORMANCE.md describes the pipeline and the invalidation rules.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "division/substitute.hpp"
+#include "network/complement_cache.hpp"
+#include "network/network.hpp"
+
+namespace rarsub {
+
+// Bits of PairDecision::view_mask, matching the order attempt() runs the
+// four division views of a pair.
+inline constexpr unsigned kViewSosSos = 1u << 0;  ///< (f , d )
+inline constexpr unsigned kViewSosPos = 1u << 1;  ///< (f , d̄)
+inline constexpr unsigned kViewPosPos = 1u << 2;  ///< (f̄, d̄)
+inline constexpr unsigned kViewPosSos = 1u << 3;  ///< (f̄, d )
+inline constexpr unsigned kAllViews = 0xFu;
+
+struct PairDecision {
+  enum class Verdict { Try, PrunedSig, PrunedMemo, PrunedCycle };
+  Verdict verdict = Verdict::Try;
+  /// Views that may still produce a candidate (valid when Try). The
+  /// evaluator skips cleared views — and the whole complement machinery
+  /// when no POS view survives.
+  unsigned view_mask = kAllViews;
+  /// True when the filter already proved d is not in f's fanout cone, so
+  /// the evaluator can skip its own depends_on DFS.
+  bool cycle_checked = false;
+  /// Static string naming the prune evidence (ledger event payload).
+  const char* reason = nullptr;
+};
+
+class CandidateFilter {
+ public:
+  /// The filter holds references to all three arguments; they must outlive
+  /// it. `comps` is shared with the evaluation path so complements are
+  /// computed once per node version for both.
+  CandidateFilter(const Network& net, const SubstituteOptions& opts,
+                  ComplementCache* comps);
+
+  /// Prepare for a scan of divisors for target `f`: builds f's
+  /// transitive-fanout bitset (the O(1) cycle test for every subsequent
+  /// check of this target).
+  void begin_target(NodeId f);
+
+  /// Classify pair (f, d). Never mutates the network. Pairs that one of
+  /// attempt()'s own cheap guards would reject (PI/dead/empty/cube caps)
+  /// are passed through as Try so those guards keep their counters.
+  PairDecision check(NodeId f, NodeId d);
+
+  /// Record that a full evaluation of (f, d) produced no commit, keyed by
+  /// the endpoints' current versions (and the global mutation stamp for
+  /// ExtendedGdc). Call only for pairs check() classified as Try.
+  void record_failure(NodeId f, NodeId d);
+
+  /// Number of memoized negative pairs (tests / introspection).
+  std::size_t memo_size() const { return memo_.size(); }
+
+ private:
+  struct NodeView {
+    int version = -1;       ///< Node::version this data was built from
+    bool has_comp = false;  ///< complement-side fields are filled
+    int comp_cubes = -1;    ///< cube count of the complement cover
+    std::uint64_t sig = 0;        ///< OR of cube_sig (exact 64-sample eval)
+    std::uint64_t lit_bloom = 0;  ///< OR of cube_bloom
+    std::vector<std::uint64_t> cube_sig;
+    std::vector<std::uint64_t> cube_bloom;
+    std::uint64_t comp_lit_bloom = 0;
+    std::vector<std::uint64_t> comp_cube_sig;
+    std::vector<std::uint64_t> comp_cube_bloom;
+    std::vector<std::uint64_t> supp;  ///< fanin-id bitset
+  };
+
+  struct MemoEntry {
+    int f_version = -1;
+    int d_version = -1;
+    std::uint64_t mutations = 0;  ///< checked for ExtendedGdc only
+  };
+
+  NodeView& base_view(NodeId id);
+  NodeView& comp_view(NodeId id);
+
+  const Network& net_;
+  const SubstituteOptions& opts_;
+  ComplementCache* comps_;
+  std::vector<NodeView> views_;
+  std::unordered_map<std::uint64_t, MemoEntry> memo_;
+  // Fanout cone of the current target (begin_target).
+  NodeId target_ = kNoNode;
+  std::uint64_t target_mutations_ = ~0ull;
+  std::vector<std::uint64_t> tfo_;
+};
+
+}  // namespace rarsub

@@ -1,9 +1,13 @@
 #include "division/substitute.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <climits>
+#include <optional>
+#include <thread>
 
+#include "division/candidates.hpp"
 #include "gatenet/build.hpp"
 #include "network/complement_cache.hpp"
 #include "obs/ledger.hpp"
@@ -373,9 +377,33 @@ bool sos_possible(const Sop& f_cover, const Sop& d_cover) {
   return false;
 }
 
-std::optional<int> attempt(Network& net, NodeId f, NodeId d,
-                           const SubstituteOptions& opts, bool commit_it,
-                           SubstituteStats* stats, ComplementCache* comps) {
+// Per-network-state gate view for the GDC method. build_gatenet is
+// pair-independent, so substitute_network hoists it out of the pair loop
+// and invalidates on the network's mutation stamp; direct try_substitution
+// calls build a local one.
+struct GdcBase {
+  GateNet base;
+  GateNetMap map;
+  std::uint64_t mutations = ~0ULL;
+};
+
+// Pre-verified facts the candidate filter hands to the evaluator so it can
+// skip work: views with a cleared mask bit cannot produce a candidate, and
+// cycle_checked means d was already proven outside f's fanout cone.
+struct AttemptHooks {
+  unsigned view_mask = kAllViews;
+  bool cycle_checked = false;
+  const GdcBase* gdc = nullptr;
+};
+
+// Evaluation half of an attempt: never mutates the network (safe to run
+// concurrently for distinct divisors). On success fills *out_cand /
+// *out_cs for a later serial commit and returns the raw gain.
+std::optional<int> attempt_impl(const Network& net, NodeId f, NodeId d,
+                                const SubstituteOptions& opts,
+                                ComplementCache* comps,
+                                const AttemptHooks& hooks, Candidate* out_cand,
+                                CommonSpace* out_cs) {
   const Node& fn = net.node(f);
   const Node& dn = net.node(d);
   if (fn.is_pi || dn.is_pi || !fn.alive || !dn.alive || f == d)
@@ -395,7 +423,7 @@ std::optional<int> attempt(Network& net, NodeId f, NodeId d,
               .reason = "max_divisor_cubes");
     return std::nullopt;
   }
-  if (net.depends_on(d, f)) {
+  if (!hooks.cycle_checked && net.depends_on(d, f)) {
     OBS_EVENT(.kind = obs::EventKind::SubstituteReject, .node = f,
               .divisor = d, .reason = "cycle");
     return std::nullopt;  // would create a cycle
@@ -405,7 +433,7 @@ std::optional<int> attempt(Network& net, NodeId f, NodeId d,
   OBS_EVENT(.kind = obs::EventKind::SubstituteAttempt, .node = f, .divisor = d,
             .a = fn.func.num_cubes(), .b = dn.func.num_cubes());
   OBS_SCOPED_TIMER("subst.attempt");
-  const CommonSpace cs = make_common_space(net, f, d);
+  CommonSpace cs = make_common_space(net, f, d);
   if (static_cast<int>(cs.vars.size()) > opts.max_common_vars) {
     OBS_COUNT("subst.reject.max_common_vars", 1);
     OBS_EVENT(.kind = obs::EventKind::SubstituteReject, .node = f,
@@ -416,9 +444,12 @@ std::optional<int> attempt(Network& net, NodeId f, NodeId d,
   const int nv = static_cast<int>(cs.vars.size());
 
   // Complements for the POS dual, computed once in local spaces so cube
-  // orders stay aligned between the common-space and local covers.
+  // orders stay aligned between the common-space and local covers. When
+  // the filter already refuted every POS view, the complements (and their
+  // remaps into the common space) are not needed at all.
   Sop f_comp, d_comp_local, d_comp;
-  bool pos_ok = opts.try_pos;
+  bool pos_ok = opts.try_pos &&
+                (hooks.view_mask & (kViewSosPos | kViewPosPos | kViewPosSos));
   if (pos_ok) {
     Sop f_comp_local = comps->get(net, f);
     d_comp_local = comps->get(net, d);
@@ -441,10 +472,21 @@ std::optional<int> attempt(Network& net, NodeId f, NodeId d,
     }
   }
 
-  // Build the full circuit once per attempt when running with GDCs.
-  GateNet base;
-  GateNetMap map;
-  if (opts.method == SubstMethod::ExtendedGdc) base = build_gatenet(net, map);
+  // The GDC method needs the full-circuit gate view: use the caller's
+  // hoisted copy when provided (substitute_network keeps one per network
+  // state), else build locally.
+  GateNet local_base;
+  GateNetMap local_map;
+  const GateNet* basep = &local_base;
+  const GateNetMap* mapp = &local_map;
+  if (opts.method == SubstMethod::ExtendedGdc) {
+    if (hooks.gdc != nullptr) {
+      basep = &hooks.gdc->base;
+      mapp = &hooks.gdc->map;
+    } else {
+      local_base = build_gatenet(net, local_map);
+    }
+  }
 
   std::optional<Candidate> best;
   // A divisor decomposition must pay for the structural churn it causes
@@ -468,14 +510,18 @@ std::optional<int> attempt(Network& net, NodeId f, NodeId d,
     // Global don't cares come on top of — never instead of — the
     // region-local result: take whichever scores better.
     if (opts.method == SubstMethod::ExtendedGdc)
-      consider(evaluate_gdc(net, f, d, cs, comp_f, comp_d, opts, base, map,
+      consider(evaluate_gdc(net, f, d, cs, comp_f, comp_d, opts, *basep, *mapp,
                             f_cover, d_cover, d_local_cover));
   };
-  run(false, false, cs.f_sop, cs.d_sop, dn.func);
+  if (hooks.view_mask & kViewSosSos)
+    run(false, false, cs.f_sop, cs.d_sop, dn.func);
   if (pos_ok) {
-    run(false, true, cs.f_sop, d_comp, d_comp_local);
-    run(true, false, f_comp, cs.d_sop, dn.func);
-    run(true, true, f_comp, d_comp, d_comp_local);
+    if (hooks.view_mask & kViewSosPos)
+      run(false, true, cs.f_sop, d_comp, d_comp_local);
+    if (hooks.view_mask & kViewPosSos)
+      run(true, false, f_comp, cs.d_sop, dn.func);
+    if (hooks.view_mask & kViewPosPos)
+      run(true, true, f_comp, d_comp, d_comp_local);
   }
 
   if (!best || effective(*best) <= 0) {
@@ -484,8 +530,22 @@ std::optional<int> attempt(Network& net, NodeId f, NodeId d,
               .reason = best ? "no_gain" : "no_division");
     return std::nullopt;
   }
-  if (commit_it) commit(net, f, d, cs, *best, stats);
-  return best->gain;
+  const int gain = best->gain;
+  if (out_cand != nullptr) *out_cand = std::move(*best);
+  if (out_cs != nullptr) *out_cs = std::move(cs);
+  return gain;
+}
+
+std::optional<int> attempt(Network& net, NodeId f, NodeId d,
+                           const SubstituteOptions& opts, bool commit_it,
+                           SubstituteStats* stats, ComplementCache* comps,
+                           const AttemptHooks& hooks = {}) {
+  Candidate cand;
+  CommonSpace cs;
+  const std::optional<int> gain =
+      attempt_impl(net, f, d, opts, comps, hooks, &cand, &cs);
+  if (gain && commit_it) commit(net, f, d, cs, cand, stats);
+  return gain;
 }
 
 }  // namespace
@@ -640,9 +700,10 @@ std::optional<int> try_pool_substitution(Network& net, NodeId f,
 
 std::optional<int> try_substitution(Network& net, NodeId f, NodeId d,
                                     const SubstituteOptions& opts,
-                                    bool commit_it) {
-  ComplementCache comps;
-  return attempt(net, f, d, opts, commit_it, nullptr, &comps);
+                                    bool commit_it, ComplementCache* comps) {
+  ComplementCache local;
+  return attempt(net, f, d, opts, commit_it, nullptr,
+                 comps != nullptr ? comps : &local);
 }
 
 SubstituteStats substitute_network(Network& net, const SubstituteOptions& opts) {
@@ -650,6 +711,47 @@ SubstituteStats substitute_network(Network& net, const SubstituteOptions& opts) 
   SubstituteStats stats;
   stats.literals_before = net.factored_literals();
   ComplementCache comps;
+  std::optional<CandidateFilter> filter;
+  if (opts.enable_prune) filter.emplace(net, opts, &comps);
+
+  GdcBase gdc;
+  auto attach_gdc = [&](AttemptHooks& hooks) {
+    if (opts.method != SubstMethod::ExtendedGdc) return;
+    if (gdc.mutations != net.mutations()) {
+      gdc.map = GateNetMap{};
+      gdc.base = build_gatenet(net, gdc.map);
+      gdc.mutations = net.mutations();
+    }
+    hooks.gdc = &gdc;
+  };
+
+  // Classify (f, d) through the filter; true means evaluate.
+  auto screen = [&](NodeId f, NodeId d, AttemptHooks* hooks) {
+    if (!filter) return true;
+    const PairDecision dec = filter->check(f, d);
+    switch (dec.verdict) {
+      case PairDecision::Verdict::Try:
+        hooks->view_mask = dec.view_mask;
+        hooks->cycle_checked = dec.cycle_checked;
+        ++stats.pairs_tried;
+        return true;
+      case PairDecision::Verdict::PrunedSig:
+        ++stats.pairs_pruned_sig;
+        return false;
+      case PairDecision::Verdict::PrunedMemo:
+        ++stats.pairs_pruned_memo;
+        return false;
+      case PairDecision::Verdict::PrunedCycle:
+        ++stats.pairs_pruned_cycle;
+        return false;
+    }
+    return true;
+  };
+
+  const int jobs = opts.jobs > 1 ? opts.jobs : 1;
+  std::vector<ComplementCache> worker_comps;
+  if (!opts.first_positive && jobs > 1)
+    worker_comps.resize(static_cast<std::size_t>(jobs));
 
   for (int pass = 0; pass < opts.max_passes; ++pass) {
     OBS_SCOPED_TIMER("subst.pass");
@@ -658,39 +760,83 @@ SubstituteStats substitute_network(Network& net, const SubstituteOptions& opts) 
     const std::vector<NodeId> order = net.topo_order();
     for (NodeId f : order) {
       if (!net.node(f).alive || net.node(f).is_pi) continue;
+      if (filter) filter->begin_target(f);
 
       if (opts.first_positive) {
         // The paper's locally greedy strategy: commit the first division
         // with a positive gain ("our implementation takes the first
         // division that has a positive gain, which can be marginal").
-        bool committed = false;
         for (NodeId d : order) {
           if (!net.node(d).alive || d == f) continue;
+          AttemptHooks hooks;
+          if (!screen(f, d, &hooks)) continue;
+          attach_gdc(hooks);
           const std::optional<int> gain =
-              attempt(net, f, d, opts, /*commit=*/true, &stats, &comps);
+              attempt(net, f, d, opts, /*commit=*/true, &stats, &comps, hooks);
           if (gain && *gain > 0) {
             changed = true;
-            committed = true;
             break;
           }
+          if (filter) filter->record_failure(f, d);
         }
-        (void)committed;
       } else {
-        NodeId best_d = kNoNode;
-        int best_gain = 0;
+        // Best-gain strategy: collect the divisors that survive the
+        // filter, evaluate them all without committing — across the
+        // worker pool when jobs > 1 — then commit the winner serially.
+        // Selection is a strictly-greater scan in topological order, so
+        // any jobs value produces the same network.
+        std::vector<NodeId> cand_d;
+        std::vector<AttemptHooks> cand_hooks;
         for (NodeId d : order) {
           if (!net.node(d).alive || d == f) continue;
-          const std::optional<int> gain =
-              attempt(net, f, d, opts, /*commit=*/false, nullptr, &comps);
-          if (gain && *gain > best_gain) {
-            best_d = d;
-            best_gain = *gain;
+          AttemptHooks hooks;
+          if (!screen(f, d, &hooks)) continue;
+          attach_gdc(hooks);
+          cand_d.push_back(d);
+          cand_hooks.push_back(hooks);
+        }
+        const std::size_t n = cand_d.size();
+        std::vector<std::optional<int>> gains(n);
+        std::vector<Candidate> cands(n);
+        std::vector<CommonSpace> css(n);
+        if (jobs > 1 && n > 1) {
+          std::atomic<std::size_t> next{0};
+          auto work = [&](int w) {
+            ComplementCache& wc = worker_comps[static_cast<std::size_t>(w)];
+            for (;;) {
+              const std::size_t i =
+                  next.fetch_add(1, std::memory_order_relaxed);
+              if (i >= n) break;
+              gains[i] = attempt_impl(net, f, cand_d[i], opts, &wc,
+                                      cand_hooks[i], &cands[i], &css[i]);
+            }
+          };
+          std::vector<std::thread> pool;
+          const std::size_t nw = std::min(static_cast<std::size_t>(jobs), n);
+          pool.reserve(nw);
+          for (std::size_t w = 0; w < nw; ++w)
+            pool.emplace_back(work, static_cast<int>(w));
+          for (std::thread& t : pool) t.join();
+        } else {
+          for (std::size_t i = 0; i < n; ++i)
+            gains[i] = attempt_impl(net, f, cand_d[i], opts, &comps,
+                                    cand_hooks[i], &cands[i], &css[i]);
+        }
+        std::size_t best = n;
+        int best_gain = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!gains[i]) {
+            if (filter) filter->record_failure(f, cand_d[i]);
+            continue;
+          }
+          if (*gains[i] > best_gain) {
+            best = i;
+            best_gain = *gains[i];
           }
         }
-        if (best_d != kNoNode) {
-          const std::optional<int> gain =
-              attempt(net, f, best_d, opts, /*commit=*/true, &stats, &comps);
-          if (gain && *gain > 0) changed = true;
+        if (best < n) {
+          commit(net, f, cand_d[best], css[best], cands[best], &stats);
+          changed = true;
         }
       }
     }

@@ -20,6 +20,8 @@
 
 namespace rarsub {
 
+class ComplementCache;
+
 enum class SubstMethod { Basic, Extended, ExtendedGdc };
 
 struct SubstituteOptions {
@@ -42,6 +44,15 @@ struct SubstituteOptions {
   int max_divisor_cubes = 24;
   int max_common_vars = 48;
   int max_complement_cubes = 48;
+  /// Candidate pruning (signature/support view filter + negative-pair
+  /// memoization, docs/PERFORMANCE.md). Sound: disabling it must not
+  /// change the optimized network, only the run time (`--no-prune`).
+  bool enable_prune = true;
+  /// Worker threads for best-gain candidate evaluation. Only effective
+  /// when first_positive is false (the paper's greedy strategy commits
+  /// mid-scan and is inherently serial). Results are deterministic and
+  /// byte-identical across any jobs value.
+  int jobs = 1;
 };
 
 struct SubstituteStats {
@@ -50,6 +61,11 @@ struct SubstituteStats {
   int decompositions = 0;     ///< divisor splits performed (extended)
   int literals_before = 0;    ///< factored literals before the pass(es)
   int literals_after = 0;
+  // Candidate-filter accounting (zero when enable_prune is false).
+  long pairs_tried = 0;        ///< pairs that survived the filter
+  long pairs_pruned_sig = 0;   ///< killed by signature/support evidence
+  long pairs_pruned_memo = 0;  ///< skipped by the negative-pair memo
+  long pairs_pruned_cycle = 0; ///< skipped by the fanout-cone cycle test
 };
 
 /// Run Boolean substitution over the whole network.
@@ -58,9 +74,12 @@ SubstituteStats substitute_network(Network& net, const SubstituteOptions& opts =
 /// A single dividend/divisor attempt. Evaluates SOS (and optionally POS)
 /// division of node `f` by node `d` and returns the best achievable
 /// factored-literal gain, committing the rewrite when `commit` is true.
-/// nullopt when no division applies.
+/// nullopt when no division applies. Pass a caller-owned `comps` to reuse
+/// node complements across calls (rar_opt/baseline loops); when null a
+/// throwaway cache is used.
 std::optional<int> try_substitution(Network& net, NodeId f, NodeId d,
-                                    const SubstituteOptions& opts, bool commit);
+                                    const SubstituteOptions& opts, bool commit,
+                                    ComplementCache* comps = nullptr);
 
 /// The multi-node generalization (paper Fig. 3(c)): treat the cubes of all
 /// `divisors` as if they came from one node, vote, pick the core by

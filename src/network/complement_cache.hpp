@@ -28,6 +28,9 @@ class ComplementCache {
 
   void clear() { cache_.clear(); }
 
+  /// Nodes with a cached complement (tests / introspection).
+  std::size_t size() const { return cache_.size(); }
+
  private:
   std::unordered_map<NodeId, std::pair<int, Sop>> cache_;
 };

@@ -59,6 +59,7 @@ NodeId Network::add_node(const std::string& name, std::vector<NodeId> fanins,
   nodes_.push_back(std::move(n));
   const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
   add_fanout_refs(id);
+  ++mutations_;
   // Flight recorder: new node, a = its factored literal count, b = 0.
   OBS_EVENT(.kind = obs::EventKind::NodeUpdate, .node = id,
             .a = factored_literal_count(node(id).func), .reason = "new");
@@ -104,6 +105,7 @@ void Network::set_function(NodeId id, std::vector<NodeId> fanins, Sop func) {
   node(id).func = std::move(func);
   node(id).version++;
   add_fanout_refs(id);
+  ++mutations_;
   if (recording)
     OBS_EVENT(.kind = obs::EventKind::NodeUpdate, .node = id,
               .a = factored_literal_count(node(id).func), .b = lits_before);
@@ -199,6 +201,8 @@ void Network::sweep() {
                   .b = factored_literal_count(nd.func), .reason = "sweep");
         remove_fanout_refs(id);
         nd.alive = false;
+        nd.version++;
+        ++mutations_;
         changed = true;
         continue;
       }
@@ -333,6 +337,8 @@ bool Network::collapse_into_fanouts(NodeId id, int cube_limit) {
               .b = factored_literal_count(node(id).func), .reason = "collapse");
     remove_fanout_refs(id);
     node(id).alive = false;
+    node(id).version++;
+    ++mutations_;
   }
   return true;
 }

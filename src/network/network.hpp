@@ -5,6 +5,7 @@
 // simplify, gcx, gkx, resub, and the paper's RAR-based substitution)
 // transform.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -117,6 +118,13 @@ class Network {
   /// Fresh unique node name with the given prefix.
   std::string fresh_name(const std::string& prefix);
 
+  /// Global structural mutation counter: bumped whenever a node is added,
+  /// a function changes, or a node dies. Caches whose validity depends on
+  /// network-wide state (cycle tests, whole-circuit gate views, global
+  /// don't cares) stamp themselves with this value and rebuild when it
+  /// moves; per-node caches use Node::version instead.
+  std::uint64_t mutations() const { return mutations_; }
+
  private:
   void add_fanout_refs(NodeId id);
   void remove_fanout_refs(NodeId id);
@@ -126,6 +134,7 @@ class Network {
   std::vector<NodeId> pis_;
   std::vector<Output> pos_;
   int name_counter_ = 0;
+  std::uint64_t mutations_ = 0;
 };
 
 /// SIS-style `eliminate`: repeatedly collapse internal nodes whose value

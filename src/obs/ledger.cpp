@@ -23,6 +23,7 @@ constexpr const char* kKindNames[] = {
     "substitute_attempt", "substitute_commit", "substitute_reject",
     "node_update",        "division_region",   "core_divisor",
     "wire_add",           "wire_remove",       "redundancy_test",
+    "pair_pruned",
 };
 constexpr std::size_t kNumKinds = sizeof(kKindNames) / sizeof(kKindNames[0]);
 
@@ -262,6 +263,9 @@ LedgerSummary summarize_events(const std::vector<ParsedEvent>& events) {
       case EventKind::SubstituteReject:
         ++s.rejections[pe.reason.empty() ? "(unspecified)" : pe.reason];
         break;
+      case EventKind::PairPruned:
+        ++s.prunes[pe.reason.empty() ? "(unspecified)" : pe.reason];
+        break;
       case EventKind::SubstituteCommit: {
         LedgerSummary::DivisorAgg& d = s.divisors[e.divisor];
         ++d.commits;
@@ -328,6 +332,12 @@ std::string render_ledger_summary(const LedgerSummary& s, int top_n) {
   if (!s.rejections.empty()) {
     out += "rejection reasons\n";
     for (const auto& [reason, n] : s.rejections)
+      line("  %-24s %10llu\n", reason.c_str(),
+           static_cast<unsigned long long>(n));
+  }
+  if (!s.prunes.empty()) {
+    out += "pairs pruned before evaluation\n";
+    for (const auto& [reason, n] : s.prunes)
       line("  %-24s %10llu\n", reason.c_str(),
            static_cast<unsigned long long>(n));
   }

@@ -37,6 +37,7 @@ enum class EventKind : std::uint8_t {
   WireAdd,                ///< RAR added a candidate connection
   WireRemove,             ///< a redundant wire was deleted (or retracted)
   RedundancyTest,         ///< one stuck-at fault analysis ran
+  PairPruned,             ///< the candidate filter skipped a (f, d) pair
 };
 
 /// Stable wire-format name ("substitute_commit", "wire_remove", …).
@@ -122,6 +123,8 @@ struct LedgerSummary {
   std::map<std::string, std::uint64_t> by_kind;
   /// SubstituteReject reasons -> count.
   std::map<std::string, std::uint64_t> rejections;
+  /// PairPruned reasons (sig "views"/"support", "memo", "cycle") -> count.
+  std::map<std::string, std::uint64_t> prunes;
   struct DivisorAgg {
     std::int64_t commits = 0;
     std::int64_t gain = 0;  ///< summed committed literal gain

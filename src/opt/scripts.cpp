@@ -18,7 +18,7 @@ std::string method_name(ResubMethod m) {
   return "?";
 }
 
-void run_resub(Network& net, ResubMethod method) {
+void run_resub(Network& net, ResubMethod method, const ResubTuning& tuning) {
   switch (method) {
     case ResubMethod::None:
       return;
@@ -30,18 +30,24 @@ void run_resub(Network& net, ResubMethod method) {
     case ResubMethod::Basic: {
       SubstituteOptions opts;
       opts.method = SubstMethod::Basic;
+      opts.jobs = tuning.jobs;
+      opts.enable_prune = tuning.prune;
       substitute_network(net, opts);
       return;
     }
     case ResubMethod::Extended: {
       SubstituteOptions opts;
       opts.method = SubstMethod::Extended;
+      opts.jobs = tuning.jobs;
+      opts.enable_prune = tuning.prune;
       substitute_network(net, opts);
       return;
     }
     case ResubMethod::ExtendedGdc: {
       SubstituteOptions opts;
       opts.method = SubstMethod::ExtendedGdc;
+      opts.jobs = tuning.jobs;
+      opts.enable_prune = tuning.prune;
       substitute_network(net, opts);
       return;
     }
@@ -66,7 +72,8 @@ void script_c(Network& net) {
   gkx(net);
 }
 
-void script_algebraic(Network& net, ResubMethod method) {
+void script_algebraic(Network& net, ResubMethod method,
+                      const ResubTuning& tuning) {
   net.sweep();
   eliminate(net, -1);
   simplify_network(net);
@@ -74,11 +81,11 @@ void script_algebraic(Network& net, ResubMethod method) {
   net.sweep();
   eliminate(net, 5);
   simplify_network(net);
-  run_resub(net, method);
+  run_resub(net, method, tuning);
   gkx(net);
-  run_resub(net, method);
+  run_resub(net, method, tuning);
   gcx(net);
-  run_resub(net, method);
+  run_resub(net, method, tuning);
   net.sweep();
   eliminate(net, -1);
   net.sweep();

@@ -27,8 +27,20 @@ enum class ResubMethod {
 
 std::string method_name(ResubMethod m);
 
+/// Knobs forwarded to substitute_network by every resub site. Defaults
+/// reproduce the paper flow; the CLI maps --jobs / --no-prune here.
+struct ResubTuning {
+  /// Worker threads for best-gain evaluation (substitute_network is
+  /// deterministic for any value; 1 = serial).
+  int jobs = 1;
+  /// Candidate filter (signature pruning + negative-pair memo). Sound:
+  /// turning it off changes only the run time, never the result.
+  bool prune = true;
+};
+
 /// Run the selected resubstitution method once over the network.
-void run_resub(Network& net, ResubMethod method);
+void run_resub(Network& net, ResubMethod method,
+               const ResubTuning& tuning = {});
 
 /// Scripts A/B/C preprocessing (paper Sec. V).
 void script_a(Network& net);
@@ -38,6 +50,7 @@ void script_c(Network& net);
 /// Our rendition of SIS `script.algebraic` with `resub` replaced by
 /// `method` (Table V). Chosen "because it is one of the scripts that
 /// contain the most resub's".
-void script_algebraic(Network& net, ResubMethod method);
+void script_algebraic(Network& net, ResubMethod method,
+                      const ResubTuning& tuning = {});
 
 }  // namespace rarsub

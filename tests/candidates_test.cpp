@@ -1,0 +1,232 @@
+#include "division/candidates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchcir/suite.hpp"
+#include "division/substitute.hpp"
+#include "network/blif.hpp"
+#include "network/complement_cache.hpp"
+#include "network/network.hpp"
+#include "opt/scripts.hpp"
+#include "sop/sop.hpp"
+
+namespace rarsub {
+namespace {
+
+// ---------------------------------------------------------------------
+// Soundness: whatever the filter rejects must be genuinely worthless.
+// Force-attempt every pruned pair through the unfiltered single-pair
+// entry point and demand that none yields a positive gain. This is the
+// property that makes pruning a pure optimization: a false kill here
+// would silently change optimization results.
+
+void check_filter_soundness(Network net, SubstMethod method) {
+  SubstituteOptions opts;
+  opts.method = method;
+  ComplementCache comps;
+  CandidateFilter filter(net, opts, &comps);
+
+  const std::vector<NodeId> targets = net.topo_order();
+  int pruned = 0;
+  for (const NodeId f : targets) {
+    filter.begin_target(f);
+    for (const NodeId d : targets) {
+      if (f == d) continue;
+      const PairDecision dec = filter.check(f, d);
+      if (dec.verdict != PairDecision::Verdict::PrunedSig &&
+          dec.verdict != PairDecision::Verdict::PrunedCycle)
+        continue;
+      ++pruned;
+      const auto gain = try_substitution(net, f, d, opts, /*commit=*/false);
+      EXPECT_FALSE(gain && *gain > 0)
+          << "filter pruned (" << net.node(f).name << ", " << net.node(d).name
+          << ") [" << (dec.reason ? dec.reason : "?")
+          << "] but a forced attempt gained " << *gain;
+    }
+  }
+  // The filter must actually be doing something on a real circuit, or
+  // this test is vacuous.
+  EXPECT_GT(pruned, 0);
+}
+
+TEST(Candidates, PrunedPairsNeverHavePositiveGain_Basic) {
+  Network net = build_benchmark("syn_c432");
+  script_a(net);
+  check_filter_soundness(std::move(net), SubstMethod::Basic);
+}
+
+TEST(Candidates, PrunedPairsNeverHavePositiveGain_Extended) {
+  Network net = build_benchmark("syn_t481");
+  script_a(net);
+  check_filter_soundness(std::move(net), SubstMethod::Extended);
+}
+
+// ---------------------------------------------------------------------
+// Prune equivalence: enable_prune toggles run time only. The optimized
+// network must be byte-identical with the filter on and off, for every
+// method.
+
+TEST(Candidates, PruningDoesNotChangeTheResult) {
+  for (const SubstMethod method :
+       {SubstMethod::Basic, SubstMethod::Extended, SubstMethod::ExtendedGdc}) {
+    Network pruned = build_benchmark("syn_c432");
+    script_a(pruned);
+    Network plain = pruned;
+
+    SubstituteOptions opts;
+    opts.method = method;
+    opts.enable_prune = true;
+    const SubstituteStats sp = substitute_network(pruned, opts);
+    opts.enable_prune = false;
+    const SubstituteStats so = substitute_network(plain, opts);
+
+    EXPECT_EQ(write_blif_string(pruned), write_blif_string(plain))
+        << "method " << static_cast<int>(method);
+    EXPECT_EQ(sp.substitutions, so.substitutions);
+    EXPECT_EQ(sp.pos_substitutions, so.pos_substitutions);
+    EXPECT_EQ(sp.literals_after, so.literals_after);
+    // And the filter must have skipped a meaningful share of the sweep.
+    EXPECT_GT(sp.pairs_pruned_sig + sp.pairs_pruned_memo, 0);
+    EXPECT_EQ(so.pairs_tried, 0);  // accounting is off with the filter
+  }
+}
+
+// ---------------------------------------------------------------------
+// Parallel determinism: best-gain evaluation with any --jobs value must
+// produce the same network and the same stats as the serial sweep.
+
+TEST(Candidates, ParallelBestGainIsDeterministic) {
+  SubstituteOptions opts;
+  opts.method = SubstMethod::Extended;
+  opts.first_positive = false;  // jobs only matter in best-gain mode
+
+  Network serial = build_benchmark("syn_c432");
+  script_a(serial);
+  Network threaded = serial;
+
+  opts.jobs = 1;
+  const SubstituteStats s1 = substitute_network(serial, opts);
+  opts.jobs = 4;
+  const SubstituteStats s4 = substitute_network(threaded, opts);
+
+  EXPECT_EQ(write_blif_string(serial), write_blif_string(threaded));
+  EXPECT_EQ(s1.substitutions, s4.substitutions);
+  EXPECT_EQ(s1.pos_substitutions, s4.pos_substitutions);
+  EXPECT_EQ(s1.decompositions, s4.decompositions);
+  EXPECT_EQ(s1.literals_after, s4.literals_after);
+  EXPECT_EQ(s1.pairs_tried, s4.pairs_tried);
+  EXPECT_EQ(s1.pairs_pruned_sig, s4.pairs_pruned_sig);
+  EXPECT_EQ(s1.pairs_pruned_memo, s4.pairs_pruned_memo);
+}
+
+// ---------------------------------------------------------------------
+// Negative-pair memo: a failed pair is skipped while both endpoints are
+// unchanged and revisited as soon as one of them mutates.
+
+TEST(Candidates, MemoInvalidatesWhenAnEndpointChanges) {
+  Network net("memo");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  // f contains the cube a·c, so SOS division by d = a·c is structurally
+  // possible and the filter must classify the pair as Try.
+  const NodeId f = net.add_node(
+      "f", {a, b, c}, Sop::from_strings({"10-", "1-1", "-10", "-01"}));
+  const NodeId d = net.add_node("d", {a, c}, Sop::from_strings({"11"}));
+  net.add_po("f", f);
+  net.add_po("d", d);
+
+  SubstituteOptions opts;
+  ComplementCache comps;
+  CandidateFilter filter(net, opts, &comps);
+  filter.begin_target(f);
+
+  ASSERT_EQ(filter.check(f, d).verdict, PairDecision::Verdict::Try);
+  filter.record_failure(f, d);
+  EXPECT_EQ(filter.check(f, d).verdict, PairDecision::Verdict::PrunedMemo);
+  EXPECT_EQ(filter.memo_size(), 1u);
+
+  // Changing the divisor's function bumps its version: the memo entry no
+  // longer applies.
+  net.set_function(d, {a, b, c}, Sop::from_strings({"1-1", "-01"}));
+  EXPECT_EQ(filter.check(f, d).verdict, PairDecision::Verdict::Try);
+}
+
+TEST(Candidates, GdcMemoInvalidatesOnAnyNetworkMutation) {
+  Network net("memo_gdc");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId f = net.add_node(
+      "f", {a, b, c}, Sop::from_strings({"10-", "1-1", "-10", "-01"}));
+  const NodeId d = net.add_node("d", {a, c}, Sop::from_strings({"11"}));
+  net.add_po("f", f);
+  net.add_po("d", d);
+
+  SubstituteOptions opts;
+  opts.method = SubstMethod::ExtendedGdc;
+  ComplementCache comps;
+  CandidateFilter filter(net, opts, &comps);
+  filter.begin_target(f);
+
+  ASSERT_EQ(filter.check(f, d).verdict, PairDecision::Verdict::Try);
+  filter.record_failure(f, d);
+  EXPECT_EQ(filter.check(f, d).verdict, PairDecision::Verdict::PrunedMemo);
+
+  // A mutation elsewhere in the circuit changes the global don't cares, so
+  // the GDC outcome may change even though f and d did not.
+  const NodeId g = net.add_node("g", {a, b}, Sop::from_strings({"11"}));
+  net.add_po("g", g);
+  EXPECT_EQ(filter.check(f, d).verdict, PairDecision::Verdict::Try);
+}
+
+// ---------------------------------------------------------------------
+// The mutation counter underpinning the memo and the cached GDC base.
+
+TEST(Candidates, NetworkMutationCounterTracksEveryChange) {
+  Network net("mut");
+  const std::uint64_t m0 = net.mutations();
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId f = net.add_node("f", {a, b}, Sop::from_strings({"11"}));
+  // h has no fanouts and no PO ref: dead on arrival, sweep must kill it.
+  net.add_node("h", {a, b}, Sop::from_strings({"1-", "-1"}));
+  net.add_po("f", f);
+  const std::uint64_t m1 = net.mutations();
+  EXPECT_GT(m1, m0);
+
+  net.set_function(f, {a, b}, Sop::from_strings({"11", "00"}));
+  const std::uint64_t m2 = net.mutations();
+  EXPECT_GT(m2, m1);
+
+  net.sweep();
+  EXPECT_GT(net.mutations(), m2);
+}
+
+// ---------------------------------------------------------------------
+// The cheap guards stay live through the filter: pairs that attempt()'s
+// own guards reject are passed through as Try, not silently eaten.
+
+TEST(Candidates, CheapGuardRejectionsPassThrough) {
+  Network net("guards");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId f = net.add_node("f", {a, b}, Sop::from_strings({"11", "0-"}));
+  const NodeId d = net.add_node("d", {a, b}, Sop::from_strings({"1-", "-1"}));
+  net.add_po("f", f);
+  net.add_po("d", d);
+
+  SubstituteOptions opts;
+  opts.max_node_cubes = 1;  // attempt() would reject f for size
+  ComplementCache comps;
+  CandidateFilter filter(net, opts, &comps);
+  filter.begin_target(f);
+  EXPECT_EQ(filter.check(f, d).verdict, PairDecision::Verdict::Try);
+}
+
+}  // namespace
+}  // namespace rarsub

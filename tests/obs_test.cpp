@@ -325,7 +325,16 @@ TEST(Obs, SizeGuardRejectionsAreCounted) {
   SubstituteOptions opts2;
   opts2.method = SubstMethod::Basic;
   opts2.max_common_vars = 1;  // common space is 3 vars wide
-  substitute_network(net2, opts2);
+  // substitute_network's candidate filter prunes such pairs before the
+  // guard (counted as subst.pairs_pruned_sig); the guard itself stays
+  // reachable through the direct single-pair entry point.
+  const SubstituteStats st2 = substitute_network(net2, opts2);
+  EXPECT_GT(st2.pairs_pruned_sig, 0);
+  const NodeId fn = net2.find_node("f");
+  const NodeId dn = net2.find_node("d");
+  ASSERT_NE(fn, kNoNode);
+  ASSERT_NE(dn, kNoNode);
+  try_substitution(net2, fn, dn, opts2, /*commit=*/false);
   EXPECT_GT(obs::snapshot().counter("subst.reject.max_common_vars"), 0);
 }
 
@@ -409,6 +418,12 @@ void exercise_every_subsystem() {
     if (guard == 2) o.max_common_vars = 1;
     if (guard == 3) o.max_complement_cubes = 1;
     substitute_network(net, o);
+    if (guard == 2) {
+      // The candidate filter's support prune intercepts wide pairs before
+      // this guard; hit it through the unfiltered single-pair entry point.
+      (void)try_substitution(net, net.find_node("f"), net.find_node("d"), o,
+                             /*commit=*/false);
+    }
   }
   // Multi-divisor pool attempt.
   {

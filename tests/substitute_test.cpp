@@ -4,6 +4,7 @@
 
 #include <random>
 
+#include "network/complement_cache.hpp"
 #include "network/simulate.hpp"
 #include "obs/ledger.hpp"
 #include "test_util.hpp"
@@ -184,6 +185,26 @@ TEST(Substitute, TrySubstitutionDryRunDoesNotMutate) {
     return s;
   }();
   EXPECT_EQ(before, after);
+}
+
+TEST(Substitute, TrySubstitutionReusesCallerComplementCache) {
+  // A caller-owned cache is filled by the first dry-run attempt and
+  // reused (not re-derived) by later ones; results match the throwaway-
+  // cache default exactly.
+  Network net = intro_example();
+  const NodeId f = net.find_node("f");
+  const NodeId d = net.find_node("d");
+  SubstituteOptions opts;
+
+  ComplementCache shared;
+  const auto cached1 = try_substitution(net, f, d, opts, false, &shared);
+  const std::size_t filled = shared.size();
+  EXPECT_GT(filled, 0u);  // POS views forced the complements in
+  const auto cached2 = try_substitution(net, f, d, opts, false, &shared);
+  EXPECT_EQ(shared.size(), filled);  // second call hit the cache
+  const auto fresh = try_substitution(net, f, d, opts, false);
+  EXPECT_EQ(cached1, fresh);
+  EXPECT_EQ(cached2, fresh);
 }
 
 // ---------------------------------------------------------------------

@@ -34,12 +34,58 @@ def load_report(path):
     for circuit in report.get("circuits", []):
         cname = circuit["name"]
         for m in circuit.get("methods", []):
+            counters = m.get("obs", {}).get("counters", {})
+            tried = counters.get("subst.pairs_tried")
+            pruned = None
+            if tried is not None:
+                pruned = sum(counters.get("subst.pairs_pruned_" + r, 0)
+                             for r in ("sig", "memo", "cycle"))
             rows[(cname, m["method"])] = {
                 "literals": int(m["literals"]),
                 "cpu_ms": float(m["cpu_ms"]),
                 "equivalent": bool(m.get("equivalent", True)),
+                # Candidate-filter accounting (None for reports predating
+                # the filter or for methods that don't run it).
+                "pairs_tried": tried,
+                "pairs_pruned": pruned,
             }
     return report, rows
+
+
+def prune_rate_lines(base_rows, cur_rows):
+    """Informational candidate-filter table: per method, how many (f, d)
+    pairs the substitution sweep screened and what share the filter pruned
+    (subst.pairs_pruned_{sig,memo,cycle} / screened). Not a gate — reports
+    without the counters (pre-filter baselines) show '-'."""
+
+    def totals(rows):
+        agg = {}  # method -> [tried, pruned] or None
+        for (_, method), r in rows.items():
+            if r.get("pairs_tried") is None:
+                agg.setdefault(method, None)
+                continue
+            t = agg.setdefault(method, [0, 0])
+            if t is None:
+                agg[method] = t = [0, 0]
+            t[0] += r["pairs_tried"]
+            t[1] += r["pairs_pruned"]
+        return agg
+
+    def cell(t):
+        if not t or t[0] + t[1] == 0:
+            return "%9s %9s %7s" % ("-", "-", "-")
+        return "%9d %9d %6.1f%%" % (
+            t[0], t[1], 100.0 * t[1] / (t[0] + t[1]))
+
+    base, cur = totals(base_rows), totals(cur_rows)
+    lines = [""]
+    lines.append("%-10s %9s %9s %7s   %9s %9s %7s  (candidate filter)" % (
+        "method", "b_tried", "b_pruned", "b_rate",
+        "c_tried", "c_pruned", "c_rate"))
+    for method in sorted(set(base) | set(cur)):
+        lines.append("%-10s %s   %s" % (
+            method, cell(base.get(method)), cell(cur.get(method))))
+    return lines
 
 
 def compare(base_report, base_rows, cur_report, cur_rows, cpu_threshold):
@@ -96,6 +142,8 @@ def compare(base_report, base_rows, cur_report, cur_rows, cpu_threshold):
                             % (method, bt, ct, d, cpu_threshold))
         lines.append("%-10s %12.1f %12.1f %+7.1f%%%s" % (method, bt, ct, d, mark))
 
+    lines.extend(prune_rate_lines(base_rows, cur_rows))
+
     eq_fail = int(cur_report.get("equivalence_failures", 0))
     if eq_fail > 0:
         failures.append("current report has %d equivalence failure(s)" % eq_fail)
@@ -136,10 +184,15 @@ def run_compare(args):
 
 def _report(rows, eq_failures=0):
     circuits = {}
-    for (circuit, method), (lits, ms) in rows.items():
-        circuits.setdefault(circuit, []).append(
-            {"method": method, "literals": lits, "cpu_ms": ms,
-             "equivalent": True})
+    for (circuit, method), row in rows.items():
+        lits, ms = row[0], row[1]
+        entry = {"method": method, "literals": lits, "cpu_ms": ms,
+                 "equivalent": True}
+        if len(row) > 2:  # (lits, ms, pairs_tried, pairs_pruned_sig)
+            entry["obs"] = {"counters": {
+                "subst.pairs_tried": row[2],
+                "subst.pairs_pruned_sig": row[3]}}
+        circuits.setdefault(circuit, []).append(entry)
     return {
         "table": "self-test", "suite": "small",
         "circuits": [{"name": c, "init_literals": 0, "methods": ms}
@@ -153,14 +206,24 @@ def _rows_of(report):
     rows = {}
     for circuit in report["circuits"]:
         for m in circuit["methods"]:
+            counters = m.get("obs", {}).get("counters", {})
+            tried = counters.get("subst.pairs_tried")
+            pruned = None
+            if tried is not None:
+                pruned = sum(counters.get("subst.pairs_pruned_" + r, 0)
+                             for r in ("sig", "memo", "cycle"))
             rows[(circuit["name"], m["method"])] = {
                 "literals": m["literals"], "cpu_ms": m["cpu_ms"],
-                "equivalent": m["equivalent"]}
+                "equivalent": m["equivalent"],
+                "pairs_tried": tried, "pairs_pruned": pruned}
     return rows
 
 
 def self_test():
     base = _report({("c432", "ext"): (200, 100.0), ("c880", "ext"): (300, 200.0)})
+
+    def prune_text(report):
+        return "\n".join(prune_rate_lines(_rows_of(base), _rows_of(report)))
 
     def verdict(cur, threshold):
         _, failures = compare(base, _rows_of(base), cur, _rows_of(cur), threshold)
@@ -187,6 +250,12 @@ def self_test():
          bool(verdict(_report({("c432", "ext"): (200, 100.0),
                                ("c880", "ext"): (300, 200.0)},
                               eq_failures=1), 5.0))),
+        ("prune columns render from obs counters",
+         "75.0%" in prune_text(
+             _report({("c432", "ext"): (200, 100.0, 25, 75),
+                      ("c880", "ext"): (300, 200.0)}))),
+        ("reports without prune counters show '-'",
+         "-" in prune_text(base) and not verdict(base, 5.0)),
     ]
     ok = True
     for name, passed in checks:
