@@ -14,6 +14,7 @@
 #include "division/division.hpp"
 #include "division/substitute.hpp"
 #include "gatenet/build.hpp"
+#include "gatenet/incremental.hpp"
 #include "network/complement_cache.hpp"
 #include "opt/scripts.hpp"
 #include "sop/algdiv.hpp"
@@ -214,6 +215,41 @@ void BM_PairFilterThroughput(benchmark::State& state) {
   state.SetItemsProcessed(pairs);
 }
 BENCHMARK(BM_PairFilterThroughput);
+
+// The incremental gate view (gatenet/incremental.hpp): cost of tracking
+// one function change by patching the view vs. rebuilding the whole
+// two-level decomposition from scratch — the delta the GDC substitution
+// base pays per network state.
+
+void BM_GateViewScratchRebuild(benchmark::State& state) {
+  Network net = build_benchmark("syn_c432");
+  script_a(net);
+  const std::vector<NodeId> order = net.topo_order();
+  const NodeId f = order[order.size() / 2];
+  const std::vector<NodeId> fi = net.node(f).fanins;
+  const Sop f0 = net.node(f).func;
+  for (auto _ : state) {
+    net.set_function(f, fi, f0);  // same cover, new network state
+    GateNetMap map;
+    benchmark::DoNotOptimize(build_gatenet(net, map));
+  }
+}
+BENCHMARK(BM_GateViewScratchRebuild);
+
+void BM_GateViewIncrementalPatch(benchmark::State& state) {
+  Network net = build_benchmark("syn_c432");
+  script_a(net);
+  const std::vector<NodeId> order = net.topo_order();
+  const NodeId f = order[order.size() / 2];
+  const std::vector<NodeId> fi = net.node(f).fanins;
+  const Sop f0 = net.node(f).func;
+  IncrementalGateView view(net);
+  for (auto _ : state) {
+    net.set_function(f, fi, f0);
+    benchmark::DoNotOptimize(view.refresh());
+  }
+}
+BENCHMARK(BM_GateViewIncrementalPatch);
 
 void BM_BddFromSop(benchmark::State& state) {
   std::mt19937 rng(12);

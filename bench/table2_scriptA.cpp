@@ -10,8 +10,9 @@ int main() {
   rarsub::benchtool::TableConfig config;
   config.title = "Table II — Script A (eliminate 0; simplify)";
   config.prepare = [](rarsub::Network& net) { rarsub::script_a(net); };
-  config.apply = [](rarsub::Network& net, rarsub::ResubMethod m) {
-    rarsub::run_resub(net, m);
+  const rarsub::ResubTuning tuning = rarsub::benchtool::tuning_from_env();
+  config.apply = [tuning](rarsub::Network& net, rarsub::ResubMethod m) {
+    rarsub::run_resub(net, m, tuning);
   };
   return rarsub::benchtool::run_table(config);
 }

@@ -7,8 +7,9 @@ int main() {
   rarsub::benchtool::TableConfig config;
   config.title = "Table III — Script B (eliminate 0; simplify; gcx)";
   config.prepare = [](rarsub::Network& net) { rarsub::script_b(net); };
-  config.apply = [](rarsub::Network& net, rarsub::ResubMethod m) {
-    rarsub::run_resub(net, m);
+  const rarsub::ResubTuning tuning = rarsub::benchtool::tuning_from_env();
+  config.apply = [tuning](rarsub::Network& net, rarsub::ResubMethod m) {
+    rarsub::run_resub(net, m, tuning);
   };
   return rarsub::benchtool::run_table(config);
 }

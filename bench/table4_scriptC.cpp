@@ -7,8 +7,9 @@ int main() {
   rarsub::benchtool::TableConfig config;
   config.title = "Table IV — Script C (eliminate 0; simplify; gkx)";
   config.prepare = [](rarsub::Network& net) { rarsub::script_c(net); };
-  config.apply = [](rarsub::Network& net, rarsub::ResubMethod m) {
-    rarsub::run_resub(net, m);
+  const rarsub::ResubTuning tuning = rarsub::benchtool::tuning_from_env();
+  config.apply = [tuning](rarsub::Network& net, rarsub::ResubMethod m) {
+    rarsub::run_resub(net, m, tuning);
   };
   return rarsub::benchtool::run_table(config);
 }

@@ -10,8 +10,9 @@ int main() {
   config.title =
       "Table V — script.algebraic with resub replaced by each method";
   config.prepare = [](rarsub::Network& net) { net.sweep(); };
-  config.apply = [](rarsub::Network& net, rarsub::ResubMethod m) {
-    rarsub::script_algebraic(net, m);
+  const rarsub::ResubTuning tuning = rarsub::benchtool::tuning_from_env();
+  config.apply = [tuning](rarsub::Network& net, rarsub::ResubMethod m) {
+    rarsub::script_algebraic(net, m, tuning);
   };
   return rarsub::benchtool::run_table(config);
 }

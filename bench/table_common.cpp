@@ -11,6 +11,13 @@
 
 namespace rarsub::benchtool {
 
+ResubTuning tuning_from_env() {
+  ResubTuning tuning;
+  tuning.prune = std::getenv("RARSUB_NO_PRUNE") == nullptr;
+  tuning.incremental = std::getenv("RARSUB_NO_INCREMENTAL") == nullptr;
+  return tuning;
+}
+
 int run_table(const TableConfig& config) {
   const bool small =
       config.small_suite || std::getenv("RARSUB_SMALL") != nullptr;

@@ -44,4 +44,12 @@ struct TableConfig {
 /// (0 expected).
 int run_table(const TableConfig& config);
 
+/// Resubstitution tuning from the environment, so A/B reports for
+/// tools/bench_compare.py can toggle sound-to-disable machinery without
+/// rebuilding: RARSUB_NO_PRUNE=1 disables the candidate filter,
+/// RARSUB_NO_INCREMENTAL=1 rebuilds the GDC gate view per network state
+/// (both documented in docs/PERFORMANCE.md; results are identical either
+/// way, only CPU moves).
+ResubTuning tuning_from_env();
+
 }  // namespace rarsub::benchtool

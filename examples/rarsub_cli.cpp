@@ -21,6 +21,9 @@
 //                     identical for every n; see docs/PERFORMANCE.md)
 //   --no-prune        disable the substitution candidate filter (sound to
 //                     toggle: changes run time only, never the result)
+//   --no-incremental  rebuild the GDC gate view from scratch per network
+//                     state instead of patching it from the mutation
+//                     journal (sound to toggle, like --no-prune)
 
 #include <cstdio>
 #include <cstdlib>
@@ -196,6 +199,7 @@ int main(int argc, char** argv) {
     else if (a == "--ledger" && i + 1 < argc) ledger_path = argv[++i];
     else if (a == "--jobs" && i + 1 < argc) tuning.jobs = std::atoi(argv[++i]);
     else if (a == "--no-prune") tuning.prune = false;
+    else if (a == "--no-incremental") tuning.incremental = false;
     else args.push_back(a);
   }
   if (tuning.jobs < 1) {
@@ -253,7 +257,7 @@ int main(int argc, char** argv) {
                "global flags: --stats | --trace <file> | --report <file> | "
                "--ledger <file>\n"
                "              --jobs <n> (parallel gain evaluation, "
-               "deterministic) | --no-prune\n"
+               "deterministic) | --no-prune | --no-incremental\n"
                "(<circuit> = .blif path, .pla path, or built-in name)\n");
   return 2;
 }

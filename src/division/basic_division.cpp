@@ -56,15 +56,15 @@ int region_redundancy_removal(GateNet& gn, const std::vector<int>& fcube_gates,
   for (int g : fcube_gates)
     for (int p = 0; p < static_cast<int>(gn.gate(g).fanins.size()); ++p)
       wires.push_back(WireRef{g, p});
-  // Cube wires: the pins of the Q OR gate that come from region cube gates.
+  // Cube wires: the pins of the Q OR gate that come from region cube
+  // gates. O(1) bitset membership — on the GDC path q_or is the whole
+  // circuit's OR root and a linear scan per pin is quadratic.
+  std::vector<std::uint8_t> is_fcube(static_cast<std::size_t>(gn.num_gates()), 0);
+  for (int g : fcube_gates) is_fcube[static_cast<std::size_t>(g)] = 1;
   const Gate& qg = gn.gate(q_or);
   for (int p = 0; p < static_cast<int>(qg.fanins.size()); ++p) {
     const int src = qg.fanins[static_cast<std::size_t>(p)].gate;
-    for (int g : fcube_gates)
-      if (src == g) {
-        wires.push_back(WireRef{q_or, p});
-        break;
-      }
+    if (is_fcube[static_cast<std::size_t>(src)]) wires.push_back(WireRef{q_or, p});
   }
   RemoveOptions opts;
   opts.learning_depth = learning_depth;
@@ -77,12 +77,11 @@ int region_redundancy_removal(GateNet& gn, const std::vector<int>& fcube_gates,
 Sop extract_quotient(const GateNet& gn, const std::vector<int>& fcube_gates,
                      int q_or, const std::vector<int>& gate_var, int num_vars) {
   Sop q(num_vars);
+  std::vector<std::uint8_t> is_fcube(static_cast<std::size_t>(gn.num_gates()), 0);
+  for (int g : fcube_gates) is_fcube[static_cast<std::size_t>(g)] = 1;
   const Gate& qg = gn.gate(q_or);
   for (const Signal& s : qg.fanins) {
-    bool is_region_cube = false;
-    for (int g : fcube_gates)
-      if (s.gate == g) is_region_cube = true;
-    if (!is_region_cube) continue;
+    if (!is_fcube[static_cast<std::size_t>(s.gate)]) continue;
     Cube c(num_vars);
     bool bad = false;
     for (const Signal& lit : gn.gate(s.gate).fanins) {

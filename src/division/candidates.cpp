@@ -142,6 +142,26 @@ CandidateFilter::CandidateFilter(const Network& net,
                                  ComplementCache* comps)
     : net_(net), opts_(opts), comps_(comps) {
   views_.resize(static_cast<std::size_t>(net.num_nodes()));
+  // Nothing is cached yet, so the whole history up to here is moot.
+  cursor_ = net.journal().seq();
+}
+
+void CandidateFilter::sync() {
+  const MutationJournal& j = net_.journal();
+  if (cursor_ == j.seq()) return;
+  const bool in_window = j.visit_since(cursor_, [&](const NetEvent& e) {
+    if (e.kind == NetEventKind::OutputChanged) return;
+    const std::size_t i = static_cast<std::size_t>(e.node);
+    if (i < views_.size()) {
+      views_[i].built = false;
+      views_[i].has_comp = false;
+    }
+  });
+  if (!in_window) {
+    // Journal trimmed past our cursor: drop everything.
+    views_.assign(views_.size(), NodeView{});
+  }
+  cursor_ = j.seq();
 }
 
 CandidateFilter::NodeView& CandidateFilter::base_view(NodeId id) {
@@ -149,9 +169,9 @@ CandidateFilter::NodeView& CandidateFilter::base_view(NodeId id) {
     views_.resize(static_cast<std::size_t>(id) + 1);
   NodeView& v = views_[static_cast<std::size_t>(id)];
   const Node& nd = net_.node(id);
-  if (v.version == nd.version) return v;
+  if (v.built) return v;
   OBS_COUNT("subst.filter.node_refresh", 1);
-  v.version = nd.version;
+  v.built = true;
   v.has_comp = false;
   v.comp_cubes = -1;
   cover_masks(nd.func, nd.fanins, &v.sig, &v.lit_bloom, &v.cube_sig,
@@ -179,6 +199,7 @@ CandidateFilter::NodeView& CandidateFilter::comp_view(NodeId id) {
 }
 
 void CandidateFilter::begin_target(NodeId f) {
+  sync();
   target_ = f;
   target_mutations_ = net_.mutations();
   tfo_.assign((static_cast<std::size_t>(net_.num_nodes()) + 63) / 64, 0);
@@ -200,6 +221,7 @@ void CandidateFilter::begin_target(NodeId f) {
 }
 
 PairDecision CandidateFilter::check(NodeId f, NodeId d) {
+  sync();  // one compare when the network is unchanged
   PairDecision dec;
   // Grow the view table up front: base_view/comp_view hand out references
   // into it, which a mid-check resize would invalidate.

@@ -99,7 +99,7 @@ class CandidateFilter {
 
  private:
   struct NodeView {
-    int version = -1;       ///< Node::version this data was built from
+    bool built = false;     ///< invalidated by sync() from journal events
     bool has_comp = false;  ///< complement-side fields are filled
     int comp_cubes = -1;    ///< cube count of the complement cover
     std::uint64_t sig = 0;        ///< OR of cube_sig (exact 64-sample eval)
@@ -121,9 +121,16 @@ class CandidateFilter {
   NodeView& base_view(NodeId id);
   NodeView& comp_view(NodeId id);
 
+  /// Consume mutation-journal events newer than the cursor and mark the
+  /// touched nodes' views stale. One integer compare when nothing
+  /// changed; O(delta) otherwise — the journal replaces any per-access
+  /// version polling or whole-table scan.
+  void sync();
+
   const Network& net_;
   const SubstituteOptions& opts_;
   ComplementCache* comps_;
+  std::uint64_t cursor_ = 0;  ///< journal position views_ reflects
   std::vector<NodeView> views_;
   std::unordered_map<std::uint64_t, MemoEntry> memo_;
   // Fanout cone of the current target (begin_target).

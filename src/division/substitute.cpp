@@ -9,6 +9,7 @@
 
 #include "division/candidates.hpp"
 #include "gatenet/build.hpp"
+#include "gatenet/incremental.hpp"
 #include "network/complement_cache.hpp"
 #include "obs/ledger.hpp"
 #include "obs/obs.hpp"
@@ -377,10 +378,9 @@ bool sos_possible(const Sop& f_cover, const Sop& d_cover) {
   return false;
 }
 
-// Per-network-state gate view for the GDC method. build_gatenet is
-// pair-independent, so substitute_network hoists it out of the pair loop
-// and invalidates on the network's mutation stamp; direct try_substitution
-// calls build a local one.
+// Per-network-state gate view for the GDC method, full-rebuild flavor:
+// the --no-incremental escape hatch. The default path keeps an
+// IncrementalGateView patched from the mutation journal instead.
 struct GdcBase {
   GateNet base;
   GateNetMap map;
@@ -393,7 +393,8 @@ struct GdcBase {
 struct AttemptHooks {
   unsigned view_mask = kAllViews;
   bool cycle_checked = false;
-  const GdcBase* gdc = nullptr;
+  const GateNet* gdc_base = nullptr;
+  const GateNetMap* gdc_map = nullptr;
 };
 
 // Evaluation half of an attempt: never mutates the network (safe to run
@@ -480,9 +481,9 @@ std::optional<int> attempt_impl(const Network& net, NodeId f, NodeId d,
   const GateNet* basep = &local_base;
   const GateNetMap* mapp = &local_map;
   if (opts.method == SubstMethod::ExtendedGdc) {
-    if (hooks.gdc != nullptr) {
-      basep = &hooks.gdc->base;
-      mapp = &hooks.gdc->map;
+    if (hooks.gdc_base != nullptr) {
+      basep = hooks.gdc_base;
+      mapp = hooks.gdc_map;
     } else {
       local_base = build_gatenet(net, local_map);
     }
@@ -714,15 +715,32 @@ SubstituteStats substitute_network(Network& net, const SubstituteOptions& opts) 
   std::optional<CandidateFilter> filter;
   if (opts.enable_prune) filter.emplace(net, opts, &comps);
 
+  // The GDC method's whole-circuit gate view. Default: an incremental
+  // view patched from the mutation journal, so a commit costs O(touched
+  // nodes) instead of O(network). --no-incremental falls back to a full
+  // rebuild per network state (and serves as the A/B oracle in tests).
+  // Both are refreshed only from this serial loop; workers see a const
+  // snapshot.
+  std::optional<IncrementalGateView> gdc_view;
   GdcBase gdc;
   auto attach_gdc = [&](AttemptHooks& hooks) {
     if (opts.method != SubstMethod::ExtendedGdc) return;
-    if (gdc.mutations != net.mutations()) {
-      gdc.map = GateNetMap{};
-      gdc.base = build_gatenet(net, gdc.map);
-      gdc.mutations = net.mutations();
+    if (opts.enable_incremental) {
+      if (!gdc_view)
+        gdc_view.emplace(net);
+      else
+        gdc_view->refresh();
+      hooks.gdc_base = &gdc_view->gatenet();
+      hooks.gdc_map = &gdc_view->map();
+    } else {
+      if (gdc.mutations != net.mutations()) {
+        gdc.map = GateNetMap{};
+        gdc.base = build_gatenet(net, gdc.map);
+        gdc.mutations = net.mutations();
+      }
+      hooks.gdc_base = &gdc.base;
+      hooks.gdc_map = &gdc.map;
     }
-    hooks.gdc = &gdc;
   };
 
   // Classify (f, d) through the filter; true means evaluate.

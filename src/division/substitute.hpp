@@ -48,6 +48,11 @@ struct SubstituteOptions {
   /// memoization, docs/PERFORMANCE.md). Sound: disabling it must not
   /// change the optimized network, only the run time (`--no-prune`).
   bool enable_prune = true;
+  /// Maintain the GDC method's whole-circuit gate view incrementally from
+  /// the network's mutation journal instead of rebuilding it from scratch
+  /// after every committed substitution. Results are byte-identical
+  /// either way; false (--no-incremental) is the escape hatch / oracle.
+  bool enable_incremental = true;
   /// Worker threads for best-gain candidate evaluation. Only effective
   /// when first_positive is false (the paper's greedy strategy commits
   /// mid-scan and is inherently serial). Results are deterministic and

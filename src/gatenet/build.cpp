@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace rarsub {
 
 Signal build_sop_gates(GateNet& gn, const Sop& f,
@@ -32,6 +34,10 @@ Signal build_sop_gates(GateNet& gn, const Sop& f,
 }
 
 GateNet build_gatenet(const Network& net, GateNetMap& map) {
+  // Every from-scratch whole-network decomposition is counted here, so
+  // `gateview.full_rebuilds` measures exactly what the incremental gate
+  // view avoids.
+  OBS_COUNT("gateview.full_rebuilds", 1);
   GateNet gn;
   map.node_out.assign(static_cast<std::size_t>(net.num_nodes()), -1);
   map.node_cubes.assign(static_cast<std::size_t>(net.num_nodes()), {});

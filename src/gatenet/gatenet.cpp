@@ -25,15 +25,43 @@ int GateNet::add_const(bool value) {
 int GateNet::add_gate(GateType type, std::vector<Signal> fanins,
                       const std::string& label) {
   assert(type == GateType::And || type == GateType::Or);
-  Gate g;
-  g.type = type;
-  g.fanins = std::move(fanins);
-  g.label = label;
-  gates_.push_back(std::move(g));
-  const int id = static_cast<int>(gates_.size() - 1);
-  for (const Signal& s : gates_.back().fanins)
+  int id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+    Gate& g = gates_[static_cast<std::size_t>(id)];
+    g.type = type;
+    g.fanins = std::move(fanins);
+    g.label = label;
+    g.free = false;
+  } else {
+    Gate g;
+    g.type = type;
+    g.fanins = std::move(fanins);
+    g.label = label;
+    gates_.push_back(std::move(g));
+    id = static_cast<int>(gates_.size() - 1);
+  }
+  for (const Signal& s : gates_[static_cast<std::size_t>(id)].fanins)
     gates_[static_cast<std::size_t>(s.gate)].fanouts.push_back(id);
   return id;
+}
+
+void GateNet::recycle_gate(int g) {
+  Gate& gd = gate(g);
+  assert(gd.type != GateType::PI && "cannot recycle a primary input");
+  assert(gd.fanouts.empty() && "recycled gate still has consumers");
+  assert(!gd.free);
+  for (const Signal& s : gd.fanins) {
+    auto& fo = gates_[static_cast<std::size_t>(s.gate)].fanouts;
+    auto it = std::find(fo.begin(), fo.end(), g);
+    if (it != fo.end()) fo.erase(it);
+  }
+  gd.fanins.clear();
+  gd.type = GateType::Const0;
+  gd.label.clear();
+  gd.free = true;
+  free_.push_back(g);
 }
 
 WireRef GateNet::add_fanin(int g, Signal s) {

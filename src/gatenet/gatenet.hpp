@@ -41,6 +41,10 @@ struct Gate {
   std::vector<Signal> fanins;
   std::vector<int> fanouts;  ///< gates listing this gate among their fanins
   std::string label;
+  /// Slot recycled by recycle_gate and not yet reused. Free slots sit in
+  /// the array as fanin-less Const0 gates, which every traversal
+  /// (topo_order, eval, implication) already handles.
+  bool free = false;
 };
 
 class GateNet {
@@ -57,6 +61,9 @@ class GateNet {
   /// Observable points: redundancy is judged with respect to these.
   void add_output(int g) { outputs_.push_back(g); }
   const std::vector<int>& outputs() const { return outputs_; }
+  /// Drop all observables (incremental view rebuilds the list on
+  /// OutputChanged events).
+  void clear_outputs() { outputs_.clear(); }
 
   /// Retarget every observable entry equal to `old_gate` to `new_gate`
   /// (used when a gadget replaces a node's root gate).
@@ -75,6 +82,15 @@ class GateNet {
   /// Replace the whole gate by a constant (used when an input stuck-at of
   /// the controlling value is untestable).
   void make_const(int g, bool value);
+
+  /// Return gate `g`'s slot to the freelist: detach its fanins, clear it
+  /// to a Const0 placeholder and let a later add_gate reuse the id. The
+  /// gate must have no fanouts. Used by the incremental gate view when a
+  /// node's cube gates are rebuilt or a node dies.
+  void recycle_gate(int g);
+
+  int num_free() const { return static_cast<int>(free_.size()); }
+  bool is_free(int g) const { return gate(g).free; }
 
   /// Gates in topological order (fanins first); PIs/constants included.
   std::vector<int> topo_order() const;
@@ -99,6 +115,7 @@ class GateNet {
   std::vector<Gate> gates_;
   std::vector<int> pis_;
   std::vector<int> outputs_;
+  std::vector<int> free_;  ///< recycled slots, reused LIFO by add_gate
 };
 
 }  // namespace rarsub

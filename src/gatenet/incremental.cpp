@@ -1,0 +1,275 @@
+#include "gatenet/incremental.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+
+#include "obs/obs.hpp"
+
+namespace rarsub {
+
+IncrementalGateView::IncrementalGateView(const Network& net) : net_(net) {
+  full_rebuild();
+}
+
+void IncrementalGateView::full_rebuild() {
+  gn_ = build_gatenet(net_, map_);
+  cursor_ = net_.journal().seq();
+}
+
+void IncrementalGateView::clear_node_cubes(NodeId id) {
+  const int root = map_.node_out[static_cast<std::size_t>(id)];
+  assert(root >= 0);
+  Gate& rg = gn_.gate(root);
+  // Invariant: the root's pins are exactly the node's cube signals, so
+  // detaching them leaves every cube gate consumer-free and recyclable.
+  for (const Signal& s : rg.fanins) {
+    auto& fo = gn_.gate(s.gate).fanouts;
+    auto it = std::find(fo.begin(), fo.end(), root);
+    assert(it != fo.end());
+    fo.erase(it);
+  }
+  rg.fanins.clear();
+  for (int g : map_.node_cubes[static_cast<std::size_t>(id)]) gn_.recycle_gate(g);
+  map_.node_cubes[static_cast<std::size_t>(id)].clear();
+}
+
+int IncrementalGateView::patch_node(NodeId id) {
+  const Node& nd = net_.node(id);
+  int root = map_.node_out[static_cast<std::size_t>(id)];
+  int written = 0;
+  if (root < 0) {
+    // First sighting: the OR root keeps this id for the node's whole
+    // life, so consumer pins placed later never need rewiring.
+    root = gn_.add_gate(GateType::Or, {}, nd.name + ".or");
+    map_.node_out[static_cast<std::size_t>(id)] = root;
+    ++written;
+  } else {
+    clear_node_cubes(id);
+  }
+  std::vector<Signal> var_signal;
+  var_signal.reserve(nd.fanins.size());
+  for (NodeId f : nd.fanins) {
+    const int g = map_.node_out[static_cast<std::size_t>(f)];
+    assert(g >= 0 && "fanin has no root gate");
+    var_signal.push_back(Signal{g, false});
+  }
+  auto& cubes = map_.node_cubes[static_cast<std::size_t>(id)];
+  for (int ci = 0; ci < nd.func.num_cubes(); ++ci) {
+    const Cube& c = nd.func.cube(ci);
+    std::vector<Signal> lits;
+    for (int v = 0; v < nd.func.num_vars(); ++v) {
+      const Lit l = c.lit(v);
+      if (l == Lit::Absent) continue;
+      Signal s = var_signal[static_cast<std::size_t>(v)];
+      if (l == Lit::Neg) s.neg = !s.neg;
+      lits.push_back(s);
+    }
+    const int g = gn_.add_gate(GateType::And, std::move(lits),
+                               nd.name + ".c" + std::to_string(ci));
+    cubes.push_back(g);
+    gn_.add_fanin(root, Signal{g, false});
+    ++written;
+  }
+  return written;
+}
+
+int IncrementalGateView::refresh() {
+  const MutationJournal& j = net_.journal();
+  if (cursor_ == j.seq()) return 0;
+
+  const std::size_t n = static_cast<std::size_t>(net_.num_nodes());
+  // Coalesced per-node dirt: a node touched many times in the window is
+  // patched once, from its final state.
+  constexpr std::uint8_t kAdded = 1, kDirty = 2, kDied = 4;
+  std::vector<std::uint8_t> flag(n, 0);
+  bool outputs_dirty = false;
+  const bool in_window = j.visit_since(cursor_, [&](const NetEvent& e) {
+    switch (e.kind) {
+      case NetEventKind::NodeAdded:
+        flag[static_cast<std::size_t>(e.node)] |= kAdded;
+        break;
+      case NetEventKind::FunctionChanged:
+        flag[static_cast<std::size_t>(e.node)] |= kDirty;
+        break;
+      case NetEventKind::NodeDied:
+        flag[static_cast<std::size_t>(e.node)] |= kDied;
+        break;
+      case NetEventKind::OutputChanged:
+        outputs_dirty = true;
+        break;
+    }
+  });
+  if (!in_window) {
+    // The journal was trimmed past our cursor; the delta is gone.
+    full_rebuild();
+    return net_.num_nodes();
+  }
+
+  map_.node_out.resize(n, -1);
+  map_.node_cubes.resize(n);
+
+  // Phase 1: roots for every new node (ascending id = creation order,
+  // which keeps the GateNet's PI list aligned with net.pis()). Internal
+  // roots start empty so phase 2 can patch nodes in any order — an older
+  // node may have been re-pointed at a newer one within the window.
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((flag[i] & kAdded) == 0 || (flag[i] & kDied) != 0) continue;
+    const NodeId id = static_cast<NodeId>(i);
+    if (net_.node(id).is_pi)
+      map_.node_out[i] = gn_.add_pi(net_.node(id).name);
+    else
+      map_.node_out[i] =
+          gn_.add_gate(GateType::Or, {}, net_.node(id).name + ".or");
+  }
+
+  // Phase 2: rebuild gates of added/changed alive nodes. Any order works
+  // — every fanin's root already exists (phase 1 or an earlier window).
+  int patched_nodes = 0;
+  int patched_gates = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((flag[i] & (kAdded | kDirty)) == 0 || (flag[i] & kDied) != 0) continue;
+    const NodeId id = static_cast<NodeId>(i);
+    if (net_.node(id).is_pi) continue;
+    assert(net_.node(id).alive);
+    patched_gates += patch_node(id);
+    ++patched_nodes;
+  }
+
+  // Phase 3: recycle dead nodes' gates — cube layers first, then roots,
+  // so a dying node's cubes can still detach from a dying fanin's root.
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((flag[i] & kDied) == 0 || (flag[i] & kAdded) != 0) continue;
+    clear_node_cubes(static_cast<NodeId>(i));
+    ++patched_nodes;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((flag[i] & kDied) == 0 || (flag[i] & kAdded) != 0) continue;
+    const int root = map_.node_out[i];
+    // Every consumer was re-pointed before the node died (the Network
+    // enforces that only fanout-free nodes die), so the root is free.
+    gn_.recycle_gate(root);
+    ++patched_gates;
+    map_.node_out[i] = -1;
+  }
+
+  if (outputs_dirty) {
+    gn_.clear_outputs();
+    for (const Output& o : net_.pos())
+      gn_.add_output(map_.node_out[static_cast<std::size_t>(o.driver)]);
+  }
+
+  cursor_ = j.seq();
+  if (patched_nodes > 0) {
+    OBS_COUNT("gateview.patches", 1);
+    OBS_COUNT("gateview.patched_nodes", patched_nodes);
+    OBS_COUNT("gateview.patched_gates", patched_gates);
+  }
+
+  // Compaction: once free slots dominate, a fresh build is cheaper for
+  // every downstream copy/traversal than dragging dead weight along.
+  if (gn_.num_free() > 64 && gn_.num_free() > gn_.num_gates() / 2)
+    full_rebuild();
+  return patched_nodes;
+}
+
+namespace {
+
+std::string gate_desc(int g) { return "gate " + std::to_string(g); }
+
+}  // namespace
+
+bool IncrementalGateView::check(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  if (cursor_ != net_.journal().seq())
+    return fail("view is stale (cursor behind journal)");
+
+  // Global fanin/fanout symmetry, counted as edge multisets.
+  std::unordered_map<std::uint64_t, int> edges;
+  auto key = [](int src, int dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(dst);
+  };
+  for (int g = 0; g < gn_.num_gates(); ++g)
+    for (const Signal& s : gn_.gate(g).fanins) edges[key(s.gate, g)]++;
+  for (int g = 0; g < gn_.num_gates(); ++g)
+    for (int fo : gn_.gate(g).fanouts)
+      if (--edges[key(g, fo)] < 0)
+        return fail(gate_desc(g) + ": fanout edge without matching fanin");
+  for (const auto& [k, cnt] : edges)
+    if (cnt != 0) return fail("fanin edge without matching fanout");
+
+  // Free slots must be inert placeholders.
+  int free_count = 0;
+  for (int g = 0; g < gn_.num_gates(); ++g) {
+    const Gate& gd = gn_.gate(g);
+    if (!gd.free) continue;
+    ++free_count;
+    if (gd.type != GateType::Const0 || !gd.fanins.empty() || !gd.fanouts.empty())
+      return fail(gate_desc(g) + ": free slot is not an empty Const0");
+  }
+  if (free_count != gn_.num_free())
+    return fail("freelist size disagrees with free flags");
+
+  if (static_cast<int>(map_.node_out.size()) != net_.num_nodes())
+    return fail("map size disagrees with network");
+
+  // Per-node canonical decomposition: what build_gatenet would produce.
+  for (NodeId id = 0; id < net_.num_nodes(); ++id) {
+    const Node& nd = net_.node(id);
+    const int root = map_.node_out[static_cast<std::size_t>(id)];
+    if (!nd.alive) continue;
+    if (root < 0) return fail("alive node " + nd.name + " has no root gate");
+    if (gn_.is_free(root)) return fail("node " + nd.name + " root is free");
+    if (nd.is_pi) {
+      if (gn_.gate(root).type != GateType::PI)
+        return fail("PI " + nd.name + " root is not a PI gate");
+      continue;
+    }
+    const Gate& rg = gn_.gate(root);
+    if (rg.type != GateType::Or)
+      return fail("node " + nd.name + " root is not an OR gate");
+    const auto& cubes = map_.node_cubes[static_cast<std::size_t>(id)];
+    if (static_cast<int>(cubes.size()) != nd.func.num_cubes())
+      return fail("node " + nd.name + " cube-gate count mismatch");
+    if (rg.fanins.size() != cubes.size())
+      return fail("node " + nd.name + " root pin count mismatch");
+    for (std::size_t ci = 0; ci < cubes.size(); ++ci) {
+      if (rg.fanins[ci] != Signal{cubes[ci], false})
+        return fail("node " + nd.name + " root pin " + std::to_string(ci) +
+                    " does not feed from its cube gate");
+      const Gate& cg = gn_.gate(cubes[ci]);
+      if (cg.type != GateType::And || cg.free)
+        return fail("node " + nd.name + " cube " + std::to_string(ci) +
+                    " is not an AND gate");
+      // Expected pins: present literals in ascending variable order.
+      const Cube& c = nd.func.cube(static_cast<int>(ci));
+      std::vector<Signal> want;
+      for (int v = 0; v < nd.func.num_vars(); ++v) {
+        const Lit l = c.lit(v);
+        if (l == Lit::Absent) continue;
+        const NodeId f = nd.fanins[static_cast<std::size_t>(v)];
+        want.push_back(
+            Signal{map_.node_out[static_cast<std::size_t>(f)], l == Lit::Neg});
+      }
+      if (cg.fanins != want)
+        return fail("node " + nd.name + " cube " + std::to_string(ci) +
+                    " pins disagree with the cover");
+    }
+  }
+
+  if (gn_.outputs().size() != net_.pos().size())
+    return fail("output count mismatch");
+  for (std::size_t i = 0; i < net_.pos().size(); ++i)
+    if (gn_.outputs()[i] !=
+        map_.node_out[static_cast<std::size_t>(net_.pos()[i].driver)])
+      return fail("output " + net_.pos()[i].name + " mis-wired");
+
+  return true;
+}
+
+}  // namespace rarsub

@@ -1,0 +1,69 @@
+#pragma once
+// IncrementalGateView: a whole-network two-level AND/OR view kept live
+// across Network mutations.
+//
+// The GDC substitution path and network-level redundancy removal both
+// operate on the gate-level decomposition of the entire network. Before
+// this layer, that view was rebuilt from scratch (`build_gatenet`) after
+// every committed substitution — an O(network) cost per commit. The view
+// instead subscribes to the Network's mutation journal with a cursor and
+// patches only the touched nodes: a node's OR root gate is allocated once
+// and keeps its id for the node's whole life (so consumers' pins never
+// move), while its cube AND gates are recycled through the GateNet
+// freelist and rebuilt from the node's current cover on each
+// FunctionChanged event. `build_gatenet` remains the from-scratch oracle;
+// `check()` compares the view against the canonical decomposition.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gatenet/build.hpp"
+#include "gatenet/gatenet.hpp"
+#include "network/network.hpp"
+
+namespace rarsub {
+
+class IncrementalGateView {
+ public:
+  /// Builds the initial view from scratch (one `gateview.full_rebuilds`).
+  explicit IncrementalGateView(const Network& net);
+
+  /// Consume journal events newer than the cursor and patch the view.
+  /// Returns the number of nodes whose gates were touched (0 when already
+  /// up to date). Falls back to a full rebuild when the freelist has
+  /// grown past half the gate array or the journal suffix was trimmed.
+  int refresh();
+
+  /// True when the cursor matches the journal (no pending deltas).
+  bool up_to_date() const { return cursor_ == net_.journal().seq(); }
+
+  const GateNet& gatenet() const { return gn_; }
+  const GateNetMap& map() const { return map_; }
+
+  std::uint64_t cursor() const { return cursor_; }
+  int free_gates() const { return gn_.num_free(); }
+
+  /// Structural oracle check: the view must equal the canonical
+  /// decomposition `build_gatenet` would produce — per alive node, the
+  /// same cube gates (same literals, ascending variable order) feeding
+  /// the same OR root, the same PI list and the same observable outputs —
+  /// modulo gate ids and free slots. O(network); tests only. On failure
+  /// returns false and, if `why` is given, describes the first mismatch.
+  bool check(std::string* why = nullptr) const;
+
+ private:
+  void full_rebuild();
+  /// Recycle `id`'s cube gates and detach them from the root.
+  void clear_node_cubes(NodeId id);
+  /// Rebuild `id`'s cube gates + root pins from its current cover.
+  /// Returns the number of gates written.
+  int patch_node(NodeId id);
+
+  const Network& net_;
+  GateNet gn_;
+  GateNetMap map_;
+  std::uint64_t cursor_ = 0;
+};
+
+}  // namespace rarsub

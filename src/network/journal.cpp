@@ -1,0 +1,33 @@
+#include "network/journal.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+
+namespace rarsub {
+
+const char* net_event_kind_name(NetEventKind k) {
+  switch (k) {
+    case NetEventKind::NodeAdded: return "node_added";
+    case NetEventKind::FunctionChanged: return "function_changed";
+    case NetEventKind::NodeDied: return "node_died";
+    case NetEventKind::OutputChanged: return "output_changed";
+  }
+  return "?";
+}
+
+std::uint64_t MutationJournal::record(NetEventKind kind, NodeId node) {
+  events_.push_back(NetEvent{++last_seq_, kind, node});
+  OBS_COUNT("journal.events", 1);
+  return last_seq_;
+}
+
+void MutationJournal::trim_to(std::uint64_t keep_after) {
+  keep_after = std::min(keep_after, last_seq_);
+  if (keep_after <= trimmed_) return;
+  const std::size_t drop = static_cast<std::size_t>(keep_after - trimmed_);
+  events_.erase(events_.begin(), events_.begin() + static_cast<std::ptrdiff_t>(drop));
+  trimmed_ = keep_after;
+}
+
+}  // namespace rarsub

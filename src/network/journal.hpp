@@ -1,0 +1,77 @@
+#pragma once
+// Mutation journal: the single typed record of every Network mutation.
+//
+// Every structural change — node creation, function replacement, node
+// death, primary-output addition — appends one event with a monotone
+// sequence number. Derived state that used to invalidate itself through
+// ad-hoc mechanisms (Node::version, the global mutations() stamp, the
+// ledger's NodeUpdate replay events) is now driven from this one stream:
+// a consumer holds a cursor (the last sequence number it has consumed)
+// and asks the journal for everything newer. Consumers never register
+// themselves; a cursor is just an integer, so any number of subscribers
+// can replay the same suffix independently.
+
+#include <cstdint>
+#include <vector>
+
+namespace rarsub {
+
+using NodeId = int;
+
+enum class NetEventKind : std::uint8_t {
+  NodeAdded,        ///< add_pi / add_node created `node`
+  FunctionChanged,  ///< set_function replaced `node`'s fanins/function
+  NodeDied,         ///< sweep / collapse_into_fanouts killed `node`
+  OutputChanged,    ///< add_po made `node` (the driver) observable
+};
+
+/// Human-readable event-kind name (tests, tracing).
+const char* net_event_kind_name(NetEventKind k);
+
+struct NetEvent {
+  std::uint64_t seq = 0;  ///< 1-based, strictly increasing
+  NetEventKind kind = NetEventKind::NodeAdded;
+  NodeId node = -1;  ///< subject node (the PO driver for OutputChanged)
+};
+
+class MutationJournal {
+ public:
+  /// Append an event; returns its sequence number.
+  std::uint64_t record(NetEventKind kind, NodeId node);
+
+  /// Sequence number of the newest event (0 when nothing was ever
+  /// recorded). A consumer whose cursor equals seq() is up to date.
+  std::uint64_t seq() const { return last_seq_; }
+
+  /// Oldest event still retained (0 when the journal is empty or fully
+  /// trimmed past its own tail).
+  std::uint64_t first_retained() const {
+    return events_.empty() ? 0 : events_.front().seq;
+  }
+
+  std::size_t size() const { return events_.size(); }
+
+  /// Visit every event with sequence number in (cursor, seq()], oldest
+  /// first. Returns false — visiting nothing — when events after `cursor`
+  /// have been trimmed away; the consumer must then resync from scratch
+  /// and restart its cursor at seq().
+  template <class Fn>
+  bool visit_since(std::uint64_t cursor, Fn&& fn) const {
+    if (cursor >= last_seq_) return true;  // nothing new
+    if (cursor < trimmed_) return false;   // suffix no longer available
+    const std::size_t start = static_cast<std::size_t>(cursor - trimmed_);
+    for (std::size_t i = start; i < events_.size(); ++i) fn(events_[i]);
+    return true;
+  }
+
+  /// Drop events with seq <= keep_after. Consumers whose cursor is older
+  /// will be told to resync by visit_since().
+  void trim_to(std::uint64_t keep_after);
+
+ private:
+  std::vector<NetEvent> events_;
+  std::uint64_t last_seq_ = 0;
+  std::uint64_t trimmed_ = 0;  ///< highest sequence number dropped by trim_to
+};
+
+}  // namespace rarsub

@@ -16,7 +16,37 @@ NodeId Network::add_pi(const std::string& name) {
   nodes_.push_back(std::move(n));
   const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
   pis_.push_back(id);
+  record_mutation(NetEventKind::NodeAdded, id, nullptr);
   return id;
+}
+
+void Network::record_mutation(NetEventKind kind, NodeId id, const char* reason,
+                              std::int64_t lits_before) {
+  if (kind == NetEventKind::FunctionChanged || kind == NetEventKind::NodeDied)
+    node(id).version++;
+  journal_.record(kind, id);
+  // The ledger's NodeUpdate replay contract covers internal nodes only;
+  // PIs carry no cover and POs are observability, not function.
+  if (kind == NetEventKind::OutputChanged || node(id).is_pi) return;
+  if (!obs::ledger_active()) return;
+  std::int64_t after = 0;
+  switch (kind) {
+    case NetEventKind::NodeAdded:
+      after = factored_literal_count(node(id).func);
+      lits_before = 0;
+      break;
+    case NetEventKind::FunctionChanged:
+      after = factored_literal_count(node(id).func);
+      break;
+    case NetEventKind::NodeDied:
+      // Dead nodes keep their last cover; the replay value is 0.
+      lits_before = factored_literal_count(node(id).func);
+      break;
+    case NetEventKind::OutputChanged:
+      break;  // unreachable
+  }
+  OBS_EVENT(.kind = obs::EventKind::NodeUpdate, .node = id, .a = after,
+            .b = lits_before, .reason = reason);
 }
 
 namespace {
@@ -59,15 +89,13 @@ NodeId Network::add_node(const std::string& name, std::vector<NodeId> fanins,
   nodes_.push_back(std::move(n));
   const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
   add_fanout_refs(id);
-  ++mutations_;
-  // Flight recorder: new node, a = its factored literal count, b = 0.
-  OBS_EVENT(.kind = obs::EventKind::NodeUpdate, .node = id,
-            .a = factored_literal_count(node(id).func), .reason = "new");
+  record_mutation(NetEventKind::NodeAdded, id, "new");
   return id;
 }
 
 void Network::add_po(const std::string& name, NodeId driver) {
   pos_.push_back(Output{name, driver});
+  record_mutation(NetEventKind::OutputChanged, driver, nullptr);
 }
 
 NodeId Network::find_node(const std::string& name) const {
@@ -96,19 +124,14 @@ void Network::set_function(NodeId id, std::vector<NodeId> fanins, Sop func) {
   assert(func.num_vars() == static_cast<int>(fanins.size()));
   // Flight recorder: factoring the old cover is only worth paying for
   // while a ledger session is recording.
-  const bool recording = obs::ledger_active();
   const std::int64_t lits_before =
-      recording ? factored_literal_count(node(id).func) : 0;
+      obs::ledger_active() ? factored_literal_count(node(id).func) : 0;
   dedup_fanins(fanins, func);
   remove_fanout_refs(id);
   node(id).fanins = std::move(fanins);
   node(id).func = std::move(func);
-  node(id).version++;
   add_fanout_refs(id);
-  ++mutations_;
-  if (recording)
-    OBS_EVENT(.kind = obs::EventKind::NodeUpdate, .node = id,
-              .a = factored_literal_count(node(id).func), .b = lits_before);
+  record_mutation(NetEventKind::FunctionChanged, id, nullptr, lits_before);
 }
 
 int Network::num_po_refs(NodeId id) const {
@@ -197,12 +220,9 @@ void Network::sweep() {
 
       // Dead node removal.
       if (fanout_refs(id) == 0) {
-        OBS_EVENT(.kind = obs::EventKind::NodeUpdate, .node = id,
-                  .b = factored_literal_count(nd.func), .reason = "sweep");
         remove_fanout_refs(id);
         nd.alive = false;
-        nd.version++;
-        ++mutations_;
+        record_mutation(NetEventKind::NodeDied, id, "sweep");
         changed = true;
         continue;
       }
@@ -333,12 +353,9 @@ bool Network::collapse_into_fanouts(NodeId id, int cube_limit) {
     if (!compose(fo, id, cube_limit)) return false;
   }
   if (fanout_refs(id) == 0) {
-    OBS_EVENT(.kind = obs::EventKind::NodeUpdate, .node = id,
-              .b = factored_literal_count(node(id).func), .reason = "collapse");
     remove_fanout_refs(id);
     node(id).alive = false;
-    node(id).version++;
-    ++mutations_;
+    record_mutation(NetEventKind::NodeDied, id, "collapse");
   }
   return true;
 }

@@ -10,19 +10,20 @@
 #include <string>
 #include <vector>
 
+#include "network/journal.hpp"
 #include "sop/sop.hpp"
 
 namespace rarsub {
 
-using NodeId = int;
 inline constexpr NodeId kNoNode = -1;
 
 struct Node {
   std::string name;
   bool is_pi = false;
   bool alive = true;
-  /// Bumped on every set_function; lets per-pass caches (e.g. node
-  /// complements) invalidate cheaply.
+  /// Bumped whenever the journal records a FunctionChanged or NodeDied
+  /// event for this node (Network::record_mutation); lets per-node caches
+  /// (e.g. node complements) invalidate cheaply.
   int version = 0;
   /// Signals feeding this node; variable i of `func` refers to fanins[i].
   std::vector<NodeId> fanins;
@@ -118,23 +119,37 @@ class Network {
   /// Fresh unique node name with the given prefix.
   std::string fresh_name(const std::string& prefix);
 
-  /// Global structural mutation counter: bumped whenever a node is added,
-  /// a function changes, or a node dies. Caches whose validity depends on
+  /// The mutation journal: one typed event per structural change, in
+  /// order. Incremental consumers (gate views, candidate filters) hold a
+  /// cursor into it and patch themselves from the suffix.
+  const MutationJournal& journal() const { return journal_; }
+
+  /// Global structural mutation counter — the journal's newest sequence
+  /// number. Bumped whenever a node is added, a function changes, a node
+  /// dies, or an output is attached. Caches whose validity depends on
   /// network-wide state (cycle tests, whole-circuit gate views, global
   /// don't cares) stamp themselves with this value and rebuild when it
   /// moves; per-node caches use Node::version instead.
-  std::uint64_t mutations() const { return mutations_; }
+  std::uint64_t mutations() const { return journal_.seq(); }
 
  private:
   void add_fanout_refs(NodeId id);
   void remove_fanout_refs(NodeId id);
+
+  /// The single mutation choke point: appends the journal event, bumps
+  /// Node::version (FunctionChanged / NodeDied), and emits the ledger's
+  /// NodeUpdate replay event. `lits_before` is the pre-change factored
+  /// literal count (FunctionChanged only; the old cover is gone by the
+  /// time this runs). `reason` must have static storage duration.
+  void record_mutation(NetEventKind kind, NodeId id, const char* reason,
+                       std::int64_t lits_before = 0);
 
   std::string name_;
   std::vector<Node> nodes_;
   std::vector<NodeId> pis_;
   std::vector<Output> pos_;
   int name_counter_ = 0;
-  std::uint64_t mutations_ = 0;
+  MutationJournal journal_;
 };
 
 /// SIS-style `eliminate`: repeatedly collapse internal nodes whose value

@@ -32,6 +32,7 @@ void run_resub(Network& net, ResubMethod method, const ResubTuning& tuning) {
       opts.method = SubstMethod::Basic;
       opts.jobs = tuning.jobs;
       opts.enable_prune = tuning.prune;
+      opts.enable_incremental = tuning.incremental;
       substitute_network(net, opts);
       return;
     }
@@ -40,6 +41,7 @@ void run_resub(Network& net, ResubMethod method, const ResubTuning& tuning) {
       opts.method = SubstMethod::Extended;
       opts.jobs = tuning.jobs;
       opts.enable_prune = tuning.prune;
+      opts.enable_incremental = tuning.incremental;
       substitute_network(net, opts);
       return;
     }
@@ -48,6 +50,7 @@ void run_resub(Network& net, ResubMethod method, const ResubTuning& tuning) {
       opts.method = SubstMethod::ExtendedGdc;
       opts.jobs = tuning.jobs;
       opts.enable_prune = tuning.prune;
+      opts.enable_incremental = tuning.incremental;
       substitute_network(net, opts);
       return;
     }

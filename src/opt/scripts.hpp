@@ -36,6 +36,9 @@ struct ResubTuning {
   /// Candidate filter (signature pruning + negative-pair memo). Sound:
   /// turning it off changes only the run time, never the result.
   bool prune = true;
+  /// Journal-driven incremental maintenance of the GDC method's gate
+  /// view. Like prune: off changes only the run time, never the result.
+  bool incremental = true;
 };
 
 /// Run the selected resubstitution method once over the network.

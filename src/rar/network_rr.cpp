@@ -3,20 +3,34 @@
 #include <cassert>
 
 #include "gatenet/build.hpp"
+#include "gatenet/incremental.hpp"
 #include "obs/obs.hpp"
 #include "rar/redundancy.hpp"
 
 namespace rarsub {
 
 NetworkRrStats network_redundancy_removal(Network& net,
-                                          const NetworkRrOptions& opts) {
+                                          const NetworkRrOptions& opts,
+                                          IncrementalGateView* view) {
   OBS_SCOPED_TIMER("network_rr.run");
   OBS_COUNT("network_rr.runs", 1);
   NetworkRrStats stats;
   stats.literals_before = net.factored_literals();
 
-  GateNetMap map;
-  GateNet gn = build_gatenet(net, map);
+  // ATPG mutates the gate array, so take a copy when working from a
+  // live view; the copy is O(gates) versus build_gatenet's full
+  // re-decomposition.
+  GateNetMap map_local;
+  const GateNetMap* mapp = &map_local;
+  GateNet gn;
+  if (view != nullptr) {
+    view->refresh();
+    gn = view->gatenet();
+    mapp = &view->map();
+  } else {
+    gn = build_gatenet(net, map_local);
+  }
+  const GateNetMap& map = *mapp;
 
   RemoveOptions ropts;
   ropts.learning_depth = opts.learning_depth;

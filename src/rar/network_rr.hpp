@@ -12,6 +12,8 @@
 
 namespace rarsub {
 
+class IncrementalGateView;
+
 struct NetworkRrOptions {
   int learning_depth = 0;
   /// Also test the gate-constant-izing fault polarity.
@@ -25,7 +27,15 @@ struct NetworkRrStats {
 };
 
 /// Remove redundant literals and cubes everywhere in the network.
+///
+/// When the caller already maintains an `IncrementalGateView` of `net`,
+/// pass it: the pass then refreshes the view (O(journal delta)) and runs
+/// ATPG on a copy of its gate array instead of paying a from-scratch
+/// `build_gatenet`. The view itself is never mutated — the fold-back's
+/// `set_function` calls reach it through the mutation journal like any
+/// other edit.
 NetworkRrStats network_redundancy_removal(Network& net,
-                                          const NetworkRrOptions& opts = {});
+                                          const NetworkRrOptions& opts = {},
+                                          IncrementalGateView* view = nullptr);
 
 }  // namespace rarsub

@@ -1,0 +1,246 @@
+#include "gatenet/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "benchcir/classics.hpp"
+#include "benchcir/suite.hpp"
+#include "division/substitute.hpp"
+#include "gatenet/build.hpp"
+#include "network/blif.hpp"
+#include "network/network.hpp"
+#include "opt/scripts.hpp"
+#include "rar/network_rr.hpp"
+
+namespace rarsub {
+namespace {
+
+Sop random_sop(std::mt19937& rng, int nv) {
+  std::uniform_int_distribution<int> ncube(1, 4);
+  Sop func(nv);
+  const int cubes = ncube(rng);
+  for (int ci = 0; ci < cubes; ++ci) {
+    Cube c(nv);
+    for (int v = 0; v < nv; ++v) {
+      const int r = static_cast<int>(rng() % 3);
+      if (r == 0) c.set_lit(v, Lit::Pos);
+      if (r == 1) c.set_lit(v, Lit::Neg);
+    }
+    func.add_cube(c);
+  }
+  if (func.num_cubes() == 0) func = Sop::one(nv);
+  func.scc_minimize();
+  return func;
+}
+
+Network random_network(std::mt19937& rng, int num_pis, int num_nodes) {
+  Network net("rand");
+  std::vector<NodeId> pool;
+  for (int i = 0; i < num_pis; ++i)
+    pool.push_back(net.add_pi("x" + std::to_string(i)));
+  std::uniform_int_distribution<int> nfan(2, 4);
+  for (int i = 0; i < num_nodes; ++i) {
+    const int k = std::min<int>(nfan(rng), static_cast<int>(pool.size()));
+    std::vector<NodeId> fanins;
+    while (static_cast<int>(fanins.size()) < k) {
+      const NodeId cand = pool[rng() % pool.size()];
+      if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end())
+        fanins.push_back(cand);
+    }
+    pool.push_back(net.add_node("n" + std::to_string(i), fanins,
+                                random_sop(rng, k)));
+  }
+  for (int i = 0; i < 3; ++i)
+    net.add_po("o" + std::to_string(i),
+               pool[pool.size() - 1 - static_cast<std::size_t>(i)]);
+  return net;
+}
+
+std::vector<NodeId> alive_internal(const Network& net) {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < net.num_nodes(); ++id)
+    if (net.node(id).alive && !net.node(id).is_pi) out.push_back(id);
+  return out;
+}
+
+// Semantic oracle: on 64 random input samples, the view's gate values at
+// every alive node's root must match a from-scratch build_gatenet.
+void expect_semantically_equal(const Network& net,
+                               const IncrementalGateView& view,
+                               std::mt19937& rng) {
+  GateNetMap oracle_map;
+  const GateNet oracle = build_gatenet(net, oracle_map);
+  ASSERT_EQ(view.gatenet().pis().size(), oracle.pis().size());
+  std::vector<std::uint64_t> words(oracle.pis().size());
+  for (auto& w : words)
+    w = (static_cast<std::uint64_t>(rng()) << 32) ^ rng();
+  const auto val_v = view.gatenet().eval64(words);
+  const auto val_o = oracle.eval64(words);
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (!net.node(id).alive) continue;
+    const int gv = view.map().node_out[static_cast<std::size_t>(id)];
+    const int go = oracle_map.node_out[static_cast<std::size_t>(id)];
+    ASSERT_GE(gv, 0);
+    EXPECT_EQ(val_v[static_cast<std::size_t>(gv)],
+              val_o[static_cast<std::size_t>(go)])
+        << "node " << net.node(id).name;
+  }
+  ASSERT_EQ(view.gatenet().outputs().size(), oracle.outputs().size());
+  for (std::size_t i = 0; i < oracle.outputs().size(); ++i)
+    EXPECT_EQ(val_v[static_cast<std::size_t>(view.gatenet().outputs()[i])],
+              val_o[static_cast<std::size_t>(oracle.outputs()[i])]);
+}
+
+// Random mutation sequences (add / set_function / sweep / collapse /
+// add_po) must leave the view structurally equal to the canonical
+// decomposition and semantically equal to a scratch build.
+TEST(IncrementalGateView, FuzzedMutationsMatchScratchBuild) {
+  std::mt19937 rng(77);
+  for (int iter = 0; iter < 8; ++iter) {
+    Network net = random_network(rng, 4 + iter % 3, 8 + iter);
+    IncrementalGateView view(net);
+    for (int op = 0; op < 40; ++op) {
+      const int what = static_cast<int>(rng() % 10);
+      const std::vector<NodeId> pool = alive_internal(net);
+      if (what < 5 && !pool.empty()) {
+        // set_function on a random node with cycle-safe fanins.
+        const NodeId f = pool[rng() % pool.size()];
+        std::vector<NodeId> cands;
+        for (NodeId id = 0; id < net.num_nodes(); ++id)
+          if (net.node(id).alive && id != f && !net.depends_on(id, f))
+            cands.push_back(id);
+        if (cands.empty()) continue;
+        const int k = 1 + static_cast<int>(rng() % 3);
+        std::vector<NodeId> fanins;
+        while (static_cast<int>(fanins.size()) < k) {
+          const NodeId c = cands[rng() % cands.size()];
+          if (std::find(fanins.begin(), fanins.end(), c) == fanins.end())
+            fanins.push_back(c);
+        }
+        net.set_function(f, fanins, random_sop(rng, k));
+      } else if (what < 7) {
+        // add a node (sometimes making it observable).
+        std::vector<NodeId> cands;
+        for (NodeId id = 0; id < net.num_nodes(); ++id)
+          if (net.node(id).alive) cands.push_back(id);
+        const int k = std::min<int>(2 + static_cast<int>(rng() % 2),
+                                    static_cast<int>(cands.size()));
+        std::vector<NodeId> fanins;
+        while (static_cast<int>(fanins.size()) < k) {
+          const NodeId c = cands[rng() % cands.size()];
+          if (std::find(fanins.begin(), fanins.end(), c) == fanins.end())
+            fanins.push_back(c);
+        }
+        const NodeId g =
+            net.add_node(net.fresh_name("f"), fanins, random_sop(rng, k));
+        if (rng() % 2) net.add_po(net.fresh_name("po"), g);
+      } else if (what < 9) {
+        net.sweep();
+      } else if (!pool.empty()) {
+        // collapse a random collapsible node.
+        for (int tries = 0; tries < 4; ++tries) {
+          const NodeId id = pool[rng() % pool.size()];
+          if (!net.node(id).alive || net.num_po_refs(id) != 0 ||
+              net.node(id).fanouts.empty())
+            continue;
+          net.collapse_into_fanouts(id);
+          break;
+        }
+      }
+      if (op % 3 == 0 || op == 39) {
+        view.refresh();
+        std::string why;
+        ASSERT_TRUE(view.check(&why)) << "iter " << iter << " op " << op
+                                      << ": " << why;
+      }
+    }
+    view.refresh();
+    std::string why;
+    ASSERT_TRUE(view.check(&why)) << "iter " << iter << ": " << why;
+    expect_semantically_equal(net, view, rng);
+    ASSERT_TRUE(net.check());
+  }
+}
+
+TEST(IncrementalGateView, RefreshIsNoOpWhenUpToDate) {
+  Network net = make_adder(4);
+  IncrementalGateView view(net);
+  EXPECT_TRUE(view.up_to_date());
+  EXPECT_EQ(view.refresh(), 0);
+  const std::uint64_t cur = view.cursor();
+  EXPECT_EQ(view.refresh(), 0);
+  EXPECT_EQ(view.cursor(), cur);
+}
+
+// A function change recycles the node's cube gates through the freelist:
+// repeated edits must not grow the gate array.
+TEST(IncrementalGateView, FreelistBoundsGateGrowth) {
+  Network net = make_adder(4);
+  IncrementalGateView view(net);
+  const std::vector<NodeId> pool = alive_internal(net);
+  const NodeId f = pool[pool.size() / 2];
+  const std::vector<NodeId> fanins = net.node(f).fanins;
+  const Sop original = net.node(f).func;
+
+  net.set_function(f, fanins, original);  // same cover, new event
+  view.refresh();
+  const int gates_after_first = view.gatenet().num_gates();
+  for (int i = 0; i < 20; ++i) {
+    net.set_function(f, fanins, original);
+    view.refresh();
+    std::string why;
+    ASSERT_TRUE(view.check(&why)) << why;
+  }
+  EXPECT_EQ(view.gatenet().num_gates(), gates_after_first);
+}
+
+TEST(IncrementalGateView, NetworkRrAcceptsALiveView) {
+  Network with_view = build_benchmark("syn_c432");
+  script_a(with_view);
+  Network plain = with_view;
+
+  IncrementalGateView view(with_view);
+  NetworkRrOptions opts;
+  const NetworkRrStats s1 = network_redundancy_removal(with_view, opts, &view);
+  const NetworkRrStats s2 = network_redundancy_removal(plain, opts);
+  EXPECT_EQ(write_blif_string(with_view), write_blif_string(plain));
+  EXPECT_EQ(s1.wires_removed, s2.wires_removed);
+  EXPECT_EQ(s1.literals_after, s2.literals_after);
+
+  // The fold-back edits flowed through the journal: the view can catch
+  // up and still match the canonical decomposition.
+  view.refresh();
+  std::string why;
+  EXPECT_TRUE(view.check(&why)) << why;
+}
+
+// The escape hatch: script A/B/C optimization results must be
+// byte-identical with the incremental view on vs. off.
+TEST(IncrementalGateView, GdcResultsAreByteIdenticalWithIncrementalOff) {
+  for (const char script : {'a', 'b', 'c'}) {
+    Network inc = build_benchmark("syn_c432");
+    if (script == 'a') script_a(inc);
+    if (script == 'b') script_b(inc);
+    if (script == 'c') script_c(inc);
+    Network full = inc;
+
+    SubstituteOptions opts;
+    opts.method = SubstMethod::ExtendedGdc;
+    opts.enable_incremental = true;
+    const SubstituteStats si = substitute_network(inc, opts);
+    opts.enable_incremental = false;
+    const SubstituteStats sf = substitute_network(full, opts);
+
+    EXPECT_EQ(write_blif_string(inc), write_blif_string(full))
+        << "script " << script;
+    EXPECT_EQ(si.substitutions, sf.substitutions) << "script " << script;
+    EXPECT_EQ(si.literals_after, sf.literals_after) << "script " << script;
+  }
+}
+
+}  // namespace
+}  // namespace rarsub

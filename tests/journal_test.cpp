@@ -1,0 +1,241 @@
+#include "network/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "network/network.hpp"
+#include "obs/ledger.hpp"
+#include "sop/factor.hpp"
+
+namespace rarsub {
+namespace {
+
+Sop sop_and2() {
+  Sop f(2);
+  Cube c(2);
+  c.set_lit(0, Lit::Pos);
+  c.set_lit(1, Lit::Pos);
+  f.add_cube(std::move(c));
+  return f;
+}
+
+Sop sop_or2() {
+  Sop f(2);
+  Cube a(2), b(2);
+  a.set_lit(0, Lit::Pos);
+  b.set_lit(1, Lit::Pos);
+  f.add_cube(std::move(a));
+  f.add_cube(std::move(b));
+  return f;
+}
+
+Sop sop_buf() {
+  Sop f(1);
+  Cube c(1);
+  c.set_lit(0, Lit::Pos);
+  f.add_cube(std::move(c));
+  return f;
+}
+
+std::vector<NetEvent> events_since(const MutationJournal& j, std::uint64_t cur) {
+  std::vector<NetEvent> out;
+  EXPECT_TRUE(j.visit_since(cur, [&](const NetEvent& e) { out.push_back(e); }));
+  return out;
+}
+
+TEST(Journal, RecordsEveryMutationKindInOrder) {
+  Network net("j");
+  const std::uint64_t start = net.journal().seq();
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId g = net.add_node("g", {a, b}, sop_and2());
+  net.add_po("out", g);
+  net.set_function(g, {a, b}, sop_or2());
+
+  const auto evs = events_since(net.journal(), start);
+  ASSERT_EQ(evs.size(), 5u);
+  EXPECT_EQ(evs[0].kind, NetEventKind::NodeAdded);
+  EXPECT_EQ(evs[0].node, a);
+  EXPECT_EQ(evs[1].kind, NetEventKind::NodeAdded);
+  EXPECT_EQ(evs[1].node, b);
+  EXPECT_EQ(evs[2].kind, NetEventKind::NodeAdded);
+  EXPECT_EQ(evs[2].node, g);
+  EXPECT_EQ(evs[3].kind, NetEventKind::OutputChanged);
+  EXPECT_EQ(evs[3].node, g);
+  EXPECT_EQ(evs[4].kind, NetEventKind::FunctionChanged);
+  EXPECT_EQ(evs[4].node, g);
+  // Strictly increasing sequence numbers; mutations() mirrors the newest.
+  for (std::size_t i = 1; i < evs.size(); ++i)
+    EXPECT_GT(evs[i].seq, evs[i - 1].seq);
+  EXPECT_EQ(net.mutations(), net.journal().seq());
+  EXPECT_EQ(evs.back().seq, net.journal().seq());
+}
+
+TEST(Journal, NodeVersionIsJournalBacked) {
+  Network net("v");
+  const NodeId a = net.add_pi("a");
+  const NodeId g = net.add_node("g", {a}, sop_buf());
+  const int v0 = net.node(g).version;
+  net.set_function(g, {a}, sop_buf());
+  EXPECT_EQ(net.node(g).version, v0 + 1);
+  net.add_po("out", g);  // output events do not touch node versions
+  EXPECT_EQ(net.node(g).version, v0 + 1);
+}
+
+// Two subscribers with independent cursors see identical suffixes
+// regardless of when each catches up.
+TEST(Journal, CursorIsolationAcrossSubscribers) {
+  Network net("c");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  std::uint64_t cur1 = net.journal().seq();
+  std::uint64_t cur2 = net.journal().seq();
+
+  const NodeId g = net.add_node("g", {a, b}, sop_and2());
+  const auto seen1 = events_since(net.journal(), cur1);
+  cur1 = net.journal().seq();
+  ASSERT_EQ(seen1.size(), 1u);
+  EXPECT_EQ(seen1[0].node, g);
+
+  net.set_function(g, {a, b}, sop_or2());
+  net.add_po("o", g);
+
+  // Subscriber 1 consumes only the delta; subscriber 2 sees everything.
+  const auto more1 = events_since(net.journal(), cur1);
+  const auto all2 = events_since(net.journal(), cur2);
+  ASSERT_EQ(more1.size(), 2u);
+  ASSERT_EQ(all2.size(), 3u);
+  EXPECT_EQ(all2[0].seq, seen1[0].seq);
+  EXPECT_EQ(all2[1].seq, more1[0].seq);
+  EXPECT_EQ(all2[2].seq, more1[1].seq);
+  // Consuming is idempotent: the journal is not drained by reads.
+  EXPECT_EQ(events_since(net.journal(), cur2).size(), 3u);
+}
+
+TEST(Journal, SweepEmitsDeathEventsForDeadNodes) {
+  Network net("s");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId dead = net.add_node("dead", {a, b}, sop_and2());
+  const NodeId kept = net.add_node("kept", {a, b}, sop_or2());
+  net.add_po("o", kept);
+  const std::uint64_t cur = net.journal().seq();
+
+  net.sweep();
+  ASSERT_FALSE(net.node(dead).alive);
+  ASSERT_TRUE(net.node(kept).alive);
+  bool saw_death = false;
+  for (const NetEvent& e : events_since(net.journal(), cur)) {
+    if (e.kind == NetEventKind::NodeDied) {
+      EXPECT_EQ(e.node, dead);
+      saw_death = true;
+    }
+  }
+  EXPECT_TRUE(saw_death);
+}
+
+// collapse_into_fanouts rewrites every fanout *before* the collapsed node
+// dies, so a consumer replaying the journal never sees a live node whose
+// fanin is already gone.
+TEST(Journal, CollapseOrdersFunctionChangesBeforeDeath) {
+  Network net("k");
+  const NodeId a = net.add_pi("a");
+  const NodeId mid = net.add_node("mid", {a}, sop_buf());
+  const NodeId out1 = net.add_node("out1", {mid}, sop_buf());
+  const NodeId out2 = net.add_node("out2", {mid}, sop_buf());
+  net.add_po("o1", out1);
+  net.add_po("o2", out2);
+  const std::uint64_t cur = net.journal().seq();
+
+  ASSERT_TRUE(net.collapse_into_fanouts(mid));
+  const auto evs = events_since(net.journal(), cur);
+  std::uint64_t death_seq = 0;
+  std::vector<std::uint64_t> change_seqs;
+  for (const NetEvent& e : evs) {
+    if (e.kind == NetEventKind::NodeDied && e.node == mid) death_seq = e.seq;
+    if (e.kind == NetEventKind::FunctionChanged &&
+        (e.node == out1 || e.node == out2))
+      change_seqs.push_back(e.seq);
+  }
+  ASSERT_NE(death_seq, 0u);
+  ASSERT_EQ(change_seqs.size(), 2u);
+  for (std::uint64_t s : change_seqs) EXPECT_LT(s, death_seq);
+}
+
+TEST(Journal, TrimForcesStaleCursorsToResync) {
+  MutationJournal j;
+  j.record(NetEventKind::NodeAdded, 0);
+  j.record(NetEventKind::NodeAdded, 1);
+  j.record(NetEventKind::FunctionChanged, 0);
+  ASSERT_EQ(j.seq(), 3u);
+  ASSERT_EQ(j.size(), 3u);
+
+  j.trim_to(2);
+  EXPECT_EQ(j.size(), 1u);
+  EXPECT_EQ(j.first_retained(), 3u);
+  // A cursor at/after the trim point still replays incrementally...
+  EXPECT_EQ(events_since(j, 2).size(), 1u);
+  // ...an older one is told to resync (visit_since returns false and
+  // visits nothing).
+  int visited = 0;
+  EXPECT_FALSE(j.visit_since(1, [&](const NetEvent&) { ++visited; }));
+  EXPECT_EQ(visited, 0);
+  // Trimming never rewinds and caps at the newest event.
+  j.trim_to(1);
+  EXPECT_EQ(j.first_retained(), 3u);
+  j.trim_to(99);
+  EXPECT_EQ(j.size(), 0u);
+}
+
+TEST(Journal, KindNamesAreDistinct) {
+  EXPECT_STREQ(net_event_kind_name(NetEventKind::NodeAdded), "node_added");
+  EXPECT_STREQ(net_event_kind_name(NetEventKind::FunctionChanged),
+               "function_changed");
+  EXPECT_STREQ(net_event_kind_name(NetEventKind::NodeDied), "node_died");
+  EXPECT_STREQ(net_event_kind_name(NetEventKind::OutputChanged),
+               "output_changed");
+}
+
+// Regression for the ledger replay contract now that NodeUpdate events are
+// emitted from the journal choke point: a mutation history with function
+// changes, a sweep death and a collapse death must still replay to the
+// exact per-node factored literal counts.
+TEST(Journal, LedgerReplayStillReproducesLiteralCounts) {
+  obs::ledger_end();
+  ASSERT_TRUE(obs::ledger_begin_memory(1 << 12));
+
+  Network net("r");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId dead = net.add_node("dead", {a, b}, sop_and2());
+  const NodeId mid = net.add_node("mid", {a}, sop_buf());
+  const NodeId out1 = net.add_node("out1", {mid}, sop_buf());
+  const NodeId keep = net.add_node("keep", {a, b}, sop_or2());
+  net.add_po("o1", out1);
+  net.add_po("o2", keep);
+  net.set_function(keep, {a, b}, sop_and2());
+  ASSERT_TRUE(net.collapse_into_fanouts(mid));  // "collapse" death
+  net.sweep();                                  // kills `dead` ("sweep")
+  ASSERT_FALSE(net.node(dead).alive);
+
+  obs::ledger_end();
+  std::map<std::int32_t, std::int64_t> replay;
+  for (const obs::Event& e : obs::ledger_events())
+    if (e.kind == obs::EventKind::NodeUpdate) replay[e.node] = e.a;
+
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const Node& nd = net.node(id);
+    if (nd.is_pi) continue;
+    const std::int64_t want = nd.alive ? factored_literal_count(nd.func) : 0;
+    const auto it = replay.find(id);
+    EXPECT_EQ(it == replay.end() ? 0 : it->second, want) << "node " << id;
+  }
+  // PIs must not enter the replay stream.
+  EXPECT_EQ(replay.count(a), 0u);
+  EXPECT_EQ(replay.count(b), 0u);
+}
+
+}  // namespace
+}  // namespace rarsub
