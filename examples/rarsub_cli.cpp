@@ -5,12 +5,14 @@
 //   rarsub_cli optimize  <circuit> [method] [script]   optimize + verify,
 //                                                      BLIF on stdout
 //   rarsub_cli verify    <circuit-a> <circuit-b>       PO equivalence
+//   rarsub_cli fuzz      [--iters N] [--seed S] ...    differential fuzzing
 //   rarsub_cli ledger-summary <file.jsonl>             digest a flight record
 //   rarsub_cli list                                    built-in benchmarks
 //
 // <circuit> is a .blif path, a .pla path, or a built-in benchmark name.
 // method: sis | basic | ext | ext_gdc (default ext)
-// script: a | b | c | algebraic (default a; `algebraic` runs the full flow)
+// script: none | a | b | c | algebraic (default a; `algebraic` runs the
+// full flow, `none` optimizes the raw circuit — fuzz-corpus replays)
 //
 // Global observability flags (any command):
 //   --stats           print the counter/timer table to stderr afterwards
@@ -24,6 +26,9 @@
 //   --no-incremental  rebuild the GDC gate view from scratch per network
 //                     state instead of patching it from the mutation
 //                     journal (sound to toggle, like --no-prune)
+//   --verify          paranoid self-verification: replay an equivalence
+//                     check on the affected output cone after every
+//                     committed substitution (docs/FUZZING.md)
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +39,7 @@
 #include <vector>
 
 #include "benchcir/suite.hpp"
+#include "fuzz/driver.hpp"
 #include "network/blif.hpp"
 #include "obs/ledger.hpp"
 #include "obs/obs.hpp"
@@ -103,6 +109,7 @@ int cmd_optimize(const std::string& source, const std::string& method,
     if (script == "a") script_a(net);
     else if (script == "b") script_b(net);
     else if (script == "c") script_c(net);
+    else if (script == "none") {}  // raw circuit (fuzz-corpus replays)
     else {
       std::fprintf(stderr, "unknown script '%s'\n", script.c_str());
       return 2;
@@ -163,6 +170,46 @@ int cmd_pass(const std::string& source, const std::string& pass) {
   return 0;
 }
 
+int cmd_fuzz(const std::vector<std::string>& args) {
+  fuzz::FuzzOptions opts;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--iters" && i + 1 < args.size())
+      opts.iters = std::atoll(args[++i].c_str());
+    else if (a == "--seed" && i + 1 < args.size())
+      opts.seed = static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
+    else if (a == "--time-budget" && i + 1 < args.size())
+      opts.time_budget_sec = std::atof(args[++i].c_str());
+    else if (a == "--corpus" && i + 1 < args.size())
+      opts.corpus_dir = args[++i];
+    else if (a == "--plant-bug" && i + 1 < args.size()) {
+      const std::string b = args[++i];
+      if (b == "skip-remainder") opts.plant = fuzz::PlantedBug::SkipRemainder;
+      else {
+        std::fprintf(stderr, "unknown planted bug '%s'\n", b.c_str());
+        return 2;
+      }
+    } else if (a == "--verbose") {
+      opts.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown fuzz option '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+
+  const fuzz::FuzzReport report = fuzz::run_fuzz(opts);
+  std::printf("fuzz: %lld iterations, %zu failure(s)\n", report.iterations,
+              report.failures.size());
+  for (const fuzz::FuzzFailure& f : report.failures) {
+    std::printf("  iter %lld  check %-20s  repro %s (%d nodes, replay %s)\n",
+                f.iter, f.check.c_str(),
+                f.repro_path.empty() ? "<unwritten>" : f.repro_path.c_str(),
+                f.repro_nodes, f.repro_confirmed ? "confirmed" : "FAILED");
+    std::printf("    %s\n", f.detail.c_str());
+  }
+  return report.clean() ? 0 : 1;
+}
+
 int cmd_ledger_summary(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -200,6 +247,7 @@ int main(int argc, char** argv) {
     else if (a == "--jobs" && i + 1 < argc) tuning.jobs = std::atoi(argv[++i]);
     else if (a == "--no-prune") tuning.prune = false;
     else if (a == "--no-incremental") tuning.incremental = false;
+    else if (a == "--verify") tuning.verify = true;
     else args.push_back(a);
   }
   if (tuning.jobs < 1) {
@@ -220,6 +268,7 @@ int main(int argc, char** argv) {
     else if (cmd == "verify" && args.size() >= 3) rc = cmd_verify(args[1], args[2]);
     else if (cmd == "print" && args.size() >= 2) rc = cmd_print(args[1]);
     else if (cmd == "pass" && args.size() >= 3) rc = cmd_pass(args[1], args[2]);
+    else if (cmd == "fuzz") rc = cmd_fuzz(args);
     else if (cmd == "ledger-summary" && args.size() >= 2)
       rc = cmd_ledger_summary(args[1]);
     else if (cmd == "list") rc = cmd_list();
@@ -247,17 +296,21 @@ int main(int argc, char** argv) {
                "usage:\n"
                "  rarsub_cli stats    <circuit>\n"
                "  rarsub_cli optimize <circuit> [sis|basic|ext|ext_gdc] "
-               "[a|b|c|algebraic]\n"
+               "[none|a|b|c|algebraic]\n"
                "  rarsub_cli verify   <circuit-a> <circuit-b>\n"
                "  rarsub_cli print    <circuit>            (factored equations)\n"
                "  rarsub_cli pass     <circuit> <rr|full_simplify|decomp|"
                "eliminate|simplify|sweep>\n"
+               "  rarsub_cli fuzz     [--iters N] [--seed S] "
+               "[--time-budget SEC] [--corpus DIR]\n"
+               "                      [--plant-bug skip-remainder] [--verbose]"
+               "  (differential fuzzing)\n"
                "  rarsub_cli ledger-summary <file.jsonl>\n"
                "  rarsub_cli list\n"
                "global flags: --stats | --trace <file> | --report <file> | "
                "--ledger <file>\n"
                "              --jobs <n> (parallel gain evaluation, "
-               "deterministic) | --no-prune | --no-incremental\n"
+               "deterministic) | --no-prune | --no-incremental | --verify\n"
                "(<circuit> = .blif path, .pla path, or built-in name)\n");
   return 2;
 }

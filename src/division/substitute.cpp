@@ -5,6 +5,7 @@
 #include <cassert>
 #include <climits>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 
 #include "division/candidates.hpp"
@@ -15,6 +16,7 @@
 #include "obs/obs.hpp"
 #include "rar/redundancy.hpp"
 #include "sop/factor.hpp"
+#include "verify/equivalence.hpp"
 
 namespace rarsub {
 
@@ -321,9 +323,21 @@ std::optional<Candidate> evaluate_gdc(const Network& net, NodeId f, NodeId d,
                core, quotient, remainder);
 }
 
+// Planted bug for the fuzz harness (opts.inject_skip_remainder): forget
+// to re-attach the remainder, i.e. drop every cube of the rewritten cover
+// that does not use the divisor literal. A no-op when the division had an
+// empty remainder — the corruption only bites where it matters.
+Sop drop_remainder_cubes(const Sop& new_f, int y_var) {
+  Sop out(new_f.num_vars());
+  for (const Cube& c : new_f.cubes())
+    if (c.lit(y_var) != Lit::Absent) out.add_cube(c);
+  return out;
+}
+
 // ---------------------------------------------------------------------
 void commit(Network& net, NodeId f, NodeId d, const CommonSpace& cs,
-            const Candidate& cand, SubstituteStats* stats) {
+            const Candidate& cand, const SubstituteOptions& opts,
+            SubstituteStats* stats) {
   OBS_COUNT("subst.commits", 1);
   if (cand.comp_f) OBS_COUNT("subst.commits.pos", 1);
   if (cand.decompose) OBS_COUNT("subst.decompositions", 1);
@@ -347,9 +361,12 @@ void commit(Network& net, NodeId f, NodeId d, const CommonSpace& cs,
 
   // Final fanin list of f: support-filtered common space + the divisor.
   const int nv = static_cast<int>(cs.vars.size());
+  const Sop& committed_f = opts.inject_skip_remainder
+                               ? drop_remainder_cubes(cand.new_f, nv)
+                               : cand.new_f;
   std::vector<NodeId> fanins;
   std::vector<int> var_map(static_cast<std::size_t>(nv + 1), 0);
-  const std::vector<int> supp = cand.new_f.support();
+  const std::vector<int> supp = committed_f.support();
   for (int v : supp) {
     const NodeId node = (v == nv) ? y : cs.vars[static_cast<std::size_t>(v)];
     auto it = std::find(fanins.begin(), fanins.end(), node);
@@ -360,7 +377,7 @@ void commit(Network& net, NodeId f, NodeId d, const CommonSpace& cs,
       var_map[static_cast<std::size_t>(v)] = static_cast<int>(it - fanins.begin());
     }
   }
-  Sop func = cand.new_f.remap(static_cast<int>(fanins.size()), var_map);
+  Sop func = committed_f.remap(static_cast<int>(fanins.size()), var_map);
   func.scc_minimize();
   net.set_function(f, std::move(fanins), std::move(func));
   if (stats) {
@@ -545,9 +562,57 @@ std::optional<int> attempt(Network& net, NodeId f, NodeId d,
   CommonSpace cs;
   const std::optional<int> gain =
       attempt_impl(net, f, d, opts, comps, hooks, &cand, &cs);
-  if (gain && commit_it) commit(net, f, d, cs, cand, stats);
+  if (gain && commit_it) commit(net, f, d, cs, cand, opts, stats);
   return gain;
 }
+
+// Paranoid self-verification (SubstituteOptions::verify_commits): hold a
+// pristine copy of the input plus a journal cursor, and after every
+// committed substitution replay check_equivalence on the affected output
+// cone — the POs forward-reachable from the nodes touched since the last
+// check. A miscompare throws immediately, naming the commit, instead of
+// surfacing as an end-of-flow "non-equivalent".
+class CommitVerifier {
+ public:
+  CommitVerifier(const Network& net, bool enabled) : enabled_(enabled) {
+    if (!enabled_) return;
+    original_ = net;
+    cursor_ = net.journal().seq();
+  }
+
+  void after_commit(const Network& net, NodeId f, NodeId d) {
+    if (!enabled_) return;
+    OBS_SCOPED_TIMER("verify.commit_check");
+    OBS_COUNT("verify.commits_checked", 1);
+    std::vector<NodeId> touched;
+    const bool in_window =
+        net.journal().visit_since(cursor_, [&](const NetEvent& e) {
+          if (e.kind != NetEventKind::OutputChanged) touched.push_back(e.node);
+        });
+    cursor_ = net.journal().seq();
+    EquivalenceOptions eo;
+    if (in_window) {
+      const std::vector<std::string> cone = net.outputs_affected_by(touched);
+      // A commit inside a dead cone cannot change any PO.
+      if (cone.empty()) return;
+      OBS_VALUE("verify.cone_pos", static_cast<std::int64_t>(cone.size()));
+      eo.only_pos = cone;
+    }  // journal trimmed past the cursor: fall back to a full check
+    const EquivalenceResult eq = check_equivalence(original_, net, eo);
+    if (!eq.equivalent) {
+      OBS_COUNT("verify.failures", 1);
+      throw std::runtime_error("verify_commits: substituting divisor " +
+                               net.node(d).name + " into node " +
+                               net.node(f).name +
+                               " broke equivalence: " + eq.message);
+    }
+  }
+
+ private:
+  bool enabled_;
+  Network original_;
+  std::uint64_t cursor_ = 0;
+};
 
 }  // namespace
 
@@ -711,6 +776,7 @@ SubstituteStats substitute_network(Network& net, const SubstituteOptions& opts) 
   OBS_SCOPED_TIMER("subst.network");
   SubstituteStats stats;
   stats.literals_before = net.factored_literals();
+  CommitVerifier verifier(net, opts.verify_commits);
   ComplementCache comps;
   std::optional<CandidateFilter> filter;
   if (opts.enable_prune) filter.emplace(net, opts, &comps);
@@ -792,6 +858,7 @@ SubstituteStats substitute_network(Network& net, const SubstituteOptions& opts) 
           const std::optional<int> gain =
               attempt(net, f, d, opts, /*commit=*/true, &stats, &comps, hooks);
           if (gain && *gain > 0) {
+            verifier.after_commit(net, f, d);
             changed = true;
             break;
           }
@@ -853,7 +920,8 @@ SubstituteStats substitute_network(Network& net, const SubstituteOptions& opts) 
           }
         }
         if (best < n) {
-          commit(net, f, cand_d[best], css[best], cands[best], &stats);
+          commit(net, f, cand_d[best], css[best], cands[best], opts, &stats);
+          verifier.after_commit(net, f, cand_d[best]);
           changed = true;
         }
       }

@@ -58,6 +58,22 @@ struct SubstituteOptions {
   /// mid-scan and is inherently serial). Results are deterministic and
   /// byte-identical across any jobs value.
   int jobs = 1;
+  /// Paranoid self-verification (CLI --verify): after every committed
+  /// substitution, replay check_equivalence on the affected output cone —
+  /// the POs reachable from the nodes the mutation journal reports
+  /// touched since the last check — against the pristine input network.
+  /// Throws std::runtime_error naming the (f, d) pair on the first
+  /// miscompare, so a bad commit is caught at the commit, not at the end
+  /// of the flow. Costs one network copy up front plus one bounded
+  /// simulation per commit.
+  bool verify_commits = false;
+  /// Fault injection for the fuzz harness and the self-verify tests:
+  /// drop the remainder cubes (those not using the divisor literal) from
+  /// the rewritten cover at commit time. This miscompiles exactly when
+  /// the division had a non-trivial remainder — the planted bug
+  /// verify_commits and the differential fuzzer must catch. Never set
+  /// outside tests/fuzzing.
+  bool inject_skip_remainder = false;
 };
 
 struct SubstituteStats {

@@ -1,0 +1,333 @@
+#include "fuzz/driver.hpp"
+
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "bdd/bdd.hpp"
+#include "fuzz/shrink.hpp"
+#include "gatenet/incremental.hpp"
+#include "network/blif.hpp"
+#include "obs/obs.hpp"
+#include "rar/network_rr.hpp"
+#include "verify/equivalence.hpp"
+
+namespace rarsub::fuzz {
+namespace {
+
+const char* method_tag(SubstMethod m) {
+  switch (m) {
+    case SubstMethod::Basic: return "basic";
+    case SubstMethod::Extended: return "ext";
+    case SubstMethod::ExtendedGdc: return "ext_gdc";
+  }
+  return "?";
+}
+
+int alive_internal_nodes(const Network& net) {
+  int n = 0;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const Node& nd = net.node(id);
+    if (nd.alive && !nd.is_pi) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// BDD oracle: an independent engine double-checking the simulation-based
+// equivalence verdict for small union-PI spaces. Variables are ordered as
+// in EquivalenceResult::counterexample — `a`'s PIs first, then b-only PIs.
+// ---------------------------------------------------------------------------
+
+std::map<std::string, BddRef> po_bdds(const Network& net, BddManager& mgr,
+                                      const std::map<std::string, int>& var_of) {
+  std::vector<BddRef> node_bdd(static_cast<std::size_t>(net.num_nodes()),
+                               mgr.zero());
+  for (NodeId pi : net.pis())
+    node_bdd[static_cast<std::size_t>(pi)] =
+        mgr.var(var_of.at(net.node(pi).name));
+  for (NodeId id : net.topo_order()) {
+    const Node& nd = net.node(id);
+    BddRef sum = mgr.zero();
+    for (const Cube& c : nd.func.cubes()) {
+      BddRef prod = mgr.one();
+      for (int v = 0; v < nd.func.num_vars(); ++v) {
+        Lit l = c.lit(v);
+        if (l == Lit::Absent) continue;
+        BddRef x = node_bdd[static_cast<std::size_t>(nd.fanins[
+            static_cast<std::size_t>(v)])];
+        prod = mgr.bdd_and(prod, l == Lit::Pos ? x : mgr.bdd_not(x));
+      }
+      sum = mgr.bdd_or(sum, prod);
+    }
+    node_bdd[static_cast<std::size_t>(id)] = sum;
+  }
+  std::map<std::string, BddRef> out;
+  for (const Output& po : net.pos())
+    out[po.name] = node_bdd[static_cast<std::size_t>(po.driver)];
+  return out;
+}
+
+/// BDD-based PO comparison, or nullopt when the union PI space is too big.
+/// BddRefs are canonical within one manager, so comparison is ref equality.
+std::optional<CheckOutcome> bdd_oracle(const Network& a, const Network& b,
+                                       int max_pis) {
+  std::map<std::string, int> var_of;
+  for (NodeId pi : a.pis())
+    var_of.emplace(a.node(pi).name, static_cast<int>(var_of.size()));
+  for (NodeId pi : b.pis())
+    var_of.emplace(b.node(pi).name, static_cast<int>(var_of.size()));
+  if (static_cast<int>(var_of.size()) > max_pis) return std::nullopt;
+
+  BddManager mgr(static_cast<int>(var_of.size()));
+  std::map<std::string, BddRef> fa = po_bdds(a, mgr, var_of);
+  std::map<std::string, BddRef> fb = po_bdds(b, mgr, var_of);
+  for (const auto& [name, ref] : fa) {
+    auto it = fb.find(name);
+    if (it == fb.end() || it->second != ref)
+      return CheckOutcome{"bdd_oracle",
+                          "BDD for PO '" + name +
+                              "' differs while simulation said equivalent"};
+  }
+  return CheckOutcome{};
+}
+
+std::string blif_of(const Network& net) { return write_blif_string(net); }
+
+}  // namespace
+
+CheckOutcome differential_check(const Network& input, const FuzzConfig& cfg) {
+  try {
+    // Preparation script; the final equivalence check validates it too.
+    Network base = input;
+    apply_script(base, cfg.script);
+    if (!base.check())
+      return {"script_check", "Network::check failed after script"};
+
+    // Canonical run: serial, prune + incremental on, paranoid self-verify.
+    SubstituteOptions o1 = cfg.opts;
+    o1.jobs = 1;
+    o1.enable_prune = true;
+    o1.enable_incremental = true;
+    o1.verify_commits = true;
+    Network run1 = base;
+    try {
+      substitute_network(run1, o1);
+    } catch (const std::exception& e) {
+      return {"verify_commits", e.what()};
+    }
+    if (!run1.check())
+      return {"net_check", "Network::check failed after substitution"};
+    OBS_COUNT("fuzz.checks", 1);
+
+    // End-to-end equivalence against the untouched input.
+    EquivalenceResult eq = check_equivalence(input, run1);
+    if (!eq.equivalent) return {"equivalence", eq.message};
+    OBS_COUNT("fuzz.checks", 1);
+
+    // Independent-engine double check for small PI spaces.
+    if (auto oracle = bdd_oracle(input, run1, 14)) {
+      if (oracle->failed()) return *oracle;
+      OBS_COUNT("fuzz.checks", 1);
+    }
+
+    const std::string canon = blif_of(run1);
+
+    // Prune on vs off must be byte-identical (witness-sound filter).
+    {
+      SubstituteOptions o = o1;
+      o.enable_prune = false;
+      o.verify_commits = false;
+      Network run = base;
+      substitute_network(run, o);
+      if (blif_of(run) != canon)
+        return {"prune_differs",
+                "prune-off network differs from prune-on network"};
+      OBS_COUNT("fuzz.checks", 1);
+    }
+
+    // jobs=1 vs jobs=4 (only meaningful for best-gain evaluation).
+    if (!cfg.opts.first_positive) {
+      SubstituteOptions o = o1;
+      o.jobs = 4;
+      o.verify_commits = false;
+      Network run = base;
+      substitute_network(run, o);
+      if (blif_of(run) != canon)
+        return {"jobs_differ", "jobs=4 network differs from jobs=1 network"};
+      OBS_COUNT("fuzz.checks", 1);
+    }
+
+    // Incremental vs full-rebuild gate view (GDC method only).
+    if (cfg.opts.method == SubstMethod::ExtendedGdc) {
+      SubstituteOptions o = o1;
+      o.enable_incremental = false;
+      o.verify_commits = false;
+      Network run = base;
+      substitute_network(run, o);
+      if (blif_of(run) != canon)
+        return {"incremental_differs",
+                "full-rebuild network differs from incremental network"};
+      OBS_COUNT("fuzz.checks", 1);
+    }
+
+    // network_rr with vs without a live incremental view, plus its own
+    // end-to-end equivalence.
+    if (cfg.run_rr) {
+      Network rr_plain = base;
+      network_redundancy_removal(rr_plain);
+      Network rr_view = base;
+      IncrementalGateView view(rr_view);
+      network_redundancy_removal(rr_view, {}, &view);
+      if (blif_of(rr_plain) != blif_of(rr_view))
+        return {"rr_view_differs",
+                "network_rr result differs with a live gate view"};
+      EquivalenceResult rr_eq = check_equivalence(input, rr_plain);
+      if (!rr_eq.equivalent) return {"rr_equivalence", rr_eq.message};
+      OBS_COUNT("fuzz.checks", 1);
+    }
+  } catch (const std::exception& e) {
+    return {"exception", e.what()};
+  }
+  return {};
+}
+
+namespace {
+
+FuzzConfig random_config(std::mt19937_64& rng, PlantedBug plant) {
+  FuzzConfig cfg;
+  cfg.script = random_script(rng);
+  cfg.opts = random_substitute_options(rng);
+  cfg.opts.inject_skip_remainder = (plant == PlantedBug::SkipRemainder);
+  cfg.run_rr = chance(rng, 0.35);
+  return cfg;
+}
+
+std::string config_comment(const FuzzConfig& cfg, const FuzzFailure& f,
+                           std::uint64_t seed) {
+  std::ostringstream os;
+  os << "# rarsub fuzz repro (iter " << f.iter << ", seed " << seed << ")\n"
+     << "# check: " << f.check << "\n"
+     << "# detail: " << f.detail << "\n"
+     << "# script=" << fuzz_script_name(cfg.script)
+     << " method=" << method_tag(cfg.opts.method)
+     << " try_pos=" << cfg.opts.try_pos
+     << " first_positive=" << cfg.opts.first_positive
+     << " max_passes=" << cfg.opts.max_passes
+     << " gdc_depth=" << cfg.opts.gdc_learning_depth
+     << " run_rr=" << cfg.run_rr
+     << " inject_skip_remainder=" << cfg.opts.inject_skip_remainder << "\n"
+     << "# guards: node_cubes=" << cfg.opts.max_node_cubes
+     << " divisor_cubes=" << cfg.opts.max_divisor_cubes
+     << " common_vars=" << cfg.opts.max_common_vars
+     << " complement_cubes=" << cfg.opts.max_complement_cubes << "\n"
+     << "# replay: rarsub_cli optimize <this file> " << method_tag(cfg.opts.method)
+     << " " << fuzz_script_name(cfg.script) << " --verify\n";
+  return os.str();
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(const FuzzOptions& opts) {
+  FuzzReport report;
+  const auto start = std::chrono::steady_clock::now();
+  auto out_of_budget = [&] {
+    if (opts.time_budget_sec <= 0) return false;
+    std::chrono::duration<double> el = std::chrono::steady_clock::now() - start;
+    return el.count() >= opts.time_budget_sec;
+  };
+
+  for (long long iter = 0; iter < opts.iters; ++iter) {
+    if (out_of_budget()) break;
+    if (static_cast<int>(report.failures.size()) >= opts.max_failures) break;
+    OBS_SCOPED_TIMER("fuzz.iteration");
+    OBS_COUNT("fuzz.iterations", 1);
+    ++report.iterations;
+
+    // Self-seeded per iteration: a failing iteration replays standalone,
+    // independent of how much randomness earlier iterations consumed.
+    std::mt19937_64 rng(opts.seed * 0x9e3779b97f4a7c15ULL +
+                        static_cast<std::uint64_t>(iter) + 1);
+    // Canonicalize through one BLIF round trip: the writer inserts buffer
+    // nodes for POs whose name differs from their driver's, so the first
+    // round trip is not structurally the identity — but it IS a fixed
+    // point, and fuzzing the fixed point makes every corpus artifact
+    // behave exactly like the network that failed in memory.
+    Network net =
+        read_blif_string(write_blif_string(random_network(rng, opts.gen)));
+    FuzzConfig cfg = random_config(rng, opts.plant);
+
+    CheckOutcome outcome = differential_check(net, cfg);
+    if (opts.verbose)
+      std::cerr << "fuzz iter " << iter << " script="
+                << fuzz_script_name(cfg.script) << " method="
+                << method_tag(cfg.opts.method) << " -> "
+                << (outcome.failed() ? outcome.check : "ok") << "\n";
+    if (!outcome.failed()) continue;
+
+    OBS_COUNT("fuzz.failures", 1);
+    FuzzFailure fail;
+    fail.iter = iter;
+    fail.check = outcome.check;
+    fail.detail = outcome.detail;
+    fail.config = cfg;
+
+    // Shrink: keep the configuration fixed, require the same check to
+    // keep failing — and judge every candidate through a BLIF round trip,
+    // since that is the form the corpus artifact replays from (the round
+    // trip renumbers nodes, which can reorder the candidate scan). Falls
+    // back to the in-memory predicate for the rare failure that only
+    // manifests pre-round-trip.
+    auto fails_roundtripped = [&cfg, &outcome](const Network& cand) {
+      try {
+        const Network rt = read_blif_string(write_blif_string(cand));
+        return differential_check(rt, cfg).check == outcome.check;
+      } catch (const std::exception&) {
+        return false;
+      }
+    };
+    auto fails_in_memory = [&cfg, &outcome](const Network& cand) {
+      return differential_check(cand, cfg).check == outcome.check;
+    };
+    const bool roundtrip_ok = fails_roundtripped(net);
+    Network small = shrink_network(
+        net, roundtrip_ok
+                 ? std::function<bool(const Network&)>(fails_roundtripped)
+                 : std::function<bool(const Network&)>(fails_in_memory));
+    fail.repro_nodes = alive_internal_nodes(small);
+
+    // Persist, then replay from the file to prove the artifact stands on
+    // its own (BLIF comments are stripped by the reader).
+    std::error_code ec;
+    std::filesystem::create_directories(opts.corpus_dir, ec);
+    std::ostringstream name;
+    name << "repro_i" << iter << "_" << outcome.check << ".blif";
+    std::filesystem::path path =
+        std::filesystem::path(opts.corpus_dir) / name.str();
+    {
+      std::ofstream out(path);
+      if (out) {
+        out << config_comment(cfg, fail, opts.seed) << write_blif_string(small);
+        fail.repro_path = path.string();
+      }
+    }
+    if (!fail.repro_path.empty()) {
+      try {
+        Network reread = read_blif_file(fail.repro_path);
+        fail.repro_confirmed =
+            differential_check(reread, cfg).check == outcome.check;
+      } catch (const std::exception&) {
+        fail.repro_confirmed = false;
+      }
+    }
+    report.failures.push_back(std::move(fail));
+  }
+  return report;
+}
+
+}  // namespace rarsub::fuzz

@@ -1,0 +1,93 @@
+#pragma once
+// Differential fuzzing driver.
+//
+// Each iteration generates a random network (gen.hpp), samples a
+// preparation script and a SubstituteOptions configuration, and
+// cross-checks every soundness claim the optimization stack makes:
+//
+//   - prune on vs prune off            (candidate filter is witness-sound)
+//   - jobs=1 vs jobs=N                 (parallel evaluation is deterministic)
+//   - incremental vs full-rebuild      (GDC gate view patching is exact)
+//   - network_rr with vs without a live IncrementalGateView
+//   - post-optimization check_equivalence against the untouched input,
+//     double-checked by a BDD oracle for networks with <= 14 union PIs
+//   - the paranoid per-commit replay (SubstituteOptions::verify_commits)
+//
+// Any failure is delta-debugged down to a minimal repro (shrink.hpp),
+// written to the corpus directory as a commented BLIF, re-read from that
+// file and confirmed to still fail — so every artifact a nightly run
+// uploads is replayable as-is.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/gen.hpp"
+#include "network/network.hpp"
+
+namespace rarsub::fuzz {
+
+/// Deliberately corrupted optimizer behavior, used to prove the harness
+/// can actually catch, shrink and replay a miscompare.
+enum class PlantedBug {
+  None,
+  SkipRemainder,  ///< drop the remainder re-attach on every commit
+};
+
+struct FuzzOptions {
+  long long iters = 100;
+  std::uint64_t seed = 1;
+  /// Stop after this many seconds (0 = run all iterations). The iteration
+  /// in flight is finished, never interrupted.
+  double time_budget_sec = 0;
+  /// Where minimized repros are written (created on first failure).
+  std::string corpus_dir = "fuzz/corpus";
+  /// Stop after this many failures (each one costs a shrink run).
+  int max_failures = 8;
+  PlantedBug plant = PlantedBug::None;
+  /// Per-iteration progress lines on stderr.
+  bool verbose = false;
+  GenOptions gen;
+};
+
+/// The sampled configuration of one iteration (recorded in the repro
+/// header so a failure is replayable without the seed).
+struct FuzzConfig {
+  FuzzScript script = FuzzScript::None;
+  SubstituteOptions opts;
+  bool run_rr = false;  ///< also differential-test network_redundancy_removal
+};
+
+/// One differential check outcome; empty `check` means the network passed
+/// the whole battery.
+struct CheckOutcome {
+  std::string check;   ///< failing cross-check id, e.g. "prune_differs"
+  std::string detail;  ///< human-readable specifics
+  bool failed() const { return !check.empty(); }
+};
+
+/// Run the full cross-check battery for one (network, config) pair.
+/// Deterministic: same inputs, same outcome. Exposed for the shrinker's
+/// predicate and for replaying corpus repros.
+CheckOutcome differential_check(const Network& input, const FuzzConfig& cfg);
+
+struct FuzzFailure {
+  long long iter = 0;
+  std::string check;
+  std::string detail;
+  FuzzConfig config;
+  int repro_nodes = 0;        ///< alive internal nodes after shrinking
+  std::string repro_path;     ///< corpus BLIF (empty if the write failed)
+  bool repro_confirmed = false;  ///< re-read from disk and still failing
+};
+
+struct FuzzReport {
+  long long iterations = 0;
+  std::vector<FuzzFailure> failures;
+  bool clean() const { return failures.empty(); }
+};
+
+/// The fuzzing loop: iterate, cross-check, shrink and persist failures.
+FuzzReport run_fuzz(const FuzzOptions& opts);
+
+}  // namespace rarsub::fuzz

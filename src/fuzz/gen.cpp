@@ -1,0 +1,177 @@
+#include "fuzz/gen.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "opt/scripts.hpp"
+
+namespace rarsub::fuzz {
+
+int pick(std::mt19937_64& rng, int lo, int hi) {
+  if (hi <= lo) return lo;
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int>(rng() % span);
+}
+
+bool chance(std::mt19937_64& rng, double p) {
+  // 53 uniform mantissa bits -> [0, 1); exact same value on every stdlib.
+  const double u =
+      static_cast<double>(rng() >> 11) * (1.0 / 9007199254740992.0);
+  return u < p;
+}
+
+namespace {
+
+// A random cube over `nv` variables; may come out unconstrained (the
+// universe cube — a constant-1 row), which is a shape worth fuzzing.
+Cube random_cube(std::mt19937_64& rng, int nv, double density) {
+  Cube c(nv);
+  for (int v = 0; v < nv; ++v) {
+    if (!chance(rng, density)) continue;
+    c.set_lit(v, chance(rng, 0.5) ? Lit::Pos : Lit::Neg);
+  }
+  return c;
+}
+
+}  // namespace
+
+Network random_network(std::mt19937_64& rng, const GenOptions& opts) {
+  OBS_COUNT("fuzz.networks", 1);
+  Network net("fuzz");
+  const int npis = pick(rng, opts.min_pis, opts.max_pis);
+  std::vector<NodeId> pool;
+  for (int i = 0; i < npis; ++i)
+    pool.push_back(net.add_pi("x" + std::to_string(i)));
+
+  // Fanin selection: reconvergence comes from biasing picks toward a
+  // recent window of the signal pool, so several consumers share the same
+  // local structure instead of spreading uniformly over the whole DAG.
+  auto pick_fanin = [&]() {
+    const int limit = static_cast<int>(pool.size());
+    if (chance(rng, opts.reconvergence)) {
+      const int window = std::min(limit, 6);
+      return pool[static_cast<std::size_t>(pick(rng, limit - window, limit - 1))];
+    }
+    return pool[static_cast<std::size_t>(pick(rng, 0, limit - 1))];
+  };
+
+  const int nnodes = pick(rng, opts.min_nodes, opts.max_nodes);
+  for (int i = 0; i < nnodes; ++i) {
+    const std::string name = "n" + std::to_string(i);
+    if (chance(rng, opts.p_const)) {
+      // Constant node: empty cover = 0, universe cube = 1.
+      Sop f(0);
+      if (chance(rng, 0.5)) f.add_cube(Cube(0));
+      pool.push_back(net.add_node(name, {}, std::move(f)));
+      continue;
+    }
+    if (chance(rng, opts.p_single_lit)) {
+      // Buffer or inverter — the shapes sweep() collapses.
+      const NodeId in = pick_fanin();
+      Sop f(1);
+      Cube c(1);
+      c.set_lit(0, chance(rng, 0.5) ? Lit::Pos : Lit::Neg);
+      f.add_cube(c);
+      pool.push_back(net.add_node(name, {in}, std::move(f)));
+      continue;
+    }
+    const int avail = static_cast<int>(pool.size());
+    const int k = pick(rng, 1, std::min(opts.max_fanins, avail));
+    std::vector<NodeId> fanins;
+    for (int j = 0; j < k && static_cast<int>(fanins.size()) < avail; ++j) {
+      NodeId f = pick_fanin();
+      // Distinct fanins (add_node would merge duplicates anyway; distinct
+      // picks keep the cube columns meaningful).
+      int tries = 0;
+      while (std::find(fanins.begin(), fanins.end(), f) != fanins.end() &&
+             tries++ < 8)
+        f = pick_fanin();
+      if (std::find(fanins.begin(), fanins.end(), f) == fanins.end())
+        fanins.push_back(f);
+    }
+    const int nv = static_cast<int>(fanins.size());
+    Sop func(nv);
+    const int ncubes = pick(rng, 1, opts.max_cubes);
+    for (int c = 0; c < ncubes; ++c)
+      func.add_cube(random_cube(rng, nv, opts.lit_density));
+    func.scc_minimize();
+    pool.push_back(net.add_node(name, std::move(fanins), std::move(func)));
+  }
+
+  // POs: sample drivers from the pool; whatever stays unreferenced is a
+  // dead cone, and PIs nothing picked become dangling inputs. Distinct
+  // drivers, so the PO name <-> function relation stays unambiguous.
+  const int npos =
+      pick(rng, 1, std::min(opts.max_pos, static_cast<int>(pool.size())));
+  std::vector<NodeId> drivers;
+  for (int i = 0; i < npos; ++i) {
+    NodeId d = kNoNode;
+    for (int tries = 0; tries < 16 && d == kNoNode; ++tries) {
+      NodeId cand;
+      if (chance(rng, opts.p_pi_po)) {
+        cand = pool[static_cast<std::size_t>(pick(rng, 0, npis - 1))];
+      } else {
+        cand = pool[static_cast<std::size_t>(
+            pick(rng, npis, static_cast<int>(pool.size()) - 1))];
+      }
+      if (std::find(drivers.begin(), drivers.end(), cand) == drivers.end())
+        d = cand;
+    }
+    if (d == kNoNode) break;
+    drivers.push_back(d);
+    net.add_po("z" + std::to_string(i), d);
+  }
+  if (net.pos().empty())
+    net.add_po("z0", pool.back());
+  return net;
+}
+
+const char* fuzz_script_name(FuzzScript s) {
+  switch (s) {
+    case FuzzScript::None: return "none";
+    case FuzzScript::A: return "a";
+    case FuzzScript::B: return "b";
+    case FuzzScript::C: return "c";
+  }
+  return "?";
+}
+
+FuzzScript random_script(std::mt19937_64& rng) {
+  switch (pick(rng, 0, 3)) {
+    case 0: return FuzzScript::None;
+    case 1: return FuzzScript::A;
+    case 2: return FuzzScript::B;
+    default: return FuzzScript::C;
+  }
+}
+
+void apply_script(Network& net, FuzzScript s) {
+  switch (s) {
+    case FuzzScript::None: return;
+    case FuzzScript::A: script_a(net); return;
+    case FuzzScript::B: script_b(net); return;
+    case FuzzScript::C: script_c(net); return;
+  }
+}
+
+SubstituteOptions random_substitute_options(std::mt19937_64& rng) {
+  SubstituteOptions o;
+  switch (pick(rng, 0, 2)) {
+    case 0: o.method = SubstMethod::Basic; break;
+    case 1: o.method = SubstMethod::Extended; break;
+    default: o.method = SubstMethod::ExtendedGdc; break;
+  }
+  o.try_pos = chance(rng, 0.75);
+  o.first_positive = chance(rng, 0.5);
+  o.max_passes = pick(rng, 1, 2);
+  o.gdc_learning_depth = pick(rng, 0, 1);
+  if (chance(rng, 0.2)) o.max_node_cubes = pick(rng, 2, 16);
+  if (chance(rng, 0.2)) o.max_divisor_cubes = pick(rng, 2, 8);
+  if (chance(rng, 0.2)) o.max_common_vars = pick(rng, 2, 12);
+  if (chance(rng, 0.2)) o.max_complement_cubes = pick(rng, 2, 16);
+  return o;
+}
+
+}  // namespace rarsub::fuzz

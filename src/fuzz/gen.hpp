@@ -1,0 +1,60 @@
+#pragma once
+// Seeded random network generator for the differential fuzzing harness.
+//
+// Produces structurally diverse SOP networks: parameterized PI/node/cube/
+// literal distributions, deliberate reconvergence (fanin picks biased
+// toward recent signals), dead nodes (never reached from any PO),
+// dangling PIs, constant-0/constant-1 nodes and single-literal buffer/
+// inverter nodes — every shape the optimization passes claim to handle.
+//
+// Determinism contract: for a fixed rng state the generated network is
+// byte-identical across runs, platforms and standard libraries. All
+// randomness is drawn from the raw mt19937_64 stream through the local
+// helpers below — never through std::uniform_*_distribution, whose output
+// is implementation-defined.
+
+#include <cstdint>
+#include <random>
+
+#include "division/substitute.hpp"
+#include "network/network.hpp"
+
+namespace rarsub::fuzz {
+
+struct GenOptions {
+  int min_pis = 3;
+  int max_pis = 10;
+  int min_nodes = 4;
+  int max_nodes = 22;
+  int max_fanins = 5;  ///< per general node
+  int max_cubes = 6;   ///< per general node
+  int max_pos = 6;
+  double p_const = 0.04;        ///< constant-0 or constant-1 node
+  double p_single_lit = 0.08;   ///< buffer / inverter node
+  double p_pi_po = 0.1;         ///< a PO driven directly by a PI
+  double reconvergence = 0.55;  ///< fanin picked from the recent window
+  double lit_density = 0.7;     ///< chance a cube constrains a variable
+};
+
+/// Deterministic helpers shared by generator and option sampler: uniform
+/// integer in [lo, hi] and a Bernoulli coin, both defined purely in terms
+/// of the mt19937_64 output stream.
+int pick(std::mt19937_64& rng, int lo, int hi);
+bool chance(std::mt19937_64& rng, double p);
+
+/// Generate one random network. Node names are n<i>, PIs x<i>, POs z<i>.
+Network random_network(std::mt19937_64& rng, const GenOptions& opts = {});
+
+/// The preparation scripts the driver samples from (mirrors the CLI's
+/// script argument; None leaves the raw generated network).
+enum class FuzzScript { None, A, B, C };
+const char* fuzz_script_name(FuzzScript s);
+FuzzScript random_script(std::mt19937_64& rng);
+void apply_script(Network& net, FuzzScript s);
+
+/// Sample a SubstituteOptions configuration: method, SOS/POS duals,
+/// greedy-vs-best strategy, pass count, and occasionally tightened size
+/// guards — the knob space the differential driver cross-checks.
+SubstituteOptions random_substitute_options(std::mt19937_64& rng);
+
+}  // namespace rarsub::fuzz

@@ -1,0 +1,231 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace rarsub::fuzz {
+
+namespace {
+
+int alive_internal(const Network& net) {
+  int n = 0;
+  for (NodeId id = 0; id < net.num_nodes(); ++id)
+    if (net.node(id).alive && !net.node(id).is_pi) ++n;
+  return n;
+}
+
+/// Rebuild without one fanout-free node (internal or PI). Complements
+/// compact_network for repros whose interesting structure is itself dead
+/// (a dead divisor, say): whole-network compaction would delete it and be
+/// rejected by the predicate, while this peels the other corpses off one
+/// at a time. Renumbers node ids like any rebuild.
+Network without_node(const Network& net, NodeId victim) {
+  Network out(net.name());
+  std::vector<NodeId> remap(static_cast<std::size_t>(net.num_nodes()), kNoNode);
+  for (NodeId pi : net.pis())
+    if (pi != victim)
+      remap[static_cast<std::size_t>(pi)] = out.add_pi(net.node(pi).name);
+  for (NodeId id : net.topo_order()) {
+    if (id == victim) continue;
+    const Node& nd = net.node(id);
+    std::vector<NodeId> fanins;
+    fanins.reserve(nd.fanins.size());
+    for (NodeId f : nd.fanins)
+      fanins.push_back(remap[static_cast<std::size_t>(f)]);
+    remap[static_cast<std::size_t>(id)] =
+        out.add_node(nd.name, std::move(fanins), nd.func);
+  }
+  for (const Output& o : net.pos())
+    out.add_po(o.name, remap[static_cast<std::size_t>(o.driver)]);
+  return out;
+}
+
+}  // namespace
+
+Network compact_network(const Network& net) {
+  // Backward reachability from the PO drivers over alive fanins.
+  std::vector<bool> keep(static_cast<std::size_t>(net.num_nodes()), false);
+  std::vector<NodeId> stack;
+  for (const Output& o : net.pos())
+    if (o.driver != kNoNode && !keep[static_cast<std::size_t>(o.driver)]) {
+      keep[static_cast<std::size_t>(o.driver)] = true;
+      stack.push_back(o.driver);
+    }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    for (NodeId f : net.node(id).fanins)
+      if (!keep[static_cast<std::size_t>(f)]) {
+        keep[static_cast<std::size_t>(f)] = true;
+        stack.push_back(f);
+      }
+  }
+
+  Network out(net.name());
+  std::vector<NodeId> remap(static_cast<std::size_t>(net.num_nodes()), kNoNode);
+  for (NodeId pi : net.pis())
+    if (keep[static_cast<std::size_t>(pi)])
+      remap[static_cast<std::size_t>(pi)] = out.add_pi(net.node(pi).name);
+  for (NodeId id : net.topo_order()) {
+    if (!keep[static_cast<std::size_t>(id)]) continue;
+    const Node& nd = net.node(id);
+    std::vector<NodeId> fanins;
+    fanins.reserve(nd.fanins.size());
+    for (NodeId f : nd.fanins)
+      fanins.push_back(remap[static_cast<std::size_t>(f)]);
+    remap[static_cast<std::size_t>(id)] =
+        out.add_node(nd.name, std::move(fanins), nd.func);
+  }
+  for (const Output& o : net.pos())
+    out.add_po(o.name, remap[static_cast<std::size_t>(o.driver)]);
+  return out;
+}
+
+Network shrink_network(const Network& failing,
+                       const std::function<bool(const Network&)>& still_fails,
+                       const ShrinkOptions& opts, ShrinkStats* stats) {
+  OBS_SCOPED_TIMER("fuzz.shrink");
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+  st.nodes_before = alive_internal(failing);
+
+  Network cur = failing;
+  auto probe = [&](const Network& candidate) {
+    if (st.probes >= opts.max_probes) return false;
+    ++st.probes;
+    OBS_COUNT("fuzz.shrink.probes", 1);
+    if (!still_fails(candidate)) return false;
+    ++st.accepted;
+    OBS_COUNT("fuzz.shrink.accepted", 1);
+    return true;
+  };
+  // NOTE: compact_network renumbers node ids, so it must never run while
+  // a move sweep is holding NodeIds into `cur` — compaction happens only
+  // between rounds (and is itself predicate-guarded).
+  auto accept = [&](Network candidate) { cur = std::move(candidate); };
+  auto try_compact = [&]() {
+    Network compacted = compact_network(cur);
+    if (still_fails(compacted)) cur = std::move(compacted);
+  };
+  // Peel off fanout-free nodes one at a time (covers the case where the
+  // repro needs a *dead* node, so compaction as a whole is rejected).
+  // Each acceptance renumbers ids, hence the restart.
+  auto try_drop_dead = [&]() {
+    bool again = true;
+    while (again && st.probes < opts.max_probes) {
+      again = false;
+      for (NodeId id = 0; id < cur.num_nodes(); ++id) {
+        if (!cur.node(id).alive || cur.fanout_refs(id) != 0) continue;
+        Network cand = without_node(cur, id);
+        if (probe(cand)) {
+          accept(std::move(cand));
+          again = true;
+          break;
+        }
+      }
+    }
+  };
+  try_compact();
+  try_drop_dead();
+
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    ++st.rounds;
+    bool changed = false;
+
+    // 1. Drop primary outputs (largest structural cut first).
+    for (std::size_t i = cur.pos().size(); i-- > 0 && cur.pos().size() > 1;) {
+      Network cand = cur;
+      cand.pos().erase(cand.pos().begin() + static_cast<std::ptrdiff_t>(i));
+      if (probe(cand)) {
+        accept(std::move(cand));
+        changed = true;
+      }
+    }
+
+    // 2. Per-node structural moves: constant-0 / constant-1 replacement,
+    // then forwarding a single fanin (turning the node into a buffer).
+    // Reverse topological order tends to free whole cones at once.
+    std::vector<NodeId> order = cur.topo_order();
+    std::reverse(order.begin(), order.end());
+    for (NodeId id : order) {
+      if (!cur.node(id).alive) continue;
+      bool node_done = false;
+      for (int move = 0; move < 2 && !node_done; ++move) {
+        Network cand = cur;
+        Sop f(0);
+        if (move == 1) f.add_cube(Cube(0));
+        cand.set_function(id, {}, std::move(f));
+        if (probe(cand)) {
+          accept(std::move(cand));
+          changed = node_done = true;
+        }
+      }
+      if (node_done) continue;
+      const std::size_t nf = cur.node(id).fanins.size();
+      for (std::size_t j = 0; j < nf && !node_done; ++j) {
+        Network cand = cur;
+        const NodeId in = cand.node(id).fanins[j];
+        Sop f(1);
+        Cube c(1);
+        c.set_lit(0, Lit::Pos);
+        f.add_cube(c);
+        cand.set_function(id, {in}, std::move(f));
+        if (probe(cand)) {
+          accept(std::move(cand));
+          changed = node_done = true;
+        }
+      }
+    }
+
+    // 3. Drop cubes, then literals, from every surviving cover.
+    for (NodeId id : cur.topo_order()) {
+      if (!cur.node(id).alive) continue;
+      for (int ci = cur.node(id).func.num_cubes(); ci-- > 0;) {
+        if (cur.node(id).func.num_cubes() <= 1) break;
+        Network cand = cur;
+        const Node& nd = cand.node(id);
+        Sop f(nd.func.num_vars());
+        for (int k = 0; k < nd.func.num_cubes(); ++k)
+          if (k != ci) f.add_cube(nd.func.cube(k));
+        cand.set_function(id, nd.fanins, std::move(f));
+        if (probe(cand)) {
+          accept(std::move(cand));
+          changed = true;
+        }
+      }
+    }
+    for (NodeId id : cur.topo_order()) {
+      if (!cur.node(id).alive) continue;
+      const int nv = cur.node(id).func.num_vars();
+      for (int v = 0; v < nv; ++v) {
+        for (int ci = 0; ci < cur.node(id).func.num_cubes(); ++ci) {
+          if (cur.node(id).func.cube(ci).lit(v) == Lit::Absent) continue;
+          Network cand = cur;
+          const Node& nd = cand.node(id);
+          Sop f = nd.func;
+          f.cubes()[static_cast<std::size_t>(ci)].set_lit(v, Lit::Absent);
+          cand.set_function(id, nd.fanins, std::move(f));
+          if (probe(cand)) {
+            accept(std::move(cand));
+            changed = true;
+          }
+        }
+      }
+    }
+
+    if (changed) {
+      try_compact();
+      try_drop_dead();
+    }
+    if (!changed || st.probes >= opts.max_probes) break;
+  }
+
+  st.nodes_after = alive_internal(cur);
+  OBS_VALUE("fuzz.shrink.nodes_after", st.nodes_after);
+  return cur;
+}
+
+}  // namespace rarsub::fuzz

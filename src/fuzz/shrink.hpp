@@ -1,0 +1,50 @@
+#pragma once
+// Delta-debugging minimizer for failing fuzz networks.
+//
+// Given a network on which some differential check fails and a predicate
+// that re-runs the check, greedily applies structure-shrinking moves —
+// dropping primary outputs, replacing nodes by constants or by one of
+// their fanins, deleting cubes and literals — keeping every move that
+// still reproduces the failure, until a fixpoint (or the round cap).
+// The result is a small self-contained repro the driver writes to
+// fuzz/corpus/ as BLIF.
+//
+// Every move strictly shrinks the DAG, so shrinking always terminates;
+// the predicate is re-evaluated from scratch per candidate (the failure
+// modes are deterministic given the network and the sampled options).
+
+#include <functional>
+
+#include "network/network.hpp"
+
+namespace rarsub::fuzz {
+
+struct ShrinkOptions {
+  /// Full move-sweep rounds before giving up on reaching a fixpoint.
+  int max_rounds = 6;
+  /// Hard cap on predicate evaluations (each one re-runs the failing
+  /// optimization pipeline).
+  long long max_probes = 4000;
+};
+
+struct ShrinkStats {
+  int rounds = 0;
+  long long probes = 0;    ///< predicate evaluations
+  long long accepted = 0;  ///< moves kept
+  int nodes_before = 0;    ///< alive internal nodes in the input
+  int nodes_after = 0;
+};
+
+/// Rebuild `net` without unreachable (dead) cones and dangling PIs, with
+/// node ids renumbered densely. Function-preserving on every PO.
+Network compact_network(const Network& net);
+
+/// Minimize `failing` under `still_fails` (true = the failure still
+/// reproduces on the candidate). Returns the smallest network found;
+/// `still_fails` is guaranteed true on the returned network.
+Network shrink_network(const Network& failing,
+                       const std::function<bool(const Network&)>& still_fails,
+                       const ShrinkOptions& opts = {},
+                       ShrinkStats* stats = nullptr);
+
+}  // namespace rarsub::fuzz

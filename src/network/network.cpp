@@ -385,6 +385,32 @@ bool Network::check() const {
   return true;
 }
 
+std::vector<std::string> Network::outputs_affected_by(
+    const std::vector<NodeId>& nodes) const {
+  std::vector<bool> reach(nodes_.size(), false);
+  std::vector<NodeId> stack;
+  for (NodeId id : nodes) {
+    if (id < 0 || id >= num_nodes() || reach[static_cast<std::size_t>(id)])
+      continue;
+    reach[static_cast<std::size_t>(id)] = true;
+    stack.push_back(id);
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    for (NodeId fo : nodes_[static_cast<std::size_t>(id)].fanouts)
+      if (!reach[static_cast<std::size_t>(fo)]) {
+        reach[static_cast<std::size_t>(fo)] = true;
+        stack.push_back(fo);
+      }
+  }
+  std::vector<std::string> out;
+  for (const Output& o : pos_)
+    if (o.driver != kNoNode && reach[static_cast<std::size_t>(o.driver)])
+      out.push_back(o.name);
+  return out;
+}
+
 std::string Network::fresh_name(const std::string& prefix) {
   for (;;) {
     std::string candidate = prefix + std::to_string(name_counter_++);

@@ -116,6 +116,13 @@ class Network {
   /// inconsistency otherwise.
   bool check() const;
 
+  /// Names of primary outputs whose cone contains any of `nodes` (forward
+  /// reachability over fanouts). This is the affected-cone set the
+  /// paranoid self-verify mode (SubstituteOptions::verify_commits)
+  /// replays equivalence on after each committed substitution.
+  std::vector<std::string> outputs_affected_by(
+      const std::vector<NodeId>& nodes) const;
+
   /// Fresh unique node name with the given prefix.
   std::string fresh_name(const std::string& prefix);
 

@@ -33,6 +33,7 @@ void run_resub(Network& net, ResubMethod method, const ResubTuning& tuning) {
       opts.jobs = tuning.jobs;
       opts.enable_prune = tuning.prune;
       opts.enable_incremental = tuning.incremental;
+      opts.verify_commits = tuning.verify;
       substitute_network(net, opts);
       return;
     }
@@ -42,6 +43,7 @@ void run_resub(Network& net, ResubMethod method, const ResubTuning& tuning) {
       opts.jobs = tuning.jobs;
       opts.enable_prune = tuning.prune;
       opts.enable_incremental = tuning.incremental;
+      opts.verify_commits = tuning.verify;
       substitute_network(net, opts);
       return;
     }
@@ -51,6 +53,7 @@ void run_resub(Network& net, ResubMethod method, const ResubTuning& tuning) {
       opts.jobs = tuning.jobs;
       opts.enable_prune = tuning.prune;
       opts.enable_incremental = tuning.incremental;
+      opts.verify_commits = tuning.verify;
       substitute_network(net, opts);
       return;
     }

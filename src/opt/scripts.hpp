@@ -39,6 +39,10 @@ struct ResubTuning {
   /// Journal-driven incremental maintenance of the GDC method's gate
   /// view. Like prune: off changes only the run time, never the result.
   bool incremental = true;
+  /// Paranoid self-verification (CLI --verify): replay an equivalence
+  /// check on the affected output cone after every committed
+  /// substitution; a bad commit throws at the commit site.
+  bool verify = false;
 };
 
 /// Run the selected resubstitution method once over the network.

@@ -11,39 +11,111 @@ namespace rarsub {
 
 namespace {
 
-// b's PI words arranged to match a's PI order via names.
-struct PinMap {
+constexpr std::size_t kUnmapped = static_cast<std::size_t>(-1);
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+// The comparison plan: a union input-variable space (PIs matched by name;
+// a PI carried by only one network is admitted when it drives nothing
+// there) plus the list of PO index pairs to compare.
+struct PinPlan {
   bool ok = false;
-  std::vector<std::size_t> pi_of_a;  // index into b's PI list
-  std::vector<std::size_t> po_of_a;  // index into b's PO list
   std::string error;
+  struct Var {
+    std::size_t a = kUnmapped;  // index into a's PI list
+    std::size_t b = kUnmapped;  // index into b's PI list
+  };
+  std::vector<Var> vars;  // a's PIs in order, then b-only PIs
+  std::vector<std::pair<std::size_t, std::size_t>> po_pairs;
 };
 
-PinMap match_pins(const Network& a, const Network& b) {
-  PinMap m;
-  if (a.pis().size() != b.pis().size() || a.pos().size() != b.pos().size()) {
-    m.error = "PI/PO count mismatch";
-    return m;
-  }
-  std::map<std::string, std::size_t> b_pi, b_po;
+PinPlan match_pins(const Network& a, const Network& b,
+                   const EquivalenceOptions& opts) {
+  PinPlan m;
+
+  // --- Inputs: union by name; only *driven* mismatches are fatal. A
+  // dangling PI cannot influence any output, so fuzz-generated inputs
+  // that one side dropped are treated consistently on both sides.
+  std::map<std::string, std::size_t> b_pi;
   for (std::size_t i = 0; i < b.pis().size(); ++i)
     b_pi[b.node(b.pis()[i]).name] = i;
-  for (std::size_t i = 0; i < b.pos().size(); ++i) b_po[b.pos()[i].name] = i;
-  for (NodeId pi : a.pis()) {
-    auto it = b_pi.find(a.node(pi).name);
-    if (it == b_pi.end()) {
-      m.error = "missing PI " + a.node(pi).name;
-      return m;
+  std::vector<bool> b_matched(b.pis().size(), false);
+  std::vector<std::string> driven_only_a, driven_only_b;
+  for (std::size_t i = 0; i < a.pis().size(); ++i) {
+    PinPlan::Var v;
+    v.a = i;
+    const std::string& name = a.node(a.pis()[i]).name;
+    auto it = b_pi.find(name);
+    if (it != b_pi.end()) {
+      v.b = it->second;
+      b_matched[it->second] = true;
+    } else if (a.fanout_refs(a.pis()[i]) != 0) {
+      driven_only_a.push_back(name);
     }
-    m.pi_of_a.push_back(it->second);
+    m.vars.push_back(v);
   }
-  for (const Output& po : a.pos()) {
-    auto it = b_po.find(po.name);
-    if (it == b_po.end()) {
-      m.error = "missing PO " + po.name;
+  for (std::size_t i = 0; i < b.pis().size(); ++i) {
+    if (b_matched[i]) continue;
+    if (b.fanout_refs(b.pis()[i]) != 0)
+      driven_only_b.push_back(b.node(b.pis()[i]).name);
+    m.vars.push_back(PinPlan::Var{kUnmapped, i});
+  }
+  if (!driven_only_a.empty() || !driven_only_b.empty()) {
+    m.error = "PI name sets differ";
+    if (!driven_only_a.empty())
+      m.error += " — driven only in first: " + join_names(driven_only_a);
+    if (!driven_only_b.empty())
+      m.error += (driven_only_a.empty() ? " — " : "; ") +
+                 std::string("driven only in second: ") +
+                 join_names(driven_only_b);
+    return m;
+  }
+
+  // --- Outputs: matched by name; either the caller's cone filter or the
+  // full (exact) name sets.
+  std::map<std::string, std::size_t> a_po, b_po;
+  for (std::size_t i = 0; i < a.pos().size(); ++i) a_po[a.pos()[i].name] = i;
+  for (std::size_t i = 0; i < b.pos().size(); ++i) b_po[b.pos()[i].name] = i;
+  if (!opts.only_pos.empty()) {
+    for (const std::string& name : opts.only_pos) {
+      auto ia = a_po.find(name);
+      auto ib = b_po.find(name);
+      if (ia == a_po.end() || ib == b_po.end()) {
+        m.error = "filtered PO '" + name + "' not present in both networks";
+        return m;
+      }
+      m.po_pairs.emplace_back(ia->second, ib->second);
+    }
+  } else {
+    std::vector<std::string> only_a, only_b;
+    for (const auto& [name, i] : a_po)
+      if (!b_po.count(name)) only_a.push_back(name);
+    for (const auto& [name, i] : b_po)
+      if (!a_po.count(name)) only_b.push_back(name);
+    if (!only_a.empty() || !only_b.empty()) {
+      m.error = "PO name sets differ";
+      if (!only_a.empty()) m.error += " — only in first: " + join_names(only_a);
+      if (!only_b.empty())
+        m.error += (only_a.empty() ? " — " : "; ") +
+                   std::string("only in second: ") + join_names(only_b);
       return m;
     }
-    m.po_of_a.push_back(it->second);
+    if (a.pos().size() != b.pos().size()) {
+      // Same name sets but different multiplicity (duplicated PO names).
+      m.error = "PO count mismatch (first has " +
+                std::to_string(a.pos().size()) + ", second has " +
+                std::to_string(b.pos().size()) + ")";
+      return m;
+    }
+    for (std::size_t i = 0; i < a.pos().size(); ++i)
+      m.po_pairs.emplace_back(i, b_po[a.pos()[i].name]);
   }
   m.ok = true;
   return m;
@@ -54,24 +126,28 @@ PinMap match_pins(const Network& a, const Network& b) {
 EquivalenceResult check_equivalence(const Network& a, const Network& b,
                                     const EquivalenceOptions& opts) {
   EquivalenceResult res;
-  const PinMap pins = match_pins(a, b);
+  const PinPlan pins = match_pins(a, b, opts);
   if (!pins.ok) {
     res.message = pins.error;
     return res;
   }
-  const std::size_t n = a.pis().size();
+  const std::size_t n = pins.vars.size();
 
-  auto run_words = [&](const std::vector<std::uint64_t>& words_a,
+  auto run_words = [&](const std::vector<std::uint64_t>& words,
                        std::uint64_t base_assignment,
                        bool exhaustive) -> bool {
-    std::vector<std::uint64_t> words_b(n);
-    for (std::size_t i = 0; i < n; ++i) words_b[pins.pi_of_a[i]] = words_a[i];
+    std::vector<std::uint64_t> words_a(a.pis().size());
+    std::vector<std::uint64_t> words_b(b.pis().size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pins.vars[i].a != kUnmapped) words_a[pins.vars[i].a] = words[i];
+      if (pins.vars[i].b != kUnmapped) words_b[pins.vars[i].b] = words[i];
+    }
     const auto out_a = simulate64(a, words_a);
     const auto out_b = simulate64(b, words_b);
-    for (std::size_t o = 0; o < out_a.size(); ++o) {
-      const std::uint64_t diff = out_a[o] ^ out_b[pins.po_of_a[o]];
+    for (const auto& [oa, ob] : pins.po_pairs) {
+      const std::uint64_t diff = out_a[oa] ^ out_b[ob];
       if (diff == 0) continue;
-      res.message = "PO " + a.pos()[o].name + " differs";
+      res.message = "PO " + a.pos()[oa].name + " differs";
       if (exhaustive) {
         const int bit = std::countr_zero(diff);
         res.counterexample = base_assignment + static_cast<std::uint64_t>(bit);
@@ -82,7 +158,7 @@ EquivalenceResult check_equivalence(const Network& a, const Network& b,
   };
 
   if (static_cast<int>(n) <= opts.max_exhaustive_pis) {
-    // Exhaustive: 64 assignments per block, PIs 0..5 cycle inside a word.
+    // Exhaustive: 64 assignments per block, vars 0..5 cycle inside a word.
     const std::uint64_t total = 1ULL << n;
     for (std::uint64_t base = 0; base < total; base += 64) {
       std::vector<std::uint64_t> words(n);

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "network/network.hpp"
 
@@ -13,8 +14,9 @@ namespace rarsub {
 
 struct EquivalenceResult {
   bool equivalent = false;
-  /// A distinguishing PI assignment (bit i = i-th PI of `a`) when not
-  /// equivalent and one was found.
+  /// A distinguishing PI assignment when not equivalent and one was found.
+  /// Bit i corresponds to the i-th union input variable: `a`'s PIs in
+  /// order, followed by any PIs present only in `b`.
   std::optional<std::uint64_t> counterexample;
   std::string message;
 };
@@ -25,10 +27,18 @@ struct EquivalenceOptions {
   /// 64-pattern random rounds for larger circuits.
   int random_rounds = 512;
   std::uint64_t seed = 0x5eedULL;
+  /// When non-empty, compare only the named primary outputs (the
+  /// affected-cone replay of SubstituteOptions::verify_commits); every
+  /// name must exist in both networks. Empty = compare all POs.
+  std::vector<std::string> only_pos;
 };
 
 /// Compare two networks' primary outputs. PIs and POs are matched by name
-/// (order-independent); a name mismatch is reported as non-equivalent.
+/// (order-independent). A PI present in only one network is tolerated as
+/// long as it drives nothing there (fuzz-generated and shrunk circuits
+/// routinely carry dangling inputs); a *driven* PI mismatch — or any PO
+/// name-set mismatch — is reported with the offending names spelled out
+/// rather than a bare "non-equivalent".
 EquivalenceResult check_equivalence(const Network& a, const Network& b,
                                     const EquivalenceOptions& opts = {});
 

@@ -1,0 +1,219 @@
+// Tests for the differential fuzzing harness: generator determinism and
+// shape coverage, the delta-debugging shrinker, the paranoid per-commit
+// self-verification, and the end-to-end catch → shrink → persist → replay
+// loop on a planted bug.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+#include <stdexcept>
+
+#include "division/substitute.hpp"
+#include "fuzz/driver.hpp"
+#include "fuzz/gen.hpp"
+#include "fuzz/shrink.hpp"
+#include "network/blif.hpp"
+#include "verify/equivalence.hpp"
+
+namespace rarsub {
+namespace {
+
+using fuzz::FuzzConfig;
+using fuzz::FuzzOptions;
+using fuzz::FuzzReport;
+using fuzz::GenOptions;
+
+TEST(FuzzGen, DeterministicForFixedSeed) {
+  for (std::uint64_t seed : {1ULL, 42ULL, 977ULL}) {
+    std::mt19937_64 r1(seed), r2(seed);
+    const Network a = fuzz::random_network(r1);
+    const Network b = fuzz::random_network(r2);
+    EXPECT_EQ(write_blif_string(a), write_blif_string(b)) << "seed " << seed;
+    const SubstituteOptions oa = fuzz::random_substitute_options(r1);
+    const SubstituteOptions ob = fuzz::random_substitute_options(r2);
+    EXPECT_EQ(oa.method, ob.method);
+    EXPECT_EQ(oa.try_pos, ob.try_pos);
+    EXPECT_EQ(oa.first_positive, ob.first_positive);
+    EXPECT_EQ(oa.max_passes, ob.max_passes);
+  }
+  std::mt19937_64 r1(5), r2(6);
+  EXPECT_NE(write_blif_string(fuzz::random_network(r1)),
+            write_blif_string(fuzz::random_network(r2)));
+}
+
+TEST(FuzzGen, ProducesValidAndDiverseNetworks) {
+  bool saw_const = false, saw_single_lit = false, saw_dead = false;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    std::mt19937_64 rng(seed);
+    const Network net = fuzz::random_network(rng);
+    ASSERT_TRUE(net.check()) << "seed " << seed;
+    EXPECT_FALSE(net.pos().empty());
+    for (NodeId id = 0; id < net.num_nodes(); ++id) {
+      const Node& nd = net.node(id);
+      if (!nd.alive || nd.is_pi) continue;
+      if (nd.fanins.empty()) saw_const = true;
+      if (nd.fanins.size() == 1 && nd.func.num_cubes() == 1)
+        saw_single_lit = true;
+      if (net.fanout_refs(id) == 0) saw_dead = true;
+    }
+  }
+  EXPECT_TRUE(saw_const);
+  EXPECT_TRUE(saw_single_lit);
+  EXPECT_TRUE(saw_dead);
+}
+
+TEST(FuzzShrink, CompactDropsUnreachableStructure) {
+  Network net("t");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  net.add_pi("dangling");
+  const NodeId g = net.add_node("g", {a, b}, Sop::from_strings({"11"}));
+  net.add_node("dead", {a, b}, Sop::from_strings({"10"}));
+  net.add_po("z", g);
+  const Network out = fuzz::compact_network(net);
+  EXPECT_TRUE(out.check());
+  EXPECT_EQ(out.find_node("dead"), kNoNode);
+  EXPECT_EQ(out.find_node("dangling"), kNoNode);
+  EXPECT_NE(out.find_node("g"), kNoNode);
+  const EquivalenceResult eq = check_equivalence(net, out);
+  EXPECT_TRUE(eq.equivalent) << eq.message;
+}
+
+TEST(FuzzShrink, MinimizesWhilePreservingPredicate) {
+  // Predicate: the network still computes a&b on PO "z" for input 11...;
+  // the shrinker must keep that behavior while deleting everything else.
+  std::mt19937_64 rng(11);
+  GenOptions gen;
+  gen.min_pis = 4;
+  gen.max_pis = 6;
+  Network net = fuzz::random_network(rng, gen);
+  // Make the predicate about structure: at least one node with >= 2 cubes.
+  auto pred = [](const Network& n) {
+    for (NodeId id = 0; id < n.num_nodes(); ++id) {
+      const Node& nd = n.node(id);
+      if (nd.alive && !nd.is_pi && nd.func.num_cubes() >= 2) return true;
+    }
+    return false;
+  };
+  if (!pred(net)) GTEST_SKIP() << "generator produced no multi-cube node";
+  fuzz::ShrinkStats stats;
+  const Network small = fuzz::shrink_network(net, pred, {}, &stats);
+  EXPECT_TRUE(small.check());
+  EXPECT_TRUE(pred(small));
+  EXPECT_LE(stats.nodes_after, stats.nodes_before);
+  // The minimal witness is one 2-cube node (plus whatever drives a PO).
+  EXPECT_LE(stats.nodes_after, 3);
+}
+
+/// A small network where Boolean substitution finds a division with a
+/// non-trivial remainder: f = ab + cd + e, d = ab + cd → f = y + e with
+/// remainder e. Skipping the remainder re-attach miscompiles it.
+Network remainder_case() {
+  Network net("rem");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId d = net.add_pi("d");
+  const NodeId e = net.add_pi("e");
+  const NodeId dv = net.add_node("dv", {a, b, c, d},
+                                 Sop::from_strings({"11--", "--11"}));
+  const NodeId f = net.add_node("f", {a, b, c, d, e},
+                                Sop::from_strings({"11---", "--11-", "----1"}));
+  net.add_po("zf", f);
+  net.add_po("zd", dv);
+  return net;
+}
+
+TEST(FuzzVerify, CommitVerifierCatchesCorruptedCommit) {
+  Network net = remainder_case();
+  SubstituteOptions opts;
+  opts.method = SubstMethod::Basic;
+  opts.verify_commits = true;
+  opts.inject_skip_remainder = true;
+  EXPECT_THROW(substitute_network(net, opts), std::runtime_error);
+}
+
+TEST(FuzzVerify, CleanRunPassesUnderVerify) {
+  Network net = remainder_case();
+  const Network original = net;
+  SubstituteOptions opts;
+  opts.method = SubstMethod::Basic;
+  opts.verify_commits = true;
+  const SubstituteStats st = substitute_network(net, opts);
+  EXPECT_GE(st.substitutions, 1);
+  const EquivalenceResult eq = check_equivalence(original, net);
+  EXPECT_TRUE(eq.equivalent) << eq.message;
+}
+
+TEST(FuzzVerify, InjectionAloneBreaksEquivalence) {
+  Network net = remainder_case();
+  const Network original = net;
+  SubstituteOptions opts;
+  opts.method = SubstMethod::Basic;
+  opts.inject_skip_remainder = true;
+  substitute_network(net, opts);
+  const EquivalenceResult eq = check_equivalence(original, net);
+  EXPECT_FALSE(eq.equivalent);
+}
+
+TEST(FuzzVerify, DanglingPiToleratedDrivenPiReported) {
+  Network x("x");
+  const NodeId a = x.add_pi("a");
+  x.add_pi("unused");
+  x.add_po("z", x.add_node("f", {a}, Sop::from_strings({"1"})));
+  Network y("y");
+  const NodeId a2 = y.add_pi("a");
+  y.add_po("z", y.add_node("f", {a2}, Sop::from_strings({"1"})));
+  // `unused` drives nothing in x and is absent from y: tolerated.
+  const EquivalenceResult ok = check_equivalence(x, y);
+  EXPECT_TRUE(ok.equivalent) << ok.message;
+
+  // A *driven* PI existing on one side only is a clear, named error.
+  Network w("w");
+  const NodeId aw = w.add_pi("a");
+  const NodeId bw = w.add_pi("b");
+  w.add_po("z", w.add_node("f", {aw, bw}, Sop::from_strings({"11"})));
+  const EquivalenceResult bad = check_equivalence(w, y);
+  EXPECT_FALSE(bad.equivalent);
+  EXPECT_NE(bad.message.find("PI name sets differ"), std::string::npos);
+  EXPECT_NE(bad.message.find("b"), std::string::npos);
+}
+
+TEST(FuzzDriver, CleanBatteryOnSmallBatch) {
+  FuzzOptions opts;
+  opts.iters = 12;
+  opts.seed = 3;
+  opts.corpus_dir =
+      (std::filesystem::path(::testing::TempDir()) / "fuzz-clean").string();
+  const FuzzReport report = fuzz::run_fuzz(opts);
+  EXPECT_EQ(report.iterations, 12);
+  EXPECT_TRUE(report.clean()) << report.failures.front().check << ": "
+                              << report.failures.front().detail;
+}
+
+TEST(FuzzDriver, PlantedBugCaughtShrunkAndReplayed) {
+  FuzzOptions opts;
+  opts.iters = 60;
+  opts.seed = 1;
+  opts.plant = fuzz::PlantedBug::SkipRemainder;
+  opts.max_failures = 1;
+  opts.corpus_dir =
+      (std::filesystem::path(::testing::TempDir()) / "fuzz-plant").string();
+  const FuzzReport report = fuzz::run_fuzz(opts);
+  ASSERT_FALSE(report.clean())
+      << "planted skip-remainder bug escaped " << report.iterations
+      << " iterations";
+  const fuzz::FuzzFailure& f = report.failures.front();
+  EXPECT_LE(f.repro_nodes, 8) << "shrinker left a big repro";
+  ASSERT_FALSE(f.repro_path.empty());
+  EXPECT_TRUE(f.repro_confirmed)
+      << "corpus repro did not reproduce from disk: " << f.repro_path;
+  // And the artifact really is a parseable BLIF with the config header.
+  const Network reread = read_blif_file(f.repro_path);
+  EXPECT_TRUE(reread.check());
+  EXPECT_EQ(fuzz::differential_check(reread, f.config).check, f.check);
+}
+
+}  // namespace
+}  // namespace rarsub

@@ -12,6 +12,7 @@
 
 #include "benchcir/suite.hpp"
 #include "division/substitute.hpp"
+#include "fuzz/driver.hpp"
 #include "network/network.hpp"
 #include "obs/json.hpp"
 #include "opt/scripts.hpp"
@@ -483,6 +484,19 @@ void exercise_every_subsystem() {
         "f", {a, b, c}, Sop::from_strings({"11-", "0-1", "-11"}));
     net.add_po("f", f);
     network_redundancy_removal(net);
+  }
+  // Differential fuzzing with the planted skip-remainder bug: fires the
+  // fuzz.* generator/driver/shrinker instruments and, through the
+  // always-on paranoid mode of the canonical run, the verify.* ones —
+  // including verify.failures when the planted bug is caught.
+  {
+    fuzz::FuzzOptions fo;
+    fo.iters = 40;
+    fo.seed = 1;
+    fo.max_failures = 1;
+    fo.plant = fuzz::PlantedBug::SkipRemainder;
+    fo.corpus_dir = testing::TempDir() + "rarsub_obs_fuzz_corpus";
+    fuzz::run_fuzz(fo);
   }
 }
 

@@ -115,7 +115,9 @@ TEST(Verify, NameMismatchReported) {
   y.add_po("g", y.add_node("g", {y.add_pi("a")}, Sop::from_strings({"1"})));
   const EquivalenceResult r = check_equivalence(x, y);
   EXPECT_FALSE(r.equivalent);
-  EXPECT_NE(r.message.find("missing PO"), std::string::npos);
+  EXPECT_NE(r.message.find("PO name sets differ"), std::string::npos);
+  EXPECT_NE(r.message.find("f"), std::string::npos);
+  EXPECT_NE(r.message.find("g"), std::string::npos);
 }
 
 }  // namespace
