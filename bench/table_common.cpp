@@ -5,7 +5,9 @@
 #include <fstream>
 
 #include "benchcir/suite.hpp"
+#include "obs/hwc.hpp"
 #include "obs/json.hpp"
+#include "obs/memstat.hpp"
 #include "obs/obs.hpp"
 #include "verify/equivalence.hpp"
 
@@ -71,11 +73,21 @@ int run_table(const TableConfig& config) {
       Network net = prepared;
       // Per-method observability window: everything the method touches
       // (division regions, implications, espresso calls, …) lands in this
-      // snapshot and nothing from the previous method leaks in.
+      // snapshot and nothing from the previous method leaks in. The
+      // memory window resets with it (obs::reset -> memstat_reset);
+      // kernel peak-RSS is re-armed where /proc/self/clear_refs allows,
+      // otherwise VmHWM stays process-monotonic — still gateable as a
+      // per-method max.
       obs::reset();
+      obs::try_reset_peak_rss();
+      obs::HwcGroup hwc;
       obs::Timer timer;
+      hwc.start();
       config.apply(net, config.methods[i]);
+      hwc.stop();
       const double ms = timer.elapsed_ms();
+      const obs::HwcReading hw = hwc.read();
+      const obs::MemSnapshot mem = obs::memstat_snapshot();
       const obs::Snapshot snap = obs::snapshot();
       const int lits = net.factored_literals();
       total_lits[i] += lits;
@@ -98,6 +110,56 @@ int run_table(const TableConfig& config) {
         w.value(ms);
         w.key("equivalent");
         w.value(ok);
+        // Memory telemetry: RSS always (from /proc); allocation fields
+        // only when the tracker recorded this window (RARSUB_MEMSTAT=1),
+        // so a memstat-off report stays comparable to old baselines and
+        // bench_compare can tell "no data" from "zero allocations".
+        if (mem.peak_rss_kb >= 0) {
+          w.key("peak_rss_kb");
+          w.value(mem.peak_rss_kb);
+        }
+        if (mem.enabled) {
+          w.key("allocs");
+          w.value(mem.allocs);
+          w.key("alloc_bytes");
+          w.value(mem.alloc_bytes);
+          w.key("peak_live_bytes");
+          w.value(mem.peak_live_bytes);
+          w.key("mem_phases");
+          w.begin_object();
+          int shown = 0;
+          for (const obs::MemPhaseSnap& p : mem.phases) {
+            if (p.alloc_bytes <= 0) continue;
+            w.key(p.phase);
+            w.begin_object();
+            w.key("allocs");
+            w.value(p.allocs);
+            w.key("alloc_bytes");
+            w.value(p.alloc_bytes);
+            w.end_object();
+            if (++shown == 8) break;
+          }
+          w.end_object();
+        }
+        w.key("hwc_status");
+        w.value(obs::hwc_status());
+        if (hw.valid) {
+          w.key("hwc");
+          w.begin_object();
+          w.key("cycles");
+          w.value(hw.cycles);
+          w.key("instructions");
+          w.value(hw.instructions);
+          if (hw.cache_misses >= 0) {
+            w.key("cache_misses");
+            w.value(hw.cache_misses);
+          }
+          if (hw.branch_misses >= 0) {
+            w.key("branch_misses");
+            w.value(hw.branch_misses);
+          }
+          w.end_object();
+        }
         w.key("obs");
         obs::snapshot_to_json(w, snap);
         w.end_object();

@@ -15,7 +15,11 @@
 // full flow, `none` optimizes the raw circuit — fuzz-corpus replays)
 //
 // Global observability flags (any command):
-//   --stats           print the counter/timer table to stderr afterwards
+//   --stats           print the counter/timer table to stderr afterwards,
+//                     plus a one-line memory summary (peak RSS always;
+//                     allocation totals when tracking is on)
+//   --memstat         enable allocation tracking (same as RARSUB_MEMSTAT=1)
+//                     and print the memory summary line
 //   --trace <file>    write a Chrome trace-event JSON of the run
 //   --report <file>   write the observability snapshot as JSON
 //   --ledger <file>   record the optimization flight ledger as JSONL
@@ -42,6 +46,7 @@
 #include "fuzz/driver.hpp"
 #include "network/blif.hpp"
 #include "obs/ledger.hpp"
+#include "obs/memstat.hpp"
 #include "obs/obs.hpp"
 #include "network/eqn.hpp"
 #include "network/pla.hpp"
@@ -235,12 +240,14 @@ int cmd_list() {
 int main(int argc, char** argv) {
   // Strip the global observability flags; everything else is positional.
   bool show_stats = false;
+  bool want_memstat = false;
   std::string trace_path, report_path, ledger_path;
   ResubTuning tuning;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--stats") show_stats = true;
+    else if (a == "--memstat") want_memstat = true;
     else if (a == "--trace" && i + 1 < argc) trace_path = argv[++i];
     else if (a == "--report" && i + 1 < argc) report_path = argv[++i];
     else if (a == "--ledger" && i + 1 < argc) ledger_path = argv[++i];
@@ -254,6 +261,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--jobs must be >= 1\n");
     return 2;
   }
+  if (want_memstat && !obs::memstat_enable())
+    std::fprintf(stderr,
+                 "--memstat: allocation hooks not compiled into this build "
+                 "(RSS summary still available)\n");
   if (!trace_path.empty()) obs::trace_begin(trace_path);
   if (!ledger_path.empty() && !obs::ledger_begin(ledger_path))
     std::fprintf(stderr, "cannot write ledger to %s\n", ledger_path.c_str());
@@ -281,6 +292,10 @@ int main(int argc, char** argv) {
     const obs::Snapshot snap = obs::snapshot();
     if (show_stats)
       std::fprintf(stderr, "%s", obs::render_text(snap).c_str());
+    // The /proc part of this line is always cheap to produce, so --stats
+    // reports memory even when allocation tracking is off.
+    if (show_stats || want_memstat)
+      std::fprintf(stderr, "%s\n", obs::render_mem_summary().c_str());
     if (!report_path.empty()) {
       std::ofstream out(report_path);
       if (out) out << obs::render_json(snap);
@@ -307,10 +322,12 @@ int main(int argc, char** argv) {
                "  (differential fuzzing)\n"
                "  rarsub_cli ledger-summary <file.jsonl>\n"
                "  rarsub_cli list\n"
-               "global flags: --stats | --trace <file> | --report <file> | "
-               "--ledger <file>\n"
-               "              --jobs <n> (parallel gain evaluation, "
-               "deterministic) | --no-prune | --no-incremental | --verify\n"
+               "global flags: --stats | --memstat (allocation tracking + "
+               "memory summary) | --trace <file> |\n"
+               "              --report <file> | --ledger <file> | "
+               "--jobs <n> (parallel gain evaluation,\n"
+               "              deterministic) | --no-prune | --no-incremental "
+               "| --verify\n"
                "(<circuit> = .blif path, .pla path, or built-in name)\n");
   return 2;
 }

@@ -84,6 +84,7 @@ std::vector<int> propagation_dominators(const GateNet& net, int g) {
 FaultResult analyze_fault(const GateNet& net, WireRef w, bool stuck_value,
                           int learning_depth) {
   OBS_COUNT("atpg.faults", 1);
+  OBS_PHASE("atpg.fault");
   FaultResult res;
   const Gate& gd = net.gate(w.gate);
   assert(gd.type == GateType::And || gd.type == GateType::Or);

@@ -107,6 +107,9 @@ bool ImplicationEngine::imply_gate(int g) {
 }
 
 bool ImplicationEngine::propagate() {
+  // Clock-free phase marker: same hot-path reasoning as the batched
+  // counter below, a scoped timer's steady_clock reads would show up.
+  OBS_PHASE("atpg.implication");
   // Counted in one batch per drain: the pop loop is the engine's hottest
   // path, one atomic per gate visit would be measurable.
   int visits = 0;

@@ -13,6 +13,7 @@
 #include "fuzz/shrink.hpp"
 #include "gatenet/incremental.hpp"
 #include "network/blif.hpp"
+#include "obs/memstat.hpp"
 #include "obs/obs.hpp"
 #include "rar/network_rr.hpp"
 #include "verify/equivalence.hpp"
@@ -245,6 +246,13 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
   for (long long iter = 0; iter < opts.iters; ++iter) {
     if (out_of_budget()) break;
     if (static_cast<int>(report.failures.size()) >= opts.max_failures) break;
+    // RSS sampled once per 64-iteration batch: the distribution's min/max
+    // across batches is what exposes growth or leak trends in the nightly
+    // run's fuzz-obs.json artifact.
+    if ((iter & 63) == 0) {
+      const std::int64_t rss = obs::read_rss_kb();
+      if (rss >= 0) OBS_VALUE("fuzz.peak_rss_kb", rss);
+    }
     OBS_SCOPED_TIMER("fuzz.iteration");
     OBS_COUNT("fuzz.iterations", 1);
     ++report.iterations;
@@ -327,6 +335,9 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
     }
     report.failures.push_back(std::move(fail));
   }
+  // Closing sample so short runs (< one batch) still report a value.
+  const std::int64_t rss = obs::read_rss_kb();
+  if (rss >= 0) OBS_VALUE("fuzz.peak_rss_kb", rss);
   return report;
 }
 

@@ -1,0 +1,205 @@
+#include "obs/hwc.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/obs.hpp"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace rarsub::obs {
+
+namespace {
+
+std::atomic<detail::PerfOpenFn> g_open_override{nullptr};
+
+// Probe state: 0 unknown, 1 available, -1 unavailable. The status string
+// is written once under the probe mutex before the flag flips, so readers
+// that observe a decided probe see a complete reason.
+std::atomic<int> g_probe{0};
+std::mutex g_probe_mu;
+std::string& probe_status() {
+  static std::string s;
+  return s;
+}
+
+#ifdef __linux__
+
+long real_perf_open(void* attr, std::int32_t pid, std::int32_t cpu,
+                    std::int32_t group_fd, unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+int open_event(std::uint64_t config, std::string* why) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  detail::PerfOpenFn open_fn = g_open_override.load(std::memory_order_acquire);
+  if (open_fn == nullptr) open_fn = real_perf_open;
+  const long fd = open_fn(&attr, /*pid=*/0, /*cpu=*/-1, /*group_fd=*/-1,
+                          /*flags=*/0);
+  if (fd < 0 && why != nullptr)
+    *why = std::string("perf_event_open ") + std::strerror(errno);
+  return static_cast<int>(fd);
+}
+
+#endif  // __linux__
+
+void decide_probe() {
+  if (g_probe.load(std::memory_order_acquire) != 0) return;
+  std::lock_guard<std::mutex> lock(g_probe_mu);
+  if (g_probe.load(std::memory_order_relaxed) != 0) return;
+
+  const char* off = std::getenv("RARSUB_HWC_OFF");
+  if (off != nullptr && *off != '\0' && *off != '0') {
+    probe_status() = "disabled: RARSUB_HWC_OFF";
+    g_probe.store(-1, std::memory_order_release);
+    return;
+  }
+#ifndef __linux__
+  probe_status() = "unavailable: not linux";
+  g_probe.store(-1, std::memory_order_release);
+#else
+  std::string why;
+  const int cyc = open_event(PERF_COUNT_HW_CPU_CYCLES, &why);
+  if (cyc < 0) {
+    probe_status() = "unavailable: " + why;
+    g_probe.store(-1, std::memory_order_release);
+    return;
+  }
+  const int ins = open_event(PERF_COUNT_HW_INSTRUCTIONS, &why);
+  close(cyc);
+  if (ins < 0) {
+    probe_status() = "unavailable: " + why;
+    g_probe.store(-1, std::memory_order_release);
+    return;
+  }
+  close(ins);
+  probe_status() = "ok";
+  g_probe.store(1, std::memory_order_release);
+#endif
+}
+
+#ifdef __linux__
+std::int64_t read_fd(int fd) {
+  if (fd < 0) return -1;
+  std::uint64_t v = 0;
+  if (::read(fd, &v, sizeof v) != static_cast<ssize_t>(sizeof v)) return -1;
+  return static_cast<std::int64_t>(v);
+}
+#endif
+
+}  // namespace
+
+bool hwc_available() {
+  decide_probe();
+  return g_probe.load(std::memory_order_acquire) == 1;
+}
+
+std::string hwc_status() {
+  decide_probe();
+  std::lock_guard<std::mutex> lock(g_probe_mu);
+  return probe_status();
+}
+
+namespace detail {
+void set_perf_open_for_test(PerfOpenFn fn) {
+  g_open_override.store(fn, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(g_probe_mu);
+  g_probe.store(0, std::memory_order_release);  // re-arm the probe
+  probe_status().clear();
+}
+}  // namespace detail
+
+HwcGroup::HwcGroup() {
+#ifdef __linux__
+  if (!hwc_available()) return;
+  fds_[0] = open_event(PERF_COUNT_HW_CPU_CYCLES, nullptr);
+  fds_[1] = open_event(PERF_COUNT_HW_INSTRUCTIONS, nullptr);
+  // Optional: many virtualized PMUs expose only the two events above.
+  fds_[2] = open_event(PERF_COUNT_HW_CACHE_MISSES, nullptr);
+  fds_[3] = open_event(PERF_COUNT_HW_BRANCH_MISSES, nullptr);
+  if (!valid()) {  // lost the race against another consumer of the PMU
+    for (int& fd : fds_) {
+      if (fd >= 0) close(fd);
+      fd = -1;
+    }
+  }
+#endif
+}
+
+HwcGroup::~HwcGroup() {
+#ifdef __linux__
+  for (int fd : fds_)
+    if (fd >= 0) close(fd);
+#endif
+}
+
+void HwcGroup::start() {
+#ifdef __linux__
+  for (int fd : fds_) {
+    if (fd < 0) continue;
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+#endif
+}
+
+void HwcGroup::stop() {
+#ifdef __linux__
+  for (int fd : fds_)
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+#endif
+}
+
+HwcReading HwcGroup::read() const {
+  HwcReading r;
+#ifdef __linux__
+  if (!valid()) return r;
+  r.cycles = read_fd(fds_[0]);
+  r.instructions = read_fd(fds_[1]);
+  r.cache_misses = read_fd(fds_[2]);
+  r.branch_misses = read_fd(fds_[3]);
+  r.valid = r.cycles >= 0 && r.instructions >= 0;
+#endif
+  return r;
+}
+
+HwcScope::HwcScope() : group_(nullptr) {
+  if (!hwc_available()) return;
+  group_ = new HwcGroup();
+  if (!group_->valid()) {
+    delete group_;
+    group_ = nullptr;
+    return;
+  }
+  group_->start();
+}
+
+HwcScope::~HwcScope() {
+  if (group_ == nullptr) return;
+  group_->stop();
+  const HwcReading r = group_->read();
+  delete group_;
+  if (r.valid) {
+    OBS_COUNT("hwc.cycles", r.cycles);
+    OBS_COUNT("hwc.instructions", r.instructions);
+    if (r.cache_misses >= 0) OBS_COUNT("hwc.cache_misses", r.cache_misses);
+    if (r.branch_misses >= 0) OBS_COUNT("hwc.branch_misses", r.branch_misses);
+  }
+}
+
+}  // namespace rarsub::obs

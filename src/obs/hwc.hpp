@@ -1,0 +1,86 @@
+#pragma once
+// Hardware performance counters via perf_event_open, with graceful
+// degradation: on hosts where the syscall is denied (seccomp'd CI
+// containers, perf_event_paranoid, non-Linux builds) everything still
+// compiles and runs, hwc_available() reports false with a reason, and
+// HwcScope/HwcGroup become no-ops — never an error.
+//
+// The group measures the calling process across all CPUs (pid=0, cpu=-1,
+// user space only): cycles, instructions, cache misses, branch misses.
+// Availability requires cycles+instructions; the miss counters are
+// optional extras (virtualized PMUs often expose only the first two).
+//
+// Typical use — a scoped window that publishes into the obs registry as
+// hwc.cycles / hwc.instructions / hwc.cache_misses / hwc.branch_misses:
+//
+//   { obs::HwcScope hwc; run_method(); }   // no-op when unavailable
+//
+// RARSUB_HWC_OFF=1 disables the probe outright (useful to silence perf
+// noise or pin down interference).
+
+#include <cstdint>
+#include <string>
+
+namespace rarsub::obs {
+
+/// Process-wide probe: can we open the baseline cycles+instructions
+/// events? First call performs the probe; later calls are a load.
+bool hwc_available();
+
+/// Human-readable availability status: "ok", or the degradation reason
+/// ("unavailable: perf_event_open EACCES", "disabled: RARSUB_HWC_OFF",
+/// "unavailable: not linux", ...). Never empty after hwc_available().
+std::string hwc_status();
+
+struct HwcReading {
+  bool valid = false;  // false => all counts are meaningless
+  std::int64_t cycles = -1;
+  std::int64_t instructions = -1;
+  std::int64_t cache_misses = -1;   // -1 when the event failed to open
+  std::int64_t branch_misses = -1;  // -1 when the event failed to open
+};
+
+/// One set of counters, reusable across start/stop windows. Construction
+/// on an unavailable host yields a group whose valid() is false and whose
+/// operations are no-ops.
+class HwcGroup {
+ public:
+  HwcGroup();
+  ~HwcGroup();
+  HwcGroup(const HwcGroup&) = delete;
+  HwcGroup& operator=(const HwcGroup&) = delete;
+
+  bool valid() const { return fds_[0] >= 0 && fds_[1] >= 0; }
+  void start();  // reset + enable
+  void stop();   // disable (counts hold until next start)
+  HwcReading read() const;
+
+ private:
+  int fds_[4] = {-1, -1, -1, -1};  // cycles, instr, cache-miss, branch-miss
+};
+
+/// RAII measurement window: counts between construction and destruction
+/// are published as OBS counters (hwc.cycles, hwc.instructions,
+/// hwc.cache_misses, hwc.branch_misses). No-op when unavailable.
+class HwcScope {
+ public:
+  HwcScope();
+  ~HwcScope();
+  HwcScope(const HwcScope&) = delete;
+  HwcScope& operator=(const HwcScope&) = delete;
+
+ private:
+  HwcGroup* group_;  // null when hwc is unavailable
+};
+
+namespace detail {
+/// Injectable syscall for tests: signature mirrors perf_event_open
+/// (attr is an opaque pointer to keep <linux/perf_event.h> out of this
+/// header). Setting it re-arms the availability probe; nullptr restores
+/// the real syscall.
+using PerfOpenFn = long (*)(void* attr, std::int32_t pid, std::int32_t cpu,
+                            std::int32_t group_fd, unsigned long flags);
+void set_perf_open_for_test(PerfOpenFn fn);
+}  // namespace detail
+
+}  // namespace rarsub::obs

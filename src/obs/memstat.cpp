@@ -1,0 +1,485 @@
+#include "obs/memstat.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <new>
+#include <unordered_map>
+
+#include "obs/obs.hpp"
+
+// The allocation hooks are compiled in by default; a build can opt out
+// with -DRARSUB_MEMSTAT_HOOKS=0. Under ASan/TSan we always opt out: the
+// sanitizer runtimes own the allocator and interposing operator new on
+// top of them forfeits their new/delete mismatch checking for no data we
+// need in those jobs.
+#ifndef RARSUB_MEMSTAT_HOOKS
+#define RARSUB_MEMSTAT_HOOKS 1
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#undef RARSUB_MEMSTAT_HOOKS
+#define RARSUB_MEMSTAT_HOOKS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#undef RARSUB_MEMSTAT_HOOKS
+#define RARSUB_MEMSTAT_HOOKS 0
+#endif
+#endif
+
+namespace rarsub::obs {
+
+// ---------------------------------------------------------------------
+// Per-thread phase stack. POD with zero-initialized TLS storage: no
+// dynamic construction, so it is safe to touch from inside operator new
+// on any thread at any point of the process lifetime.
+
+namespace {
+
+constexpr int kPhaseStackDepth = 64;
+
+struct PhaseTls {
+  const char* stack[kPhaseStackDepth];
+  int depth;
+};
+
+thread_local PhaseTls tl_phase;  // zero-initialized
+
+}  // namespace
+
+// Out-of-line on purpose: every OBS_SCOPED_TIMER call site references
+// these, which forces the linker to pull this object file — and with it
+// the operator new/delete replacements below — into every binary that
+// links the static library.
+void phase_push(const char* name) noexcept {
+  PhaseTls& t = tl_phase;
+  if (t.depth < kPhaseStackDepth) t.stack[t.depth] = name;
+  ++t.depth;  // overflow depths are counted so pops stay balanced
+}
+
+void phase_pop() noexcept {
+  PhaseTls& t = tl_phase;
+  if (t.depth > 0) --t.depth;
+}
+
+const char* current_phase() noexcept {
+  const PhaseTls& t = tl_phase;
+  if (t.depth <= 0) return nullptr;
+  const int top = t.depth <= kPhaseStackDepth ? t.depth : kPhaseStackDepth;
+  return t.stack[top - 1];
+}
+
+int phase_depth() noexcept { return tl_phase.depth; }
+
+// ---------------------------------------------------------------------
+// Attribution table: a fixed open-addressed map from phase-name pointer
+// to a slot of atomic tallies. Slot 0 collects allocations outside any
+// phase (and the overflow case of more than kSlots-1 distinct names).
+// Names are interned by literal address here; snapshot() re-merges
+// duplicates by string in case the same literal lands at two addresses
+// across translation units.
+
+namespace {
+
+struct PhaseSlot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::int64_t> allocs{0}, frees{0};
+  std::atomic<std::int64_t> alloc_bytes{0}, freed_bytes{0};
+  std::atomic<std::int64_t> live_bytes{0}, peak_live_bytes{0};
+};
+
+constexpr std::uint32_t kSlots = 257;  // slot 0 reserved for "(none)"
+PhaseSlot g_slots[kSlots];
+
+struct Totals {
+  std::atomic<std::int64_t> allocs{0}, frees{0};
+  std::atomic<std::int64_t> alloc_bytes{0}, freed_bytes{0};
+  std::atomic<std::int64_t> live_bytes{0}, peak_live_bytes{0};
+};
+Totals g_tot;
+
+std::atomic<bool> g_enabled{false};
+// Once tracking has ever been on, deletes keep consulting the side table
+// so pointers recorded while enabled are still accounted after disable.
+std::atomic<bool> g_ever_enabled{false};
+
+void bump_peak(std::atomic<std::int64_t>& peak, std::int64_t live) {
+  std::int64_t cur = peak.load(std::memory_order_relaxed);
+  while (live > cur &&
+         !peak.compare_exchange_weak(cur, live, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint32_t slot_for(const char* name) {
+  if (name == nullptr) return 0;
+  const std::size_t h = std::hash<const void*>{}(name);
+  for (std::size_t probe = 0; probe < 64; ++probe) {
+    const std::uint32_t idx =
+        1 + static_cast<std::uint32_t>((h + probe) % (kSlots - 1));
+    PhaseSlot& s = g_slots[idx];
+    const char* cur = s.name.load(std::memory_order_acquire);
+    if (cur == name) return idx;
+    if (cur == nullptr) {
+      const char* expected = nullptr;
+      if (s.name.compare_exchange_strong(expected, name,
+                                         std::memory_order_acq_rel))
+        return idx;
+      if (expected == name) return idx;
+    }
+  }
+  return 0;  // table full: fold into the unattributed slot
+}
+
+// Pointer -> (slot, size) side table, sharded to keep delete-side lock
+// contention negligible. The shard array is allocated once and leaked so
+// it outlives any static-destruction-order games; its own allocations
+// (and the maps' node allocations) happen under tl_in_hook and are
+// excluded from tracking.
+
+struct Shard {
+  std::mutex mu;
+  std::unordered_map<void*, std::pair<std::uint32_t, std::size_t>> live;
+};
+
+constexpr std::uint32_t kShards = 64;
+
+Shard* shards() {
+  static Shard* s = new Shard[kShards];
+  return s;
+}
+
+Shard& shard_for(void* p) {
+  const std::size_t h = std::hash<void*>{}(p);
+  return shards()[(h >> 4) % kShards];
+}
+
+thread_local bool tl_in_hook = false;
+
+void record_alloc(void* p, std::size_t size) {
+  const std::uint32_t slot = slot_for(current_phase());
+  {
+    Shard& sh = shard_for(p);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.live[p] = {slot, size};
+  }
+  const std::int64_t sz = static_cast<std::int64_t>(size);
+  PhaseSlot& s = g_slots[slot];
+  s.allocs.fetch_add(1, std::memory_order_relaxed);
+  s.alloc_bytes.fetch_add(sz, std::memory_order_relaxed);
+  bump_peak(s.peak_live_bytes,
+            s.live_bytes.fetch_add(sz, std::memory_order_relaxed) + sz);
+  g_tot.allocs.fetch_add(1, std::memory_order_relaxed);
+  g_tot.alloc_bytes.fetch_add(sz, std::memory_order_relaxed);
+  bump_peak(g_tot.peak_live_bytes,
+            g_tot.live_bytes.fetch_add(sz, std::memory_order_relaxed) + sz);
+}
+
+void record_free(void* p) {
+  std::uint32_t slot;
+  std::size_t size;
+  {
+    Shard& sh = shard_for(p);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.live.find(p);
+    if (it == sh.live.end()) return;  // allocated before tracking began
+    slot = it->second.first;
+    size = it->second.second;
+    sh.live.erase(it);
+  }
+  const std::int64_t sz = static_cast<std::int64_t>(size);
+  PhaseSlot& s = g_slots[slot];
+  s.frees.fetch_add(1, std::memory_order_relaxed);
+  s.freed_bytes.fetch_add(sz, std::memory_order_relaxed);
+  s.live_bytes.fetch_sub(sz, std::memory_order_relaxed);
+  g_tot.frees.fetch_add(1, std::memory_order_relaxed);
+  g_tot.freed_bytes.fetch_add(sz, std::memory_order_relaxed);
+  g_tot.live_bytes.fetch_sub(sz, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Control.
+
+bool memstat_available() noexcept { return RARSUB_MEMSTAT_HOOKS != 0; }
+
+bool memstat_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+bool memstat_enable() {
+  if (!memstat_available()) return false;
+  shards();  // materialize the side table before the hooks consult it
+  g_ever_enabled.store(true, std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void memstat_disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void memstat_reset() {
+  auto window = [](auto& s) {
+    s.allocs.store(0, std::memory_order_relaxed);
+    s.frees.store(0, std::memory_order_relaxed);
+    s.alloc_bytes.store(0, std::memory_order_relaxed);
+    s.freed_bytes.store(0, std::memory_order_relaxed);
+    // Live bytes carry across the window boundary; the high-water mark
+    // restarts from the current level.
+    s.peak_live_bytes.store(s.live_bytes.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+  };
+  for (std::uint32_t i = 0; i < kSlots; ++i) window(g_slots[i]);
+  window(g_tot);
+}
+
+namespace {
+
+// Latch the environment opt-in before main so even static-initialization
+// allocations of later TUs are in scope. Defined after all tracker state
+// (this TU's objects construct in order of definition).
+const bool g_env_latch = [] {
+  const char* e = std::getenv("RARSUB_MEMSTAT");
+  if (e != nullptr && *e != '\0' && *e != '0') memstat_enable();
+  return true;
+}();
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// /proc sampler.
+
+namespace {
+
+std::int64_t read_status_kb(const char* key) {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  const std::size_t klen = std::strlen(key);
+  char line[256];
+  std::int64_t out = -1;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, klen) == 0) {
+      out = std::atoll(line + klen);
+      break;
+    }
+  }
+  std::fclose(f);
+  return out;
+#else
+  (void)key;
+  return -1;
+#endif
+}
+
+}  // namespace
+
+std::int64_t read_rss_kb() { return read_status_kb("VmRSS:"); }
+std::int64_t read_peak_rss_kb() { return read_status_kb("VmHWM:"); }
+
+bool try_reset_peak_rss() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+#else
+  return false;
+#endif
+}
+
+// ---------------------------------------------------------------------
+// Snapshot / render.
+
+MemSnapshot memstat_snapshot() {
+  MemSnapshot m;
+  m.enabled = memstat_enabled();
+  m.rss_kb = read_rss_kb();
+  m.peak_rss_kb = read_peak_rss_kb();
+  if (!g_ever_enabled.load(std::memory_order_relaxed)) return m;
+
+  m.allocs = g_tot.allocs.load(std::memory_order_relaxed);
+  m.frees = g_tot.frees.load(std::memory_order_relaxed);
+  m.alloc_bytes = g_tot.alloc_bytes.load(std::memory_order_relaxed);
+  m.freed_bytes = g_tot.freed_bytes.load(std::memory_order_relaxed);
+  m.live_bytes = g_tot.live_bytes.load(std::memory_order_relaxed);
+  m.peak_live_bytes = g_tot.peak_live_bytes.load(std::memory_order_relaxed);
+
+  // Merge slots by phase *string*: the same literal can be interned at
+  // two addresses across translation units.
+  std::map<std::string, MemPhaseSnap> merged;
+  for (std::uint32_t i = 0; i < kSlots; ++i) {
+    const PhaseSlot& s = g_slots[i];
+    const std::int64_t allocs = s.allocs.load(std::memory_order_relaxed);
+    const std::int64_t frees = s.frees.load(std::memory_order_relaxed);
+    if (allocs == 0 && frees == 0) continue;
+    const char* name = s.name.load(std::memory_order_acquire);
+    MemPhaseSnap& p = merged[i == 0 || name == nullptr ? "(none)" : name];
+    p.allocs += allocs;
+    p.frees += frees;
+    p.alloc_bytes += s.alloc_bytes.load(std::memory_order_relaxed);
+    p.freed_bytes += s.freed_bytes.load(std::memory_order_relaxed);
+    p.live_bytes += s.live_bytes.load(std::memory_order_relaxed);
+    p.peak_live_bytes += s.peak_live_bytes.load(std::memory_order_relaxed);
+  }
+  m.phases.reserve(merged.size());
+  for (auto& [name, p] : merged) {
+    p.phase = name;
+    m.phases.push_back(std::move(p));
+  }
+  std::sort(m.phases.begin(), m.phases.end(),
+            [](const MemPhaseSnap& a, const MemPhaseSnap& b) {
+              if (a.alloc_bytes != b.alloc_bytes)
+                return a.alloc_bytes > b.alloc_bytes;
+              return a.phase < b.phase;
+            });
+  return m;
+}
+
+std::string render_mem_summary() {
+  const MemSnapshot m = memstat_snapshot();
+  char buf[256];
+  std::string out = "mem:";
+  if (m.peak_rss_kb >= 0) {
+    std::snprintf(buf, sizeof buf, " peak_rss=%lld kB rss=%lld kB",
+                  static_cast<long long>(m.peak_rss_kb),
+                  static_cast<long long>(m.rss_kb));
+    out += buf;
+  } else {
+    out += " rss=unavailable";
+  }
+  if (!m.enabled) {
+    out += "  (allocation tracking off; RARSUB_MEMSTAT=1 or --memstat)";
+    return out;
+  }
+  std::snprintf(buf, sizeof buf,
+                "  allocs=%lld alloc_bytes=%lld peak_live=%lld",
+                static_cast<long long>(m.allocs),
+                static_cast<long long>(m.alloc_bytes),
+                static_cast<long long>(m.peak_live_bytes));
+  out += buf;
+  int shown = 0;
+  for (const MemPhaseSnap& p : m.phases) {
+    if (p.phase == "(none)" || p.alloc_bytes <= 0) continue;
+    out += shown == 0 ? "  top: " : ", ";
+    const double pct =
+        m.alloc_bytes > 0
+            ? 100.0 * static_cast<double>(p.alloc_bytes) /
+                  static_cast<double>(m.alloc_bytes)
+            : 0.0;
+    std::snprintf(buf, sizeof buf, "%s %.1f%%", p.phase.c_str(), pct);
+    out += buf;
+    if (++shown == 3) break;
+  }
+  return out;
+}
+
+}  // namespace rarsub::obs
+
+// ---------------------------------------------------------------------
+// Global operator new/delete replacements. Every form forwards to
+// malloc/posix_memalign + free so any new/delete pairing is consistent;
+// tracking adds one relaxed atomic load when disabled and a sharded map
+// update when enabled. tl_in_hook excludes the tracker's own bookkeeping
+// allocations (and makes reentrancy impossible).
+
+#if RARSUB_MEMSTAT_HOOKS
+
+namespace {
+
+void* hooked_alloc(std::size_t size, std::size_t align) noexcept {
+  void* p = nullptr;
+  if (align > alignof(std::max_align_t)) {
+    if (posix_memalign(&p, align, size) != 0) p = nullptr;
+  } else {
+    p = std::malloc(size);
+  }
+  if (p != nullptr &&
+      rarsub::obs::g_enabled.load(std::memory_order_relaxed) &&
+      !rarsub::obs::tl_in_hook) {
+    rarsub::obs::tl_in_hook = true;
+    rarsub::obs::record_alloc(p, size);
+    rarsub::obs::tl_in_hook = false;
+  }
+  return p;
+}
+
+void hooked_free(void* p) noexcept {
+  if (p == nullptr) return;
+  if (rarsub::obs::g_ever_enabled.load(std::memory_order_relaxed) &&
+      !rarsub::obs::tl_in_hook) {
+    rarsub::obs::tl_in_hook = true;
+    rarsub::obs::record_free(p);  // erases before free: no reuse race
+    rarsub::obs::tl_in_hook = false;
+  }
+  std::free(p);
+}
+
+void* throwing_alloc(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;
+  for (;;) {
+    void* p = hooked_alloc(size, align);
+    if (p != nullptr) return p;
+    std::new_handler h = std::get_new_handler();
+    if (h == nullptr) throw std::bad_alloc();
+    h();
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return throwing_alloc(size, 0); }
+void* operator new[](std::size_t size) { return throwing_alloc(size, 0); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  return throwing_alloc(size, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return throwing_alloc(size, static_cast<std::size_t>(al));
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return hooked_alloc(size != 0 ? size : 1, 0);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return hooked_alloc(size != 0 ? size : 1, 0);
+}
+void* operator new(std::size_t size, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  return hooked_alloc(size != 0 ? size : 1, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t size, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  return hooked_alloc(size != 0 ? size : 1, static_cast<std::size_t>(al));
+}
+
+void operator delete(void* p) noexcept { hooked_free(p); }
+void operator delete[](void* p) noexcept { hooked_free(p); }
+void operator delete(void* p, std::size_t) noexcept { hooked_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { hooked_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { hooked_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { hooked_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  hooked_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  hooked_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  hooked_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  hooked_free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  hooked_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  hooked_free(p);
+}
+
+#endif  // RARSUB_MEMSTAT_HOOKS

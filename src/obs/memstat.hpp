@@ -1,0 +1,96 @@
+#pragma once
+// Memory observability: an opt-in allocation tracker plus a /proc-based
+// RSS sampler.
+//
+// The tracker replaces the global operator new/delete (compiled in unless
+// the build sets RARSUB_MEMSTAT_HOOKS=0) and attributes allocation counts,
+// bytes, live bytes and high-water marks to the innermost phase on the
+// calling thread's phase stack (obs.hpp: every OBS_SCOPED_TIMER and
+// OBS_PHASE marks its extent there, per thread, so worker pools attribute
+// to their own phases). Tracking is off by default: the hooks then cost a
+// single relaxed atomic load per allocation. It turns on via the
+// RARSUB_MEMSTAT environment variable (latched before main), the
+// `rarsub_cli --memstat` flag, or memstat_enable().
+//
+// Accounting when on: operator new records the pointer's size and phase
+// slot in a sharded side table; operator delete looks the pointer up and
+// credits the *allocating* phase, so per-phase live bytes and high-water
+// marks stay truthful no matter which thread or phase frees. Allocations
+// made by the tracker's own bookkeeping are excluded through a TLS
+// reentrancy guard. The tracker never changes allocation behavior —
+// results with hooks on and off are byte-identical (MemstatTest).
+//
+// The RSS sampler (read_rss_kb / read_peak_rss_kb) is independent of the
+// hooks and always available on Linux: it parses VmRSS/VmHWM out of
+// /proc/self/status, cheap enough to call per bench method.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rarsub::obs {
+
+// ---------------------------------------------------------------------
+// Allocation tracker control. Everything is safe to call whether or not
+// the hooks are compiled in; enable simply fails when they are not.
+
+/// True when the operator new/delete hooks are compiled into this binary
+/// (build option RARSUB_MEMSTAT_HOOKS, default on).
+bool memstat_available() noexcept;
+
+/// Is allocation tracking currently recording?
+bool memstat_enabled() noexcept;
+
+/// Start tracking. Returns false (and stays off) when the hooks are
+/// compiled out. Also triggered before main by env RARSUB_MEMSTAT=1.
+bool memstat_enable();
+
+/// Stop tracking. Frees of still-live tracked pointers keep being
+/// accounted so live-byte attribution stays truthful.
+void memstat_disable();
+
+/// Zero every per-phase and total counter in place; live bytes carry over
+/// and the high-water marks restart from the current live level. Called by
+/// obs::reset() so bench per-method windows isolate memory too.
+void memstat_reset();
+
+// ---------------------------------------------------------------------
+// Snapshot.
+
+struct MemPhaseSnap {
+  std::string phase;  // "(none)" for allocations outside any phase
+  std::int64_t allocs = 0, frees = 0;
+  std::int64_t alloc_bytes = 0, freed_bytes = 0;
+  std::int64_t live_bytes = 0, peak_live_bytes = 0;
+};
+
+struct MemSnapshot {
+  bool enabled = false;  // was the tracker recording at snapshot time?
+  std::int64_t allocs = 0, frees = 0;
+  std::int64_t alloc_bytes = 0, freed_bytes = 0;
+  std::int64_t live_bytes = 0, peak_live_bytes = 0;
+  std::int64_t rss_kb = -1, peak_rss_kb = -1;  // -1 when /proc is absent
+  /// Per-phase attribution, sorted by alloc_bytes descending.
+  std::vector<MemPhaseSnap> phases;
+};
+
+/// Consistent-enough copy of the tracker state plus an RSS sample.
+/// Relaxed reads: totals may be a few allocations stale under concurrency,
+/// which is fine for statistics.
+MemSnapshot memstat_snapshot();
+
+// ---------------------------------------------------------------------
+// /proc sampler (Linux; -1 elsewhere). Peak RSS (VmHWM) is monotonic for
+// the process; try_reset_peak_rss() arms per-window peaks where the
+// kernel allows it (writing "5" to /proc/self/clear_refs).
+
+std::int64_t read_rss_kb();
+std::int64_t read_peak_rss_kb();
+bool try_reset_peak_rss();
+
+/// One-line human summary for `rarsub_cli --stats`: peak RSS always (from
+/// /proc), plus total allocs and the top-3 allocating phases when the
+/// tracker is recording.
+std::string render_mem_summary();
+
+}  // namespace rarsub::obs

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "obs/json.hpp"
+#include "obs/memstat.hpp"
 
 namespace rarsub::obs {
 
@@ -180,7 +181,46 @@ std::int64_t Snapshot::timer_calls(const std::string& name) const {
   return 0;
 }
 
+namespace {
+
+// Refresh the mem.* counters from the allocation tracker / RSS sampler so
+// every snapshot (and thus every RARSUB_REPORT "obs" object) carries the
+// memory picture. Stale mem.* entries are cleared first because these are
+// gauges republished wholesale, not monotonic counts. Must run before
+// snapshot() takes the registry lock — counter() locks it per call.
+void publish_memstat() {
+  const MemSnapshot m = memstat_snapshot();
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto& [name, c] : r.counters)
+      if (name.rfind("mem.", 0) == 0) c.reset();
+  }
+  auto set = [](const std::string& name, std::int64_t v) {
+    if (v <= 0) return;
+    Counter& c = counter(name);
+    c.reset();
+    c.add(v);
+  };
+  set("mem.rss_kb", m.rss_kb);
+  set("mem.peak_rss_kb", m.peak_rss_kb);
+  if (!m.enabled) return;
+  set("mem.allocs", m.allocs);
+  set("mem.frees", m.frees);
+  set("mem.alloc_bytes", m.alloc_bytes);
+  set("mem.freed_bytes", m.freed_bytes);
+  set("mem.live_bytes", m.live_bytes);
+  set("mem.peak_live_bytes", m.peak_live_bytes);
+  for (const MemPhaseSnap& p : m.phases) {
+    set("mem.phase." + p.phase + ".allocs", p.allocs);
+    set("mem.phase." + p.phase + ".alloc_bytes", p.alloc_bytes);
+  }
+}
+
+}  // namespace
+
 Snapshot snapshot() {
+  publish_memstat();
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   Snapshot s;
@@ -198,10 +238,16 @@ Snapshot snapshot() {
 
 void reset() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
-  for (auto& [name, c] : r.counters) c.reset();
-  for (auto& [name, d] : r.distributions) d.reset();
-  for (auto& [name, t] : r.timers) t.reset();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto& [name, c] : r.counters) c.reset();
+    for (auto& [name, d] : r.distributions) d.reset();
+    for (auto& [name, t] : r.timers) t.reset();
+  }
+  // Open a fresh allocation-attribution window alongside the instruments
+  // so per-method bench windows isolate memory the same way they isolate
+  // counters.
+  memstat_reset();
 }
 
 std::string render_text(const Snapshot& s) {

@@ -99,6 +99,40 @@ Distribution& distribution(const std::string& name);
 TimerStat& timer(const std::string& name);
 
 // ---------------------------------------------------------------------
+// Phase stack: a per-thread stack of phase names that the allocation
+// tracker (obs/memstat.hpp) samples to attribute bytes to phases. Every
+// OBS_SCOPED_TIMER maintains it automatically; OBS_PHASE marks an extent
+// without paying for a clock. `name` must outlive the scope (string
+// literals in practice). Per-thread by construction, so worker pools
+// attribute to their own phases — a worker that should inherit its
+// spawner's phase opens a PhaseScope on the captured current_phase().
+// (Defined in memstat.cpp: referencing them from the timer macros pulls
+// the allocation hooks into every binary that links the library.)
+
+void phase_push(const char* name) noexcept;
+void phase_pop() noexcept;
+/// Innermost phase on this thread, or nullptr outside any phase.
+const char* current_phase() noexcept;
+int phase_depth() noexcept;
+
+/// RAII phase marker; a nullptr name is a no-op, so a captured
+/// current_phase() can be re-opened on another thread unconditionally.
+class PhaseScope {
+ public:
+  explicit PhaseScope(const char* name) : active_(name != nullptr) {
+    if (active_) phase_push(name);
+  }
+  ~PhaseScope() {
+    if (active_) phase_pop();
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  bool active_;
+};
+
+// ---------------------------------------------------------------------
 // Tracing: Chrome trace-event JSON (load the file in chrome://tracing or
 // https://ui.perfetto.dev). Every OBS_SCOPED_TIMER scope becomes one
 // complete ("ph":"X") event; nesting renders hierarchically per thread.
@@ -129,8 +163,11 @@ void trace_emit(const char* name, std::int64_t start_ns, std::int64_t dur_ns);
 class ScopedTimer {
  public:
   ScopedTimer(TimerStat& stat, const char* name)
-      : stat_(stat), name_(name), start_ns_(now_ns()) {}
+      : stat_(stat), name_(name), start_ns_(now_ns()) {
+    phase_push(name);
+  }
   ~ScopedTimer() {
+    phase_pop();
     const std::int64_t dur = now_ns() - start_ns_;
     stat_.record(dur);
     if (trace_enabled()) trace_emit(name_, start_ns_, dur);
@@ -217,3 +254,11 @@ void snapshot_to_json(JsonWriter& w, const Snapshot& s);
   static ::rarsub::obs::TimerStat& obs_timer_stat_##id =                \
       ::rarsub::obs::timer(name);                                       \
   ::rarsub::obs::ScopedTimer obs_scoped_timer_##id(obs_timer_stat_##id, name)
+
+// Clock-free phase marker for allocation attribution (two TLS stores per
+// scope) — use where a scoped timer's steady_clock reads would be
+// measurable, e.g. per-gate-visit hot paths.
+#define OBS_PHASE(name) OBS_PHASE_IMPL_(name, __COUNTER__)
+#define OBS_PHASE_IMPL_(name, id) OBS_PHASE_IMPL2_(name, id)
+#define OBS_PHASE_IMPL2_(name, id) \
+  ::rarsub::obs::PhaseScope obs_phase_scope_##id(name)

@@ -1,0 +1,140 @@
+#include "obs/hwc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace rarsub {
+namespace {
+
+long fake_perf_open_eacces(void*, std::int32_t, std::int32_t, std::int32_t,
+                           unsigned long) {
+  errno = EACCES;  // what perf_event_paranoid / seccomp'd CI returns
+  return -1;
+}
+
+long fake_perf_open_enosys(void*, std::int32_t, std::int32_t, std::int32_t,
+                           unsigned long) {
+  errno = ENOSYS;
+  return -1;
+}
+
+// gtest_discover_tests runs each TEST in its own process, so re-arming
+// the probe with an injected syscall cannot bleed into other tests.
+
+TEST(Hwc, DegradesGracefullyOnEacces) {
+  obs::detail::set_perf_open_for_test(&fake_perf_open_eacces);
+  EXPECT_FALSE(obs::hwc_available());
+  const std::string status = obs::hwc_status();
+  EXPECT_NE(status.find("unavailable"), std::string::npos) << status;
+#ifdef __linux__
+  // The degradation reason names the syscall and carries the errno text.
+  EXPECT_NE(status.find("perf_event_open"), std::string::npos) << status;
+  EXPECT_NE(status.find("Permission denied"), std::string::npos) << status;
+#endif
+
+  // Every HWC object stays usable as a no-op: nothing throws, nothing
+  // crashes, readings just report invalid.
+  obs::HwcGroup group;
+  EXPECT_FALSE(group.valid());
+  group.start();
+  group.stop();
+  const obs::HwcReading r = group.read();
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.cycles, -1);
+  EXPECT_EQ(r.instructions, -1);
+  { obs::HwcScope scope; }  // constructs and destructs cleanly
+
+  // And no hwc.* counters leak into the registry from no-op scopes.
+  obs::reset();
+  { obs::HwcScope scope; }
+  EXPECT_EQ(obs::snapshot().counter("hwc.cycles"), 0);
+
+  obs::detail::set_perf_open_for_test(nullptr);
+}
+
+TEST(Hwc, DegradesGracefullyOnEnosys) {
+  obs::detail::set_perf_open_for_test(&fake_perf_open_enosys);
+  EXPECT_FALSE(obs::hwc_available());
+  EXPECT_NE(obs::hwc_status().find("unavailable"), std::string::npos);
+  obs::detail::set_perf_open_for_test(nullptr);
+}
+
+TEST(Hwc, EnvKillSwitchDisablesProbe) {
+#ifdef __linux__
+  ::setenv("RARSUB_HWC_OFF", "1", 1);
+  obs::detail::set_perf_open_for_test(nullptr);  // re-arm the probe
+  EXPECT_FALSE(obs::hwc_available());
+  EXPECT_NE(obs::hwc_status().find("RARSUB_HWC_OFF"), std::string::npos);
+  ::unsetenv("RARSUB_HWC_OFF");
+  obs::detail::set_perf_open_for_test(nullptr);  // re-arm with it unset
+#else
+  GTEST_SKIP() << "env kill switch is a Linux concern";
+#endif
+}
+
+TEST(Hwc, RealProbeNeverFailsHard) {
+  // Whatever this host offers — bare metal with a PMU, a container where
+  // perf_event_open is seccomp-filtered away — the probe must settle on a
+  // definite answer with a non-empty status, and measurement objects must
+  // behave accordingly.
+  obs::detail::set_perf_open_for_test(nullptr);
+  const bool avail = obs::hwc_available();
+  EXPECT_FALSE(obs::hwc_status().empty());
+
+  obs::HwcGroup group;
+  EXPECT_EQ(group.valid(), avail);
+  group.start();
+  // Burn enough work that real counters cannot plausibly read zero.
+  volatile std::uint64_t sink = 1;
+  for (int i = 0; i < 1000000; ++i) sink = sink * 2862933555777941757ull + 3;
+  group.stop();
+  const obs::HwcReading r = group.read();
+  EXPECT_EQ(r.valid, avail);
+  if (avail) {
+    EXPECT_GT(r.cycles, 0);
+    EXPECT_GT(r.instructions, 0);
+    // Miss counters are optional extras: -1 (failed to open) or >= 0.
+    EXPECT_GE(r.cache_misses, -1);
+    EXPECT_GE(r.branch_misses, -1);
+
+    // A scope over real work publishes into the obs registry.
+    obs::reset();
+    {
+      obs::HwcScope scope;
+      for (int i = 0; i < 1000000; ++i) sink = sink * 6364136223846793005ull + 1;
+    }
+    const obs::Snapshot s = obs::snapshot();
+    EXPECT_GT(s.counter("hwc.cycles"), 0);
+    EXPECT_GT(s.counter("hwc.instructions"), 0);
+  } else {
+    EXPECT_NE(obs::hwc_status().find("ok"), 0u) << obs::hwc_status();
+  }
+}
+
+TEST(Hwc, GroupIsReusableAcrossWindows) {
+  obs::detail::set_perf_open_for_test(nullptr);
+  if (!obs::hwc_available())
+    GTEST_SKIP() << "hwc unavailable on this host: " << obs::hwc_status();
+  obs::HwcGroup group;
+  volatile std::uint64_t sink = 1;
+  group.start();
+  for (int i = 0; i < 100000; ++i) sink += i;
+  group.stop();
+  const std::int64_t first = group.read().instructions;
+  group.start();  // start resets: second window is independent
+  for (int i = 0; i < 100000; ++i) sink += i;
+  group.stop();
+  const std::int64_t second = group.read().instructions;
+  EXPECT_GT(first, 0);
+  EXPECT_GT(second, 0);
+  // Same loop, same order of magnitude — not an accumulating total.
+  EXPECT_LT(second, first * 10);
+}
+
+}  // namespace
+}  // namespace rarsub

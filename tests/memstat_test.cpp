@@ -1,0 +1,285 @@
+#include "obs/memstat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchcir/suite.hpp"
+#include "network/blif.hpp"
+#include "obs/obs.hpp"
+#include "opt/scripts.hpp"
+
+namespace rarsub {
+namespace {
+
+const obs::MemPhaseSnap* find_phase(const obs::MemSnapshot& m,
+                                    const std::string& name) {
+  for (const obs::MemPhaseSnap& p : m.phases)
+    if (p.phase == name) return &p;
+  return nullptr;
+}
+
+// Every tracker test runs in its own process (gtest_discover_tests), so
+// enabling tracking here cannot leak into another test's timings.
+#define REQUIRE_HOOKS()                                            \
+  do {                                                             \
+    if (!obs::memstat_available())                                 \
+      GTEST_SKIP() << "allocation hooks compiled out "             \
+                      "(RARSUB_MEMSTAT_HOOKS=0 or sanitizer)";     \
+  } while (0)
+
+TEST(Memstat, PhaseAttributionIsExact) {
+  REQUIRE_HOOKS();
+  ASSERT_TRUE(obs::memstat_enable());
+  constexpr int kAllocs = 10;
+  constexpr std::size_t kSize = 1000;
+  std::vector<char*> keep;
+  keep.reserve(kAllocs);  // the vector's own buffer lands outside the phase
+  obs::memstat_reset();
+  {
+    obs::PhaseScope phase("test.mem.exact");
+    for (int i = 0; i < kAllocs; ++i) {
+      char* p = new char[kSize];
+      p[0] = static_cast<char>(i);  // escape so the allocation can't fold
+      keep.push_back(p);
+    }
+  }
+  const obs::MemSnapshot mid = obs::memstat_snapshot();
+  const obs::MemPhaseSnap* ph = find_phase(mid, "test.mem.exact");
+  ASSERT_NE(ph, nullptr);
+  EXPECT_EQ(ph->allocs, kAllocs);
+  EXPECT_EQ(ph->alloc_bytes, kAllocs * static_cast<std::int64_t>(kSize));
+  EXPECT_EQ(ph->frees, 0);
+  EXPECT_EQ(ph->live_bytes, kAllocs * static_cast<std::int64_t>(kSize));
+  EXPECT_EQ(ph->peak_live_bytes, ph->live_bytes);
+
+  // Frees outside the phase still credit the allocating phase.
+  for (char* p : keep) delete[] p;
+  const obs::MemSnapshot after = obs::memstat_snapshot();
+  ph = find_phase(after, "test.mem.exact");
+  ASSERT_NE(ph, nullptr);
+  EXPECT_EQ(ph->frees, kAllocs);
+  EXPECT_EQ(ph->freed_bytes, kAllocs * static_cast<std::int64_t>(kSize));
+  EXPECT_EQ(ph->live_bytes, 0);
+  EXPECT_EQ(ph->peak_live_bytes, kAllocs * static_cast<std::int64_t>(kSize));
+  obs::memstat_disable();
+}
+
+TEST(Memstat, NestedPhasesAttributeToInnermost) {
+  REQUIRE_HOOKS();
+  ASSERT_TRUE(obs::memstat_enable());
+  obs::memstat_reset();
+  std::vector<char*> keep;
+  keep.reserve(2);
+  {
+    obs::PhaseScope outer("test.mem.outer");
+    keep.push_back(new char[100]);
+    {
+      obs::PhaseScope inner("test.mem.inner");
+      keep.push_back(new char[200]);
+      EXPECT_STREQ(obs::current_phase(), "test.mem.inner");
+    }
+    EXPECT_STREQ(obs::current_phase(), "test.mem.outer");
+  }
+  const obs::MemSnapshot m = obs::memstat_snapshot();
+  const obs::MemPhaseSnap* outer = find_phase(m, "test.mem.outer");
+  const obs::MemPhaseSnap* inner = find_phase(m, "test.mem.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->allocs, 1);
+  EXPECT_EQ(outer->alloc_bytes, 100);
+  EXPECT_EQ(inner->allocs, 1);
+  EXPECT_EQ(inner->alloc_bytes, 200);
+  for (char* p : keep) delete[] p;
+  obs::memstat_disable();
+}
+
+TEST(Memstat, PhaseStackIsPerThread) {
+  REQUIRE_HOOKS();
+  ASSERT_TRUE(obs::memstat_enable());
+  obs::memstat_reset();
+
+  // Four workers, each in its own phase with a distinctive allocation
+  // count/size; a per-thread TLS stack must keep them fully separate even
+  // though they run concurrently.
+  constexpr int kThreads = 4;
+  static const char* kNames[kThreads] = {"test.mem.t0", "test.mem.t1",
+                                         "test.mem.t2", "test.mem.t3"};
+  std::vector<std::vector<char*>> keep(kThreads);
+  std::vector<bool> phase_ok(kThreads, false);
+  {
+    obs::PhaseScope main_phase("test.mem.main");
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+      keep[t].reserve(static_cast<std::size_t>((t + 1) * 50));
+      pool.emplace_back([t, &keep, &phase_ok] {
+        // A fresh thread starts outside every phase.
+        bool ok = obs::current_phase() == nullptr;
+        obs::PhaseScope phase(kNames[t]);
+        ok = ok && std::strcmp(obs::current_phase(), kNames[t]) == 0;
+        for (int i = 0; i < (t + 1) * 50; ++i) {
+          char* p = new char[64];
+          p[0] = static_cast<char>(t);
+          keep[t].push_back(p);
+        }
+        phase_ok[t] = ok && obs::phase_depth() == 1;
+      });
+    }
+    for (std::thread& th : pool) th.join();
+    // The spawner's own stack is untouched by the workers.
+    EXPECT_STREQ(obs::current_phase(), "test.mem.main");
+  }
+  const obs::MemSnapshot m = obs::memstat_snapshot();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(phase_ok[t]) << kNames[t];
+    const obs::MemPhaseSnap* ph = find_phase(m, kNames[t]);
+    ASSERT_NE(ph, nullptr) << kNames[t];
+    EXPECT_EQ(ph->allocs, (t + 1) * 50) << kNames[t];
+    EXPECT_EQ(ph->alloc_bytes, (t + 1) * 50 * 64) << kNames[t];
+    for (char* p : keep[t]) delete[] p;
+  }
+  obs::memstat_disable();
+}
+
+TEST(Memstat, HooksOnOffGiveByteIdenticalResults) {
+  // The tracker observes; it must never steer. Same workload with
+  // tracking off and on has to produce the identical network.
+  auto run = [] {
+    Network net = build_benchmark("add8");
+    script_a(net);
+    run_resub(net, ResubMethod::Extended, ResubTuning{});
+    return write_blif_string(net);
+  };
+  obs::memstat_disable();
+  const std::string off = run();
+  const bool enabled = obs::memstat_enable();
+  const std::string on = run();
+  obs::memstat_disable();
+  if (obs::memstat_available()) EXPECT_TRUE(enabled);
+  EXPECT_EQ(off, on);
+}
+
+TEST(Memstat, ResetOpensFreshWindowButCarriesLiveBytes) {
+  REQUIRE_HOOKS();
+  ASSERT_TRUE(obs::memstat_enable());
+  obs::memstat_reset();
+  char* p = nullptr;
+  {
+    obs::PhaseScope phase("test.mem.window");
+    p = new char[512];
+    p[0] = 1;
+  }
+  obs::MemSnapshot m = obs::memstat_snapshot();
+  EXPECT_GE(m.allocs, 1);
+  obs::memstat_reset();
+  m = obs::memstat_snapshot();
+  EXPECT_EQ(m.allocs, 0);
+  EXPECT_EQ(m.alloc_bytes, 0);
+  EXPECT_GE(m.live_bytes, 512);  // live survives the window boundary
+  EXPECT_EQ(m.peak_live_bytes, m.live_bytes);
+  delete[] p;
+  obs::memstat_disable();
+}
+
+TEST(Memstat, FreesAfterDisableStayAccounted) {
+  REQUIRE_HOOKS();
+  ASSERT_TRUE(obs::memstat_enable());
+  obs::memstat_reset();
+  char* p = new char[256];
+  p[0] = 1;
+  const std::int64_t live_before = obs::memstat_snapshot().live_bytes;
+  obs::memstat_disable();
+  delete[] p;  // pointer was recorded while enabled: still resolves
+  const obs::MemSnapshot m = obs::memstat_snapshot();
+  EXPECT_LE(m.live_bytes, live_before - 256);
+}
+
+TEST(Memstat, ObsSnapshotPublishesMemCounters) {
+  REQUIRE_HOOKS();
+  ASSERT_TRUE(obs::memstat_enable());
+  obs::reset();
+  std::vector<char*> keep;
+  keep.reserve(8);
+  {
+    obs::PhaseScope phase("test.mem.publish");
+    for (int i = 0; i < 8; ++i) {
+      keep.push_back(new char[128]);
+      keep.back()[0] = 1;
+    }
+  }
+  const obs::Snapshot s = obs::snapshot();
+  EXPECT_GT(s.counter("mem.allocs"), 0);
+  EXPECT_GT(s.counter("mem.alloc_bytes"), 0);
+  EXPECT_GT(s.counter("mem.peak_live_bytes"), 0);
+  EXPECT_EQ(s.counter("mem.phase.test.mem.publish.allocs"), 8);
+  EXPECT_EQ(s.counter("mem.phase.test.mem.publish.alloc_bytes"), 8 * 128);
+  for (char* p : keep) delete[] p;
+  obs::memstat_disable();
+}
+
+TEST(Memstat, RssSamplerReadsProc) {
+  const std::int64_t rss = obs::read_rss_kb();
+  const std::int64_t peak = obs::read_peak_rss_kb();
+  if (rss < 0) GTEST_SKIP() << "/proc/self/status not available";
+  EXPECT_GT(rss, 0);
+  EXPECT_GE(peak, rss);  // VmHWM is the high-water mark of VmRSS
+}
+
+TEST(Memstat, SummaryLineWorksWithTrackingOff) {
+  obs::memstat_disable();
+  const std::string line = obs::render_mem_summary();
+  EXPECT_NE(line.find("mem:"), std::string::npos);
+  if (obs::read_rss_kb() >= 0)
+    EXPECT_NE(line.find("peak_rss="), std::string::npos);
+  EXPECT_NE(line.find("tracking off"), std::string::npos);
+}
+
+TEST(Memstat, SummaryLineListsTopPhasesWhenTracking) {
+  REQUIRE_HOOKS();
+  ASSERT_TRUE(obs::memstat_enable());
+  obs::memstat_reset();
+  std::vector<char*> keep;
+  keep.reserve(4);
+  {
+    obs::PhaseScope phase("test.mem.top");
+    for (int i = 0; i < 4; ++i) {
+      keep.push_back(new char[4096]);
+      keep.back()[0] = 1;
+    }
+  }
+  const std::string line = obs::render_mem_summary();
+  EXPECT_NE(line.find("allocs="), std::string::npos);
+  EXPECT_NE(line.find("top: "), std::string::npos);
+  EXPECT_NE(line.find("test.mem.top"), std::string::npos);
+  for (char* p : keep) delete[] p;
+  obs::memstat_disable();
+}
+
+TEST(Memstat, ScopedTimerMaintainsPhaseStack) {
+  EXPECT_EQ(obs::current_phase(), nullptr);
+  {
+    OBS_SCOPED_TIMER("test.mem.timer_phase");
+    EXPECT_STREQ(obs::current_phase(), "test.mem.timer_phase");
+    EXPECT_EQ(obs::phase_depth(), 1);
+  }
+  EXPECT_EQ(obs::current_phase(), nullptr);
+  EXPECT_EQ(obs::phase_depth(), 0);
+}
+
+TEST(Memstat, PhaseStackOverflowStaysBalanced) {
+  // Deeper than the fixed TLS capacity: extra levels are counted but not
+  // stored, and unwinding restores the stack exactly.
+  constexpr int kDeep = 200;
+  for (int i = 0; i < kDeep; ++i) obs::phase_push("test.mem.deep");
+  EXPECT_EQ(obs::phase_depth(), kDeep);
+  EXPECT_STREQ(obs::current_phase(), "test.mem.deep");
+  for (int i = 0; i < kDeep; ++i) obs::phase_pop();
+  EXPECT_EQ(obs::phase_depth(), 0);
+  EXPECT_EQ(obs::current_phase(), nullptr);
+}
+
+}  // namespace
+}  // namespace rarsub

@@ -2,24 +2,39 @@
 """Compare two RARSUB_REPORT bench JSONs and gate on regressions.
 
 Usage:
-  bench_compare.py BASELINE CURRENT [--cpu-threshold PCT] [--out FILE]
+  bench_compare.py BASELINE CURRENT [--cpu-threshold PCT]
+                   [--alloc-threshold PCT] [--rss-threshold PCT]
+                   [--require-mem] [--out FILE]
+  bench_compare.py CPU_REPORT MEM_REPORT --merge-out FILE
   bench_compare.py --self-test
 
 Reads the JSON reports written by the bench tables (bench/table_common.cpp,
 env RARSUB_REPORT=<file>), matches per-(circuit, method) rows by name, and
-prints a delta table of literal counts and CPU times.
+prints a delta table of literal counts, CPU times, and memory.
 
 Exit status:
   0  no regression
   1  regression: any per-row literal-count increase, a per-method total CPU
-     increase beyond --cpu-threshold percent, missing coverage in CURRENT,
+     increase beyond --cpu-threshold percent, a per-method total allocation
+     increase beyond --alloc-threshold percent, a per-method peak-RSS
+     increase beyond --rss-threshold percent, missing coverage in CURRENT,
      or equivalence failures in CURRENT
   2  bad invocation / unreadable or malformed report
 
 Literal counts are deterministic, so the literal gate is strict (any
 increase fails). CPU time is noisy, so it is gated on per-method *totals*
 with a percentage threshold (default 5%; CI uses a larger value to absorb
-machine-to-machine variance).
+machine-to-machine variance). Allocation counts are deterministic per
+libstdc++ version but not across them, so they get their own (tighter
+than CPU) default threshold; peak RSS includes allocator/kernel slack and
+gets a looser one. The memory gates only engage when both reports carry
+the fields (RARSUB_MEMSTAT=1 runs) — pass --require-mem to fail instead
+of skip when CURRENT lacks them, so CI can't silently lose the gate.
+
+--merge-out grafts the memory fields of MEM_REPORT (a RARSUB_MEMSTAT=1
+run) onto the rows of CPU_REPORT (a memstat-off run, whose timings are
+untainted by tracking overhead) and writes the combined report: the
+blessing path for bench/baseline_small.json.
 """
 
 import argparse
@@ -48,6 +63,11 @@ def load_report(path):
                 # the filter or for methods that don't run it).
                 "pairs_tried": tried,
                 "pairs_pruned": pruned,
+                # Memory telemetry (None for reports predating it, or for
+                # runs without RARSUB_MEMSTAT=1 / without /proc).
+                "allocs": m.get("allocs"),
+                "alloc_bytes": m.get("alloc_bytes"),
+                "peak_rss_kb": m.get("peak_rss_kb"),
             }
     return report, rows
 
@@ -88,7 +108,92 @@ def prune_rate_lines(base_rows, cur_rows):
     return lines
 
 
-def compare(base_report, base_rows, cur_report, cur_rows, cpu_threshold):
+def mem_gate(base_rows, cur_rows, alloc_threshold, rss_threshold,
+             require_mem):
+    """Memory gate over per-method aggregates: total allocation count
+    (deterministic within one toolchain) and max peak RSS (noisy, looser
+    threshold). Engages only where both reports carry the fields; with
+    require_mem a missing side is itself a failure, so CI notices when the
+    memstat run silently stops producing data."""
+    lines = [""]
+    failures = []
+
+    methods = sorted({m for (_, m) in base_rows} | {m for (_, m) in cur_rows})
+    header = "%-10s %11s %11s %9s %9s %9s %8s  (alloc gate %.1f%%, rss gate %.1f%%)" % (
+        "method", "b_allocs", "c_allocs", "d_alloc%",
+        "b_rss_kb", "c_rss_kb", "d_rss%", alloc_threshold, rss_threshold)
+    lines.append(header)
+
+    for method in methods:
+        ba = ca = 0
+        has_pair = False
+        base_has = cur_has = False
+        b_rss = c_rss = None
+        for key in base_rows:
+            if key[1] != method or key not in cur_rows:
+                continue
+            b, c = base_rows[key], cur_rows[key]
+            base_has = base_has or b["allocs"] is not None
+            cur_has = cur_has or c["allocs"] is not None
+            if b["allocs"] is not None and c["allocs"] is not None:
+                has_pair = True
+                ba += b["allocs"]
+                ca += c["allocs"]
+            if b["peak_rss_kb"] is not None:
+                b_rss = max(b_rss or 0, b["peak_rss_kb"])
+            if c["peak_rss_kb"] is not None:
+                c_rss = max(c_rss or 0, c["peak_rss_kb"])
+
+        def pct_cell(bv, cv):
+            if bv is None or cv is None or bv <= 0:
+                return None, "%7s " % "-"
+            d = 100.0 * (cv - bv) / bv
+            return d, "%+7.1f%%" % d
+
+        d_alloc, alloc_cell = pct_cell(ba if has_pair else None,
+                                       ca if has_pair else None)
+        d_rss, rss_cell = pct_cell(b_rss, c_rss)
+        mark = ""
+        if d_alloc is not None and d_alloc > alloc_threshold:
+            mark += "  <-- allocation regression"
+            failures.append(
+                "method %s: allocations %d -> %d (%+.1f%% > %.1f%%)"
+                % (method, ba, ca, d_alloc, alloc_threshold))
+        if d_rss is not None and d_rss > rss_threshold:
+            mark += "  <-- peak RSS regression"
+            failures.append(
+                "method %s: peak RSS %dkB -> %dkB (%+.1f%% > %.1f%%)"
+                % (method, b_rss, c_rss, d_rss, rss_threshold))
+        if base_has and not cur_has:
+            mark += "  (current lacks allocation data)"
+            if require_mem:
+                failures.append(
+                    "method %s: baseline has allocation data but current "
+                    "does not (--require-mem)" % method)
+        elif require_mem and not has_pair:
+            failures.append(
+                "method %s: allocation gate could not engage "
+                "(--require-mem)" % method)
+        if require_mem and c_rss is None:
+            failures.append(
+                "method %s: current lacks peak_rss_kb (--require-mem)"
+                % method)
+
+        def n_cell(v):
+            return "%11s" % "-" if v is None else "%11d" % v
+
+        lines.append("%-10s %s %s %s %s %s %s%s" % (
+            method, n_cell(ba if has_pair else None),
+            n_cell(ca if has_pair else None), alloc_cell,
+            "%9s" % "-" if b_rss is None else "%9d" % b_rss,
+            "%9s" % "-" if c_rss is None else "%9d" % c_rss,
+            rss_cell, mark))
+
+    return lines, failures
+
+
+def compare(base_report, base_rows, cur_report, cur_rows, cpu_threshold,
+            alloc_threshold=10.0, rss_threshold=30.0, require_mem=False):
     """Returns (lines, failures) where lines is the rendered delta table
     and failures is a list of human-readable regression descriptions."""
     lines = []
@@ -144,6 +249,11 @@ def compare(base_report, base_rows, cur_report, cur_rows, cpu_threshold):
 
     lines.extend(prune_rate_lines(base_rows, cur_rows))
 
+    mem_l, mem_f = mem_gate(base_rows, cur_rows, alloc_threshold,
+                            rss_threshold, require_mem)
+    lines.extend(mem_l)
+    failures.extend(mem_f)
+
     eq_fail = int(cur_report.get("equivalence_failures", 0))
     if eq_fail > 0:
         failures.append("current report has %d equivalence failure(s)" % eq_fail)
@@ -163,13 +273,16 @@ def run_compare(args):
         return 2
 
     lines, failures = compare(base_report, base_rows, cur_report, cur_rows,
-                              args.cpu_threshold)
+                              args.cpu_threshold, args.alloc_threshold,
+                              args.rss_threshold, args.require_mem)
     text = "\n".join(lines) + "\n"
     if failures:
         text += "\nREGRESSIONS:\n" + "\n".join("  - " + f for f in failures) + "\n"
     else:
-        text += "\nno regressions (literal gate strict, CPU gate %.1f%%)\n" \
-                % args.cpu_threshold
+        text += "\nno regressions (literal gate strict, CPU gate %.1f%%, " \
+                "alloc gate %.1f%%, rss gate %.1f%%)\n" \
+                % (args.cpu_threshold, args.alloc_threshold,
+                   args.rss_threshold)
     print(text, end="")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as f:
@@ -177,12 +290,59 @@ def run_compare(args):
     return 1 if failures else 0
 
 
+MERGE_KEYS = ("peak_rss_kb", "allocs", "alloc_bytes", "peak_live_bytes",
+              "mem_phases")
+
+
+def run_merge(args):
+    """Graft the memory fields of a memstat-on report onto the rows of a
+    memstat-off report (whose CPU numbers are untainted by tracking) and
+    write the result: the blessing path for the committed baseline."""
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as f:
+            cpu_report = json.load(f)
+        with open(args.current, "r", encoding="utf-8") as f:
+            mem_report = json.load(f)
+    except (OSError, ValueError) as e:
+        print("bench_compare: cannot read report: %s" % e, file=sys.stderr)
+        return 2
+
+    mem_rows = {}
+    for circuit in mem_report.get("circuits", []):
+        for m in circuit.get("methods", []):
+            mem_rows[(circuit["name"], m["method"])] = m
+
+    merged = 0
+    missing = []
+    for circuit in cpu_report.get("circuits", []):
+        for m in circuit.get("methods", []):
+            src = mem_rows.get((circuit["name"], m["method"]))
+            if src is None or src.get("allocs") is None:
+                missing.append("%s/%s" % (circuit["name"], m["method"]))
+                continue
+            for k in MERGE_KEYS:
+                if k in src:
+                    m[k] = src[k]
+            merged += 1
+    if missing:
+        print("bench_compare: no memory data for: %s" % ", ".join(missing),
+              file=sys.stderr)
+        return 2
+
+    with open(args.merge_out, "w", encoding="utf-8") as f:
+        json.dump(cpu_report, f, separators=(",", ":"))
+        f.write("\n")
+    print("merged memory fields into %d row(s) -> %s"
+          % (merged, args.merge_out))
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Self test: synthesizes reports in memory and checks the gate logic,
 # including that an injected 10% CPU regression fails at the default
 # threshold. Run from ctest so the comparator itself is covered.
 
-def _report(rows, eq_failures=0):
+def _report(rows, eq_failures=0, mem=None):
     circuits = {}
     for (circuit, method), row in rows.items():
         lits, ms = row[0], row[1]
@@ -192,6 +352,12 @@ def _report(rows, eq_failures=0):
             entry["obs"] = {"counters": {
                 "subst.pairs_tried": row[2],
                 "subst.pairs_pruned_sig": row[3]}}
+        if mem is not None and (circuit, method) in mem:
+            # (allocs, alloc_bytes, peak_rss_kb)
+            allocs, alloc_bytes, rss = mem[(circuit, method)]
+            entry["allocs"] = allocs
+            entry["alloc_bytes"] = alloc_bytes
+            entry["peak_rss_kb"] = rss
         circuits.setdefault(circuit, []).append(entry)
     return {
         "table": "self-test", "suite": "small",
@@ -215,12 +381,20 @@ def _rows_of(report):
             rows[(circuit["name"], m["method"])] = {
                 "literals": m["literals"], "cpu_ms": m["cpu_ms"],
                 "equivalent": m["equivalent"],
-                "pairs_tried": tried, "pairs_pruned": pruned}
+                "pairs_tried": tried, "pairs_pruned": pruned,
+                "allocs": m.get("allocs"),
+                "alloc_bytes": m.get("alloc_bytes"),
+                "peak_rss_kb": m.get("peak_rss_kb")}
     return rows
 
 
 def self_test():
     base = _report({("c432", "ext"): (200, 100.0), ("c880", "ext"): (300, 200.0)})
+
+    BASE_MEM = {("c432", "ext"): (1000, 50000, 4000),
+                ("c880", "ext"): (2000, 90000, 6000)}
+    LITS = {("c432", "ext"): (200, 100.0), ("c880", "ext"): (300, 200.0)}
+    base_mem = _report(LITS, mem=BASE_MEM)
 
     def prune_text(report):
         return "\n".join(prune_rate_lines(_rows_of(base), _rows_of(report)))
@@ -228,6 +402,19 @@ def self_test():
     def verdict(cur, threshold):
         _, failures = compare(base, _rows_of(base), cur, _rows_of(cur), threshold)
         return failures
+
+    def mem_verdict(b, cur, alloc_threshold=10.0, rss_threshold=30.0,
+                    require_mem=False):
+        _, failures = compare(b, _rows_of(b), cur, _rows_of(cur), 50.0,
+                              alloc_threshold, rss_threshold, require_mem)
+        return failures
+
+    # A 20% allocation regression in every row (the injected-regression
+    # scenario the CI self-test step documents).
+    mem_plus20 = _report(LITS, mem={k: (int(a * 1.2), by, rss)
+                                    for k, (a, by, rss) in BASE_MEM.items()})
+    rss_plus50 = _report(LITS, mem={k: (a, by, int(rss * 1.5))
+                                    for k, (a, by, rss) in BASE_MEM.items()})
 
     checks = [
         ("identical reports pass",
@@ -256,6 +443,20 @@ def self_test():
                       ("c880", "ext"): (300, 200.0)}))),
         ("reports without prune counters show '-'",
          "-" in prune_text(base) and not verdict(base, 5.0)),
+        ("identical memory reports pass",
+         not mem_verdict(base_mem, base_mem)),
+        ("injected 20% allocation regression fails at default threshold",
+         any("allocation" in f for f in mem_verdict(base_mem, mem_plus20))),
+        ("20% allocation regression passes at 25% threshold",
+         not mem_verdict(base_mem, mem_plus20, alloc_threshold=25.0)),
+        ("50% peak-RSS regression fails at default threshold",
+         any("peak RSS" in f for f in mem_verdict(base_mem, rss_plus50))),
+        ("memstat-off current skips the gate without --require-mem",
+         not mem_verdict(base_mem, base)),
+        ("memstat-off current fails with --require-mem",
+         bool(mem_verdict(base_mem, base, require_mem=True))),
+        ("memstat-off baseline never gates allocations",
+         not mem_verdict(base, mem_plus20)),
     ]
     ok = True
     for name, passed in checks:
@@ -271,7 +472,20 @@ def main():
     ap.add_argument("--cpu-threshold", type=float, default=5.0,
                     help="max allowed per-method total CPU increase, percent "
                          "(default %(default)s)")
+    ap.add_argument("--alloc-threshold", type=float, default=10.0,
+                    help="max allowed per-method total allocation-count "
+                         "increase, percent (default %(default)s)")
+    ap.add_argument("--rss-threshold", type=float, default=30.0,
+                    help="max allowed per-method peak-RSS increase, percent "
+                         "(default %(default)s)")
+    ap.add_argument("--require-mem", action="store_true",
+                    help="fail (instead of skip) when CURRENT lacks the "
+                         "memory fields the baseline has")
     ap.add_argument("--out", help="also write the delta table to this file")
+    ap.add_argument("--merge-out", metavar="FILE",
+                    help="instead of comparing, graft CURRENT's memory "
+                         "fields onto BASELINE's rows and write FILE "
+                         "(baseline blessing)")
     ap.add_argument("--self-test", action="store_true",
                     help="run the built-in gate-logic checks and exit")
     args = ap.parse_args()
@@ -281,6 +495,8 @@ def main():
     if not args.baseline or not args.current:
         ap.print_usage(sys.stderr)
         sys.exit(2)
+    if args.merge_out:
+        sys.exit(run_merge(args))
     sys.exit(run_compare(args))
 
 
