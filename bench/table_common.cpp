@@ -9,26 +9,25 @@
 #include "obs/json.hpp"
 #include "obs/memstat.hpp"
 #include "obs/obs.hpp"
+#include "obs/prof.hpp"
 #include "verify/equivalence.hpp"
 
 namespace rarsub::benchtool {
 
 ResubTuning tuning_from_env() {
   ResubTuning tuning;
-  tuning.prune = std::getenv("RARSUB_NO_PRUNE") == nullptr;
-  tuning.incremental = std::getenv("RARSUB_NO_INCREMENTAL") == nullptr;
+  tuning.prune = !obs::env_flag("RARSUB_NO_PRUNE");
+  tuning.incremental = !obs::env_flag("RARSUB_NO_INCREMENTAL");
   return tuning;
 }
 
 int run_table(const TableConfig& config) {
-  const bool small =
-      config.small_suite || std::getenv("RARSUB_SMALL") != nullptr;
+  const bool small = config.small_suite || obs::env_flag("RARSUB_SMALL");
   const auto suite = small ? benchmark_suite_small() : benchmark_suite();
 
-  const char* report_env = std::getenv("RARSUB_REPORT");
+  const char* report_env = obs::env_path("RARSUB_REPORT");
   const std::string report_path =
-      (report_env != nullptr && *report_env != '\0') ? report_env
-                                                     : config.report_path;
+      report_env != nullptr ? report_env : config.report_path;
   const bool reporting = !report_path.empty();
   std::string report;
   obs::JsonWriter w(&report);
@@ -88,6 +87,9 @@ int run_table(const TableConfig& config) {
       const double ms = timer.elapsed_ms();
       const obs::HwcReading hw = hwc.read();
       const obs::MemSnapshot mem = obs::memstat_snapshot();
+      // Window prof snapshot before obs::snapshot() so the prof.* gauges
+      // in the obs block describe the same sample set as prof_phases.
+      const obs::ProfSnapshot prof = obs::prof_snapshot();
       const obs::Snapshot snap = obs::snapshot();
       const int lits = net.factored_literals();
       total_lits[i] += lits;
@@ -138,6 +140,30 @@ int run_table(const TableConfig& config) {
             w.value(p.alloc_bytes);
             w.end_object();
             if (++shown == 8) break;
+          }
+          w.end_object();
+        }
+        // CPU self-time profile: only when the sampler ran this window
+        // (RARSUB_PROF), mirroring the mem_phases "no data vs zero"
+        // distinction. Top-8 phases by samples; est self-CPU from the
+        // sampling period.
+        if (prof.enabled || prof.samples > 0) {
+          w.key("prof_status");
+          w.value(obs::prof_status());
+          w.key("prof_samples");
+          w.value(prof.samples);
+          w.key("prof_phases");
+          w.begin_object();
+          int pshown = 0;
+          for (const obs::ProfPhaseSelf& p : obs::prof_self_phases(prof)) {
+            w.key(p.phase);
+            w.begin_object();
+            w.key("samples");
+            w.value(p.samples);
+            w.key("self_ms");
+            w.value(p.est_ms);
+            w.end_object();
+            if (++pshown == 8) break;
           }
           w.end_object();
         }

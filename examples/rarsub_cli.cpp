@@ -20,6 +20,11 @@
 //                     allocation totals when tracking is on)
 //   --memstat         enable allocation tracking (same as RARSUB_MEMSTAT=1)
 //                     and print the memory summary line
+//   --stats-out <file> write the full observability snapshot as JSON
+//                     (obs instruments + memory + hwc/prof status)
+//   --profile <file>  sample the run's CPU time against the phase stack
+//                     and write a flamegraph-compatible folded profile
+//                     (same as RARSUB_PROF=<file>; see docs/OBSERVABILITY.md)
 //   --trace <file>    write a Chrome trace-event JSON of the run
 //   --report <file>   write the observability snapshot as JSON
 //   --ledger <file>   record the optimization flight ledger as JSONL
@@ -45,9 +50,12 @@
 #include "benchcir/suite.hpp"
 #include "fuzz/driver.hpp"
 #include "network/blif.hpp"
+#include "obs/hwc.hpp"
+#include "obs/json.hpp"
 #include "obs/ledger.hpp"
 #include "obs/memstat.hpp"
 #include "obs/obs.hpp"
+#include "obs/prof.hpp"
 #include "network/eqn.hpp"
 #include "network/pla.hpp"
 #include "opt/decomp.hpp"
@@ -235,19 +243,107 @@ int cmd_list() {
   return 0;
 }
 
+// --stats-out: the machine-readable sibling of --stats. One JSON object
+// with the obs snapshot plus the telemetry --stats prints around it
+// (memory, hardware-counter status, profiler status/top phases), so a
+// scripted run collects everything in one file without bench-report
+// plumbing.
+bool write_stats_json(const std::string& path, const obs::Snapshot& snap) {
+  std::string out;
+  obs::JsonWriter w(&out);
+  w.begin_object();
+  w.key("obs");
+  obs::snapshot_to_json(w, snap);
+  const obs::MemSnapshot mem = obs::memstat_snapshot();
+  w.key("mem");
+  w.begin_object();
+  w.key("enabled");
+  w.value(mem.enabled);
+  w.key("rss_kb");
+  w.value(mem.rss_kb);
+  w.key("peak_rss_kb");
+  w.value(mem.peak_rss_kb);
+  if (mem.enabled) {
+    w.key("allocs");
+    w.value(mem.allocs);
+    w.key("frees");
+    w.value(mem.frees);
+    w.key("alloc_bytes");
+    w.value(mem.alloc_bytes);
+    w.key("freed_bytes");
+    w.value(mem.freed_bytes);
+    w.key("live_bytes");
+    w.value(mem.live_bytes);
+    w.key("peak_live_bytes");
+    w.value(mem.peak_live_bytes);
+    w.key("phases");
+    w.begin_object();
+    for (const obs::MemPhaseSnap& p : mem.phases) {
+      w.key(p.phase);
+      w.begin_object();
+      w.key("allocs");
+      w.value(p.allocs);
+      w.key("alloc_bytes");
+      w.value(p.alloc_bytes);
+      w.key("peak_live_bytes");
+      w.value(p.peak_live_bytes);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.key("hwc_status");
+  w.value(obs::hwc_status());
+  w.key("prof_status");
+  w.value(obs::prof_status());
+  const obs::ProfSnapshot prof = obs::prof_snapshot();
+  if (prof.enabled || prof.samples > 0) {
+    w.key("prof");
+    w.begin_object();
+    w.key("samples");
+    w.value(prof.samples);
+    w.key("samples_dropped");
+    w.value(prof.dropped);
+    w.key("interval_us");
+    w.value(prof.interval_us);
+    w.key("phases");
+    w.begin_object();
+    for (const obs::ProfPhaseSelf& p : obs::prof_self_phases(prof)) {
+      w.key(p.phase);
+      w.begin_object();
+      w.key("samples");
+      w.value(p.samples);
+      w.key("self_ms");
+      w.value(p.est_ms);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+  out += '\n';
+  std::ofstream f(path);
+  if (!f) return false;
+  f << out;
+  return f.good();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Strip the global observability flags; everything else is positional.
   bool show_stats = false;
   bool want_memstat = false;
-  std::string trace_path, report_path, ledger_path;
+  std::string trace_path, report_path, ledger_path, stats_out_path,
+      profile_path;
   ResubTuning tuning;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--stats") show_stats = true;
     else if (a == "--memstat") want_memstat = true;
+    else if (a == "--stats-out" && i + 1 < argc) stats_out_path = argv[++i];
+    else if (a == "--profile" && i + 1 < argc) profile_path = argv[++i];
     else if (a == "--trace" && i + 1 < argc) trace_path = argv[++i];
     else if (a == "--report" && i + 1 < argc) report_path = argv[++i];
     else if (a == "--ledger" && i + 1 < argc) ledger_path = argv[++i];
@@ -268,6 +364,15 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) obs::trace_begin(trace_path);
   if (!ledger_path.empty() && !obs::ledger_begin(ledger_path))
     std::fprintf(stderr, "cannot write ledger to %s\n", ledger_path.c_str());
+  // --profile degrades gracefully: a host without working profiling
+  // timers runs the command anyway and the reason lands on stderr.
+  bool profiling = false;
+  if (!profile_path.empty()) {
+    profiling = obs::prof_start();
+    if (!profiling)
+      std::fprintf(stderr, "--profile: sampling unavailable (%s)\n",
+                   obs::prof_status().c_str());
+  }
 
   int rc = -1;
   try {
@@ -302,6 +407,18 @@ int main(int argc, char** argv) {
       else std::fprintf(stderr, "cannot write report to %s\n",
                         report_path.c_str());
     }
+    if (!stats_out_path.empty() && !write_stats_json(stats_out_path, snap))
+      std::fprintf(stderr, "cannot write stats to %s\n",
+                   stats_out_path.c_str());
+    if (profiling) {
+      obs::prof_stop();
+      if (obs::write_folded_profile(profile_path))
+        std::fprintf(stderr, "folded profile written to %s\n",
+                     profile_path.c_str());
+      else
+        std::fprintf(stderr, "cannot write profile to %s\n",
+                     profile_path.c_str());
+    }
     if (!trace_path.empty()) obs::trace_end();
     if (!ledger_path.empty()) obs::ledger_end();
     return rc;
@@ -323,8 +440,10 @@ int main(int argc, char** argv) {
                "  rarsub_cli ledger-summary <file.jsonl>\n"
                "  rarsub_cli list\n"
                "global flags: --stats | --memstat (allocation tracking + "
-               "memory summary) | --trace <file> |\n"
-               "              --report <file> | --ledger <file> | "
+               "memory summary) | --stats-out <file> |\n"
+               "              --profile <file> (folded CPU profile) | "
+               "--trace <file> | --report <file> |\n"
+               "              --ledger <file> | "
                "--jobs <n> (parallel gain evaluation,\n"
                "              deterministic) | --no-prune | --no-incremental "
                "| --verify\n"

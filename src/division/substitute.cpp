@@ -887,12 +887,14 @@ SubstituteStats substitute_network(Network& net, const SubstituteOptions& opts) 
         if (jobs > 1 && n > 1) {
           std::atomic<std::size_t> next{0};
           // Workers have a fresh (empty) phase stack of their own; re-open
-          // the spawner's innermost phase on each so their allocations
-          // attribute to the sweep instead of "(none)". Per-thread stacks
-          // mean the workers never race on each other's phase state.
-          const char* parent_phase = obs::current_phase();
+          // the spawner's full phase path on each so their allocations —
+          // and the sampling profiler's SIGPROF samples — attribute to
+          // the same phase paths as the jobs=1 sweep instead of "(none)".
+          // Per-thread stacks mean the workers never race on each other's
+          // phase state.
+          const obs::PhasePath parent_path = obs::capture_phase_path();
           auto work = [&](int w) {
-            obs::PhaseScope inherit(parent_phase);
+            obs::PhasePathScope inherit(parent_path);
             ComplementCache& wc = worker_comps[static_cast<std::size_t>(w)];
             for (;;) {
               const std::size_t i =

@@ -63,8 +63,7 @@ void decide_probe() {
   std::lock_guard<std::mutex> lock(g_probe_mu);
   if (g_probe.load(std::memory_order_relaxed) != 0) return;
 
-  const char* off = std::getenv("RARSUB_HWC_OFF");
-  if (off != nullptr && *off != '\0' && *off != '0') {
+  if (env_flag("RARSUB_HWC_OFF")) {
     probe_status() = "disabled: RARSUB_HWC_OFF";
     g_probe.store(-1, std::memory_order_release);
     return;

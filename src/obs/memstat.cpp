@@ -35,20 +35,27 @@
 namespace rarsub::obs {
 
 // ---------------------------------------------------------------------
-// Per-thread phase stack. POD with zero-initialized TLS storage: no
-// dynamic construction, so it is safe to touch from inside operator new
-// on any thread at any point of the process lifetime.
+// Per-thread phase stack. Constant-initialized TLS storage: no dynamic
+// construction, so it is safe to touch from inside operator new on any
+// thread at any point of the process lifetime.
+//
+// The stack is also read by the sampling profiler's SIGPROF handler
+// (obs/prof.cpp), which interrupts the owning thread at arbitrary points
+// — including mid-push and mid-pop. Signal-handler visibility needs no
+// inter-thread synchronization (the handler runs on the interrupted
+// thread), only defined ordering against the compiler: `depth` is a
+// relaxed atomic and a signal fence orders the frame store before the
+// depth store, so the handler always observes a consistent prefix —
+// every slot below the depth it reads holds a valid frame.
 
 namespace {
 
-constexpr int kPhaseStackDepth = 64;
-
 struct PhaseTls {
-  const char* stack[kPhaseStackDepth];
-  int depth;
+  const char* stack[kMaxPhaseDepth];
+  std::atomic<int> depth;
 };
 
-thread_local PhaseTls tl_phase;  // zero-initialized
+thread_local PhaseTls tl_phase;  // constant-initialized to zero
 
 }  // namespace
 
@@ -58,23 +65,44 @@ thread_local PhaseTls tl_phase;  // zero-initialized
 // links the static library.
 void phase_push(const char* name) noexcept {
   PhaseTls& t = tl_phase;
-  if (t.depth < kPhaseStackDepth) t.stack[t.depth] = name;
-  ++t.depth;  // overflow depths are counted so pops stay balanced
+  const int d = t.depth.load(std::memory_order_relaxed);
+  if (d < kMaxPhaseDepth) t.stack[d] = name;
+  std::atomic_signal_fence(std::memory_order_release);
+  t.depth.store(d + 1,  // overflow depths are counted so pops stay balanced
+                std::memory_order_relaxed);
 }
 
 void phase_pop() noexcept {
   PhaseTls& t = tl_phase;
-  if (t.depth > 0) --t.depth;
+  const int d = t.depth.load(std::memory_order_relaxed);
+  if (d > 0) t.depth.store(d - 1, std::memory_order_relaxed);
 }
 
 const char* current_phase() noexcept {
   const PhaseTls& t = tl_phase;
-  if (t.depth <= 0) return nullptr;
-  const int top = t.depth <= kPhaseStackDepth ? t.depth : kPhaseStackDepth;
+  const int d = t.depth.load(std::memory_order_relaxed);
+  if (d <= 0) return nullptr;
+  const int top = d <= kMaxPhaseDepth ? d : kMaxPhaseDepth;
   return t.stack[top - 1];
 }
 
-int phase_depth() noexcept { return tl_phase.depth; }
+int phase_depth() noexcept {
+  return tl_phase.depth.load(std::memory_order_relaxed);
+}
+
+// Async-signal-safe by construction: TLS reads and a fixed-size copy,
+// no locks, no allocation. The profiler's signal handler calls this on
+// whatever thread the kernel interrupted.
+PhasePath capture_phase_path() noexcept {
+  PhasePath p;
+  const PhaseTls& t = tl_phase;
+  int d = t.depth.load(std::memory_order_relaxed);
+  std::atomic_signal_fence(std::memory_order_acquire);
+  if (d > kMaxPhaseDepth) d = kMaxPhaseDepth;
+  p.depth = d;
+  for (int i = 0; i < d; ++i) p.frames[i] = t.stack[i];
+  return p;
+}
 
 // ---------------------------------------------------------------------
 // Attribution table: a fixed open-addressed map from phase-name pointer
@@ -243,8 +271,7 @@ namespace {
 // allocations of later TUs are in scope. Defined after all tracker state
 // (this TU's objects construct in order of definition).
 const bool g_env_latch = [] {
-  const char* e = std::getenv("RARSUB_MEMSTAT");
-  if (e != nullptr && *e != '\0' && *e != '0') memstat_enable();
+  if (env_flag("RARSUB_MEMSTAT")) memstat_enable();
   return true;
 }();
 

@@ -10,6 +10,7 @@
 
 #include "obs/json.hpp"
 #include "obs/memstat.hpp"
+#include "obs/prof.hpp"
 
 namespace rarsub::obs {
 
@@ -17,6 +18,16 @@ std::int64_t now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+bool env_flag(const char* name) noexcept {
+  const char* e = std::getenv(name);
+  return e != nullptr && *e != '\0' && !(e[0] == '0' && e[1] == '\0');
+}
+
+const char* env_path(const char* name) noexcept {
+  const char* e = std::getenv(name);
+  return (e != nullptr && *e != '\0') ? e : nullptr;
 }
 
 void Distribution::record(std::int64_t v) {
@@ -93,8 +104,7 @@ TraceSession& trace_session() {
 void env_init() {
   static std::once_flag once;
   std::call_once(once, [] {
-    const char* path = std::getenv("RARSUB_TRACE");
-    if (path != nullptr && *path != '\0') trace_begin(path);
+    if (const char* path = env_path("RARSUB_TRACE")) trace_begin(path);
   });
 }
 
@@ -217,10 +227,37 @@ void publish_memstat() {
   }
 }
 
+// Same republish-wholesale contract for the sampling profiler: prof.*
+// gauges describe the live window at snapshot time. Published only once
+// the profiler has recorded something, so profiling off costs nothing
+// and adds no metric noise.
+void publish_prof() {
+  const ProfSnapshot p = prof_snapshot();
+  if (!p.enabled && p.samples == 0) return;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto& [name, c] : r.counters)
+      if (name.rfind("prof.", 0) == 0) c.reset();
+  }
+  auto set = [](const std::string& name, std::int64_t v) {
+    if (v <= 0) return;
+    Counter& c = counter(name);
+    c.reset();
+    c.add(v);
+  };
+  set("prof.samples", p.samples);
+  set("prof.samples_dropped", p.dropped);
+  set("prof.interval_us", p.interval_us);
+  for (const ProfPhaseSelf& s : prof_self_phases(p))
+    set("prof.phase." + s.phase + ".samples", s.samples);
+}
+
 }  // namespace
 
 Snapshot snapshot() {
   publish_memstat();
+  publish_prof();
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   Snapshot s;
@@ -246,8 +283,10 @@ void reset() {
   }
   // Open a fresh allocation-attribution window alongside the instruments
   // so per-method bench windows isolate memory the same way they isolate
-  // counters.
+  // counters. The profiler folds its window into the whole-run
+  // accumulation (the folded output must still span the process).
   memstat_reset();
+  prof_reset();
 }
 
 std::string render_text(const Snapshot& s) {

@@ -28,6 +28,20 @@ namespace rarsub::obs {
 /// bench and instrument shares.
 std::int64_t now_ns();
 
+// ---------------------------------------------------------------------
+// Environment latches. Every RARSUB_* opt-in shares one semantics
+// instead of each translation unit hand-rolling its getenv dance:
+//   env_flag  — set, non-empty, and not "0"  (RARSUB_MEMSTAT=1,
+//               RARSUB_HWC_OFF=1, RARSUB_SMALL=1, RARSUB_NO_PRUNE=1, …)
+//   env_path  — the value when set and non-empty, else nullptr
+//               (RARSUB_TRACE=<file>, RARSUB_PROF=<file>, …)
+// Pure reads of the process environment: no locks, no allocation, safe
+// from pre-main latches. The pointer env_path returns is the live
+// environment storage — copy it if it must outlive later setenv calls.
+
+bool env_flag(const char* name) noexcept;
+const char* env_path(const char* name) noexcept;
+
 /// Simple stopwatch over now_ns(); replaces the per-bench ad-hoc chrono
 /// code.
 class Timer {
@@ -114,6 +128,40 @@ void phase_pop() noexcept;
 /// Innermost phase on this thread, or nullptr outside any phase.
 const char* current_phase() noexcept;
 int phase_depth() noexcept;
+
+/// Stack capacity. Deeper nesting is counted (pops stay balanced) but the
+/// frames beyond this depth are not recorded.
+inline constexpr int kMaxPhaseDepth = 64;
+
+/// A copied phase stack, outermost frame first. The frames are the same
+/// interned `const char*` pointers the stack holds, so a capture is valid
+/// as long as the names are (string literals in practice).
+struct PhasePath {
+  const char* frames[kMaxPhaseDepth];
+  int depth = 0;
+};
+
+/// Copy the calling thread's phase stack (clamped to kMaxPhaseDepth).
+PhasePath capture_phase_path() noexcept;
+
+/// RAII re-open of a captured phase path on another thread: pushes every
+/// frame outermost-first so the sampling profiler and the allocation
+/// tracker attribute the worker's activity to the *same full path* (and
+/// the same innermost phase) as the spawner. An empty path is a no-op.
+class PhasePathScope {
+ public:
+  explicit PhasePathScope(const PhasePath& path) : depth_(path.depth) {
+    for (int i = 0; i < depth_; ++i) phase_push(path.frames[i]);
+  }
+  ~PhasePathScope() {
+    for (int i = 0; i < depth_; ++i) phase_pop();
+  }
+  PhasePathScope(const PhasePathScope&) = delete;
+  PhasePathScope& operator=(const PhasePathScope&) = delete;
+
+ private:
+  int depth_;
+};
 
 /// RAII phase marker; a nullptr name is a no-op, so a captured
 /// current_phase() can be re-opened on another thread unconditionally.

@@ -1,0 +1,456 @@
+#include "obs/prof.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "obs/obs.hpp"
+
+#ifdef __linux__
+#include <signal.h>
+#include <sys/time.h>
+#endif
+
+// The signal-handler machinery is compiled in by default; under ASan/TSan
+// we opt out entirely: the sanitizer runtimes interpose on sigaction and
+// flag (or outright break on) asynchronous handlers firing at kHz rates,
+// and those jobs gain nothing from a statistical profile.
+#ifndef RARSUB_PROF_IMPL
+#define RARSUB_PROF_IMPL 1
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#undef RARSUB_PROF_IMPL
+#define RARSUB_PROF_IMPL 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#undef RARSUB_PROF_IMPL
+#define RARSUB_PROF_IMPL 0
+#endif
+#endif
+
+namespace rarsub::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Lock-free path histogram. Fixed open-addressed table keyed by the full
+// phase path (array of interned const char* frames). The SIGPROF handler
+// is the only writer of counts; it takes no locks and allocates nothing.
+// Slots are claimed once (empty -> claiming -> ready) and never freed, so
+// the path set is effectively interned for the life of the process —
+// prof_reset() zeroes counts but keeps the claims. Two concurrent claims
+// of the same path can land in two slots (the second claimer skips a
+// slot it sees mid-claim); snapshot/render re-merge by path string, the
+// same dodge memstat uses for cross-TU literal addresses.
+
+constexpr int kSlotEmpty = 0, kSlotClaiming = 1, kSlotReady = 2;
+
+struct ProfSlot {
+  std::atomic<int> state{kSlotEmpty};
+  std::uint64_t hash = 0;
+  int depth = 0;
+  const char* frames[kMaxPhaseDepth];
+  std::atomic<std::int64_t> count{0};
+};
+
+constexpr std::uint32_t kProfSlots = 509;  // prime, ~fits every real path
+constexpr int kProfMaxProbes = 32;
+ProfSlot g_hist[kProfSlots];
+
+std::atomic<std::int64_t> g_samples{0};  // window totals
+std::atomic<std::int64_t> g_dropped{0};
+
+std::atomic<bool> g_on{false};
+std::atomic<std::int64_t> g_interval_us{0};
+
+std::uint64_t path_hash(const PhasePath& p) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over frame pointers
+  for (int i = 0; i < p.depth; ++i) {
+    h ^= reinterpret_cast<std::uintptr_t>(p.frames[i]);
+    h *= 1099511628211ull;
+  }
+  h ^= static_cast<std::uint64_t>(p.depth);
+  h *= 1099511628211ull;
+  return h;
+}
+
+// Async-signal-safe: TLS copy, bounded probe loop, relaxed/acq-rel
+// atomics, no locks, no allocation, errno untouched.
+void record_sample() noexcept {
+  const PhasePath path = capture_phase_path();
+  const std::uint64_t h = path_hash(path);
+  g_samples.fetch_add(1, std::memory_order_relaxed);
+  for (int probe = 0; probe < kProfMaxProbes; ++probe) {
+    ProfSlot& s = g_hist[(h + static_cast<std::uint64_t>(probe)) % kProfSlots];
+    int st = s.state.load(std::memory_order_acquire);
+    if (st == kSlotEmpty) {
+      int expected = kSlotEmpty;
+      if (s.state.compare_exchange_strong(expected, kSlotClaiming,
+                                          std::memory_order_acq_rel)) {
+        s.hash = h;
+        s.depth = path.depth;
+        for (int i = 0; i < path.depth; ++i) s.frames[i] = path.frames[i];
+        s.state.store(kSlotReady, std::memory_order_release);
+        s.count.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      st = expected;  // lost the claim race; fall through on the winner
+    }
+    if (st == kSlotReady && s.hash == h && s.depth == path.depth) {
+      bool same = true;
+      for (int i = 0; i < path.depth; ++i)
+        if (s.frames[i] != path.frames[i]) {
+          same = false;
+          break;
+        }
+      if (same) {
+        s.count.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    // collision, or a slot another thread is still claiming: next probe
+  }
+  g_dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Cumulative (whole-run) accumulation. prof_reset() folds the window's
+// counts in here under a mutex the handler never touches, so per-method
+// bench windows stay isolated while the folded output spans the run.
+// Keys are frame-pointer vectors; merging by string happens at render.
+
+struct Cumulative {
+  std::mutex mu;
+  std::map<std::vector<const char*>, std::int64_t> paths;
+};
+
+// Immortal (leaked): the RARSUB_PROF atexit writer renders the profile
+// during process teardown, and this state is first constructed whenever
+// the first obs::reset() happens — which can be *after* the latch
+// registered the writer. A plain function-local static would then be
+// destroyed before the writer runs (LIFO), and the writer would read a
+// dead map. Leaking sidesteps teardown ordering entirely.
+Cumulative& cumulative() {
+  static Cumulative* c = new Cumulative;
+  return *c;
+}
+
+// ---------------------------------------------------------------------
+// Status, hwc-style: a reason string readable after a failed start.
+
+struct Status {
+  std::mutex mu;
+  std::string text = "off";
+};
+
+Status& status() {
+  static Status* s = new Status;  // immortal, same reason as cumulative()
+  return *s;
+}
+
+void set_status(const std::string& text) {
+  Status& s = status();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.text = text;
+}
+
+// ---------------------------------------------------------------------
+// Timer/signal plumbing, injectable for tests.
+
+#if RARSUB_PROF_IMPL && defined(__linux__)
+
+struct sigaction g_old_sigaction;
+
+void on_sigprof(int) {
+  const int saved_errno = errno;
+  if (g_on.load(std::memory_order_relaxed)) record_sample();
+  errno = saved_errno;
+}
+
+bool real_setup(int hz, std::string* why) {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = &on_sigprof;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  if (sigaction(SIGPROF, &sa, &g_old_sigaction) != 0) {
+    *why = std::string("sigaction: ") + std::strerror(errno);
+    return false;
+  }
+  const long us = std::max(1L, 1000000L / hz);
+  struct itimerval tv;
+  tv.it_interval.tv_sec = us / 1000000;
+  tv.it_interval.tv_usec = us % 1000000;
+  tv.it_value = tv.it_interval;
+  if (setitimer(ITIMER_PROF, &tv, nullptr) != 0) {
+    *why = std::string("setitimer: ") + std::strerror(errno);
+    sigaction(SIGPROF, &g_old_sigaction, nullptr);
+    return false;
+  }
+  g_interval_us.store(us, std::memory_order_relaxed);
+  return true;
+}
+
+void real_teardown() {
+  struct itimerval off;
+  std::memset(&off, 0, sizeof off);
+  setitimer(ITIMER_PROF, &off, nullptr);
+  sigaction(SIGPROF, &g_old_sigaction, nullptr);
+}
+
+#else
+
+bool real_setup(int hz, std::string* why) {
+  (void)hz;
+#if !RARSUB_PROF_IMPL
+  *why = "disabled: sanitizer build";
+#else
+  *why = "unavailable: not linux";
+#endif
+  return false;
+}
+
+void real_teardown() {}
+
+#endif
+
+const detail::ProfTimerHooks* g_hooks = nullptr;
+
+bool plumbing_setup(int hz, std::string* why) {
+  if (g_hooks != nullptr) {
+    const bool ok = g_hooks->setup(hz, why);
+    if (ok) g_interval_us.store(std::max(1L, 1000000L / hz),
+                                std::memory_order_relaxed);
+    return ok;
+  }
+  return real_setup(hz, why);
+}
+
+void plumbing_teardown() {
+  if (g_hooks != nullptr) {
+    g_hooks->teardown();
+    return;
+  }
+  real_teardown();
+}
+
+int default_hz() {
+  if (const char* e = env_path("RARSUB_PROF_HZ")) {
+    const int hz = std::atoi(e);
+    if (hz > 0) return hz;
+  }
+  return 997;  // prime: cannot phase-lock to millisecond-periodic work
+}
+
+std::string frames_key(const std::vector<const char*>& frames) {
+  if (frames.empty()) return "(none)";
+  std::string key;
+  for (const char* f : frames) {
+    if (!key.empty()) key += ';';
+    key += f != nullptr ? f : "(null)";
+  }
+  return key;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Control.
+
+bool prof_available() noexcept {
+#if RARSUB_PROF_IMPL && defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool prof_enabled() noexcept { return g_on.load(std::memory_order_relaxed); }
+
+bool prof_start(int hz) {
+  if (prof_enabled()) return true;
+#if !RARSUB_PROF_IMPL
+  if (g_hooks == nullptr) {  // test hooks may still drive fake sampling
+    set_status("disabled: sanitizer build");
+    return false;
+  }
+#endif
+  if (hz <= 0) hz = default_hz();
+  hz = std::min(hz, 10000);
+  std::string why;
+  if (!plumbing_setup(hz, &why)) {
+    set_status(why);
+    return false;
+  }
+  g_on.store(true, std::memory_order_relaxed);
+  set_status("ok");
+  return true;
+}
+
+void prof_stop() {
+  if (!prof_enabled()) return;
+  g_on.store(false, std::memory_order_relaxed);
+  plumbing_teardown();
+  g_interval_us.store(0, std::memory_order_relaxed);
+  set_status("stopped");
+}
+
+std::string prof_status() {
+  Status& s = status();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.text;
+}
+
+void prof_reset() {
+  Cumulative& c = cumulative();
+  std::lock_guard<std::mutex> lock(c.mu);
+  for (std::uint32_t i = 0; i < kProfSlots; ++i) {
+    ProfSlot& s = g_hist[i];
+    if (s.state.load(std::memory_order_acquire) != kSlotReady) continue;
+    const std::int64_t n = s.count.exchange(0, std::memory_order_relaxed);
+    if (n == 0) continue;
+    c.paths[std::vector<const char*>(s.frames, s.frames + s.depth)] += n;
+  }
+  g_samples.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Snapshot / render.
+
+ProfSnapshot prof_snapshot() {
+  ProfSnapshot snap;
+  snap.enabled = prof_enabled();
+  snap.samples = g_samples.load(std::memory_order_relaxed);
+  snap.dropped = g_dropped.load(std::memory_order_relaxed);
+  snap.interval_us = g_interval_us.load(std::memory_order_relaxed);
+  // Merge live slots by path string (duplicate claims, cross-TU literal
+  // addresses).
+  std::map<std::string, ProfPathSnap> merged;
+  for (std::uint32_t i = 0; i < kProfSlots; ++i) {
+    const ProfSlot& s = g_hist[i];
+    if (s.state.load(std::memory_order_acquire) != kSlotReady) continue;
+    const std::int64_t n = s.count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    std::vector<const char*> frames(s.frames, s.frames + s.depth);
+    ProfPathSnap& p = merged[frames_key(frames)];
+    if (p.frames.empty() && p.samples == 0)
+      for (const char* f : frames) p.frames.push_back(f != nullptr ? f : "(null)");
+    p.samples += n;
+  }
+  snap.paths.reserve(merged.size());
+  for (auto& [key, p] : merged) snap.paths.push_back(std::move(p));
+  std::sort(snap.paths.begin(), snap.paths.end(),
+            [](const ProfPathSnap& a, const ProfPathSnap& b) {
+              if (a.samples != b.samples) return a.samples > b.samples;
+              return a.frames < b.frames;
+            });
+  return snap;
+}
+
+std::vector<ProfPhaseSelf> prof_self_phases(const ProfSnapshot& snap) {
+  std::map<std::string, std::int64_t> self;
+  for (const ProfPathSnap& p : snap.paths)
+    self[p.frames.empty() ? "(none)" : p.frames.back()] += p.samples;
+  std::vector<ProfPhaseSelf> out;
+  out.reserve(self.size());
+  const double period_ms =
+      static_cast<double>(snap.interval_us) / 1000.0;
+  for (const auto& [phase, samples] : self)
+    out.push_back(ProfPhaseSelf{
+        phase, samples, static_cast<double>(samples) * period_ms});
+  std::sort(out.begin(), out.end(),
+            [](const ProfPhaseSelf& a, const ProfPhaseSelf& b) {
+              if (a.samples != b.samples) return a.samples > b.samples;
+              return a.phase < b.phase;
+            });
+  return out;
+}
+
+std::string render_folded_profile() {
+  // cumulative + live window, merged by path string; sorted by path for
+  // deterministic diffs.
+  std::map<std::string, std::int64_t> folded;
+  {
+    Cumulative& c = cumulative();
+    std::lock_guard<std::mutex> lock(c.mu);
+    for (const auto& [frames, n] : c.paths) folded[frames_key(frames)] += n;
+  }
+  for (std::uint32_t i = 0; i < kProfSlots; ++i) {
+    const ProfSlot& s = g_hist[i];
+    if (s.state.load(std::memory_order_acquire) != kSlotReady) continue;
+    const std::int64_t n = s.count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    folded[frames_key(
+        std::vector<const char*>(s.frames, s.frames + s.depth))] += n;
+  }
+  std::string out;
+  char buf[32];
+  for (const auto& [path, n] : folded) {
+    out += path;
+    std::snprintf(buf, sizeof buf, " %lld\n", static_cast<long long>(n));
+    out += buf;
+  }
+  return out;
+}
+
+bool write_folded_profile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string folded = render_folded_profile();
+  const bool ok =
+      std::fwrite(folded.data(), 1, folded.size(), f) == folded.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+// ---------------------------------------------------------------------
+// Test seams.
+
+namespace detail {
+
+void set_prof_timer_hooks_for_test(const ProfTimerHooks* hooks) {
+  g_hooks = hooks;
+}
+
+void prof_sample_now_for_test() {
+  if (prof_enabled()) record_sample();
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------
+// Environment latch: RARSUB_PROF=<file> starts sampling before main and
+// writes the folded profile at exit. Defined after all profiler state
+// (this TU's objects construct in order of definition). A failed start
+// degrades silently — the reason stays readable via prof_status().
+
+namespace {
+
+std::string g_env_folded_path;
+
+const bool g_env_latch = [] {
+  const char* path = env_path("RARSUB_PROF");
+  if (path == nullptr) return true;
+  g_env_folded_path = path;
+  if (prof_start()) {
+    std::atexit([] {
+      if (write_folded_profile(g_env_folded_path)) {
+        std::fprintf(stderr, "prof: folded profile written to %s\n",
+                     g_env_folded_path.c_str());
+      } else {
+        std::fprintf(stderr, "prof: cannot write %s\n",
+                     g_env_folded_path.c_str());
+      }
+    });
+  }
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace rarsub::obs

@@ -4,6 +4,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <random>
@@ -17,6 +18,7 @@
 #include "obs/hwc.hpp"
 #include "obs/json.hpp"
 #include "obs/memstat.hpp"
+#include "obs/prof.hpp"
 #include "opt/scripts.hpp"
 #include "rar/network_rr.hpp"
 #include "rar/rar_opt.hpp"
@@ -342,6 +344,40 @@ TEST(Obs, SizeGuardRejectionsAreCounted) {
 }
 
 // ---------------------------------------------------------------------
+// Shared environment-variable helpers. Every RARSUB_* latch goes through
+// these, so the semantics are pinned once: a flag is on when set,
+// non-empty, and not exactly "0"; a path is any set, non-empty value
+// (including "0", which is a legal file name).
+
+TEST(Obs, EnvFlagAndEnvPathSemantics) {
+  const char* kName = "RARSUB_TEST_ENV_HELPER";
+  ::unsetenv(kName);
+  EXPECT_FALSE(obs::env_flag(kName));
+  EXPECT_EQ(obs::env_path(kName), nullptr);
+
+  ::setenv(kName, "", 1);
+  EXPECT_FALSE(obs::env_flag(kName));
+  EXPECT_EQ(obs::env_path(kName), nullptr);
+
+  ::setenv(kName, "0", 1);
+  EXPECT_FALSE(obs::env_flag(kName));  // explicit opt-out
+  ASSERT_NE(obs::env_path(kName), nullptr);
+  EXPECT_STREQ(obs::env_path(kName), "0");  // "0" is a valid path
+
+  ::setenv(kName, "1", 1);
+  EXPECT_TRUE(obs::env_flag(kName));
+
+  ::setenv(kName, "01", 1);  // only the exact string "0" opts out
+  EXPECT_TRUE(obs::env_flag(kName));
+
+  ::setenv(kName, "/tmp/some/file", 1);
+  EXPECT_TRUE(obs::env_flag(kName));
+  EXPECT_STREQ(obs::env_path(kName), "/tmp/some/file");
+
+  ::unsetenv(kName);
+}
+
+// ---------------------------------------------------------------------
 // The metric catalogue in docs/OBSERVABILITY.md must stay live: every
 // documented counter/distribution/timer name has to show up (non-zero) in
 // the snapshot of a real run. A renamed or dropped instrument fails here
@@ -396,6 +432,10 @@ void exercise_every_subsystem() {
   // the first workload so the hwc.* counters publish where the PMU is
   // reachable.
   obs::memstat_enable();
+  // Sampling profiler on (degrades to a no-op where the host or build
+  // cannot deliver SIGPROF — the required() gate below checks
+  // prof_enabled) so the prof.* gauges publish from real samples.
+  obs::prof_start();
   // Extended division with global don't cares: atpg.* (incl. recursive
   // learning), division.*, subst.* core counters.
   {
@@ -542,6 +582,9 @@ TEST(Obs, DocumentedMetricCatalogueIsLive) {
       return obs::memstat_available();
     }
     if (name == "fuzz.peak_rss_kb") return obs::read_rss_kb() >= 0;
+    // prof.* gauges need a running sampler (real SIGPROF timer — absent
+    // under sanitizers or where setitimer fails).
+    if (name.rfind("prof.", 0) == 0) return obs::prof_enabled();
     return true;
   };
 

@@ -1,0 +1,266 @@
+#include "obs/prof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace rarsub {
+namespace {
+
+// gtest_discover_tests runs each TEST in its own process, so injected
+// timer hooks, started samplers and cumulative folded state cannot bleed
+// between tests.
+
+// Fake plumbing: sampling "runs" but no timer is armed — tests drive
+// samples deterministically through prof_sample_now_for_test(). Works in
+// every build, including sanitizer builds where the real signal
+// machinery is compiled out.
+bool fake_setup_ok(int, std::string*) { return true; }
+bool fake_setup_fail(int, std::string* why) {
+  *why = "setitimer: Function not implemented";
+  return false;
+}
+void fake_teardown() {}
+
+constexpr obs::detail::ProfTimerHooks kFakeHooks{&fake_setup_ok,
+                                                 &fake_teardown};
+constexpr obs::detail::ProfTimerHooks kFailHooks{&fake_setup_fail,
+                                                 &fake_teardown};
+
+std::int64_t samples_for_path(const obs::ProfSnapshot& snap,
+                              const std::vector<std::string>& frames) {
+  for (const obs::ProfPathSnap& p : snap.paths)
+    if (p.frames == frames) return p.samples;
+  return 0;
+}
+
+TEST(Prof, OffByDefaultZeroSamples) {
+  EXPECT_FALSE(obs::prof_enabled());
+  EXPECT_EQ(obs::prof_status(), "off");
+
+  // Burn CPU in a phase: with no sampler started, nothing is recorded.
+  obs::PhaseScope phase("prof.test.spin");
+  volatile std::uint64_t sink = 1;
+  for (int i = 0; i < 2000000; ++i) sink = sink * 2862933555777941757ull + 3;
+  const obs::ProfSnapshot snap = obs::prof_snapshot();
+  EXPECT_EQ(snap.samples, 0);
+  EXPECT_TRUE(snap.paths.empty());
+
+  // And a driven sample without a running sampler is a no-op.
+  obs::detail::prof_sample_now_for_test();
+  EXPECT_EQ(obs::prof_snapshot().samples, 0);
+
+  // No prof.* gauges leak into the obs snapshot.
+  for (const obs::CounterSnap& c : obs::snapshot().counters)
+    EXPECT_NE(c.name.rfind("prof.", 0), 0u) << c.name;
+}
+
+TEST(Prof, DegradesGracefullyWhenTimerSetupFails) {
+  obs::detail::set_prof_timer_hooks_for_test(&kFailHooks);
+  EXPECT_FALSE(obs::prof_start());
+  EXPECT_FALSE(obs::prof_enabled());
+  // The status carries the injected syscall failure verbatim.
+  EXPECT_EQ(obs::prof_status(), "setitimer: Function not implemented");
+  // Everything stays a no-op.
+  obs::detail::prof_sample_now_for_test();
+  EXPECT_EQ(obs::prof_snapshot().samples, 0);
+  EXPECT_TRUE(obs::render_folded_profile().empty());
+  obs::prof_stop();  // stopping a never-started sampler is harmless
+  EXPECT_EQ(obs::prof_status(), "setitimer: Function not implemented");
+  obs::detail::set_prof_timer_hooks_for_test(nullptr);
+}
+
+TEST(Prof, KnownPhaseAttributionIsExact) {
+  obs::detail::set_prof_timer_hooks_for_test(&kFakeHooks);
+  ASSERT_TRUE(obs::prof_start());
+  {
+    obs::PhaseScope outer("prof.test.outer");
+    {
+      obs::PhaseScope inner("prof.test.inner");
+      for (int i = 0; i < 5; ++i) obs::detail::prof_sample_now_for_test();
+    }
+    for (int i = 0; i < 3; ++i) obs::detail::prof_sample_now_for_test();
+  }
+  obs::detail::prof_sample_now_for_test();  // outside any phase
+
+  const obs::ProfSnapshot snap = obs::prof_snapshot();
+  EXPECT_EQ(snap.samples, 9);
+  EXPECT_EQ(snap.dropped, 0);
+  EXPECT_EQ(samples_for_path(snap, {"prof.test.outer", "prof.test.inner"}), 5);
+  EXPECT_EQ(samples_for_path(snap, {"prof.test.outer"}), 3);
+  EXPECT_EQ(samples_for_path(snap, {}), 1);
+
+  // Self-time charges each sample to its innermost frame only.
+  const std::vector<obs::ProfPhaseSelf> self = obs::prof_self_phases(snap);
+  ASSERT_FALSE(self.empty());
+  EXPECT_EQ(self[0].phase, "prof.test.inner");
+  EXPECT_EQ(self[0].samples, 5);
+
+  // The obs snapshot republishes the window as prof.* gauges.
+  const obs::Snapshot s = obs::snapshot();
+  EXPECT_EQ(s.counter("prof.samples"), 9);
+  EXPECT_EQ(s.counter("prof.phase.prof.test.inner.samples"), 5);
+  EXPECT_EQ(s.counter("prof.phase.(none).samples"), 1);
+
+  obs::prof_stop();
+  EXPECT_EQ(obs::prof_status(), "stopped");
+  obs::detail::set_prof_timer_hooks_for_test(nullptr);
+}
+
+TEST(Prof, MultiThreadSamplesStaySeparated) {
+  obs::detail::set_prof_timer_hooks_for_test(&kFakeHooks);
+  ASSERT_TRUE(obs::prof_start());
+  // Per-thread phase stacks: concurrent samples on different threads must
+  // attribute to each thread's own path, never to a sibling's.
+  auto worker = [](const char* phase, int n) {
+    obs::PhaseScope scope(phase);
+    for (int i = 0; i < n; ++i) obs::detail::prof_sample_now_for_test();
+  };
+  std::thread a(worker, "prof.test.a", 7);
+  std::thread b(worker, "prof.test.b", 4);
+  worker("prof.test.main", 2);
+  a.join();
+  b.join();
+
+  const obs::ProfSnapshot snap = obs::prof_snapshot();
+  EXPECT_EQ(snap.samples, 13);
+  EXPECT_EQ(samples_for_path(snap, {"prof.test.a"}), 7);
+  EXPECT_EQ(samples_for_path(snap, {"prof.test.b"}), 4);
+  EXPECT_EQ(samples_for_path(snap, {"prof.test.main"}), 2);
+  obs::prof_stop();
+  obs::detail::set_prof_timer_hooks_for_test(nullptr);
+}
+
+TEST(Prof, WorkerInheritsSpawnerFullPath) {
+  // The mechanism behind "jobs=1 and jobs=4 attribute to the same phase
+  // paths": a worker re-opening the spawner's captured path produces
+  // byte-identical sample keys.
+  obs::detail::set_prof_timer_hooks_for_test(&kFakeHooks);
+  ASSERT_TRUE(obs::prof_start());
+  {
+    obs::PhaseScope outer("subst.pass");
+    obs::PhaseScope inner("subst.attempt");
+    obs::detail::prof_sample_now_for_test();  // spawner's own sample
+    const obs::PhasePath path = obs::capture_phase_path();
+    ASSERT_EQ(path.depth, 2);
+    std::thread t([&path] {
+      obs::PhasePathScope inherit(path);
+      obs::detail::prof_sample_now_for_test();
+    });
+    t.join();
+  }
+  const obs::ProfSnapshot snap = obs::prof_snapshot();
+  // Both samples land on one path — not one path plus a worker variant.
+  EXPECT_EQ(samples_for_path(snap, {"subst.pass", "subst.attempt"}), 2);
+  EXPECT_EQ(snap.paths.size(), 1u);
+  obs::prof_stop();
+  obs::detail::set_prof_timer_hooks_for_test(nullptr);
+}
+
+TEST(Prof, ResetFoldsWindowIntoCumulativeProfile) {
+  obs::detail::set_prof_timer_hooks_for_test(&kFakeHooks);
+  ASSERT_TRUE(obs::prof_start());
+  {
+    obs::PhaseScope scope("prof.test.first");
+    for (int i = 0; i < 3; ++i) obs::detail::prof_sample_now_for_test();
+  }
+  obs::reset();  // per-method bench window boundary
+  EXPECT_EQ(obs::prof_snapshot().samples, 0) << "window must restart";
+  {
+    obs::PhaseScope scope("prof.test.second");
+    for (int i = 0; i < 2; ++i) obs::detail::prof_sample_now_for_test();
+  }
+  EXPECT_EQ(obs::prof_snapshot().samples, 2);
+
+  // The folded rendering spans both windows.
+  const std::string folded = obs::render_folded_profile();
+  EXPECT_NE(folded.find("prof.test.first 3\n"), std::string::npos) << folded;
+  EXPECT_NE(folded.find("prof.test.second 2\n"), std::string::npos) << folded;
+  obs::prof_stop();
+  obs::detail::set_prof_timer_hooks_for_test(nullptr);
+}
+
+TEST(Prof, FoldedFileIsFlamegraphCollapsedFormat) {
+  obs::detail::set_prof_timer_hooks_for_test(&kFakeHooks);
+  ASSERT_TRUE(obs::prof_start());
+  {
+    obs::PhaseScope outer("prof.test.outer");
+    obs::PhaseScope inner("prof.test.inner");
+    for (int i = 0; i < 6; ++i) obs::detail::prof_sample_now_for_test();
+  }
+  const std::string path =
+      ::testing::TempDir() + "/prof_test_folded.txt";
+  ASSERT_TRUE(obs::write_folded_profile(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  bool found = false;
+  while (std::getline(in, line)) {
+    ++lines;
+    // "frame;frame;... count": a space-separated trailing integer.
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_GT(std::atoll(line.c_str() + sp + 1), 0) << line;
+    if (line == "prof.test.outer;prof.test.inner 6") found = true;
+  }
+  EXPECT_GE(lines, 1);
+  EXPECT_TRUE(found);
+  std::remove(path.c_str());
+  obs::prof_stop();
+  obs::detail::set_prof_timer_hooks_for_test(nullptr);
+}
+
+TEST(Prof, RealTimerSamplesABusyPhase) {
+  // End-to-end through the real SIGPROF plumbing. Hosts (or builds) where
+  // profiling timers are unavailable skip with the reason on record —
+  // that path is itself the degradation contract.
+  if (!obs::prof_available())
+    GTEST_SKIP() << "profiler unavailable: " << obs::prof_status();
+  if (!obs::prof_start())
+    GTEST_SKIP() << "timer setup failed: " << obs::prof_status();
+  EXPECT_EQ(obs::prof_status(), "ok");
+  {
+    obs::PhaseScope scope("prof.test.spin");
+    obs::Timer t;
+    volatile std::uint64_t sink = 1;
+    // ~300 ms of pure CPU at ~1 kHz => a few hundred samples.
+    while (t.elapsed_ms() < 300.0)
+      for (int i = 0; i < 10000; ++i) sink = sink * 6364136223846793005ull + 1;
+  }
+  obs::prof_stop();
+  const obs::ProfSnapshot snap = obs::prof_snapshot();
+  EXPECT_GT(snap.samples, 10) << "expected ~300 samples from 300 ms of CPU";
+  // The spin dominates this process's CPU time, so it must dominate the
+  // profile.
+  ASSERT_FALSE(snap.paths.empty());
+  EXPECT_EQ(samples_for_path(snap, {"prof.test.spin"}), snap.paths[0].samples);
+  EXPECT_GT(snap.paths[0].samples, snap.samples / 2);
+}
+
+TEST(Prof, StartIsIdempotentAndStopRestoresState) {
+  obs::detail::set_prof_timer_hooks_for_test(&kFakeHooks);
+  ASSERT_TRUE(obs::prof_start());
+  EXPECT_TRUE(obs::prof_start());  // already running: no-op success
+  EXPECT_TRUE(obs::prof_enabled());
+  obs::prof_stop();
+  EXPECT_FALSE(obs::prof_enabled());
+  obs::prof_stop();  // double stop is harmless
+  EXPECT_EQ(obs::prof_status(), "stopped");
+  // Restartable after a stop.
+  ASSERT_TRUE(obs::prof_start());
+  EXPECT_EQ(obs::prof_status(), "ok");
+  obs::prof_stop();
+  obs::detail::set_prof_timer_hooks_for_test(nullptr);
+}
+
+}  // namespace
+}  // namespace rarsub

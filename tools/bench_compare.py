@@ -68,6 +68,8 @@ def load_report(path):
                 "allocs": m.get("allocs"),
                 "alloc_bytes": m.get("alloc_bytes"),
                 "peak_rss_kb": m.get("peak_rss_kb"),
+                # CPU self-time profile (None without RARSUB_PROF).
+                "prof_phases": m.get("prof_phases"),
             }
     return report, rows
 
@@ -105,6 +107,60 @@ def prune_rate_lines(base_rows, cur_rows):
     for method in sorted(set(base) | set(cur)):
         lines.append("%-10s %s   %s" % (
             method, cell(base.get(method)), cell(cur.get(method))))
+    return lines
+
+
+def prof_drift_lines(base_rows, cur_rows):
+    """Informational hot-phase table: per method, the self-time share of
+    each sampled phase (the bench report's prof_phases block, produced by
+    RARSUB_PROF runs) in baseline vs current, biggest movers first. Not a
+    gate — sampling shares are statistics, and tools/prof_report.py owns
+    the full folded-profile diff (gateable there via --gate). Reports
+    without profiling data show '-'."""
+
+    def totals(rows):
+        agg = {}  # method -> {phase: samples} or None
+        for (_, method), r in rows.items():
+            phases = r.get("prof_phases")
+            if phases is None:
+                agg.setdefault(method, None)
+                continue
+            t = agg.setdefault(method, {})
+            if t is None:
+                agg[method] = t = {}
+            for phase, d in phases.items():
+                t[phase] = t.get(phase, 0) + d.get("samples", 0)
+        return agg
+
+    def shares(t):
+        total = sum(t.values()) if t else 0
+        if total == 0:
+            return None
+        return {p: 100.0 * n / total for p, n in t.items()}
+
+    base, cur = totals(base_rows), totals(cur_rows)
+    lines = [""]
+    lines.append("%-10s %-30s %7s %7s %9s  (hot-phase self-time, "
+                 "informational)" % ("method", "phase", "base", "cur",
+                                     "drift_pp"))
+    for method in sorted(set(base) | set(cur)):
+        b = shares(base.get(method))
+        c = shares(cur.get(method))
+        if b is None and c is None:
+            lines.append("%-10s %-30s %7s %7s %9s" % (method, "-", "-", "-",
+                                                      "-"))
+            continue
+        movers = []
+        for phase in sorted(set(b or {}) | set(c or {})):
+            bs = (b or {}).get(phase)
+            cs = (c or {}).get(phase)
+            movers.append((phase, bs, cs, (cs or 0.0) - (bs or 0.0)))
+        movers.sort(key=lambda m: (-abs(m[3]), m[0]))
+        for phase, bs, cs, d in movers[:5]:
+            lines.append("%-10s %-30s %7s %7s %+8.1f " % (
+                method, phase,
+                "-" if bs is None else "%.1f%%" % bs,
+                "-" if cs is None else "%.1f%%" % cs, d))
     return lines
 
 
@@ -248,6 +304,7 @@ def compare(base_report, base_rows, cur_report, cur_rows, cpu_threshold,
         lines.append("%-10s %12.1f %12.1f %+7.1f%%%s" % (method, bt, ct, d, mark))
 
     lines.extend(prune_rate_lines(base_rows, cur_rows))
+    lines.extend(prof_drift_lines(base_rows, cur_rows))
 
     mem_l, mem_f = mem_gate(base_rows, cur_rows, alloc_threshold,
                             rss_threshold, require_mem)
@@ -342,7 +399,7 @@ def run_merge(args):
 # including that an injected 10% CPU regression fails at the default
 # threshold. Run from ctest so the comparator itself is covered.
 
-def _report(rows, eq_failures=0, mem=None):
+def _report(rows, eq_failures=0, mem=None, prof=None):
     circuits = {}
     for (circuit, method), row in rows.items():
         lits, ms = row[0], row[1]
@@ -358,6 +415,11 @@ def _report(rows, eq_failures=0, mem=None):
             entry["allocs"] = allocs
             entry["alloc_bytes"] = alloc_bytes
             entry["peak_rss_kb"] = rss
+        if prof is not None and (circuit, method) in prof:
+            # {phase: samples}
+            entry["prof_phases"] = {
+                p: {"samples": n, "self_ms": float(n)}
+                for p, n in prof[(circuit, method)].items()}
         circuits.setdefault(circuit, []).append(entry)
     return {
         "table": "self-test", "suite": "small",
@@ -384,7 +446,8 @@ def _rows_of(report):
                 "pairs_tried": tried, "pairs_pruned": pruned,
                 "allocs": m.get("allocs"),
                 "alloc_bytes": m.get("alloc_bytes"),
-                "peak_rss_kb": m.get("peak_rss_kb")}
+                "peak_rss_kb": m.get("peak_rss_kb"),
+                "prof_phases": m.get("prof_phases")}
     return rows
 
 
@@ -415,6 +478,18 @@ def self_test():
                                     for k, (a, by, rss) in BASE_MEM.items()})
     rss_plus50 = _report(LITS, mem={k: (a, by, int(rss * 1.5))
                                     for k, (a, by, rss) in BASE_MEM.items()})
+
+    # Profiled reports: the hot phase moves from subst.attempt (80%) to
+    # atpg.fault-dominant between base and drifted.
+    BASE_PROF = {("c432", "ext"): {"subst.attempt": 80, "atpg.fault": 20},
+                 ("c880", "ext"): {"subst.attempt": 80, "atpg.fault": 20}}
+    DRIFT_PROF = {("c432", "ext"): {"subst.attempt": 30, "atpg.fault": 70},
+                  ("c880", "ext"): {"subst.attempt": 30, "atpg.fault": 70}}
+    base_prof = _report(LITS, prof=BASE_PROF)
+    drift_prof = _report(LITS, prof=DRIFT_PROF)
+
+    def prof_text(b, cur):
+        return "\n".join(prof_drift_lines(_rows_of(b), _rows_of(cur)))
 
     checks = [
         ("identical reports pass",
@@ -457,6 +532,15 @@ def self_test():
          bool(mem_verdict(base_mem, base, require_mem=True))),
         ("memstat-off baseline never gates allocations",
          not mem_verdict(base, mem_plus20)),
+        ("prof drift columns render from prof_phases",
+         "subst.attempt" in prof_text(base_prof, drift_prof)
+         and "+50.0" in prof_text(base_prof, drift_prof)),
+        ("reports without prof data show '-'",
+         "-" in prof_text(base, base)),
+        ("hot-phase drift is informational, never a gate",
+         not mem_verdict(base_prof, drift_prof)),
+        ("prof on one side only still renders",
+         "80.0%" in prof_text(base_prof, base)),
     ]
     ok = True
     for name, passed in checks:

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Render and diff folded (flamegraph-collapsed) CPU profiles.
+
+The profiles come from the sampling phase profiler (RARSUB_PROF=<file>,
+rarsub_cli --profile; see docs/OBSERVABILITY.md). Each line is
+"outer;inner <count>" — the full phase path and its sample count.
+
+  prof_report.py top  PROFILE            top phases by self time
+  prof_report.py diff BASE CURRENT       hot-phase drift between two runs
+  prof_report.py --self-test
+
+`diff` compares *shares* (percent of total samples), not raw counts, so
+two runs of different lengths or sampling rates stay comparable. It is
+informational by default; --gate turns drift above --threshold-pp
+percentage points into a nonzero exit, mirroring how the bench gates
+started out informational before being enforced.
+
+Output is Markdown (tables render in GitHub step summaries and read fine
+in a terminal).
+"""
+
+import argparse
+import sys
+
+
+def parse_folded(text):
+    """Folded text -> {path_tuple: count}. Ignores blank/malformed lines."""
+    out = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        path, sep, count = line.rpartition(" ")
+        if not sep:
+            continue
+        try:
+            n = int(count)
+        except ValueError:
+            continue
+        key = tuple(path.split(";"))
+        out[key] = out.get(key, 0) + n
+    return out
+
+
+def self_counts(folded):
+    """Charge each sample to its innermost frame -> {leaf: count}."""
+    out = {}
+    for path, n in folded.items():
+        leaf = path[-1] if path else "(none)"
+        out[leaf] = out.get(leaf, 0) + n
+    return out
+
+
+def shares(counts):
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {k: 100.0 * v / total for k, v in counts.items()}
+
+
+def load(path):
+    with open(path) as f:
+        return parse_folded(f.read())
+
+
+def cmd_top(args):
+    folded = load(args.profile)
+    total = sum(folded.values())
+    print(f"**{args.profile}** — {total} samples, "
+          f"{len(folded)} distinct paths\n")
+    if total == 0:
+        print("(empty profile)")
+        return 0
+    print("| phase (self) | samples | share |")
+    print("|---|---:|---:|")
+    selfs = self_counts(folded)
+    for leaf, n in sorted(selfs.items(), key=lambda kv: (-kv[1], kv[0]))[
+            : args.top]:
+        print(f"| `{leaf}` | {n} | {100.0 * n / total:.1f}% |")
+    print()
+    print("| hottest paths | samples | share |")
+    print("|---|---:|---:|")
+    for path, n in sorted(folded.items(), key=lambda kv: (-kv[1], kv[0]))[
+            : args.top]:
+        print(f"| `{';'.join(path)}` | {n} | {100.0 * n / total:.1f}% |")
+    return 0
+
+
+def diff_rows(base, cur):
+    """Per-leaf self-share drift, sorted by |delta| desc.
+
+    Returns (rows, base_total, cur_total); each row is
+    (leaf, base_share, cur_share, delta_pp) with None for a side where
+    the phase never appeared.
+    """
+    bshare = shares(self_counts(base))
+    cshare = shares(self_counts(cur))
+    rows = []
+    for leaf in sorted(set(bshare) | set(cshare)):
+        b = bshare.get(leaf)
+        c = cshare.get(leaf)
+        delta = (c or 0.0) - (b or 0.0)
+        rows.append((leaf, b, c, delta))
+    rows.sort(key=lambda r: (-abs(r[3]), r[0]))
+    return rows, sum(base.values()), sum(cur.values())
+
+
+def fmt_share(v):
+    return f"{v:.1f}%" if v is not None else "-"
+
+
+def cmd_diff(args):
+    base = load(args.base)
+    cur = load(args.current)
+    rows, btot, ctot = diff_rows(base, cur)
+    print(f"**Hot-phase drift** — base {btot} samples, "
+          f"current {ctot} samples (self-time shares)\n")
+    if btot == 0 and ctot == 0:
+        print("(both profiles empty)")
+        return 0
+    print("| phase (self) | base | current | drift (pp) |")
+    print("|---|---:|---:|---:|")
+    shown = 0
+    worst = 0.0
+    for leaf, b, c, delta in rows:
+        worst = max(worst, abs(delta))
+        if shown < args.top:
+            print(f"| `{leaf}` | {fmt_share(b)} | {fmt_share(c)} "
+                  f"| {delta:+.1f} |")
+            shown += 1
+    print()
+    if args.gate and worst > args.threshold_pp:
+        print(f"DRIFT GATE FAILED: worst self-share drift {worst:.1f} pp "
+              f"exceeds {args.threshold_pp:.1f} pp")
+        return 1
+    print(f"worst self-share drift: {worst:.1f} pp"
+          + (f" (gate at {args.threshold_pp:.1f} pp)" if args.gate else
+             " (informational)"))
+    return 0
+
+
+def self_test():
+    checks = []
+
+    def check(name, cond):
+        checks.append((name, cond))
+
+    base_text = "a;b 30\na 10\n(none) 10\n\nbogus-line\na;b 10\n"
+    base = parse_folded(base_text)
+    check("parse merges duplicate paths", base[("a", "b")] == 40)
+    check("parse keeps single frames", base[("a",)] == 10)
+    check("parse skips malformed lines", len(base) == 3)
+
+    selfs = self_counts(base)
+    check("self time charges the leaf", selfs == {"b": 40, "a": 10,
+                                                  "(none)": 10})
+    sh = shares(selfs)
+    check("shares sum to 100", abs(sum(sh.values()) - 100.0) < 1e-9)
+    check("share of b", abs(sh["b"] - 66.666) < 0.01)
+    check("empty profile has no shares", shares({}) == {})
+
+    cur = parse_folded("a;b 10\na 25\nc 15\n")
+    rows, btot, ctot = diff_rows(base, cur)
+    check("diff totals", (btot, ctot) == (60, 50))
+    by_leaf = {r[0]: r for r in rows}
+    # b: 66.7% -> 20%; a: 16.7% -> 50%; c: absent -> 30%; none: 16.7% -> 0
+    check("drift for b", abs(by_leaf["b"][3] - (20.0 - 200.0 / 3)) < 0.01)
+    check("new phase has no base share", by_leaf["c"][1] is None)
+    check("vanished phase has no current share", by_leaf["(none)"][2] == 0.0
+          or by_leaf["(none)"][2] is None)
+    check("sorted by |drift| desc",
+          [abs(r[3]) for r in rows]
+          == sorted([abs(r[3]) for r in rows], reverse=True))
+
+    identical, _, _ = diff_rows(base, base)
+    check("identical profiles have zero drift",
+          all(abs(r[3]) < 1e-9 for r in identical))
+
+    ok = all(c for _, c in checks)
+    for name, cond in checks:
+        print(f"  {'ok' if cond else 'FAIL'}  {name}")
+    print("self-test", "PASSED" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--self-test", action="store_true")
+    sub = ap.add_subparsers(dest="cmd")
+    top = sub.add_parser("top", help="top phases of one folded profile")
+    top.add_argument("profile")
+    top.add_argument("--top", type=int, default=15)
+    dif = sub.add_parser("diff", help="hot-phase drift between two profiles")
+    dif.add_argument("base")
+    dif.add_argument("current")
+    dif.add_argument("--top", type=int, default=15)
+    dif.add_argument("--threshold-pp", type=float, default=10.0,
+                     help="drift gate in percentage points (with --gate)")
+    dif.add_argument("--gate", action="store_true",
+                     help="fail (exit 1) when drift exceeds --threshold-pp")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    if args.cmd == "top":
+        return cmd_top(args)
+    if args.cmd == "diff":
+        return cmd_diff(args)
+    ap.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
