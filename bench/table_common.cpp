@@ -1,10 +1,12 @@
 #include "table_common.hpp"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
 #include "benchcir/suite.hpp"
+#include "mem/arena.hpp"
 #include "obs/hwc.hpp"
 #include "obs/json.hpp"
 #include "obs/memstat.hpp"
@@ -77,13 +79,14 @@ int run_table(const TableConfig& config) {
       // kernel peak-RSS is re-armed where /proc/self/clear_refs allows,
       // otherwise VmHWM stays process-monotonic — still gateable as a
       // per-method max.
-      obs::reset();
+      obs::reset();  // also re-arms the windowed mem.arena.* gauges
       obs::try_reset_peak_rss();
       obs::HwcGroup hwc;
       obs::Timer timer;
       hwc.start();
       config.apply(net, config.methods[i]);
       hwc.stop();
+      const mem::ArenaStats arena = mem::arena_stats();
       const double ms = timer.elapsed_ms();
       const obs::HwcReading hw = hwc.read();
       const obs::MemSnapshot mem = obs::memstat_snapshot();
@@ -141,6 +144,23 @@ int run_table(const TableConfig& config) {
             w.end_object();
             if (++shown == 8) break;
           }
+          w.end_object();
+        }
+        // Scratch-arena telemetry: capacity plus the window's high-water
+        // and frame count. Absent when the arena is latched off
+        // (RARSUB_ARENA=0 / --no-arena), so arena-off reports stay
+        // comparable to pre-arena baselines.
+        if (mem::arena_enabled()) {
+          w.key("arena");
+          w.begin_object();
+          w.key("chunks");
+          w.value(static_cast<std::int64_t>(arena.chunks));
+          w.key("bytes_reserved");
+          w.value(static_cast<std::int64_t>(arena.bytes_reserved));
+          w.key("high_water");
+          w.value(static_cast<std::int64_t>(arena.high_water));
+          w.key("resets");
+          w.value(static_cast<std::int64_t>(arena.resets));
           w.end_object();
         }
         // CPU self-time profile: only when the sampler ran this window

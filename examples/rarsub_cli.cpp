@@ -35,6 +35,9 @@
 //   --no-incremental  rebuild the GDC gate view from scratch per network
 //                     state instead of patching it from the mutation
 //                     journal (sound to toggle, like --no-prune)
+//   --no-arena        route substitution scratch through the global heap
+//                     instead of the thread-local bump arenas (same as
+//                     RARSUB_ARENA=0; byte-identical results, slower)
 //   --verify          paranoid self-verification: replay an equivalence
 //                     check on the affected output cone after every
 //                     committed substitution (docs/FUZZING.md)
@@ -49,6 +52,7 @@
 
 #include "benchcir/suite.hpp"
 #include "fuzz/driver.hpp"
+#include "mem/arena.hpp"
 #include "network/blif.hpp"
 #include "obs/hwc.hpp"
 #include "obs/json.hpp"
@@ -350,6 +354,7 @@ int main(int argc, char** argv) {
     else if (a == "--jobs" && i + 1 < argc) tuning.jobs = std::atoi(argv[++i]);
     else if (a == "--no-prune") tuning.prune = false;
     else if (a == "--no-incremental") tuning.incremental = false;
+    else if (a == "--no-arena") mem::set_arena_enabled(false);
     else if (a == "--verify") tuning.verify = true;
     else args.push_back(a);
   }
@@ -446,7 +451,7 @@ int main(int argc, char** argv) {
                "              --ledger <file> | "
                "--jobs <n> (parallel gain evaluation,\n"
                "              deterministic) | --no-prune | --no-incremental "
-               "| --verify\n"
+               "| --no-arena | --verify\n"
                "(<circuit> = .blif path, .pla path, or built-in name)\n");
   return 2;
 }

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cassert>
 
+#include "mem/arena.hpp"
 #include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 
@@ -210,7 +211,9 @@ void CandidateFilter::begin_target(NodeId f) {
     tfo_[w] |= bit;
     return seen;
   };
-  std::vector<NodeId> stack{f};
+  mem::ScratchScope scratch;
+  mem::ScratchVector<NodeId> stack;
+  stack.push_back(f);
   mark(f);
   while (!stack.empty()) {
     const NodeId n = stack.back();

@@ -11,6 +11,7 @@
 #include "division/candidates.hpp"
 #include "gatenet/build.hpp"
 #include "gatenet/incremental.hpp"
+#include "mem/arena.hpp"
 #include "network/complement_cache.hpp"
 #include "obs/ledger.hpp"
 #include "obs/obs.hpp"
@@ -47,9 +48,10 @@ CommonSpace make_common_space(const Network& net, NodeId f, NodeId d) {
     }
   }
   const int nv = static_cast<int>(cs.vars.size());
-  std::vector<int> fmap(fn.fanins.size());
+  mem::ScratchScope scratch;
+  mem::ScratchVector<int> fmap(fn.fanins.size());
   for (std::size_t i = 0; i < fn.fanins.size(); ++i) fmap[i] = static_cast<int>(i);
-  cs.f_sop = fn.func.remap(nv, fmap);
+  cs.f_sop = fn.func.remap(nv, std::span<const int>(fmap));
   cs.d_sop = dn.func.remap(nv, cs.dmap);
   return cs;
 }
@@ -75,17 +77,20 @@ struct Candidate {
 // d's function after a decomposition commit, in local space + y_nc:
 //   SOS: d = y_nc + rest          POS: d = y_nc · comp(rest)
 Sop divisor_after_split(const Candidate& cand, int m) {
-  std::vector<int> ext(static_cast<std::size_t>(m));
+  mem::ScratchScope scratch;
+  mem::ScratchVector<int> ext(static_cast<std::size_t>(m));
   for (int i = 0; i < m; ++i) ext[static_cast<std::size_t>(i)] = i;
   Sop d_new(m + 1);
   if (!cand.comp_d) {
-    const Sop rest_ext = cand.d_rest_local.remap(m + 1, ext);
+    const Sop rest_ext =
+        cand.d_rest_local.remap(m + 1, std::span<const int>(ext));
     for (const Cube& c : rest_ext.cubes()) d_new.add_cube(c);
     Cube yc(m + 1);
     yc.set_lit(m, Lit::Pos);
     d_new.add_cube(yc);
   } else {
-    const Sop comp_rest = cand.d_rest_local.complement().remap(m + 1, ext);
+    const Sop comp_rest =
+        cand.d_rest_local.complement().remap(m + 1, std::span<const int>(ext));
     for (Cube c : comp_rest.cubes()) {
       c.set_lit(m, Lit::Pos);
       d_new.add_cube(std::move(c));
@@ -122,18 +127,21 @@ std::optional<Candidate> score(const Network& net, NodeId f, NodeId d,
   cand.decompose = static_cast<int>(core.size()) != divided_cover.num_cubes();
 
   // g = quotient·(y or !y) + remainder over nv+1 variables.
-  std::vector<int> ext(static_cast<std::size_t>(nv));
+  mem::ScratchScope scratch;
+  mem::ScratchVector<int> ext(static_cast<std::size_t>(nv));
   for (int i = 0; i < nv; ++i) ext[static_cast<std::size_t>(i)] = i;
   Sop g(nv + 1);
+  g.cubes().reserve(
+      static_cast<std::size_t>(quotient.num_cubes() + remainder.num_cubes()));
   // Divisor literal polarity: dividing by d̄ uses the negated literal. The
   // final complement (comp_f) flips nothing here — it complements g whole.
   const Lit ylit = comp_d ? Lit::Neg : Lit::Pos;
-  const Sop q_ext = quotient.remap(nv + 1, ext);
+  const Sop q_ext = quotient.remap(nv + 1, std::span<const int>(ext));
   for (Cube c : q_ext.cubes()) {
     c.set_lit(nv, ylit);
     g.add_cube(std::move(c));
   }
-  const Sop r_ext = remainder.remap(nv + 1, ext);
+  const Sop r_ext = remainder.remap(nv + 1, std::span<const int>(ext));
   for (const Cube& c : r_ext.cubes()) g.add_cube(c);
   g.scc_minimize();
 
@@ -166,11 +174,11 @@ std::optional<Candidate> score(const Network& net, NodeId f, NodeId d,
     assert(d_local_cover.num_cubes() == divided_cover.num_cubes());
     const int m = net.node(d).func.num_vars();
     Sop nc(m), rest(m);
-    std::vector<bool> in_core(
-        static_cast<std::size_t>(d_local_cover.num_cubes()), false);
+    mem::ScratchVector<unsigned char> in_core(
+        static_cast<std::size_t>(d_local_cover.num_cubes()), 0);
     for (int k : core) {
       assert(k < d_local_cover.num_cubes());
-      in_core[static_cast<std::size_t>(k)] = true;
+      in_core[static_cast<std::size_t>(k)] = 1;
     }
     for (int k = 0; k < d_local_cover.num_cubes(); ++k)
       (in_core[static_cast<std::size_t>(k)] ? nc : rest)
@@ -451,6 +459,12 @@ std::optional<int> attempt_impl(const Network& net, NodeId f, NodeId d,
   OBS_EVENT(.kind = obs::EventKind::SubstituteAttempt, .node = f, .divisor = d,
             .a = fn.func.num_cubes(), .b = dn.func.num_cubes());
   OBS_SCOPED_TIMER("subst.attempt");
+  // The attempt transaction's arena frame: every scratch allocation made
+  // while evaluating this (f, d) pair — quotient/remainder cube lists,
+  // espresso covers, recursion temporaries — is reclaimed in O(1) when the
+  // attempt returns. Each parallel gain-evaluation worker has its own
+  // thread-local arena, so jobs=1 and jobs=N behave identically.
+  mem::ScratchScope attempt_scratch;
   CommonSpace cs = make_common_space(net, f, d);
   if (static_cast<int>(cs.vars.size()) > opts.max_common_vars) {
     OBS_COUNT("subst.reject.max_common_vars", 1);
@@ -464,29 +478,34 @@ std::optional<int> attempt_impl(const Network& net, NodeId f, NodeId d,
   // Complements for the POS dual, computed once in local spaces so cube
   // orders stay aligned between the common-space and local covers. When
   // the filter already refuted every POS view, the complements (and their
-  // remaps into the common space) are not needed at all.
-  Sop f_comp, d_comp_local, d_comp;
+  // remaps into the common space) are not needed at all. The cache's
+  // values are reference-stable (node-based map) and no node version can
+  // change during a const evaluation, so the local complements are
+  // borrowed rather than copied.
+  Sop f_comp, d_comp;
+  const Sop* d_comp_local = nullptr;
   bool pos_ok = opts.try_pos &&
                 (hooks.view_mask & (kViewSosPos | kViewPosPos | kViewPosSos));
   if (pos_ok) {
-    Sop f_comp_local = comps->get(net, f);
-    d_comp_local = comps->get(net, d);
-    if (f_comp_local.num_cubes() > opts.max_node_cubes ||
-        f_comp_local.num_cubes() == 0 ||
-        d_comp_local.num_cubes() > opts.max_divisor_cubes ||
-        d_comp_local.num_cubes() == 0) {
+    const Sop& f_comp_ref = comps->get(net, f);
+    const Sop& d_comp_ref = comps->get(net, d);
+    if (f_comp_ref.num_cubes() > opts.max_node_cubes ||
+        f_comp_ref.num_cubes() == 0 ||
+        d_comp_ref.num_cubes() > opts.max_divisor_cubes ||
+        d_comp_ref.num_cubes() == 0) {
       // The POS views are skipped; the SOS views still run.
-      if (f_comp_local.num_cubes() > opts.max_node_cubes)
+      if (f_comp_ref.num_cubes() > opts.max_node_cubes)
         OBS_COUNT("subst.reject.max_node_cubes", 1);
-      if (d_comp_local.num_cubes() > opts.max_divisor_cubes)
+      if (d_comp_ref.num_cubes() > opts.max_divisor_cubes)
         OBS_COUNT("subst.reject.max_divisor_cubes", 1);
       pos_ok = false;
     } else {
-      std::vector<int> fmap(fn.fanins.size());
+      mem::ScratchVector<int> fmap(fn.fanins.size());
       for (std::size_t i = 0; i < fn.fanins.size(); ++i)
         fmap[i] = static_cast<int>(i);
-      f_comp = f_comp_local.remap(nv, fmap);
-      d_comp = d_comp_local.remap(nv, cs.dmap);
+      f_comp = f_comp_ref.remap(nv, std::span<const int>(fmap));
+      d_comp = d_comp_ref.remap(nv, cs.dmap);
+      d_comp_local = &d_comp_ref;
     }
   }
 
@@ -535,11 +554,11 @@ std::optional<int> attempt_impl(const Network& net, NodeId f, NodeId d,
     run(false, false, cs.f_sop, cs.d_sop, dn.func);
   if (pos_ok) {
     if (hooks.view_mask & kViewSosPos)
-      run(false, true, cs.f_sop, d_comp, d_comp_local);
+      run(false, true, cs.f_sop, d_comp, *d_comp_local);
     if (hooks.view_mask & kViewPosSos)
       run(true, false, f_comp, cs.d_sop, dn.func);
     if (hooks.view_mask & kViewPosPos)
-      run(true, true, f_comp, d_comp, d_comp_local);
+      run(true, true, f_comp, d_comp, *d_comp_local);
   }
 
   if (!best || effective(*best) <= 0) {

@@ -12,6 +12,7 @@
 #include "bdd/bdd.hpp"
 #include "fuzz/shrink.hpp"
 #include "gatenet/incremental.hpp"
+#include "mem/arena.hpp"
 #include "network/blif.hpp"
 #include "obs/memstat.hpp"
 #include "obs/obs.hpp"
@@ -152,6 +153,41 @@ CheckOutcome differential_check(const Network& input, const FuzzConfig& cfg) {
       OBS_COUNT("fuzz.checks", 1);
     }
 
+    // Arena on vs off must be byte-identical: the scratch arena changes
+    // where bytes come from, never what is computed. The latch is flipped
+    // to the opposite of the ambient state so both directions get
+    // exercised (the arena-off smoke job runs this battery under
+    // RARSUB_ARENA=0, where "toggled" means arena ON).
+    {
+      const bool ambient = mem::arena_enabled();
+      struct RestoreLatch {
+        bool prev;
+        ~RestoreLatch() { mem::set_arena_enabled(prev); }
+      } restore{ambient};
+      mem::set_arena_enabled(!ambient);
+      SubstituteOptions o = o1;
+      o.verify_commits = false;
+      Network run = base;
+      substitute_network(run, o);
+      if (blif_of(run) != canon)
+        return {"arena_differs",
+                "arena-toggled network differs from canonical network"};
+      OBS_COUNT("fuzz.checks", 1);
+
+      // jobs=4 under the toggled latch completes the jobs x arena cross
+      // (jobs=4 under the ambient latch is the leg below).
+      if (!cfg.opts.first_positive) {
+        SubstituteOptions oj = o;
+        oj.jobs = 4;
+        Network runj = base;
+        substitute_network(runj, oj);
+        if (blif_of(runj) != canon)
+          return {"arena_jobs_differ",
+                  "arena-toggled jobs=4 network differs from canonical"};
+        OBS_COUNT("fuzz.checks", 1);
+      }
+    }
+
     // jobs=1 vs jobs=4 (only meaningful for best-gain evaluation).
     if (!cfg.opts.first_positive) {
       SubstituteOptions o = o1;
@@ -252,6 +288,10 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
     if ((iter & 63) == 0) {
       const std::int64_t rss = obs::read_rss_kb();
       if (rss >= 0) OBS_VALUE("fuzz.peak_rss_kb", rss);
+      const mem::ArenaStats as = mem::arena_stats();
+      if (as.high_water > 0)
+        OBS_VALUE("fuzz.arena_high_water",
+                  static_cast<std::int64_t>(as.high_water));
     }
     OBS_SCOPED_TIMER("fuzz.iteration");
     OBS_COUNT("fuzz.iterations", 1);
@@ -338,6 +378,9 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
   // Closing sample so short runs (< one batch) still report a value.
   const std::int64_t rss = obs::read_rss_kb();
   if (rss >= 0) OBS_VALUE("fuzz.peak_rss_kb", rss);
+  const mem::ArenaStats as = mem::arena_stats();
+  if (as.high_water > 0)
+    OBS_VALUE("fuzz.arena_high_water", static_cast<std::int64_t>(as.high_water));
   return report;
 }
 

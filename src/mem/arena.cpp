@@ -1,0 +1,139 @@
+#include "mem/arena.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace rarsub::mem {
+
+namespace {
+
+constexpr std::size_t kMinChunk = 64 * 1024;
+constexpr std::size_t kMaxChunk = 1024 * 1024;
+
+// Process-wide gauges. Single-writer per arena (arenas are thread-local),
+// so relaxed ordering is enough; readers only need eventually-consistent
+// telemetry. high_water is maintained at frame close: usage grows
+// monotonically between rewinds, so the value just before a rewind IS the
+// running maximum.
+std::atomic<std::size_t> g_chunks{0};
+std::atomic<std::size_t> g_reserved{0};
+std::atomic<std::size_t> g_used{0};
+std::atomic<std::size_t> g_high{0};
+std::atomic<std::size_t> g_resets{0};
+
+void note_high_water() noexcept {
+  const std::size_t used = g_used.load(std::memory_order_relaxed);
+  std::size_t high = g_high.load(std::memory_order_relaxed);
+  while (used > high &&
+         !g_high.compare_exchange_weak(high, used, std::memory_order_relaxed)) {
+  }
+}
+
+// The latch reads the environment once; RARSUB_ARENA=0 disables (any other
+// value, or unset, leaves the arena on — the default). obs::env_flag can't
+// express "on unless explicitly zero", so the raw value is inspected here.
+std::atomic<bool>& enabled_latch() noexcept {
+  static std::atomic<bool> latch{[] {
+    const char* v = std::getenv("RARSUB_ARENA");
+    return !(v != nullptr && std::strcmp(v, "0") == 0);
+  }()};
+  return latch;
+}
+
+}  // namespace
+
+bool arena_enabled() noexcept {
+  return enabled_latch().load(std::memory_order_relaxed);
+}
+
+void set_arena_enabled(bool on) noexcept {
+  enabled_latch().store(on, std::memory_order_relaxed);
+}
+
+ArenaStats arena_stats() noexcept {
+  note_high_water();  // capture an open frame's usage too
+  ArenaStats s;
+  s.chunks = g_chunks.load(std::memory_order_relaxed);
+  s.bytes_reserved = g_reserved.load(std::memory_order_relaxed);
+  s.high_water = g_high.load(std::memory_order_relaxed);
+  s.resets = g_resets.load(std::memory_order_relaxed);
+  return s;
+}
+
+void arena_stats_reset() noexcept {
+  g_high.store(g_used.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  g_resets.store(0, std::memory_order_relaxed);
+}
+
+Arena::~Arena() {
+  for (const Chunk& c : chunks_) ::operator delete(c.data);
+  g_chunks.fetch_sub(chunks_.size(), std::memory_order_relaxed);
+  g_reserved.fetch_sub(reserved_, std::memory_order_relaxed);
+  g_used.fetch_sub(used_, std::memory_order_relaxed);
+}
+
+void Arena::grow(std::size_t min_bytes) {
+  std::size_t size = chunks_.empty() ? kMinChunk : chunks_.back().size * 2;
+  if (size > kMaxChunk) size = kMaxChunk;
+  if (size < min_bytes) size = min_bytes;
+  Chunk c{static_cast<std::byte*>(::operator new(size)), size};
+  chunks_.push_back(c);
+  cur_ = chunks_.size() - 1;
+  off_ = 0;
+  reserved_ += size;
+  g_chunks.fetch_add(1, std::memory_order_relaxed);
+  g_reserved.fetch_add(size, std::memory_order_relaxed);
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  assert(align <= alignof(std::max_align_t));
+  assert((align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  for (;;) {
+    if (cur_ < chunks_.size()) {
+      const Chunk& c = chunks_[cur_];
+      const std::size_t aligned = (off_ + (align - 1)) & ~(align - 1);
+      if (aligned + bytes <= c.size) {
+        void* p = c.data + aligned;
+        const std::size_t consumed = (aligned - off_) + bytes;
+        off_ = aligned + bytes;
+        used_ += consumed;
+        g_used.fetch_add(consumed, std::memory_order_relaxed);
+        return p;
+      }
+      if (cur_ + 1 < chunks_.size()) {  // spill into the next kept chunk
+        ++cur_;
+        off_ = 0;
+        continue;
+      }
+    }
+    grow(bytes + align);
+  }
+}
+
+bool Arena::owns(const void* p) const noexcept {
+  const std::byte* b = static_cast<const std::byte*>(p);
+  for (const Chunk& c : chunks_)
+    if (b >= c.data && b < c.data + c.size) return true;
+  return false;
+}
+
+void Arena::rewind(const Mark& m) noexcept {
+  assert(m.used <= used_);
+  note_high_water();
+  g_used.fetch_sub(used_ - m.used, std::memory_order_relaxed);
+  g_resets.fetch_add(1, std::memory_order_relaxed);
+  cur_ = m.chunk;
+  off_ = m.offset;
+  used_ = m.used;
+}
+
+Arena& scratch_arena() noexcept {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace rarsub::mem

@@ -1,0 +1,175 @@
+#pragma once
+// Monotonic bump-pointer region allocator for the substitution hot path.
+//
+// The attempt transaction (subst.attempt) churns tens of millions of tiny,
+// short-lived allocations — quotient/remainder cube lists, espresso scratch
+// covers, recursion temporaries — over 99% of which die inside the attempt
+// that made them (docs/PERFORMANCE.md). An Arena turns each of those into a
+// pointer bump: memory is carved from reusable chunks, handed out with no
+// per-object bookkeeping, and reclaimed wholesale by rewinding to a mark.
+//
+//   Arena           chunked bump allocator; O(1) reset(), chunks are kept
+//                   and reused across attempts so steady state performs no
+//                   system allocation at all
+//   ScratchScope    RAII frame over the calling thread's scratch arena:
+//                   records a mark on entry, rewinds on exit; nests freely
+//   ArenaAllocator  STL-compatible allocator; falls back to the heap when
+//                   the arena is disabled, and deallocate() distinguishes
+//                   arena from heap pointers so the latch can be flipped at
+//                   runtime (the fuzz battery's arena on/off leg)
+//   ScratchVector   std::vector<T, ArenaAllocator<T>> over the thread arena
+//
+// The arena changes only where bytes come from, never what is computed:
+// results are byte-identical with the feature on or off. Disable with
+// RARSUB_ARENA=0 (or --no-arena in the CLI), or at runtime through
+// set_arena_enabled(). Each thread owns its scratch arena (scratch_arena()
+// is thread_local), so parallel gain-evaluation workers never share one.
+//
+// Gauges (published as mem.arena.* by obs::snapshot()):
+//   chunks / bytes_reserved   live chunk count and capacity, process-wide
+//   high_water                max bytes simultaneously in use since the
+//                             last obs::reset() (measured at frame close)
+//   resets                    scratch frames closed since obs::reset()
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rarsub::mem {
+
+/// Latch: true unless RARSUB_ARENA=0 in the environment or
+/// set_arena_enabled(false) was called. Checked at allocation time, so
+/// flipping mid-process is safe (owns() keeps deallocation consistent).
+bool arena_enabled() noexcept;
+void set_arena_enabled(bool on) noexcept;
+
+/// Process-wide aggregates across every live arena.
+struct ArenaStats {
+  std::size_t chunks = 0;          ///< live chunks
+  std::size_t bytes_reserved = 0;  ///< total chunk capacity
+  std::size_t high_water = 0;      ///< max bytes in use since last stats reset
+  std::size_t resets = 0;          ///< frames rewound since last stats reset
+};
+ArenaStats arena_stats() noexcept;
+
+/// Re-arm the windowed gauges (high_water, resets) for a fresh measurement
+/// window; chunk capacity gauges persist. Called from obs::reset() so bench
+/// windows isolate arena telemetry the way they isolate mem.* gauges.
+void arena_stats_reset() noexcept;
+
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Position to rewind to; everything allocated after it is reclaimed.
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t offset = 0;
+    std::size_t used = 0;
+  };
+
+  /// Bump-allocate `bytes` aligned to `align` (<= alignof(max_align_t)).
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Does `p` point into one of this arena's chunks? Used by
+  /// ArenaAllocator::deallocate to tell arena memory (no-op) from heap
+  /// fallback memory (operator delete) regardless of the current latch.
+  bool owns(const void* p) const noexcept;
+
+  Mark mark() const noexcept { return Mark{cur_, off_, used_}; }
+
+  /// O(1): drop back to `m`, keeping every chunk for reuse.
+  void rewind(const Mark& m) noexcept;
+
+  /// O(1): rewind to empty (chunks retained).
+  void reset() noexcept { rewind(Mark{}); }
+
+  std::size_t chunk_count() const noexcept { return chunks_.size(); }
+  std::size_t bytes_reserved() const noexcept { return reserved_; }
+  std::size_t bytes_used() const noexcept { return used_; }
+
+ private:
+  struct Chunk {
+    std::byte* data;
+    std::size_t size;
+  };
+
+  void grow(std::size_t min_bytes);
+
+  std::vector<Chunk> chunks_;
+  std::size_t cur_ = 0;       // chunk currently bumped
+  std::size_t off_ = 0;       // bump offset within it
+  std::size_t used_ = 0;      // bytes handed out since reset (monotonic)
+  std::size_t reserved_ = 0;  // sum of chunk sizes
+};
+
+/// The calling thread's scratch arena (one per thread, so the parallel
+/// gain-evaluation workers of substitute_network each own one).
+Arena& scratch_arena() noexcept;
+
+/// RAII frame over the thread's scratch arena: every scratch allocation
+/// made inside the scope is reclaimed, in O(1), when it closes. Nests.
+class ScratchScope {
+ public:
+  ScratchScope() noexcept : arena_(scratch_arena()), mark_(arena_.mark()) {}
+  ~ScratchScope() { arena_.rewind(mark_); }
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+  Arena& arena() noexcept { return arena_; }
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+/// STL-compatible allocator over an Arena. Individual deallocation is a
+/// no-op for arena memory (reclaimed by the enclosing ScratchScope); when
+/// the arena latch is off, allocation falls back to the global heap and
+/// deallocate() frees it normally — so containers stay correct across a
+/// runtime flip of the latch.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept : arena_(&scratch_arena()) {}
+  explicit ArenaAllocator(Arena* a) noexcept : arena_(a) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& o) noexcept : arena_(o.arena()) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (arena_enabled())
+      return static_cast<T*>(arena_->allocate(bytes, alignof(T)));
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    if (!arena_->owns(p)) ::operator delete(p);
+  }
+
+  Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ == o.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// Scratch container alias: a vector whose buffer lives in the calling
+/// thread's scratch arena (while the latch is on). Must not escape the
+/// ScratchScope active at construction time.
+template <typename T>
+using ScratchVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace rarsub::mem

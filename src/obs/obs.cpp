@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "mem/arena.hpp"
 #include "obs/json.hpp"
 #include "obs/memstat.hpp"
 #include "obs/prof.hpp"
@@ -253,10 +254,33 @@ void publish_prof() {
     set("prof.phase." + s.phase + ".samples", s.samples);
 }
 
+// Arena gauges ride in the same "mem." namespace, so this must run AFTER
+// publish_memstat() — which clears every mem.* counter wholesale — and
+// republishes from the live process-wide arena aggregates.
+void publish_arena() {
+  // Latched off (RARSUB_ARENA=0 / --no-arena): publish nothing. Scratch
+  // frames still open and close — counting resets against an empty arena
+  // — but reports must stay free of mem.arena.* so arena-off runs remain
+  // comparable to pre-arena baselines (docs/OBSERVABILITY.md).
+  if (!mem::arena_enabled()) return;
+  const mem::ArenaStats a = mem::arena_stats();
+  auto set = [](const std::string& name, std::int64_t v) {
+    if (v <= 0) return;
+    Counter& c = counter(name);
+    c.reset();
+    c.add(v);
+  };
+  set("mem.arena.chunks", static_cast<std::int64_t>(a.chunks));
+  set("mem.arena.bytes_reserved", static_cast<std::int64_t>(a.bytes_reserved));
+  set("mem.arena.high_water", static_cast<std::int64_t>(a.high_water));
+  set("mem.arena.resets", static_cast<std::int64_t>(a.resets));
+}
+
 }  // namespace
 
 Snapshot snapshot() {
   publish_memstat();
+  publish_arena();
   publish_prof();
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
@@ -286,6 +310,7 @@ void reset() {
   // counters. The profiler folds its window into the whole-run
   // accumulation (the folded output must still span the process).
   memstat_reset();
+  mem::arena_stats_reset();
   prof_reset();
 }
 

@@ -66,6 +66,7 @@ Sop comp_rec(const Sop& f) {
   Sop c1 = comp_rec(f1);
 
   Sop r(f.num_vars());
+  r.cubes().reserve(c0.cubes().size() + c1.cubes().size());
   or_literal_and(r, *v, false, c0);
   or_literal_and(r, *v, true, c1);
   r.scc_minimize();

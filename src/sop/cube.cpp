@@ -1,5 +1,6 @@
 #include "sop/cube.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <stdexcept>
@@ -20,12 +21,65 @@ std::uint64_t tail_mask(int n) {
 
 Cube::Cube(int num_vars) : num_vars_(num_vars) {
   assert(num_vars >= 0);
-  const int words = (num_vars + kVarsPerWord - 1) / kVarsPerWord;
-  words_.assign(static_cast<std::size_t>(words), ~0ULL);
+  const int nw = num_words();
+  std::uint64_t* w = inline_;
+  if (!inline_rep()) w = heap_ = new std::uint64_t[static_cast<std::size_t>(nw)];
+  std::fill_n(w, nw, ~0ULL);
   if (num_vars > 0) {
     const int rem = num_vars % kVarsPerWord;
-    if (rem != 0) words_.back() = tail_mask(rem);
+    if (rem != 0) w[nw - 1] = tail_mask(rem);
   }
+}
+
+Cube::Cube(const Cube& other) : num_vars_(other.num_vars_) {
+  const int nw = num_words();
+  std::uint64_t* w = inline_;
+  if (!inline_rep()) w = heap_ = new std::uint64_t[static_cast<std::size_t>(nw)];
+  std::copy_n(other.words(), nw, w);
+}
+
+Cube::Cube(Cube&& other) noexcept : num_vars_(other.num_vars_) {
+  if (inline_rep()) {
+    std::copy_n(other.inline_, num_words(), inline_);
+  } else {
+    heap_ = other.heap_;
+    other.num_vars_ = 0;  // donor collapses to the empty inline cube
+  }
+}
+
+Cube& Cube::operator=(const Cube& other) {
+  if (this == &other) return *this;
+  const int nw = other.num_words();
+  if (other.inline_rep()) {
+    if (!inline_rep()) delete[] heap_;
+    num_vars_ = other.num_vars_;
+    std::copy_n(other.inline_, nw, inline_);
+  } else {
+    std::uint64_t* dst;
+    if (!inline_rep() && num_words() == nw) {
+      dst = heap_;  // reuse the existing buffer
+    } else {
+      dst = new std::uint64_t[static_cast<std::size_t>(nw)];
+      if (!inline_rep()) delete[] heap_;
+      heap_ = dst;
+    }
+    num_vars_ = other.num_vars_;
+    std::copy_n(other.heap_, nw, dst);
+  }
+  return *this;
+}
+
+Cube& Cube::operator=(Cube&& other) noexcept {
+  if (this == &other) return *this;
+  if (!inline_rep()) delete[] heap_;
+  num_vars_ = other.num_vars_;
+  if (inline_rep()) {
+    std::copy_n(other.inline_, num_words(), inline_);
+  } else {
+    heap_ = other.heap_;
+    other.num_vars_ = 0;
+  }
+  return *this;
 }
 
 Cube Cube::from_string(const std::string& s) {
@@ -44,7 +98,9 @@ Cube Cube::from_string(const std::string& s) {
 int Cube::num_literals() const {
   // A literal is a pair with exactly one bit set; absent pairs are 11.
   int count = 0;
-  for (std::uint64_t w : words_) {
+  const std::uint64_t* ws = words();
+  for (int i = 0, nw = num_words(); i < nw; ++i) {
+    const std::uint64_t w = ws[i];
     const std::uint64_t both = (w >> 1) & w & kLoMask;  // 11 pairs
     const std::uint64_t any = ((w >> 1) | w) & kLoMask;  // non-00 pairs
     count += std::popcount(any & ~both);
@@ -54,8 +110,7 @@ int Cube::num_literals() const {
 
 Lit Cube::lit(int var) const {
   assert(var >= 0 && var < num_vars_);
-  const std::uint64_t pair =
-      (words_[static_cast<std::size_t>(word_index(var))] >> bit_shift(var)) & 3;
+  const std::uint64_t pair = (words()[word_index(var)] >> bit_shift(var)) & 3;
   switch (pair) {
     case 0b11: return Lit::Absent;
     case 0b10: return Lit::Pos;  // only value-1 bit set
@@ -69,19 +124,21 @@ void Cube::set_lit(int var, Lit l) {
   std::uint64_t pair = 0b11;
   if (l == Lit::Pos) pair = 0b10;
   if (l == Lit::Neg) pair = 0b01;
-  auto& w = words_[static_cast<std::size_t>(word_index(var))];
+  std::uint64_t& w = words()[word_index(var)];
   w = (w & ~(3ULL << bit_shift(var))) | (pair << bit_shift(var));
 }
 
 bool Cube::is_empty() const {
   if (num_vars_ == 0) return false;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    const std::uint64_t w = words_[i];
+  const std::uint64_t* ws = words();
+  const int nw = num_words();
+  for (int i = 0; i < nw; ++i) {
+    const std::uint64_t w = ws[i];
     const std::uint64_t any = ((w >> 1) | w) & kLoMask;
     // Only inspect pairs belonging to real variables: trailing pairs beyond
     // num_vars_ were initialized to 0 by tail_mask and must be ignored.
     std::uint64_t valid = kLoMask;
-    if (i + 1 == words_.size() && num_vars_ % kVarsPerWord != 0)
+    if (i + 1 == nw && num_vars_ % kVarsPerWord != 0)
       valid &= tail_mask(num_vars_ % kVarsPerWord) & kLoMask;
     if ((any & valid) != valid) return true;
   }
@@ -89,36 +146,45 @@ bool Cube::is_empty() const {
 }
 
 bool Cube::is_universe() const {
-  for (std::size_t i = 0; i < words_.size(); ++i) {
+  const std::uint64_t* ws = words();
+  const int nw = num_words();
+  for (int i = 0; i < nw; ++i) {
     std::uint64_t full = ~0ULL;
-    if (i + 1 == words_.size() && num_vars_ % kVarsPerWord != 0)
+    if (i + 1 == nw && num_vars_ % kVarsPerWord != 0)
       full = tail_mask(num_vars_ % kVarsPerWord);
-    if (words_[i] != full) return false;
+    if (ws[i] != full) return false;
   }
   return true;
 }
 
 bool Cube::contains(const Cube& other) const {
   assert(num_vars_ == other.num_vars_);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if ((other.words_[i] & words_[i]) != other.words_[i]) return false;
+  const std::uint64_t* a = words();
+  const std::uint64_t* b = other.words();
+  for (int i = 0, nw = num_words(); i < nw; ++i)
+    if ((b[i] & a[i]) != b[i]) return false;
   return true;
 }
 
 Cube Cube::intersect(const Cube& other) const {
   assert(num_vars_ == other.num_vars_);
   Cube r(*this);
-  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] &= other.words_[i];
+  std::uint64_t* rw = r.words();
+  const std::uint64_t* b = other.words();
+  for (int i = 0, nw = num_words(); i < nw; ++i) rw[i] &= b[i];
   return r;
 }
 
 int Cube::distance(const Cube& other) const {
   assert(num_vars_ == other.num_vars_);
   int d = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    const std::uint64_t w = words_[i] & other.words_[i];
+  const std::uint64_t* a = words();
+  const std::uint64_t* b = other.words();
+  const int nw = num_words();
+  for (int i = 0; i < nw; ++i) {
+    const std::uint64_t w = a[i] & b[i];
     std::uint64_t none = ~((w >> 1) | w) & kLoMask;  // pairs that became 00
-    if (i + 1 == words_.size() && num_vars_ % kVarsPerWord != 0)
+    if (i + 1 == nw && num_vars_ % kVarsPerWord != 0)
       none &= tail_mask(num_vars_ % kVarsPerWord);
     d += std::popcount(none);
   }
@@ -128,13 +194,16 @@ int Cube::distance(const Cube& other) const {
 Cube Cube::consensus(const Cube& other) const {
   assert(distance(other) == 1);
   Cube r(*this);
-  for (std::size_t i = 0; i < r.words_.size(); ++i) {
-    const std::uint64_t w = words_[i] & other.words_[i];
+  std::uint64_t* rw = r.words();
+  const std::uint64_t* b = other.words();
+  const int nw = num_words();
+  for (int i = 0; i < nw; ++i) {
+    const std::uint64_t w = rw[i] & b[i];
     std::uint64_t none = ~((w >> 1) | w) & kLoMask;
-    if (i + 1 == r.words_.size() && num_vars_ % kVarsPerWord != 0)
+    if (i + 1 == nw && num_vars_ % kVarsPerWord != 0)
       none &= tail_mask(num_vars_ % kVarsPerWord);
     // Raise the single conflicting pair to 11; AND elsewhere.
-    r.words_[i] = w | none | (none << 1);
+    rw[i] = w | none | (none << 1);
   }
   return r;
 }
@@ -142,7 +211,9 @@ Cube Cube::consensus(const Cube& other) const {
 Cube Cube::supercube(const Cube& other) const {
   assert(num_vars_ == other.num_vars_);
   Cube r(*this);
-  for (std::size_t i = 0; i < r.words_.size(); ++i) r.words_[i] |= other.words_[i];
+  std::uint64_t* rw = r.words();
+  const std::uint64_t* b = other.words();
+  for (int i = 0, nw = num_words(); i < nw; ++i) rw[i] |= b[i];
   return r;
 }
 
@@ -154,8 +225,7 @@ Cube Cube::cofactor(int var, bool value) const {
   }
   if ((l == Lit::Pos) != value) {
     // Cube requires the opposite value: empty cofactor (pair forced to 00).
-    auto& w = r.words_[static_cast<std::size_t>(word_index(var))];
-    w &= ~(3ULL << bit_shift(var));
+    r.words()[word_index(var)] &= ~(3ULL << bit_shift(var));
     return r;
   }
   r.set_lit(var, Lit::Absent);
@@ -165,21 +235,25 @@ Cube Cube::cofactor(int var, bool value) const {
 bool Cube::has_all_literals_of(const Cube& other) const {
   // *this must constrain at least as much: bitwise subset in this direction.
   assert(num_vars_ == other.num_vars_);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if ((words_[i] & other.words_[i]) != words_[i]) return false;
+  const std::uint64_t* a = words();
+  const std::uint64_t* b = other.words();
+  for (int i = 0, nw = num_words(); i < nw; ++i)
+    if ((a[i] & b[i]) != a[i]) return false;
   return true;
 }
 
 Cube Cube::remove_literals_of(const Cube& other) const {
   assert(has_all_literals_of(other));
   Cube r(*this);
-  for (std::size_t i = 0; i < r.words_.size(); ++i) {
-    const std::uint64_t w = other.words_[i];
+  std::uint64_t* rw = r.words();
+  const std::uint64_t* b = other.words();
+  for (int i = 0, nw = num_words(); i < nw; ++i) {
+    const std::uint64_t w = b[i];
     // Pairs where `other` has a literal (exactly one bit set): raise to 11.
     const std::uint64_t both = (w >> 1) & w & kLoMask;
     const std::uint64_t any = ((w >> 1) | w) & kLoMask;
     const std::uint64_t litp = any & ~both;
-    r.words_[i] |= litp | (litp << 1);
+    rw[i] |= litp | (litp << 1);
   }
   return r;
 }
@@ -188,8 +262,10 @@ Cube Cube::product(const Cube& other) const { return intersect(other); }
 
 bool Cube::shares_literal_with(const Cube& other) const {
   assert(num_vars_ == other.num_vars_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    const std::uint64_t a = words_[i], b = other.words_[i];
+  const std::uint64_t* aw = words();
+  const std::uint64_t* bw = other.words();
+  for (int i = 0, nw = num_words(); i < nw; ++i) {
+    const std::uint64_t a = aw[i], b = bw[i];
     // Pairs where `a` holds a literal (exactly one bit of the pair set).
     const std::uint64_t lit_a = (((a >> 1) | a) & ~((a >> 1) & a)) & kLoMask;
     // Pairs where the two words agree bit-for-bit.
@@ -210,9 +286,23 @@ Cube Cube::common_literals(const Cube& other) const {
   return r;
 }
 
+bool Cube::operator==(const Cube& other) const {
+  if (num_vars_ != other.num_vars_) return false;
+  const std::uint64_t* a = words();
+  const std::uint64_t* b = other.words();
+  for (int i = 0, nw = num_words(); i < nw; ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
 bool Cube::operator<(const Cube& other) const {
   if (num_vars_ != other.num_vars_) return num_vars_ < other.num_vars_;
-  return words_ < other.words_;
+  const std::uint64_t* a = words();
+  const std::uint64_t* b = other.words();
+  for (int i = 0, nw = num_words(); i < nw; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i];
+  }
+  return false;
 }
 
 bool Cube::eval(std::uint64_t assignment) const {
@@ -240,7 +330,9 @@ std::string Cube::to_string() const {
 
 std::size_t Cube::hash() const {
   std::size_t h = static_cast<std::size_t>(num_vars_) * 0x9e3779b97f4a7c15ULL;
-  for (std::uint64_t w : words_) h = (h ^ w) * 0x100000001b3ULL;
+  const std::uint64_t* ws = words();
+  for (int i = 0, nw = num_words(); i < nw; ++i)
+    h = (h ^ ws[i]) * 0x100000001b3ULL;
   return h;
 }
 

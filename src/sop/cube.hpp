@@ -13,10 +13,16 @@
 // With this encoding cube intersection is bitwise AND and cube containment
 // is a bitwise subset test, which is what makes the SOS/POS checks of the
 // paper (single-cube containment) cheap.
+//
+// Storage uses a two-word inline buffer (small-buffer optimization):
+// cubes over up to 64 variables — every cube of the benchmark suite —
+// live entirely inside the object, so copying one is a 24-byte memcpy and
+// allocates nothing. Wider cubes fall back to a heap array. The
+// representation is fully determined by num_vars(), so no discriminator
+// is stored and equality/order/hash are representation-independent.
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 namespace rarsub {
 
@@ -29,10 +35,18 @@ enum class Lit : std::uint8_t {
 
 class Cube {
  public:
-  Cube() = default;
+  Cube() noexcept : num_vars_(0) {}
 
   /// Universe cube (no literals) over `num_vars` variables.
   explicit Cube(int num_vars);
+
+  Cube(const Cube& other);
+  Cube(Cube&& other) noexcept;
+  Cube& operator=(const Cube& other);
+  Cube& operator=(Cube&& other) noexcept;
+  ~Cube() {
+    if (!inline_rep()) delete[] heap_;
+  }
 
   /// Parse from a character string, one char per variable:
   /// '1' positive literal, '0' negative literal, '-' absent.
@@ -97,7 +111,7 @@ class Cube {
   /// algebraic sense); may be the universe cube when nothing is shared.
   Cube common_literals(const Cube& other) const;
 
-  bool operator==(const Cube& other) const = default;
+  bool operator==(const Cube& other) const;
 
   /// Lexicographic order on the raw words; any total order works for
   /// canonicalization.
@@ -111,14 +125,31 @@ class Cube {
 
   std::size_t hash() const;
 
+  /// Widest cube the inline buffer holds; above this the words live on the
+  /// heap. Exposed for the SBO boundary tests.
+  static constexpr int kInlineVars = 64;
+
  private:
   static constexpr int kVarsPerWord = 32;  // 2 bits per variable
+  static constexpr int kInlineWords = kInlineVars / kVarsPerWord;
+
+  static int word_count(int num_vars) {
+    return (num_vars + kVarsPerWord - 1) / kVarsPerWord;
+  }
+
+  bool inline_rep() const { return num_vars_ <= kInlineVars; }
+  int num_words() const { return word_count(num_vars_); }
+  std::uint64_t* words() { return inline_rep() ? inline_ : heap_; }
+  const std::uint64_t* words() const { return inline_rep() ? inline_ : heap_; }
 
   int word_index(int var) const { return var / kVarsPerWord; }
   int bit_shift(int var) const { return 2 * (var % kVarsPerWord); }
 
   int num_vars_ = 0;
-  std::vector<std::uint64_t> words_;
+  union {
+    std::uint64_t inline_[kInlineWords];
+    std::uint64_t* heap_;
+  };
 
   friend struct CubeHash;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "mem/arena.hpp"
 #include "obs/obs.hpp"
 
 namespace rarsub {
@@ -10,7 +11,9 @@ namespace rarsub {
 Sop espresso_expand(const Sop& f, const Sop& fun) {
   OBS_COUNT("espresso.expand", 1);
   Sop out(f.num_vars());
-  std::vector<Cube> cubes = f.cubes();
+  out.cubes().reserve(f.cubes().size());
+  mem::ScratchScope scratch;
+  mem::ScratchVector<Cube> cubes(f.cubes().begin(), f.cubes().end());
   // Expanding big cubes first tends to let them swallow the small ones.
   std::sort(cubes.begin(), cubes.end(), [](const Cube& a, const Cube& b) {
     return a.num_literals() < b.num_literals();
@@ -32,20 +35,26 @@ Sop espresso_expand(const Sop& f, const Sop& fun) {
 
 Sop espresso_irredundant(const Sop& f, const Sop& dc) {
   OBS_COUNT("espresso.irredundant", 1);
-  std::vector<Cube> cubes = f.cubes();
+  mem::ScratchScope scratch;
+  mem::ScratchVector<Cube> cubes(f.cubes().begin(), f.cubes().end());
   // Drop small cubes first: they are the most likely to be covered.
   std::sort(cubes.begin(), cubes.end(), [](const Cube& a, const Cube& b) {
     return a.num_literals() > b.num_literals();
   });
-  std::vector<bool> keep(cubes.size(), true);
+  mem::ScratchVector<unsigned char> keep(cubes.size(), 1);
+  // One `rest` cover reused across iterations: clear() keeps the capacity,
+  // so the rebuild below allocates only on the first pass.
+  Sop rest(f.num_vars());
+  rest.cubes().reserve(cubes.size() + dc.cubes().size());
   for (std::size_t i = 0; i < cubes.size(); ++i) {
-    Sop rest(f.num_vars());
+    rest.cubes().clear();
     for (std::size_t j = 0; j < cubes.size(); ++j)
       if (j != i && keep[j]) rest.add_cube(cubes[j]);
     for (const Cube& d : dc.cubes()) rest.add_cube(d);
-    if (rest.contains_cube(cubes[i])) keep[i] = false;
+    if (rest.contains_cube(cubes[i])) keep[i] = 0;
   }
   Sop out(f.num_vars());
+  out.cubes().reserve(cubes.size());
   for (std::size_t i = 0; i < cubes.size(); ++i)
     if (keep[i]) out.add_cube(cubes[i]);
   return out;
@@ -57,24 +66,27 @@ Sop espresso_reduce(const Sop& f, const Sop& dc) {
   // cover: once a cube has been reduced, later cubes see its reduced form.
   // Reducing every cube against the original cover lets two cubes that
   // jointly cover a minterm both retreat from it, losing the on-set.
-  std::vector<Cube> cubes = f.cubes();
+  mem::ScratchScope scratch;
+  mem::ScratchVector<Cube> cubes(f.cubes().begin(), f.cubes().end());
   // Espresso heuristic: shrink the biggest cubes first.
   std::sort(cubes.begin(), cubes.end(), [](const Cube& a, const Cube& b) {
     return a.num_literals() < b.num_literals();
   });
-  std::vector<bool> dropped(cubes.size(), false);
+  mem::ScratchVector<unsigned char> dropped(cubes.size(), 0);
+  Sop g(f.num_vars());
+  g.cubes().reserve(cubes.size() + dc.cubes().size());
   for (std::size_t i = 0; i < cubes.size(); ++i) {
     const Cube c = cubes[i];
     // Part of the function covered by the other cubes (plus dc), seen from
     // inside c: G = (F_current \ c  |  dc) cofactored by c.
-    Sop g(f.num_vars());
+    g.cubes().clear();
     for (std::size_t j = 0; j < cubes.size(); ++j)
       if (j != i && !dropped[j]) g.add_cube(cubes[j]);
     for (const Cube& d : dc.cubes()) g.add_cube(d);
     const Sop gc = g.cofactor(c);
     const Sop need = gc.complement();  // minterms only c covers
     if (need.is_zero()) {
-      dropped[i] = true;  // cube fully covered by the rest: drop it
+      dropped[i] = 1;  // cube fully covered by the rest: drop it
       continue;
     }
     // Smallest cube containing `need`, intersected back with c.
@@ -83,6 +95,7 @@ Sop espresso_reduce(const Sop& f, const Sop& dc) {
     cubes[i] = c.intersect(sc);
   }
   Sop out(f.num_vars());
+  out.cubes().reserve(cubes.size());
   for (std::size_t i = 0; i < cubes.size(); ++i)
     if (!dropped[i]) out.add_cube(cubes[i]);
   return out;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "mem/arena.hpp"
+
 namespace rarsub {
 
 Sop::Sop(int num_vars, std::vector<Cube> cubes)
@@ -71,6 +73,7 @@ bool Sop::equals(const Sop& other) const {
 
 Sop Sop::cofactor(int var, bool value) const {
   Sop r(num_vars_);
+  r.cubes_.reserve(cubes_.size());
   for (const Cube& c : cubes_) {
     Cube cc = c.cofactor(var, value);
     if (!cc.is_empty()) r.cubes_.push_back(std::move(cc));
@@ -80,6 +83,7 @@ Sop Sop::cofactor(int var, bool value) const {
 
 Sop Sop::cofactor(const Cube& c) const {
   Sop r(num_vars_);
+  r.cubes_.reserve(cubes_.size());
   for (const Cube& f : cubes_) {
     if (f.distance(c) > 0) continue;  // disjoint from the cofactor cube
     // Standard cofactor: drop the literals that c fixes.
@@ -96,6 +100,7 @@ Sop Sop::cofactor(const Cube& c) const {
 Sop Sop::boolean_and(const Sop& other) const {
   assert(num_vars_ == other.num_vars_);
   Sop r(num_vars_);
+  r.cubes_.reserve(cubes_.size() * other.cubes_.size());
   for (const Cube& a : cubes_)
     for (const Cube& b : other.cubes_) {
       Cube p = a.intersect(b);
@@ -115,45 +120,48 @@ Sop Sop::boolean_or(const Sop& other) const {
 
 namespace {
 
-// a # b: the part of cube a outside cube b, as a disjoint list of cubes.
-std::vector<Cube> cube_sharp(const Cube& a, const Cube& b) {
-  if (a.distance(b) > 0) return {a};  // disjoint: nothing removed
-  std::vector<Cube> out;
+// a # b: append the part of cube a outside cube b (a disjoint cube list).
+void cube_sharp_into(const Cube& a, const Cube& b,
+                     mem::ScratchVector<Cube>& out) {
+  if (a.distance(b) > 0) {  // disjoint: nothing removed
+    out.push_back(a);
+    return;
+  }
   Cube prefix = a;
   for (int v = 0; v < a.num_vars(); ++v) {
     const Lit lb = b.lit(v);
     if (lb == Lit::Absent) continue;
     const Lit la = prefix.lit(v);
-    if (la == lb) continue;           // b does not cut a on this variable
-    if (la != Lit::Absent) return out;  // opposite literal: a already outside
+    if (la == lb) continue;          // b does not cut a on this variable
+    if (la != Lit::Absent) return;   // opposite literal: a already outside
     Cube piece = prefix;
     piece.set_lit(v, lb == Lit::Pos ? Lit::Neg : Lit::Pos);
     out.push_back(std::move(piece));
-    prefix.set_lit(v, lb);            // continue inside b on this variable
+    prefix.set_lit(v, lb);           // continue inside b on this variable
   }
-  return out;  // prefix now lies fully inside b: dropped
+  // prefix now lies fully inside b: dropped
 }
 
 }  // namespace
 
 Sop Sop::sharp(const Sop& other) const {
   assert(num_vars_ == other.num_vars_);
-  std::vector<Cube> cur = cubes_;
+  mem::ScratchScope scratch;
+  mem::ScratchVector<Cube> cur(cubes_.begin(), cubes_.end());
   for (const Cube& b : other.cubes_) {
-    std::vector<Cube> next;
-    for (const Cube& a : cur) {
-      std::vector<Cube> pieces = cube_sharp(a, b);
-      next.insert(next.end(), pieces.begin(), pieces.end());
-    }
+    mem::ScratchVector<Cube> next;
+    for (const Cube& a : cur) cube_sharp_into(a, b, next);
     cur = std::move(next);
   }
-  Sop r(num_vars_, std::move(cur));
+  Sop r(num_vars_);
+  r.cubes_.assign(cur.begin(), cur.end());
   r.scc_minimize();
   return r;
 }
 
 void Sop::scc_minimize() {
-  std::vector<Cube> keep;
+  mem::ScratchScope scratch;
+  mem::ScratchVector<Cube> keep;
   keep.reserve(cubes_.size());
   for (std::size_t i = 0; i < cubes_.size(); ++i) {
     const Cube& c = cubes_[i];
@@ -169,7 +177,9 @@ void Sop::scc_minimize() {
     }
     if (!dominated) keep.push_back(c);
   }
-  cubes_ = std::move(keep);
+  // assign() reuses the existing capacity: in steady state scc_minimize
+  // performs no heap allocation at all.
+  cubes_.assign(keep.begin(), keep.end());
 }
 
 void Sop::canonicalize() {
@@ -208,9 +218,10 @@ std::vector<int> Sop::literal_counts() const {
   return counts;
 }
 
-Sop Sop::remap(int new_num_vars, const std::vector<int>& var_map) const {
+Sop Sop::remap(int new_num_vars, std::span<const int> var_map) const {
   assert(static_cast<int>(var_map.size()) == num_vars_);
   Sop r(new_num_vars);
+  r.cubes_.reserve(cubes_.size());
   for (const Cube& c : cubes_) {
     Cube nc(new_num_vars);
     bool empty = false;
@@ -242,8 +253,27 @@ std::string Sop::to_string() const {
   return s;
 }
 
+namespace {
+
+// literal_counts() into arena scratch: the unate-recursive complement and
+// tautology routines call the variable selectors at every recursion node,
+// so the counts buffer must not hit the heap.
+void literal_counts_into(const Sop& f, mem::ScratchVector<int>& counts) {
+  counts.assign(static_cast<std::size_t>(2 * f.num_vars()), 0);
+  for (const Cube& c : f.cubes())
+    for (int v = 0; v < f.num_vars(); ++v) {
+      const Lit l = c.lit(v);
+      if (l == Lit::Pos) ++counts[static_cast<std::size_t>(2 * v)];
+      if (l == Lit::Neg) ++counts[static_cast<std::size_t>(2 * v + 1)];
+    }
+}
+
+}  // namespace
+
 std::optional<int> most_binate_var(const Sop& f) {
-  const std::vector<int> counts = f.literal_counts();
+  mem::ScratchScope scratch;
+  mem::ScratchVector<int> counts;
+  literal_counts_into(f, counts);
   int best = -1, best_count = -1;
   for (int v = 0; v < f.num_vars(); ++v) {
     const int pos = counts[static_cast<std::size_t>(2 * v)];
@@ -258,7 +288,9 @@ std::optional<int> most_binate_var(const Sop& f) {
 }
 
 std::optional<int> most_frequent_var(const Sop& f) {
-  const std::vector<int> counts = f.literal_counts();
+  mem::ScratchScope scratch;
+  mem::ScratchVector<int> counts;
+  literal_counts_into(f, counts);
   int best = -1, best_count = 0;
   for (int v = 0; v < f.num_vars(); ++v) {
     const int n = counts[static_cast<std::size_t>(2 * v)] +

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -105,8 +106,13 @@ class Sop {
   std::vector<int> literal_counts() const;
 
   /// Re-express over a larger variable space: variable i becomes
-  /// `var_map[i]` in a cover with `new_num_vars` variables.
-  Sop remap(int new_num_vars, const std::vector<int>& var_map) const;
+  /// `var_map[i]` in a cover with `new_num_vars` variables. The span
+  /// overload lets the hot substitution path pass arena-scratch index
+  /// buffers without materializing a std::vector.
+  Sop remap(int new_num_vars, std::span<const int> var_map) const;
+  Sop remap(int new_num_vars, const std::vector<int>& var_map) const {
+    return remap(new_num_vars, std::span<const int>(var_map));
+  }
 
   std::string to_string() const;
 

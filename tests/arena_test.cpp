@@ -1,0 +1,290 @@
+// Unit tests for the substitution scratch arena (src/mem/arena.hpp) and
+// the cube small-buffer optimization boundary (src/sop/cube.hpp): the two
+// halves of the allocation-churn work described in docs/PERFORMANCE.md.
+
+#include "mem/arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sop/cube.hpp"
+#include "sop/sop.hpp"
+
+namespace rarsub {
+namespace {
+
+// ---------------------------------------------------------------------
+// Arena core.
+
+TEST(Arena, AllocationsAreAligned) {
+  mem::Arena a;
+  for (std::size_t align : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                            std::size_t{8}, std::size_t{16}}) {
+    void* p = a.allocate(3, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "allocation not aligned to " << align;
+    EXPECT_TRUE(a.owns(p));
+  }
+}
+
+TEST(Arena, ZeroByteAllocationsAreDistinct) {
+  mem::Arena a;
+  void* p = a.allocate(0, 1);
+  void* q = a.allocate(0, 1);
+  EXPECT_NE(p, q);
+}
+
+TEST(Arena, GrowsAcrossChunksAndKeepsThemOnReset) {
+  mem::Arena a;
+  // Force several chunk spills: each allocation is bigger than the 64 KiB
+  // first chunk can hold twice.
+  for (int i = 0; i < 8; ++i) (void)a.allocate(48 * 1024, 8);
+  const std::size_t chunks = a.chunk_count();
+  const std::size_t reserved = a.bytes_reserved();
+  EXPECT_GE(chunks, 2u);
+  EXPECT_GT(a.bytes_used(), 0u);
+
+  a.reset();
+  EXPECT_EQ(a.chunk_count(), chunks) << "reset must keep chunks for reuse";
+  EXPECT_EQ(a.bytes_reserved(), reserved);
+  EXPECT_EQ(a.bytes_used(), 0u);
+
+  // Refilling after reset reuses the kept chunks: no new reservation.
+  for (int i = 0; i < 8; ++i) (void)a.allocate(48 * 1024, 8);
+  EXPECT_EQ(a.bytes_reserved(), reserved);
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnChunk) {
+  mem::Arena a;
+  void* p = a.allocate(4 * 1024 * 1024, 8);  // bigger than the 1 MiB cap
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(a.owns(p));
+  EXPECT_GE(a.bytes_reserved(), std::size_t{4 * 1024 * 1024});
+}
+
+TEST(Arena, MarkRewindReclaimsInO1AndMemoryIsReused) {
+  mem::Arena a;
+  (void)a.allocate(64, 8);
+  const mem::Arena::Mark m = a.mark();
+  void* p1 = a.allocate(1024, 8);
+  const std::size_t used_after = a.bytes_used();
+  a.rewind(m);
+  EXPECT_LT(a.bytes_used(), used_after);
+  void* p2 = a.allocate(1024, 8);
+  EXPECT_EQ(p1, p2) << "rewind must hand back the same region";
+}
+
+TEST(Arena, OwnsRejectsForeignPointers) {
+  mem::Arena a;
+  (void)a.allocate(16, 8);
+  int heap_obj = 0;
+  EXPECT_FALSE(a.owns(&heap_obj));
+  mem::Arena b;
+  void* p = b.allocate(16, 8);
+  EXPECT_FALSE(a.owns(p));
+  EXPECT_TRUE(b.owns(p));
+}
+
+// ---------------------------------------------------------------------
+// ScratchScope frames over the thread-local arena.
+
+TEST(ScratchScope, NestedFramesRewindToTheirOwnMarks) {
+  mem::Arena& a = mem::scratch_arena();
+  const std::size_t base = a.bytes_used();
+  {
+    mem::ScratchScope outer;
+    (void)a.allocate(256, 8);
+    const std::size_t outer_used = a.bytes_used();
+    {
+      mem::ScratchScope inner;
+      (void)a.allocate(512, 8);
+      EXPECT_GT(a.bytes_used(), outer_used);
+    }
+    EXPECT_EQ(a.bytes_used(), outer_used) << "inner frame must rewind";
+    (void)a.allocate(128, 8);
+  }
+  EXPECT_EQ(a.bytes_used(), base) << "outer frame must rewind";
+}
+
+TEST(ScratchScope, StatsCountResetsAndHighWater) {
+  mem::arena_stats_reset();
+  const mem::ArenaStats before = mem::arena_stats();
+  {
+    mem::ScratchScope scope;
+    (void)mem::scratch_arena().allocate(4096, 8);
+  }
+  const mem::ArenaStats after = mem::arena_stats();
+  EXPECT_GT(after.resets, before.resets);
+  EXPECT_GE(after.high_water, before.high_water + 4096);
+}
+
+// ---------------------------------------------------------------------
+// ArenaAllocator + standard containers, across latch states.
+
+// Save/restore the process latch so these tests pass under any ambient
+// RARSUB_ARENA setting (the arena-off CI leg runs the whole suite).
+class LatchGuard {
+ public:
+  LatchGuard() : prev_(mem::arena_enabled()) {}
+  ~LatchGuard() { mem::set_arena_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(ArenaAllocator, VectorGrowsInsideArena) {
+  LatchGuard guard;
+  mem::set_arena_enabled(true);
+  mem::ScratchScope scope;
+  mem::ScratchVector<int> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_TRUE(mem::scratch_arena().owns(v.data()));
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ArenaAllocator, FallsBackToHeapWhenDisabled) {
+  LatchGuard guard;
+  mem::ScratchScope scope;
+  mem::set_arena_enabled(false);
+  {
+    mem::ScratchVector<int> v;
+    for (int i = 0; i < 100; ++i) v.push_back(i);
+    EXPECT_FALSE(mem::scratch_arena().owns(v.data()));
+  }  // deallocate() must route the heap pointer to operator delete
+}
+
+TEST(ArenaAllocator, SurvivesLatchFlipMidContainerLifetime) {
+  LatchGuard guard;
+  mem::set_arena_enabled(true);
+  mem::ScratchScope scope;
+  mem::ScratchVector<int> v;
+  v.reserve(8);
+  for (int i = 0; i < 8; ++i) v.push_back(i);
+  EXPECT_TRUE(mem::scratch_arena().owns(v.data()));
+  // Disable the arena, then force a regrow: the old arena buffer must be
+  // left alone (owns() check) and the new one comes from the heap.
+  mem::set_arena_enabled(false);
+  for (int i = 8; i < 1000; ++i) v.push_back(i);
+  EXPECT_FALSE(mem::scratch_arena().owns(v.data()));
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+// ---------------------------------------------------------------------
+// Cube small-buffer boundary: 64 variables inline, 65 on the heap. The
+// representation must be invisible to every observable operation.
+
+Cube pattern_cube(int nv) {
+  Cube c(nv);
+  for (int v = 0; v < nv; v += 3)
+    c.set_lit(v, (v % 2) == 0 ? Lit::Pos : Lit::Neg);
+  return c;
+}
+
+TEST(CubeSbo, BoundaryWidthsBehaveIdentically) {
+  for (int nv : {1, 31, 32, 33, 63, Cube::kInlineVars, Cube::kInlineVars + 1,
+                 96, 128, 200}) {
+    SCOPED_TRACE("nv=" + std::to_string(nv));
+    Cube c = pattern_cube(nv);
+    EXPECT_EQ(c.num_vars(), nv);
+    for (int v = 0; v < nv; ++v) {
+      const Lit expect =
+          (v % 3 == 0) ? ((v % 2) == 0 ? Lit::Pos : Lit::Neg) : Lit::Absent;
+      ASSERT_EQ(c.lit(v), expect) << "var " << v;
+    }
+    // Round trip through the string form is representation-independent.
+    EXPECT_EQ(Cube::from_string(c.to_string()), c);
+    EXPECT_EQ(Cube::from_string(c.to_string()).hash(), c.hash());
+  }
+}
+
+TEST(CubeSbo, CopyAndMoveAcrossTheBoundary) {
+  const Cube small = pattern_cube(Cube::kInlineVars);      // inline rep
+  const Cube large = pattern_cube(Cube::kInlineVars + 1);  // heap rep
+
+  // Copy construction preserves value for both representations.
+  Cube small_copy(small);
+  Cube large_copy(large);
+  EXPECT_EQ(small_copy, small);
+  EXPECT_EQ(large_copy, large);
+
+  // Cross-representation copy assignment (inline <- heap and heap <- inline).
+  Cube x = small;
+  x = large;
+  EXPECT_EQ(x, large);
+  Cube y = large;
+  y = small;
+  EXPECT_EQ(y, small);
+
+  // Self-consistent move: moved-to holds the value; moved-from is reusable.
+  Cube ms = small;
+  Cube moved_small(std::move(ms));
+  EXPECT_EQ(moved_small, small);
+  Cube ml = large;
+  Cube moved_large(std::move(ml));
+  EXPECT_EQ(moved_large, large);
+  ml = moved_large;  // move-from must stay assignable
+  EXPECT_EQ(ml, large);
+
+  // Cross-representation move assignment.
+  Cube z = pattern_cube(Cube::kInlineVars);
+  z = pattern_cube(Cube::kInlineVars + 1);
+  EXPECT_EQ(z, large);
+  z = pattern_cube(Cube::kInlineVars);
+  EXPECT_EQ(z, small);
+}
+
+TEST(CubeSbo, HashEqualityAndOrderAgreeAcrossWidths) {
+  for (int nv : {Cube::kInlineVars, Cube::kInlineVars + 1}) {
+    SCOPED_TRACE("nv=" + std::to_string(nv));
+    Cube a = pattern_cube(nv);
+    Cube b = pattern_cube(nv);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_FALSE(a < b);
+    EXPECT_FALSE(b < a);
+    b.set_lit(nv - 1, Lit::Pos);
+    EXPECT_NE(a, b);
+    EXPECT_TRUE((a < b) != (b < a));
+  }
+}
+
+TEST(CubeSbo, SetOperationsAcrossTheBoundary) {
+  const int nv = Cube::kInlineVars + 1;  // heap representation
+  Cube a(nv), b(nv);
+  a.set_lit(0, Lit::Pos);
+  a.set_lit(nv - 1, Lit::Neg);  // the literal in the spill word
+  b.set_lit(0, Lit::Pos);
+  EXPECT_TRUE(b.contains(a));
+  EXPECT_FALSE(a.contains(b));
+  EXPECT_EQ(a.num_literals(), 2);
+  EXPECT_EQ(a.intersect(b), a);
+  EXPECT_EQ(a.supercube(b), b);
+  EXPECT_EQ(a.distance(b), 0);
+  Cube c(nv);
+  c.set_lit(nv - 1, Lit::Pos);  // conflicts with a on the spill word
+  EXPECT_EQ(a.distance(c), 1);
+  EXPECT_TRUE(a.intersect(c).is_empty());
+}
+
+TEST(CubeSbo, SopOverWideCubesStillMinimizes) {
+  const int nv = Cube::kInlineVars + 1;
+  Sop f(nv);
+  Cube wide(nv);
+  wide.set_lit(nv - 1, Lit::Pos);
+  Cube narrow = wide;
+  narrow.set_lit(0, Lit::Neg);  // contained in `wide`
+  f.add_cube(narrow);
+  f.add_cube(wide);
+  f.add_cube(wide);  // duplicate
+  f.scc_minimize();
+  ASSERT_EQ(f.num_cubes(), 1);
+  EXPECT_EQ(f.cube(0), wide);
+}
+
+}  // namespace
+}  // namespace rarsub

@@ -14,6 +14,7 @@
 #include "benchcir/suite.hpp"
 #include "division/substitute.hpp"
 #include "fuzz/driver.hpp"
+#include "mem/arena.hpp"
 #include "network/network.hpp"
 #include "obs/hwc.hpp"
 #include "obs/json.hpp"
@@ -576,12 +577,14 @@ TEST(Obs, DocumentedMetricCatalogueIsLive) {
       if (!obs::hwc_available()) return false;
       return name != "hwc.cache_misses" && name != "hwc.branch_misses";
     }
+    if (name.rfind("mem.arena.", 0) == 0) return mem::arena_enabled();
     if (name.rfind("mem.", 0) == 0) {
       if (name == "mem.rss_kb" || name == "mem.peak_rss_kb")
         return obs::read_rss_kb() >= 0;
       return obs::memstat_available();
     }
     if (name == "fuzz.peak_rss_kb") return obs::read_rss_kb() >= 0;
+    if (name == "fuzz.arena_high_water") return mem::arena_enabled();
     // prof.* gauges need a running sampler (real SIGPROF timer — absent
     // under sanitizers or where setitimer fails).
     if (name.rfind("prof.", 0) == 0) return obs::prof_enabled();

@@ -70,6 +70,9 @@ def load_report(path):
                 "peak_rss_kb": m.get("peak_rss_kb"),
                 # CPU self-time profile (None without RARSUB_PROF).
                 "prof_phases": m.get("prof_phases"),
+                # Scratch-arena telemetry (None for pre-arena reports or
+                # runs with the arena latched off via RARSUB_ARENA=0).
+                "arena": m.get("arena"),
             }
     return report, rows
 
@@ -161,6 +164,48 @@ def prof_drift_lines(base_rows, cur_rows):
                 method, phase,
                 "-" if bs is None else "%.1f%%" % bs,
                 "-" if cs is None else "%.1f%%" % cs, d))
+    return lines
+
+
+def arena_util_lines(base_rows, cur_rows):
+    """Informational scratch-arena table: per method, the reserved chunk
+    capacity, the window high-water mark, the utilization ratio between
+    them, and the number of scratch frames (resets). Not a gate — reserved
+    capacity plateaus after warm-up and high-water is workload-shaped, so
+    this column exists to catch gross over-reservation by eye, not to fail
+    CI. Reports without the block (pre-arena baselines, RARSUB_ARENA=0
+    runs) show '-'."""
+
+    def totals(rows):
+        agg = {}  # method -> [max_reserved, max_high, sum_resets] or None
+        for (_, method), r in rows.items():
+            a = r.get("arena")
+            if a is None:
+                agg.setdefault(method, None)
+                continue
+            t = agg.setdefault(method, [0, 0, 0])
+            if t is None:
+                agg[method] = t = [0, 0, 0]
+            t[0] = max(t[0], a.get("bytes_reserved", 0))
+            t[1] = max(t[1], a.get("high_water", 0))
+            t[2] += a.get("resets", 0)
+        return agg
+
+    def cell(t):
+        if not t or t[0] == 0:
+            return "%9s %9s %6s %9s" % ("-", "-", "-", "-")
+        return "%8dk %8dk %5.1f%% %9d" % (
+            t[0] // 1024, t[1] // 1024, 100.0 * t[1] / t[0], t[2])
+
+    base, cur = totals(base_rows), totals(cur_rows)
+    lines = [""]
+    lines.append("%-10s %9s %9s %6s %9s   %9s %9s %6s %9s  "
+                 "(scratch arena, informational)" % (
+                     "method", "b_resv", "b_high", "b_util", "b_frames",
+                     "c_resv", "c_high", "c_util", "c_frames"))
+    for method in sorted(set(base) | set(cur)):
+        lines.append("%-10s %s   %s" % (
+            method, cell(base.get(method)), cell(cur.get(method))))
     return lines
 
 
@@ -305,6 +350,7 @@ def compare(base_report, base_rows, cur_report, cur_rows, cpu_threshold,
 
     lines.extend(prune_rate_lines(base_rows, cur_rows))
     lines.extend(prof_drift_lines(base_rows, cur_rows))
+    lines.extend(arena_util_lines(base_rows, cur_rows))
 
     mem_l, mem_f = mem_gate(base_rows, cur_rows, alloc_threshold,
                             rss_threshold, require_mem)
@@ -347,8 +393,13 @@ def run_compare(args):
     return 1 if failures else 0
 
 
+# "arena" rides along so every memory field of the blessed baseline —
+# allocator telemetry and scratch-arena gauges alike — describes the same
+# (memstat-on) run. The workload is deterministic, so the arena numbers of
+# the two runs agree anyway; taking the memstat run's copy just keeps the
+# provenance uniform.
 MERGE_KEYS = ("peak_rss_kb", "allocs", "alloc_bytes", "peak_live_bytes",
-              "mem_phases")
+              "mem_phases", "arena")
 
 
 def run_merge(args):
@@ -399,7 +450,7 @@ def run_merge(args):
 # including that an injected 10% CPU regression fails at the default
 # threshold. Run from ctest so the comparator itself is covered.
 
-def _report(rows, eq_failures=0, mem=None, prof=None):
+def _report(rows, eq_failures=0, mem=None, prof=None, arena=None):
     circuits = {}
     for (circuit, method), row in rows.items():
         lits, ms = row[0], row[1]
@@ -415,6 +466,11 @@ def _report(rows, eq_failures=0, mem=None, prof=None):
             entry["allocs"] = allocs
             entry["alloc_bytes"] = alloc_bytes
             entry["peak_rss_kb"] = rss
+        if arena is not None and (circuit, method) in arena:
+            # (chunks, bytes_reserved, high_water, resets)
+            ch, resv, high, resets = arena[(circuit, method)]
+            entry["arena"] = {"chunks": ch, "bytes_reserved": resv,
+                              "high_water": high, "resets": resets}
         if prof is not None and (circuit, method) in prof:
             # {phase: samples}
             entry["prof_phases"] = {
@@ -447,7 +503,8 @@ def _rows_of(report):
                 "allocs": m.get("allocs"),
                 "alloc_bytes": m.get("alloc_bytes"),
                 "peak_rss_kb": m.get("peak_rss_kb"),
-                "prof_phases": m.get("prof_phases")}
+                "prof_phases": m.get("prof_phases"),
+                "arena": m.get("arena")}
     return rows
 
 
@@ -490,6 +547,15 @@ def self_test():
 
     def prof_text(b, cur):
         return "\n".join(prof_drift_lines(_rows_of(b), _rows_of(cur)))
+
+    # Arena-instrumented reports: 2 MiB reserved, 512 KiB high water
+    # (25% utilization), 1000 scratch frames per row.
+    ARENA = {("c432", "ext"): (3, 2 * 1024 * 1024, 512 * 1024, 1000),
+             ("c880", "ext"): (3, 2 * 1024 * 1024, 512 * 1024, 1000)}
+    base_arena = _report(LITS, arena=ARENA)
+
+    def arena_text(b, cur):
+        return "\n".join(arena_util_lines(_rows_of(b), _rows_of(cur)))
 
     checks = [
         ("identical reports pass",
@@ -541,6 +607,14 @@ def self_test():
          not mem_verdict(base_prof, drift_prof)),
         ("prof on one side only still renders",
          "80.0%" in prof_text(base_prof, base)),
+        ("arena utilization column renders from arena block",
+         "25.0%" in arena_text(base_arena, base_arena)
+         and "2048k" in arena_text(base_arena, base_arena)),
+        ("reports without arena data show '-'",
+         "-" in arena_text(base, base)),
+        ("arena utilization is informational, never a gate",
+         not mem_verdict(base_arena, base)
+         and not mem_verdict(base, base_arena)),
     ]
     ok = True
     for name, passed in checks:
