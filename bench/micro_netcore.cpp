@@ -1,0 +1,237 @@
+// micro_netcore: network-core micro-bench — simulation, ATPG implication,
+// gate-net decomposition and topological ordering over a ~10k-node
+// synthetic circuit. This is the measurement harness for the flat
+// struct-of-arrays NodeTable refactor: every method exercises exactly the
+// adjacency / function-walk machinery the layout change targets, none of
+// them transforms the circuit, so literal counts are bit-stable across
+// runs and layouts (the strict literal gate in tools/bench_compare.py
+// doubles as a "the refactor changed nothing" check).
+//
+// With RARSUB_REPORT=<file> the bench writes the same JSON schema as the
+// table benches (circuits / methods / literals / cpu_ms / obs), so
+// tools/bench_compare.py and the bench-regression CI job consume it
+// unchanged. Per-method checksums are printed so byte-identical behaviour
+// across layouts is visible directly in the log.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "atpg/implication.hpp"
+#include "benchcir/synth.hpp"
+#include "gatenet/build.hpp"
+#include "network/network.hpp"
+#include "network/simulate.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+namespace rarsub {
+namespace {
+
+// Iteration counts are fixed (not time-targeted) so cpu_ms is comparable
+// between runs and across the legacy/flat layouts.
+constexpr int kSimIters = 150;
+constexpr int kImpIters = 800;
+constexpr int kBuildIters = 15;
+constexpr int kTopoIters = 800;
+constexpr int kTopoMutateIters = 400;
+
+Network make_circuit() {
+  SynthSpec spec;
+  spec.name = "syn10k";
+  spec.seed = 424242;
+  spec.num_pis = 64;
+  spec.num_bases = 768;
+  spec.num_mids = 24576;
+  spec.num_outputs = 4096;
+  spec.max_cubes = 4;
+  // No pre-collapse: the bench wants raw traversal volume, not the
+  // resubstitution opportunity structure.
+  spec.collapse_fraction = 0.0;
+  return make_synthetic(spec);
+}
+
+std::uint64_t run_simulate(const Network& net) {
+  std::mt19937_64 rng(7);
+  std::vector<std::uint64_t> pi_words(net.pis().size());
+  std::uint64_t checksum = 0;
+  for (int it = 0; it < kSimIters; ++it) {
+    for (std::uint64_t& w : pi_words) w = rng();
+    const std::vector<std::uint64_t> out = simulate64(net, pi_words);
+    for (std::uint64_t w : out) checksum = checksum * 1099511628211ULL + w;
+  }
+  return checksum;
+}
+
+std::uint64_t run_implication(const GateNet& gn) {
+  // Deterministic seed gates: every ~17th AND/OR gate.
+  std::vector<int> seeds;
+  for (int g = 0; g < gn.num_gates(); ++g) {
+    const Gate& gd = gn.gate(g);
+    if (gd.type != GateType::And && gd.type != GateType::Or) continue;
+    if (static_cast<int>(seeds.size()) * 17 <= g) seeds.push_back(g);
+  }
+  ImplicationEngine engine(gn, /*learning_depth=*/0);
+  std::uint64_t checksum = 0;
+  for (int it = 0; it < kImpIters; ++it) {
+    const int g = seeds[static_cast<std::size_t>(it) % seeds.size()];
+    engine.reset();
+    const bool ok = engine.assign(g, (it & 1) != 0);
+    int assigned = 0;
+    for (TV v : engine.values())
+      if (v != TV::X) ++assigned;
+    checksum = checksum * 31 + static_cast<std::uint64_t>(assigned) + (ok ? 1 : 0);
+  }
+  return checksum;
+}
+
+std::uint64_t run_gatenet_build(const Network& net) {
+  std::uint64_t checksum = 0;
+  for (int it = 0; it < kBuildIters; ++it) {
+    GateNetMap map;
+    const GateNet gn = build_gatenet(net, map);
+    checksum = checksum * 31 + static_cast<std::uint64_t>(gn.num_gates());
+  }
+  return checksum;
+}
+
+std::uint64_t run_topo(const Network& net) {
+  std::uint64_t checksum = 0;
+  for (int it = 0; it < kTopoIters; ++it) {
+    const std::vector<NodeId> order = net.topo_order();
+    checksum = checksum * 31 + static_cast<std::uint64_t>(order.size()) +
+               static_cast<std::uint64_t>(order.back());
+  }
+  return checksum;
+}
+
+std::uint64_t run_topo_mutate(Network& net) {
+  // Reinstall an identical function each round: the journal moves (every
+  // stamped cache must invalidate and rebuild) but the network function —
+  // and thus the literal gate — is untouched.
+  const NodeId victim = net.topo_order().front();
+  std::uint64_t checksum = 0;
+  for (int it = 0; it < kTopoMutateIters; ++it) {
+    const auto nd = net.node(victim);
+    std::vector<NodeId> fanins(nd.fanins.begin(), nd.fanins.end());
+    Sop func = nd.func;
+    net.set_function(victim, std::move(fanins), std::move(func));
+    const std::vector<NodeId> order = net.topo_order();
+    checksum = checksum * 31 + static_cast<std::uint64_t>(order.size());
+  }
+  return checksum;
+}
+
+struct MethodResult {
+  std::string name;
+  double cpu_ms = 0.0;
+  std::uint64_t checksum = 0;
+  int literals = 0;
+  obs::Snapshot snap;
+};
+
+}  // namespace
+}  // namespace rarsub
+
+int main() {
+  using namespace rarsub;
+
+  Network net = make_circuit();
+  int alive = 0;
+  long adjacency = 0;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const auto nd = net.node(id);
+    if (!nd.alive) continue;
+    ++alive;
+    adjacency += static_cast<long>(nd.fanins.size() + nd.fanouts.size());
+  }
+  const int init_lits = net.factored_literals();
+  std::printf("micro_netcore: %s nodes=%d alive=%d adjacency=%ld pis=%zu pos=%zu lits=%d\n",
+              net.name().c_str(), net.num_nodes(), alive, adjacency,
+              net.pis().size(), net.pos().size(), init_lits);
+
+  GateNetMap map;
+  const GateNet gn = build_gatenet(net, map);
+
+  std::vector<MethodResult> results;
+  auto run = [&](const std::string& name, auto&& fn) {
+    obs::reset();
+    MethodResult r;
+    r.name = name;
+    obs::Timer timer;
+    r.checksum = fn();
+    r.cpu_ms = timer.elapsed_ms();
+    r.literals = net.factored_literals();
+    r.snap = obs::snapshot();
+    std::printf("%-14s %9.1f ms  checksum=%016llx  lits=%d\n", name.c_str(),
+                r.cpu_ms, static_cast<unsigned long long>(r.checksum),
+                r.literals);
+    std::fflush(stdout);
+    results.push_back(std::move(r));
+  };
+
+  run("simulate", [&] { return run_simulate(net); });
+  run("implication", [&] { return run_implication(gn); });
+  run("gatenet_build", [&] { return run_gatenet_build(net); });
+  run("topo", [&] { return run_topo(net); });
+  run("topo_mutate", [&] { return run_topo_mutate(net); });
+
+  const char* report_path = obs::env_path("RARSUB_REPORT");
+  if (report_path != nullptr) {
+    std::string report;
+    obs::JsonWriter w(&report);
+    w.begin_object();
+    w.key("table");
+    w.value("micro_netcore: network-core hot paths (10k-node synth)");
+    w.key("suite");
+    w.value("netcore");
+    w.key("circuits");
+    w.begin_array();
+    w.begin_object();
+    w.key("name");
+    w.value(net.name());
+    w.key("init_literals");
+    w.value(init_lits);
+    w.key("nodes");
+    w.value(alive);
+    w.key("methods");
+    w.begin_array();
+    for (const MethodResult& r : results) {
+      w.begin_object();
+      w.key("method");
+      w.value(r.name);
+      w.key("literals");
+      w.value(r.literals);
+      w.key("cpu_ms");
+      w.value(r.cpu_ms);
+      w.key("equivalent");
+      w.value(true);
+      w.key("checksum");
+      w.value(std::to_string(r.checksum));
+      w.key("obs");
+      obs::snapshot_to_json(w, r.snap);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.end_array();
+    w.key("total_init_literals");
+    w.value(init_lits);
+    w.key("equivalence_failures");
+    w.value(0);
+    w.end_object();
+    report += '\n';
+    std::ofstream out(report_path);
+    if (out) {
+      out << report;
+      std::printf("report written to %s\n", report_path);
+    } else {
+      std::fprintf(stderr, "cannot write report to %s\n", report_path);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -178,7 +178,7 @@ void BM_FilterSignatureUpdate(benchmark::State& state) {
   const Sop f0 = net.node(f).func;
   Sop f1 = f0;
   f1.add_cube(Cube(f0.num_vars()));  // tautology cube: cheap, version-bumping
-  const std::vector<NodeId> fi = net.node(f).fanins;
+  const std::vector<NodeId> fi(net.fanins(f).begin(), net.fanins(f).end());
 
   SubstituteOptions opts;
   ComplementCache comps;
@@ -226,7 +226,7 @@ void BM_GateViewScratchRebuild(benchmark::State& state) {
   script_a(net);
   const std::vector<NodeId> order = net.topo_order();
   const NodeId f = order[order.size() / 2];
-  const std::vector<NodeId> fi = net.node(f).fanins;
+  const std::vector<NodeId> fi(net.fanins(f).begin(), net.fanins(f).end());
   const Sop f0 = net.node(f).func;
   for (auto _ : state) {
     net.set_function(f, fi, f0);  // same cover, new network state
@@ -241,7 +241,7 @@ void BM_GateViewIncrementalPatch(benchmark::State& state) {
   script_a(net);
   const std::vector<NodeId> order = net.topo_order();
   const NodeId f = order[order.size() / 2];
-  const std::vector<NodeId> fi = net.node(f).fanins;
+  const std::vector<NodeId> fi(net.fanins(f).begin(), net.fanins(f).end());
   const Sop f0 = net.node(f).func;
   IncrementalGateView view(net);
   for (auto _ : state) {

@@ -18,7 +18,7 @@ void print_node(const Network& net, const char* name) {
   const NodeId id = net.find_node(name);
   const Node& nd = net.node(id);
   std::vector<std::string> names;
-  for (NodeId f : nd.fanins) names.push_back(net.node(f).name);
+  for (NodeId f : nd.fanins) names.emplace_back(net.node(f).name);
   const auto tree = quick_factor(nd.func);
   std::printf("  %s = %s   (%d literals)\n", name,
               factor_to_string(*tree, names).c_str(), tree->literal_count());

@@ -37,7 +37,7 @@ std::uint64_t lit_bit(NodeId x, bool neg) {
 }
 
 // Signature and literal-Bloom mask of one cube over `fanins`.
-void cube_masks(const Cube& c, const std::vector<NodeId>& fanins,
+void cube_masks(const Cube& c, std::span<const NodeId> fanins,
                 std::uint64_t* sig, std::uint64_t* bloom) {
   if (c.is_empty()) {
     // Empty cubes evaluate false everywhere and are structurally contained
@@ -65,7 +65,7 @@ void cube_masks(const Cube& c, const std::vector<NodeId>& fanins,
   *bloom = b;
 }
 
-void cover_masks(const Sop& cover, const std::vector<NodeId>& fanins,
+void cover_masks(const Sop& cover, std::span<const NodeId> fanins,
                  std::uint64_t* sig, std::uint64_t* lit_union,
                  std::vector<std::uint64_t>* cube_sig,
                  std::vector<std::uint64_t>* cube_bloom) {

@@ -37,7 +37,7 @@ CommonSpace make_common_space(const Network& net, NodeId f, NodeId d) {
   CommonSpace cs;
   const Node& fn = net.node(f);
   const Node& dn = net.node(d);
-  cs.vars = fn.fanins;
+  cs.vars.assign(fn.fanins.begin(), fn.fanins.end());
   for (NodeId x : dn.fanins) {
     auto it = std::find(cs.vars.begin(), cs.vars.end(), x);
     if (it == cs.vars.end()) {
@@ -358,9 +358,10 @@ void commit(Network& net, NodeId f, NodeId d, const CommonSpace& cs,
   NodeId y = d;
   if (cand.decompose) {
     const int m = net.node(d).func.num_vars();
-    const NodeId nc = net.add_node(net.fresh_name(net.node(d).name + "_c"),
-                                   net.node(d).fanins, cand.nc_local);
-    std::vector<NodeId> dfanins = net.node(d).fanins;
+    const NodeId nc = net.add_node(
+        net.fresh_name(std::string(net.node(d).name) + "_c"),
+        {net.fanins(d).begin(), net.fanins(d).end()}, cand.nc_local);
+    std::vector<NodeId> dfanins(net.fanins(d).begin(), net.fanins(d).end());
     dfanins.push_back(nc);
     net.set_function(d, std::move(dfanins), divisor_after_split(cand, m));
     y = nc;
@@ -621,8 +622,8 @@ class CommitVerifier {
     if (!eq.equivalent) {
       OBS_COUNT("verify.failures", 1);
       throw std::runtime_error("verify_commits: substituting divisor " +
-                               net.node(d).name + " into node " +
-                               net.node(f).name +
+                               std::string(net.node(d).name) + " into node " +
+                               std::string(net.node(f).name) +
                                " broke equivalence: " + eq.message);
     }
   }
@@ -649,7 +650,7 @@ std::optional<int> try_pool_substitution(Network& net, NodeId f,
   OBS_COUNT("subst.pool.attempts", 1);
 
   // Common variable space: f's fanins plus every pooled divisor's fanins.
-  std::vector<NodeId> vars = fn.fanins;
+  std::vector<NodeId> vars(fn.fanins.begin(), fn.fanins.end());
   auto var_of = [&](NodeId x) {
     auto it = std::find(vars.begin(), vars.end(), x);
     if (it == vars.end()) {
@@ -762,7 +763,8 @@ std::optional<int> try_pool_substitution(Network& net, NodeId f,
   if (gain <= 0) return std::nullopt;
 
   const NodeId nc =
-      net.add_node(net.fresh_name(fn.name + "_p"), nc_fanins, nc_func);
+      net.add_node(net.fresh_name(std::string(fn.name) + "_p"), nc_fanins,
+                   nc_func);
   std::vector<NodeId> new_fanins;
   std::vector<int> var_map(static_cast<std::size_t>(nv + 1), 0);
   for (int v : g.support()) {

@@ -52,7 +52,7 @@ std::map<std::string, BddRef> po_bdds(const Network& net, BddManager& mgr,
                                mgr.zero());
   for (NodeId pi : net.pis())
     node_bdd[static_cast<std::size_t>(pi)] =
-        mgr.var(var_of.at(net.node(pi).name));
+        mgr.var(var_of.at(std::string(net.node(pi).name)));
   for (NodeId id : net.topo_order()) {
     const Node& nd = net.node(id);
     BddRef sum = mgr.zero();

@@ -190,7 +190,8 @@ Network shrink_network(const Network& failing,
         Sop f(nd.func.num_vars());
         for (int k = 0; k < nd.func.num_cubes(); ++k)
           if (k != ci) f.add_cube(nd.func.cube(k));
-        cand.set_function(id, nd.fanins, std::move(f));
+        cand.set_function(id, {nd.fanins.begin(), nd.fanins.end()},
+                          std::move(f));
         if (probe(cand)) {
           accept(std::move(cand));
           changed = true;
@@ -207,7 +208,8 @@ Network shrink_network(const Network& failing,
           const Node& nd = cand.node(id);
           Sop f = nd.func;
           f.cubes()[static_cast<std::size_t>(ci)].set_lit(v, Lit::Absent);
-          cand.set_function(id, nd.fanins, std::move(f));
+          cand.set_function(id, {nd.fanins.begin(), nd.fanins.end()},
+                            std::move(f));
           if (probe(cand)) {
             accept(std::move(cand));
             changed = true;

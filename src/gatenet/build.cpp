@@ -43,7 +43,7 @@ GateNet build_gatenet(const Network& net, GateNetMap& map) {
   map.node_cubes.assign(static_cast<std::size_t>(net.num_nodes()), {});
 
   for (NodeId pi : net.pis())
-    map.node_out[static_cast<std::size_t>(pi)] = gn.add_pi(net.node(pi).name);
+    map.node_out[static_cast<std::size_t>(pi)] = gn.add_pi(std::string(net.node(pi).name));
 
   for (NodeId id : net.topo_order()) {
     const Node& nd = net.node(id);
@@ -56,7 +56,7 @@ GateNet build_gatenet(const Network& net, GateNetMap& map) {
     }
     const Signal out = build_sop_gates(gn, nd.func, var_signal,
                                        &map.node_cubes[static_cast<std::size_t>(id)],
-                                       nd.name + ".");
+                                       std::string(nd.name) + ".");
     map.node_out[static_cast<std::size_t>(id)] = out.gate;
   }
 

@@ -42,7 +42,7 @@ int IncrementalGateView::patch_node(NodeId id) {
   if (root < 0) {
     // First sighting: the OR root keeps this id for the node's whole
     // life, so consumer pins placed later never need rewiring.
-    root = gn_.add_gate(GateType::Or, {}, nd.name + ".or");
+    root = gn_.add_gate(GateType::Or, {}, std::string(nd.name) + ".or");
     map_.node_out[static_cast<std::size_t>(id)] = root;
     ++written;
   } else {
@@ -67,7 +67,7 @@ int IncrementalGateView::patch_node(NodeId id) {
       lits.push_back(s);
     }
     const int g = gn_.add_gate(GateType::And, std::move(lits),
-                               nd.name + ".c" + std::to_string(ci));
+                               std::string(nd.name) + ".c" + std::to_string(ci));
     cubes.push_back(g);
     gn_.add_fanin(root, Signal{g, false});
     ++written;
@@ -118,10 +118,10 @@ int IncrementalGateView::refresh() {
     if ((flag[i] & kAdded) == 0 || (flag[i] & kDied) != 0) continue;
     const NodeId id = static_cast<NodeId>(i);
     if (net_.node(id).is_pi)
-      map_.node_out[i] = gn_.add_pi(net_.node(id).name);
+      map_.node_out[i] = gn_.add_pi(std::string(net_.node(id).name));
     else
       map_.node_out[i] =
-          gn_.add_gate(GateType::Or, {}, net_.node(id).name + ".or");
+          gn_.add_gate(GateType::Or, {}, std::string(net_.node(id).name) + ".or");
   }
 
   // Phase 2: rebuild gates of added/changed alive nodes. Any order works
@@ -223,28 +223,28 @@ bool IncrementalGateView::check(std::string* why) const {
     const Node& nd = net_.node(id);
     const int root = map_.node_out[static_cast<std::size_t>(id)];
     if (!nd.alive) continue;
-    if (root < 0) return fail("alive node " + nd.name + " has no root gate");
-    if (gn_.is_free(root)) return fail("node " + nd.name + " root is free");
+    if (root < 0) return fail("alive node " + std::string(nd.name) + " has no root gate");
+    if (gn_.is_free(root)) return fail("node " + std::string(nd.name) + " root is free");
     if (nd.is_pi) {
       if (gn_.gate(root).type != GateType::PI)
-        return fail("PI " + nd.name + " root is not a PI gate");
+        return fail("PI " + std::string(nd.name) + " root is not a PI gate");
       continue;
     }
     const Gate& rg = gn_.gate(root);
     if (rg.type != GateType::Or)
-      return fail("node " + nd.name + " root is not an OR gate");
+      return fail("node " + std::string(nd.name) + " root is not an OR gate");
     const auto& cubes = map_.node_cubes[static_cast<std::size_t>(id)];
     if (static_cast<int>(cubes.size()) != nd.func.num_cubes())
-      return fail("node " + nd.name + " cube-gate count mismatch");
+      return fail("node " + std::string(nd.name) + " cube-gate count mismatch");
     if (rg.fanins.size() != cubes.size())
-      return fail("node " + nd.name + " root pin count mismatch");
+      return fail("node " + std::string(nd.name) + " root pin count mismatch");
     for (std::size_t ci = 0; ci < cubes.size(); ++ci) {
       if (rg.fanins[ci] != Signal{cubes[ci], false})
-        return fail("node " + nd.name + " root pin " + std::to_string(ci) +
+        return fail("node " + std::string(nd.name) + " root pin " + std::to_string(ci) +
                     " does not feed from its cube gate");
       const Gate& cg = gn_.gate(cubes[ci]);
       if (cg.type != GateType::And || cg.free)
-        return fail("node " + nd.name + " cube " + std::to_string(ci) +
+        return fail("node " + std::string(nd.name) + " cube " + std::to_string(ci) +
                     " is not an AND gate");
       // Expected pins: present literals in ascending variable order.
       const Cube& c = nd.func.cube(static_cast<int>(ci));
@@ -257,7 +257,7 @@ bool IncrementalGateView::check(std::string* why) const {
             Signal{map_.node_out[static_cast<std::size_t>(f)], l == Lit::Neg});
       }
       if (cg.fanins != want)
-        return fail("node " + nd.name + " cube " + std::to_string(ci) +
+        return fail("node " + std::string(nd.name) + " cube " + std::to_string(ci) +
                     " pins disagree with the cover");
     }
   }

@@ -50,11 +50,14 @@ int eliminate(Network& net, int threshold, int cube_limit) {
 
 void simplify_network(Network& net) {
   for (NodeId id : net.topo_order()) {
-    Node& nd = net.node(id);
-    if (nd.func.num_cubes() == 0) continue;
-    Sop simplified = espresso_lite(nd.func, Sop::zero(nd.func.num_vars()));
-    if (simplified.num_literals() <= nd.func.num_literals())
-      net.set_function(id, nd.fanins, std::move(simplified));
+    const Sop& func = net.func(id);
+    if (func.num_cubes() == 0) continue;
+    Sop simplified = espresso_lite(func, Sop::zero(func.num_vars()));
+    if (simplified.num_literals() <= func.num_literals()) {
+      const std::span<const NodeId> fanins = net.fanins(id);
+      net.set_function(id, {fanins.begin(), fanins.end()},
+                       std::move(simplified));
+    }
   }
   net.sweep();
 }

@@ -18,7 +18,7 @@ void write_eqn(const Network& net, std::ostream& out) {
     const Node& nd = net.node(id);
     std::vector<std::string> names;
     names.reserve(nd.fanins.size());
-    for (NodeId f : nd.fanins) names.push_back(net.node(f).name);
+    for (NodeId f : nd.fanins) names.emplace_back(net.node(f).name);
     const auto tree = quick_factor(nd.func);
     out << nd.name << " = " << factor_to_string(*tree, names) << ";\n";
   }

@@ -17,6 +17,7 @@
 namespace rarsub {
 
 using NodeId = int;
+inline constexpr NodeId kNoNode = -1;
 
 enum class NetEventKind : std::uint8_t {
   NodeAdded,        ///< add_pi / add_node created `node`

@@ -9,12 +9,8 @@
 
 namespace rarsub {
 
-NodeId Network::add_pi(const std::string& name) {
-  Node n;
-  n.name = name;
-  n.is_pi = true;
-  nodes_.push_back(std::move(n));
-  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+NodeId Network::add_pi(std::string_view name) {
+  const NodeId id = table_.create(name, /*is_pi=*/true);
   pis_.push_back(id);
   record_mutation(NetEventKind::NodeAdded, id, nullptr);
   return id;
@@ -23,24 +19,24 @@ NodeId Network::add_pi(const std::string& name) {
 void Network::record_mutation(NetEventKind kind, NodeId id, const char* reason,
                               std::int64_t lits_before) {
   if (kind == NetEventKind::FunctionChanged || kind == NetEventKind::NodeDied)
-    node(id).version++;
+    table_.bump_version(id);
   journal_.record(kind, id);
   // The ledger's NodeUpdate replay contract covers internal nodes only;
   // PIs carry no cover and POs are observability, not function.
-  if (kind == NetEventKind::OutputChanged || node(id).is_pi) return;
+  if (kind == NetEventKind::OutputChanged || table_.is_pi(id)) return;
   if (!obs::ledger_active()) return;
   std::int64_t after = 0;
   switch (kind) {
     case NetEventKind::NodeAdded:
-      after = factored_literal_count(node(id).func);
+      after = factored_literal_count(table_.func(id));
       lits_before = 0;
       break;
     case NetEventKind::FunctionChanged:
-      after = factored_literal_count(node(id).func);
+      after = factored_literal_count(table_.func(id));
       break;
     case NetEventKind::NodeDied:
       // Dead nodes keep their last cover; the replay value is 0.
-      lits_before = factored_literal_count(node(id).func);
+      lits_before = factored_literal_count(table_.func(id));
       break;
     case NetEventKind::OutputChanged:
       break;  // unreachable
@@ -78,16 +74,13 @@ void dedup_fanins(std::vector<NodeId>& fanins, Sop& func) {
 
 }  // namespace
 
-NodeId Network::add_node(const std::string& name, std::vector<NodeId> fanins,
+NodeId Network::add_node(std::string_view name, std::vector<NodeId> fanins,
                          Sop func) {
   assert(func.num_vars() == static_cast<int>(fanins.size()));
   dedup_fanins(fanins, func);
-  Node n;
-  n.name = name;
-  n.fanins = std::move(fanins);
-  n.func = std::move(func);
-  nodes_.push_back(std::move(n));
-  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  const NodeId id = table_.create(name, /*is_pi=*/false);
+  table_.set_fanins(id, fanins);
+  table_.set_func(id, std::move(func));
   add_fanout_refs(id);
   record_mutation(NetEventKind::NodeAdded, id, "new");
   return id;
@@ -98,38 +91,33 @@ void Network::add_po(const std::string& name, NodeId driver) {
   record_mutation(NetEventKind::OutputChanged, driver, nullptr);
 }
 
-NodeId Network::find_node(const std::string& name) const {
-  for (std::size_t i = 0; i < nodes_.size(); ++i)
-    if (nodes_[i].alive && nodes_[i].name == name) return static_cast<NodeId>(i);
-  return kNoNode;
-}
-
 void Network::add_fanout_refs(NodeId id) {
-  for (NodeId f : nodes_[static_cast<std::size_t>(id)].fanins)
-    nodes_[static_cast<std::size_t>(f)].fanouts.push_back(id);
+  // fanins(id) is a span into the pool; push_fanout may grow the pool and
+  // invalidate it, so walk by index through the re-fetched span.
+  const std::size_t n = table_.fanins(id).size();
+  for (std::size_t i = 0; i < n; ++i)
+    table_.push_fanout(table_.fanins(id)[i], id);
 }
 
 void Network::remove_fanout_refs(NodeId id) {
-  for (NodeId f : nodes_[static_cast<std::size_t>(id)].fanins) {
-    auto& fo = nodes_[static_cast<std::size_t>(f)].fanouts;
-    // A node may appear multiple times in a fanin list only once in ours
-    // (we keep fanin lists duplicate-free), so erase the single entry.
-    auto it = std::find(fo.begin(), fo.end(), id);
-    if (it != fo.end()) fo.erase(it);
-  }
+  // erase_fanout never reallocates the pool, but re-fetch per step anyway:
+  // this path is cold and the symmetry with add_fanout_refs is worth it.
+  const std::size_t n = table_.fanins(id).size();
+  for (std::size_t i = 0; i < n; ++i)
+    table_.erase_fanout(table_.fanins(id)[i], id);
 }
 
 void Network::set_function(NodeId id, std::vector<NodeId> fanins, Sop func) {
-  assert(!node(id).is_pi);
+  assert(!table_.is_pi(id));
   assert(func.num_vars() == static_cast<int>(fanins.size()));
   // Flight recorder: factoring the old cover is only worth paying for
   // while a ledger session is recording.
   const std::int64_t lits_before =
-      obs::ledger_active() ? factored_literal_count(node(id).func) : 0;
+      obs::ledger_active() ? factored_literal_count(table_.func(id)) : 0;
   dedup_fanins(fanins, func);
   remove_fanout_refs(id);
-  node(id).fanins = std::move(fanins);
-  node(id).func = std::move(func);
+  table_.set_fanins(id, fanins);
+  table_.set_func(id, std::move(func));
   add_fanout_refs(id);
   record_mutation(NetEventKind::FunctionChanged, id, nullptr, lits_before);
 }
@@ -142,49 +130,63 @@ int Network::num_po_refs(NodeId id) const {
 }
 
 int Network::fanout_refs(NodeId id) const {
-  return static_cast<int>(node(id).fanouts.size()) + num_po_refs(id);
+  return static_cast<int>(table_.fanouts(id).size()) + num_po_refs(id);
 }
 
-std::vector<NodeId> Network::topo_order() const {
-  std::vector<NodeId> order;
-  std::vector<int> state(nodes_.size(), 0);  // 0 new, 1 visiting, 2 done
+const std::vector<NodeId>& Network::topo_cached() const {
+  std::lock_guard<std::mutex> lock(topo_.mu);
+  const std::uint64_t now = journal_.seq();
+  if (topo_.stamp == now) return topo_.order;
+  std::vector<NodeId>& order = topo_.order;
+  order.clear();
+  const std::size_t n = static_cast<std::size_t>(table_.size());
+  std::vector<int> state(n, 0);  // 0 new, 1 visiting, 2 done
   std::vector<NodeId> stack;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (!nodes_[i].alive || nodes_[i].is_pi || state[i] == 2) continue;
-    stack.push_back(static_cast<NodeId>(i));
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId root = static_cast<NodeId>(i);
+    if (!table_.alive(root) || table_.is_pi(root) || state[i] == 2) continue;
+    stack.push_back(root);
     while (!stack.empty()) {
-      const NodeId n = stack.back();
-      if (state[static_cast<std::size_t>(n)] == 2) {
+      const NodeId nd = stack.back();
+      if (state[static_cast<std::size_t>(nd)] == 2) {
         stack.pop_back();
         continue;
       }
-      if (state[static_cast<std::size_t>(n)] == 1) {
-        state[static_cast<std::size_t>(n)] = 2;
-        order.push_back(n);
+      if (state[static_cast<std::size_t>(nd)] == 1) {
+        state[static_cast<std::size_t>(nd)] = 2;
+        order.push_back(nd);
         stack.pop_back();
         continue;
       }
-      state[static_cast<std::size_t>(n)] = 1;
-      for (NodeId f : node(n).fanins) {
+      state[static_cast<std::size_t>(nd)] = 1;
+      for (NodeId f : table_.fanins(nd)) {
         const auto fi = static_cast<std::size_t>(f);
-        if (!nodes_[fi].is_pi && nodes_[fi].alive && state[fi] == 0)
+        if (!table_.is_pi(f) && table_.alive(f) && state[fi] == 0)
           stack.push_back(f);
         assert(state[fi] != 1 && "cycle in network");
       }
     }
   }
-  return order;
+  topo_.stamp = now;
+  return topo_.order;
+}
+
+std::vector<NodeId> Network::topo_order() const { return topo_cached(); }
+
+std::span<const NodeId> Network::topo_view() const {
+  const std::vector<NodeId>& order = topo_cached();
+  return {order.data(), order.size()};
 }
 
 bool Network::depends_on(NodeId a, NodeId b) const {
   if (a == b) return true;
-  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<bool> seen(static_cast<std::size_t>(table_.size()), false);
   std::vector<NodeId> stack{a};
   seen[static_cast<std::size_t>(a)] = true;
   while (!stack.empty()) {
     const NodeId n = stack.back();
     stack.pop_back();
-    for (NodeId f : node(n).fanins) {
+    for (NodeId f : table_.fanins(n)) {
       if (f == b) return true;
       if (!seen[static_cast<std::size_t>(f)]) {
         seen[static_cast<std::size_t>(f)] = true;
@@ -197,15 +199,17 @@ bool Network::depends_on(NodeId a, NodeId b) const {
 
 int Network::sop_literals() const {
   int n = 0;
-  for (const Node& nd : nodes_)
-    if (nd.alive && !nd.is_pi) n += nd.func.num_literals();
+  for (NodeId id = 0; id < table_.size(); ++id)
+    if (table_.alive(id) && !table_.is_pi(id))
+      n += table_.func(id).num_literals();
   return n;
 }
 
 int Network::factored_literals() const {
   int n = 0;
-  for (const Node& nd : nodes_)
-    if (nd.alive && !nd.is_pi) n += factored_literal_count(nd.func);
+  for (NodeId id = 0; id < table_.size(); ++id)
+    if (table_.alive(id) && !table_.is_pi(id))
+      n += factored_literal_count(table_.func(id));
   return n;
 }
 
@@ -213,37 +217,38 @@ void Network::sweep() {
   bool changed = true;
   while (changed) {
     changed = false;
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      Node& nd = nodes_[i];
-      const NodeId id = static_cast<NodeId>(i);
-      if (!nd.alive || nd.is_pi) continue;
+    for (NodeId id = 0; id < table_.size(); ++id) {
+      if (!table_.alive(id) || table_.is_pi(id)) continue;
 
       // Dead node removal.
       if (fanout_refs(id) == 0) {
         remove_fanout_refs(id);
-        nd.alive = false;
+        table_.kill(id);
         record_mutation(NetEventKind::NodeDied, id, "sweep");
         changed = true;
         continue;
       }
 
       // Drop fanins the function does not actually depend on.
-      const std::vector<int> supp = nd.func.support();
-      if (static_cast<int>(supp.size()) != nd.func.num_vars()) {
+      const Sop& f = table_.func(id);
+      const std::vector<int> supp = f.support();
+      if (static_cast<int>(supp.size()) != f.num_vars()) {
+        const std::span<const NodeId> fanins = table_.fanins(id);
         std::vector<NodeId> new_fanins;
-        std::vector<int> var_map(static_cast<std::size_t>(nd.func.num_vars()), -1);
+        std::vector<int> var_map(static_cast<std::size_t>(f.num_vars()), -1);
         for (std::size_t k = 0; k < supp.size(); ++k) {
           var_map[static_cast<std::size_t>(supp[k])] = static_cast<int>(k);
-          new_fanins.push_back(nd.fanins[static_cast<std::size_t>(supp[k])]);
+          new_fanins.push_back(fanins[static_cast<std::size_t>(supp[k])]);
         }
         // remap wants a full map; unused vars can map anywhere (no literal).
         for (auto& m : var_map)
           if (m < 0) m = 0;
-        Sop nf = supp.empty() ? Sop(0) : nd.func;
-        if (!supp.empty()) nf = nd.func.remap(static_cast<int>(supp.size()), var_map);
-        if (supp.empty()) {
+        Sop nf(0);
+        if (!supp.empty()) {
+          nf = f.remap(static_cast<int>(supp.size()), var_map);
+        } else {
           // Constant function.
-          nf = nd.func.is_zero() ? Sop::zero(0) : Sop::one(0);
+          nf = f.is_zero() ? Sop::zero(0) : Sop::one(0);
         }
         set_function(id, std::move(new_fanins), std::move(nf));
         changed = true;
@@ -251,9 +256,9 @@ void Network::sweep() {
       }
 
       // Collapse identity / inverter nodes into fanouts.
-      if (nd.fanins.size() == 1 && nd.func.num_cubes() == 1 &&
-          nd.func.cube(0).num_literals() == 1 && num_po_refs(id) == 0 &&
-          !nd.fanouts.empty()) {
+      if (f.num_vars() == 1 && f.num_cubes() == 1 &&
+          f.cube(0).num_literals() == 1 && num_po_refs(id) == 0 &&
+          !table_.fanouts(id).empty()) {
         if (collapse_into_fanouts(id)) {
           changed = true;
           continue;
@@ -261,7 +266,8 @@ void Network::sweep() {
       }
 
       // Propagate constants into fanouts.
-      if (nd.fanins.empty() && num_po_refs(id) == 0 && !nd.fanouts.empty()) {
+      if (table_.fanins(id).empty() && num_po_refs(id) == 0 &&
+          !table_.fanouts(id).empty()) {
         if (collapse_into_fanouts(id)) {
           changed = true;
           continue;
@@ -273,28 +279,30 @@ void Network::sweep() {
 
 std::optional<ComposedNode> Network::compose_preview(NodeId outer, NodeId inner,
                                                      int cube_limit) const {
-  const Node& out = node(outer);
-  const Node& in = node(inner);
-  assert(!in.is_pi);
+  const std::span<const NodeId> out_fanins = table_.fanins(outer);
+  const Sop& out_func = table_.func(outer);
+  const std::span<const NodeId> in_fanins = table_.fanins(inner);
+  const Sop& in_func = table_.func(inner);
+  assert(!table_.is_pi(inner));
 
-  auto it = std::find(out.fanins.begin(), out.fanins.end(), inner);
-  if (it == out.fanins.end())
-    return ComposedNode{out.fanins, out.func};  // nothing to do
-  const int v = static_cast<int>(it - out.fanins.begin());
+  auto it = std::find(out_fanins.begin(), out_fanins.end(), inner);
+  if (it == out_fanins.end())  // nothing to do
+    return ComposedNode{{out_fanins.begin(), out_fanins.end()}, out_func};
+  const int v = static_cast<int>(it - out_fanins.begin());
 
   // New fanin list: outer's fanins minus `inner`, plus inner's fanins.
   std::vector<NodeId> new_fanins;
-  std::vector<int> outer_map(out.fanins.size(), -1);
-  for (std::size_t i = 0; i < out.fanins.size(); ++i) {
+  std::vector<int> outer_map(out_fanins.size(), -1);
+  for (std::size_t i = 0; i < out_fanins.size(); ++i) {
     if (static_cast<int>(i) == v) continue;
-    new_fanins.push_back(out.fanins[i]);
+    new_fanins.push_back(out_fanins[i]);
     outer_map[i] = static_cast<int>(new_fanins.size() - 1);
   }
-  std::vector<int> inner_map(in.fanins.size(), -1);
-  for (std::size_t i = 0; i < in.fanins.size(); ++i) {
-    auto jt = std::find(new_fanins.begin(), new_fanins.end(), in.fanins[i]);
+  std::vector<int> inner_map(in_fanins.size(), -1);
+  for (std::size_t i = 0; i < in_fanins.size(); ++i) {
+    auto jt = std::find(new_fanins.begin(), new_fanins.end(), in_fanins[i]);
     if (jt == new_fanins.end()) {
-      new_fanins.push_back(in.fanins[i]);
+      new_fanins.push_back(in_fanins[i]);
       inner_map[i] = static_cast<int>(new_fanins.size() - 1);
     } else {
       inner_map[i] = static_cast<int>(jt - new_fanins.begin());
@@ -302,14 +310,14 @@ std::optional<ComposedNode> Network::compose_preview(NodeId outer, NodeId inner,
   }
   const int nv = static_cast<int>(new_fanins.size());
 
-  const Sop g = in.func.remap(nv, inner_map);
-  const Sop gbar = in.func.complement().remap(nv, inner_map);
+  const Sop g = in_func.remap(nv, inner_map);
+  const Sop gbar = in_func.complement().remap(nv, inner_map);
 
   Sop result(nv);
-  for (const Cube& c : out.func.cubes()) {
+  for (const Cube& c : out_func.cubes()) {
     const Lit l = c.lit(v);
     Cube base(nv);
-    for (std::size_t i = 0; i < out.fanins.size(); ++i) {
+    for (std::size_t i = 0; i < out_fanins.size(); ++i) {
       if (static_cast<int>(i) == v) continue;
       const Lit li = c.lit(static_cast<int>(i));
       if (li != Lit::Absent) base.set_lit(outer_map[i], li);
@@ -337,16 +345,17 @@ bool Network::compose(NodeId outer, NodeId inner, int cube_limit) {
 }
 
 bool Network::collapse_into_fanouts(NodeId id, int cube_limit) {
-  assert(!node(id).is_pi);
+  assert(!table_.is_pi(id));
   assert(num_po_refs(id) == 0);
   // Copy: compose() edits fanout lists while we iterate.
-  const std::vector<NodeId> fanouts = node(id).fanouts;
+  const std::span<const NodeId> fo_span = table_.fanouts(id);
+  const std::vector<NodeId> fanouts(fo_span.begin(), fo_span.end());
   // Dry-run feasibility first so we never leave a half-collapsed network.
+  const int own_cubes = table_.func(id).num_cubes();
+  const int own_lits = table_.func(id).num_literals();
   for (NodeId fo : fanouts) {
-    const Node& out = node(fo);
-    const long pessimistic = static_cast<long>(out.func.num_cubes()) *
-                             std::max(1, node(id).func.num_cubes() +
-                                             node(id).func.num_literals());
+    const long pessimistic = static_cast<long>(table_.func(fo).num_cubes()) *
+                             std::max(1, own_cubes + own_lits);
     if (pessimistic > static_cast<long>(cube_limit) * 4) return false;
   }
   for (NodeId fo : fanouts) {
@@ -354,40 +363,38 @@ bool Network::collapse_into_fanouts(NodeId id, int cube_limit) {
   }
   if (fanout_refs(id) == 0) {
     remove_fanout_refs(id);
-    node(id).alive = false;
+    table_.kill(id);
     record_mutation(NetEventKind::NodeDied, id, "collapse");
   }
   return true;
 }
 
 bool Network::check() const {
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    const Node& nd = nodes_[i];
-    if (!nd.alive) continue;
-    if (!nd.is_pi &&
-        nd.func.num_vars() != static_cast<int>(nd.fanins.size()))
+  if (!table_.check_integrity()) return false;
+  for (NodeId id = 0; id < table_.size(); ++id) {
+    if (!table_.alive(id)) continue;
+    const std::span<const NodeId> fanins = table_.fanins(id);
+    if (!table_.is_pi(id) &&
+        table_.func(id).num_vars() != static_cast<int>(fanins.size()))
       return false;
-    for (std::size_t a = 0; a < nd.fanins.size(); ++a)
-      for (std::size_t b = a + 1; b < nd.fanins.size(); ++b)
-        if (nd.fanins[a] == nd.fanins[b]) return false;  // duplicate fanin
-    for (NodeId f : nd.fanins) {
-      const Node& fn = nodes_[static_cast<std::size_t>(f)];
-      if (!fn.alive) return false;
-      if (std::find(fn.fanouts.begin(), fn.fanouts.end(),
-                    static_cast<NodeId>(i)) == fn.fanouts.end())
-        return false;
+    for (std::size_t a = 0; a < fanins.size(); ++a)
+      for (std::size_t b = a + 1; b < fanins.size(); ++b)
+        if (fanins[a] == fanins[b]) return false;  // duplicate fanin
+    for (NodeId f : fanins) {
+      if (!table_.alive(f)) return false;
+      const std::span<const NodeId> fo = table_.fanouts(f);
+      if (std::find(fo.begin(), fo.end(), id) == fo.end()) return false;
     }
   }
   for (const Output& o : pos_)
-    if (o.driver == kNoNode || !nodes_[static_cast<std::size_t>(o.driver)].alive)
-      return false;
+    if (o.driver == kNoNode || !table_.alive(o.driver)) return false;
   (void)topo_order();  // asserts on cycles in debug builds
   return true;
 }
 
 std::vector<std::string> Network::outputs_affected_by(
     const std::vector<NodeId>& nodes) const {
-  std::vector<bool> reach(nodes_.size(), false);
+  std::vector<bool> reach(static_cast<std::size_t>(table_.size()), false);
   std::vector<NodeId> stack;
   for (NodeId id : nodes) {
     if (id < 0 || id >= num_nodes() || reach[static_cast<std::size_t>(id)])
@@ -398,7 +405,7 @@ std::vector<std::string> Network::outputs_affected_by(
   while (!stack.empty()) {
     const NodeId id = stack.back();
     stack.pop_back();
-    for (NodeId fo : nodes_[static_cast<std::size_t>(id)].fanouts)
+    for (NodeId fo : table_.fanouts(id))
       if (!reach[static_cast<std::size_t>(fo)]) {
         reach[static_cast<std::size_t>(fo)] = true;
         stack.push_back(fo);

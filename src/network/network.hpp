@@ -4,34 +4,46 @@
 // model). This is the object the optimization commands (eliminate,
 // simplify, gcx, gkx, resub, and the paper's RAR-based substitution)
 // transform.
+//
+// Storage is the flat struct-of-arrays NodeTable (network/nodetable.hpp):
+// packed u32 info words, adjacency as offset+count ranges into one shared
+// index pool with freelist recycling, interned names, and a flat Sop
+// column. Node is a *view* — spans into the table, valid until the next
+// structural mutation (any set_function / add_node / sweep may grow or
+// recycle the shared pool, so do not hold a view across mutations; the
+// same rule the old vector-of-structs layout already imposed for node
+// references across add_node).
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "network/journal.hpp"
+#include "network/nodetable.hpp"
 #include "sop/sop.hpp"
 
 namespace rarsub {
 
-inline constexpr NodeId kNoNode = -1;
-
+/// Read-only view of one node: flat-table spans behind the legacy field
+/// names, so `net.node(id).fanins` keeps reading naturally at call sites.
+/// Bind as `const Node nd = net.node(id)` (or `const Node&`, which
+/// lifetime-extends the temporary).
 struct Node {
-  std::string name;
+  std::string_view name;
   bool is_pi = false;
-  bool alive = true;
-  /// Bumped whenever the journal records a FunctionChanged or NodeDied
-  /// event for this node (Network::record_mutation); lets per-node caches
-  /// (e.g. node complements) invalidate cheaply.
+  bool alive = false;
   int version = 0;
   /// Signals feeding this node; variable i of `func` refers to fanins[i].
-  std::vector<NodeId> fanins;
+  std::span<const NodeId> fanins;
   /// Local function over the fanins (on-set cover). Zero cubes = constant 0;
   /// a universe cube = constant 1. Unused for PIs.
-  Sop func;
+  const Sop& func;
   /// Derived: nodes that list this node among their fanins.
-  std::vector<NodeId> fanouts;
+  std::span<const NodeId> fanouts;
 };
 
 struct Output {
@@ -54,19 +66,38 @@ class Network {
   const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
 
-  NodeId add_pi(const std::string& name);
-  NodeId add_node(const std::string& name, std::vector<NodeId> fanins, Sop func);
+  NodeId add_pi(std::string_view name);
+  NodeId add_node(std::string_view name, std::vector<NodeId> fanins, Sop func);
   void add_po(const std::string& name, NodeId driver);
 
-  int num_nodes() const { return static_cast<int>(nodes_.size()); }
-  const Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
-  Node& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
+  int num_nodes() const { return table_.size(); }
+
+  /// Composite view of one node (see struct Node). Prefer the direct
+  /// accessors below in hot loops — they skip assembling the unused
+  /// fields.
+  Node node(NodeId id) const {
+    return Node{table_.name(id),    table_.is_pi(id),
+                table_.alive(id),   table_.version(id),
+                table_.fanins(id),  table_.func(id),
+                table_.fanouts(id)};
+  }
+
+  bool is_pi(NodeId id) const { return table_.is_pi(id); }
+  bool alive(NodeId id) const { return table_.alive(id); }
+  int version(NodeId id) const { return table_.version(id); }
+  std::string_view node_name(NodeId id) const { return table_.name(id); }
+  std::span<const NodeId> fanins(NodeId id) const { return table_.fanins(id); }
+  std::span<const NodeId> fanouts(NodeId id) const {
+    return table_.fanouts(id);
+  }
+  const Sop& func(NodeId id) const { return table_.func(id); }
 
   const std::vector<NodeId>& pis() const { return pis_; }
   const std::vector<Output>& pos() const { return pos_; }
   std::vector<Output>& pos() { return pos_; }
 
-  NodeId find_node(const std::string& name) const;
+  /// First alive node with this name (interned-name hash lookup).
+  NodeId find_node(std::string_view name) const { return table_.find(name); }
 
   /// Replace the function (and fanin list) of an internal node, keeping
   /// fanout bookkeeping consistent. The new fanins must not create a cycle.
@@ -79,7 +110,16 @@ class Network {
   int fanout_refs(NodeId id) const;
 
   /// Internal (non-PI, alive) nodes in topological order (fanins first).
+  /// Cached behind the journal stamp: recomputed only when mutations()
+  /// has moved since the last call, otherwise a plain copy of the cache.
   std::vector<NodeId> topo_order() const;
+
+  /// Zero-copy variant of topo_order() for read-only traversals
+  /// (simulation, gate-net builds, printing): a span into the cache.
+  /// Invalidated by any mutation *and* by the next topo_order()/
+  /// topo_view() call after one — do not mutate the network or hold the
+  /// span across mutations while iterating.
+  std::span<const NodeId> topo_view() const;
 
   /// True if `b` is in the transitive fanin of `a` (a depends on b).
   bool depends_on(NodeId a, NodeId b) const;
@@ -112,9 +152,13 @@ class Network {
                                               int cube_limit = 5000) const;
 
   /// Run internal consistency checks (fanin/fanout symmetry, acyclicity,
-  /// function arity); aborts via assert in debug builds, returns false on
-  /// inconsistency otherwise.
+  /// function arity, and the NodeTable's pool offset+count integrity);
+  /// aborts via assert in debug builds, returns false on inconsistency
+  /// otherwise.
   bool check() const;
+
+  /// Arena bookkeeping of the underlying table (tests, diagnostics).
+  NodeTable::PoolStats pool_stats() const { return table_.pool_stats(); }
 
   /// Names of primary outputs whose cone contains any of `nodes` (forward
   /// reachability over fanouts). This is the affected-cone set the
@@ -123,7 +167,8 @@ class Network {
   std::vector<std::string> outputs_affected_by(
       const std::vector<NodeId>& nodes) const;
 
-  /// Fresh unique node name with the given prefix.
+  /// Fresh unique node name with the given prefix (probes the interned
+  /// name index, no scan).
   std::string fresh_name(const std::string& prefix);
 
   /// The mutation journal: one typed event per structural change, in
@@ -144,19 +189,48 @@ class Network {
   void remove_fanout_refs(NodeId id);
 
   /// The single mutation choke point: appends the journal event, bumps
-  /// Node::version (FunctionChanged / NodeDied), and emits the ledger's
-  /// NodeUpdate replay event. `lits_before` is the pre-change factored
-  /// literal count (FunctionChanged only; the old cover is gone by the
-  /// time this runs). `reason` must have static storage duration.
+  /// the node's packed version (FunctionChanged / NodeDied), and emits the
+  /// ledger's NodeUpdate replay event. `lits_before` is the pre-change
+  /// factored literal count (FunctionChanged only; the old cover is gone
+  /// by the time this runs). `reason` must have static storage duration.
   void record_mutation(NetEventKind kind, NodeId id, const char* reason,
                        std::int64_t lits_before = 0);
 
+  /// Rebuild-if-stale and return the cached topological order. The mutex
+  /// makes concurrent first-reads after a mutation safe (read-only worker
+  /// pools); an up-to-date cache costs one lock + stamp compare.
+  const std::vector<NodeId>& topo_cached() const;
+
+  /// journal-stamped topo_order cache; copied by value with the network,
+  /// each copy gets its own mutex.
+  struct TopoCache {
+    std::mutex mu;
+    std::vector<NodeId> order;
+    std::uint64_t stamp = kNoStamp;
+    static constexpr std::uint64_t kNoStamp = ~std::uint64_t{0};
+    TopoCache() = default;
+    TopoCache(const TopoCache& o) : order(o.order), stamp(o.stamp) {}
+    TopoCache(TopoCache&& o) noexcept
+        : order(std::move(o.order)), stamp(o.stamp) {}
+    TopoCache& operator=(const TopoCache& o) {
+      order = o.order;
+      stamp = o.stamp;
+      return *this;
+    }
+    TopoCache& operator=(TopoCache&& o) noexcept {
+      order = std::move(o.order);
+      stamp = o.stamp;
+      return *this;
+    }
+  };
+
   std::string name_;
-  std::vector<Node> nodes_;
+  NodeTable table_;
   std::vector<NodeId> pis_;
   std::vector<Output> pos_;
   int name_counter_ = 0;
   MutationJournal journal_;
+  mutable TopoCache topo_;
 };
 
 /// SIS-style `eliminate`: repeatedly collapse internal nodes whose value

@@ -1,0 +1,219 @@
+#include "network/nodetable.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace rarsub {
+
+namespace {
+
+constexpr std::size_t kNameChunkBytes = 1 << 16;
+
+int cap_class(std::uint32_t cap) {
+  assert(cap > 0 && std::has_single_bit(cap));
+  return std::countr_zero(cap);
+}
+
+std::uint32_t round_up_pow2(std::uint32_t need) {
+  return std::bit_ceil(need);
+}
+
+}  // namespace
+
+NodeTable::NodeTable(const NodeTable& other) { *this = other; }
+
+NodeTable& NodeTable::operator=(const NodeTable& other) {
+  if (this == &other) return *this;
+  info_ = other.info_;
+  fi_off_ = other.fi_off_;
+  fi_cnt_ = other.fi_cnt_;
+  fi_cap_ = other.fi_cap_;
+  fo_off_ = other.fo_off_;
+  fo_cnt_ = other.fo_cnt_;
+  fo_cap_ = other.fo_cap_;
+  funcs_ = other.funcs_;
+  pool_ = other.pool_;
+  free_ = other.free_;
+  // Re-intern every name so the copy's views point into its own arena.
+  names_.clear();
+  names_.resize(other.names_.size());
+  name_chunks_.clear();
+  chunk_used_ = chunk_cap_ = 0;
+  by_name_.clear();
+  for (std::size_t i = 0; i < other.names_.size(); ++i)
+    names_[i] = intern_name(other.names_[i], static_cast<NodeId>(i));
+  return *this;
+}
+
+std::string_view NodeTable::intern_name(std::string_view name, NodeId id) {
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    it->second.push_back(id);
+    return it->first;
+  }
+  if (chunk_used_ + name.size() > chunk_cap_) {
+    chunk_cap_ = std::max(kNameChunkBytes, name.size());
+    name_chunks_.push_back(std::make_unique<char[]>(chunk_cap_));
+    chunk_used_ = 0;
+  }
+  char* dst = name_chunks_.back().get() + chunk_used_;
+  std::memcpy(dst, name.data(), name.size());
+  chunk_used_ += name.size();
+  const std::string_view stable(dst, name.size());
+  by_name_.emplace(stable, std::vector<NodeId>{id});
+  return stable;
+}
+
+NodeId NodeTable::create(std::string_view name, bool is_pi) {
+  const NodeId id = static_cast<NodeId>(info_.size());
+  info_.push_back(kAliveBit | (is_pi ? kPiBit : 0u));
+  fi_off_.push_back(0);
+  fi_cnt_.push_back(0);
+  fi_cap_.push_back(0);
+  fo_off_.push_back(0);
+  fo_cnt_.push_back(0);
+  fo_cap_.push_back(0);
+  funcs_.emplace_back();
+  names_.push_back(intern_name(name, id));
+  return id;
+}
+
+NodeId NodeTable::find(std::string_view name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return kNoNode;
+  for (NodeId id : it->second)
+    if (alive(id)) return id;
+  return kNoNode;
+}
+
+std::uint32_t NodeTable::alloc_range(std::uint32_t need,
+                                     std::uint32_t* cap_out) {
+  if (need == 0) {
+    *cap_out = 0;
+    return 0;
+  }
+  const std::uint32_t cap = round_up_pow2(need);
+  const int k = cap_class(cap);
+  if (static_cast<int>(free_.size()) > k && !free_[static_cast<std::size_t>(k)].empty()) {
+    auto& bucket = free_[static_cast<std::size_t>(k)];
+    const std::uint32_t off = bucket.back();
+    bucket.pop_back();
+    *cap_out = cap;
+    return off;
+  }
+  const std::uint32_t off = static_cast<std::uint32_t>(pool_.size());
+  pool_.resize(pool_.size() + cap, kNoNode);
+  *cap_out = cap;
+  return off;
+}
+
+void NodeTable::free_range(std::uint32_t off, std::uint32_t cap) {
+  if (cap == 0) return;
+  const int k = cap_class(cap);
+  if (static_cast<int>(free_.size()) <= k)
+    free_.resize(static_cast<std::size_t>(k) + 1);
+  free_[static_cast<std::size_t>(k)].push_back(off);
+}
+
+void NodeTable::set_fanins(NodeId id, std::span<const NodeId> fi) {
+  const auto i = static_cast<std::size_t>(id);
+  // The incoming span may alias the node's current range (callers pass
+  // node(id).fanins back in); stage through a copy only in that case.
+  const NodeId* src = fi.data();
+  std::vector<NodeId> staged;
+  if (!fi.empty() && src >= pool_.data() && src < pool_.data() + pool_.size()) {
+    staged.assign(fi.begin(), fi.end());
+    src = staged.data();
+  }
+  free_range(fi_off_[i], fi_cap_[i]);
+  std::uint32_t cap = 0;
+  const std::uint32_t off =
+      alloc_range(static_cast<std::uint32_t>(fi.size()), &cap);
+  if (!fi.empty())
+    std::memcpy(pool_.data() + off, src, fi.size() * sizeof(NodeId));
+  fi_off_[i] = off;
+  fi_cnt_[i] = static_cast<std::uint32_t>(fi.size());
+  fi_cap_[i] = cap;
+}
+
+void NodeTable::push_fanout(NodeId id, NodeId fo) {
+  const auto i = static_cast<std::size_t>(id);
+  if (fo_cnt_[i] == fo_cap_[i]) {
+    std::uint32_t cap = 0;
+    const std::uint32_t off = alloc_range(fo_cnt_[i] + 1, &cap);
+    if (fo_cnt_[i] > 0)
+      std::memmove(pool_.data() + off, pool_.data() + fo_off_[i],
+                   fo_cnt_[i] * sizeof(NodeId));
+    free_range(fo_off_[i], fo_cap_[i]);
+    fo_off_[i] = off;
+    fo_cap_[i] = cap;
+  }
+  pool_[fo_off_[i] + fo_cnt_[i]] = fo;
+  ++fo_cnt_[i];
+}
+
+void NodeTable::erase_fanout(NodeId id, NodeId fo) {
+  const auto i = static_cast<std::size_t>(id);
+  NodeId* base = pool_.data() + fo_off_[i];
+  NodeId* end = base + fo_cnt_[i];
+  NodeId* it = std::find(base, end, fo);
+  if (it == end) return;
+  std::memmove(it, it + 1,
+               static_cast<std::size_t>(end - it - 1) * sizeof(NodeId));
+  --fo_cnt_[i];
+}
+
+void NodeTable::kill(NodeId id) {
+  const auto i = static_cast<std::size_t>(id);
+  assert(fo_cnt_[i] == 0 && "a node only dies once nothing references it");
+  info(id) &= ~kAliveBit;
+  free_range(fi_off_[i], fi_cap_[i]);
+  fi_off_[i] = fi_cnt_[i] = fi_cap_[i] = 0;
+  free_range(fo_off_[i], fo_cap_[i]);
+  fo_off_[i] = fo_cnt_[i] = fo_cap_[i] = 0;
+}
+
+NodeTable::PoolStats NodeTable::pool_stats() const {
+  PoolStats s;
+  s.pool_slots = pool_.size();
+  for (std::size_t i = 0; i < info_.size(); ++i)
+    s.live_slots += fi_cap_[i] + fo_cap_[i];
+  for (std::size_t k = 0; k < free_.size(); ++k)
+    s.free_slots += free_[k].size() << k;
+  return s;
+}
+
+bool NodeTable::check_integrity() const {
+  // 0 = unclaimed, 1 = claimed: every pool slot belongs to at most one
+  // live range or freelist entry.
+  std::vector<std::uint8_t> claimed(pool_.size(), 0);
+  auto claim = [&](std::uint32_t off, std::uint32_t cap) {
+    if (cap == 0) return true;
+    if (!std::has_single_bit(cap)) return false;
+    if (static_cast<std::size_t>(off) + cap > pool_.size()) return false;
+    for (std::uint32_t j = off; j < off + cap; ++j) {
+      if (claimed[j]) return false;
+      claimed[j] = 1;
+    }
+    return true;
+  };
+  for (std::size_t i = 0; i < info_.size(); ++i) {
+    if (fi_cnt_[i] > fi_cap_[i] || fo_cnt_[i] > fo_cap_[i]) return false;
+    if (!claim(fi_off_[i], fi_cap_[i])) return false;
+    if (!claim(fo_off_[i], fo_cap_[i])) return false;
+    if (!alive(static_cast<NodeId>(i)) && (fi_cap_[i] != 0 || fo_cap_[i] != 0))
+      return false;  // dead slots must have returned their ranges
+  }
+  for (std::size_t k = 0; k < free_.size(); ++k)
+    for (std::uint32_t off : free_[k])
+      if (!claim(off, 1u << k)) return false;
+  // Every carved slot is accounted for: claimed everywhere means no leak
+  // between the live ranges and the freelists.
+  for (std::size_t j = 0; j < claimed.size(); ++j)
+    if (!claimed[j]) return false;
+  return true;
+}
+
+}  // namespace rarsub

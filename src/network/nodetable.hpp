@@ -1,0 +1,165 @@
+#pragma once
+// NodeTable: flat struct-of-arrays storage for the Boolean network core.
+//
+// The legacy layout was a vector of Node structs, each owning a heap
+// std::string name and two heap std::vector<NodeId> adjacency lists —
+// three pointer chases per node before a hot loop (simulation, implication
+// support, cone reachability, topological ordering) touches a single
+// neighbour. This table re-lays the same state as parallel flat arrays in
+// the style of Formality-C's config_u32array:
+//
+//   info_      one packed u32 per node: bit0 alive, bit1 is_pi,
+//              bits 2..31 the mutation version (wraps at 2^30)
+//   fi_/fo_*   fanin / fanout adjacency as (offset, count, capacity)
+//              triples into one shared NodeId pool with power-of-two
+//              size-class freelist recycling for retired ranges
+//   funcs_     per-node Sop headers in one flat column; cube payloads are
+//              the PR-8 small-buffer Cubes, so a node's cover is a single
+//              contiguous array of 24-byte inline-storage cube objects
+//   names_     per-node string_view into a chunked, pointer-stable byte
+//              arena; an interning hash map gives O(1) find() and keeps
+//              Network::fresh_name() from re-scanning the node array
+//
+// The table is storage only: journaling, version semantics and invariants
+// (duplicate-free fanins, fanin/fanout symmetry) remain the Network's
+// job, and every mutation still flows through Network::record_mutation.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "network/journal.hpp"
+#include "sop/sop.hpp"
+
+namespace rarsub {
+
+class NodeTable {
+ public:
+  NodeTable() = default;
+  // Copying re-interns every name into a fresh arena so the views of the
+  // copy never alias the source (networks are copied per bench method and
+  // per fuzz leg; the arena chunks themselves are not shareable).
+  NodeTable(const NodeTable& other);
+  NodeTable& operator=(const NodeTable& other);
+  NodeTable(NodeTable&&) noexcept = default;
+  NodeTable& operator=(NodeTable&&) noexcept = default;
+
+  int size() const { return static_cast<int>(info_.size()); }
+
+  /// Append a node slot; adjacency ranges start empty, the function is the
+  /// empty cover, the name is interned and indexed.
+  NodeId create(std::string_view name, bool is_pi);
+
+  bool alive(NodeId id) const { return (info(id) & kAliveBit) != 0; }
+  bool is_pi(NodeId id) const { return (info(id) & kPiBit) != 0; }
+  int version(NodeId id) const {
+    return static_cast<int>(info(id) >> kVersionShift);
+  }
+  void bump_version(NodeId id) {
+    // The version field wraps at 2^30; per-node caches compare for
+    // equality only, so a wrap is harmless.
+    info(id) += (1u << kVersionShift);
+  }
+
+  /// Clear the alive bit and return the node's adjacency ranges to the
+  /// freelists (the fanout range is empty by the death invariant — a node
+  /// only dies once nothing references it). Name and function stay: the
+  /// ledger's NodeDied replay reads the final cover, and the name slot in
+  /// the index is skipped by find() once dead.
+  void kill(NodeId id);
+
+  std::string_view name(NodeId id) const {
+    return names_[static_cast<std::size_t>(id)];
+  }
+
+  /// First (lowest-id) alive node with this name, or kNoNode — the exact
+  /// semantics of the legacy linear scan, via the interning map.
+  NodeId find(std::string_view name) const;
+
+  std::span<const NodeId> fanins(NodeId id) const {
+    const auto i = static_cast<std::size_t>(id);
+    return {pool_.data() + fi_off_[i], static_cast<std::size_t>(fi_cnt_[i])};
+  }
+  std::span<const NodeId> fanouts(NodeId id) const {
+    const auto i = static_cast<std::size_t>(id);
+    return {pool_.data() + fo_off_[i], static_cast<std::size_t>(fo_cnt_[i])};
+  }
+
+  const Sop& func(NodeId id) const {
+    return funcs_[static_cast<std::size_t>(id)];
+  }
+  void set_func(NodeId id, Sop f) {
+    funcs_[static_cast<std::size_t>(id)] = std::move(f);
+  }
+
+  /// Replace the fanin range (frees the old one, allocates an exact-class
+  /// new one).
+  void set_fanins(NodeId id, std::span<const NodeId> fi);
+
+  /// Append `fo` to the fanout range, growing its capacity class when
+  /// full.
+  void push_fanout(NodeId id, NodeId fo);
+
+  /// Remove the first occurrence of `fo`, preserving the order of the
+  /// remaining entries (byte-identical iteration order with the legacy
+  /// vector erase).
+  void erase_fanout(NodeId id, NodeId fo);
+
+  struct PoolStats {
+    std::size_t pool_slots = 0;  ///< total slots ever carved from the pool
+    std::size_t live_slots = 0;  ///< slots inside live (off,cap) ranges
+    std::size_t free_slots = 0;  ///< slots parked on the freelists
+  };
+  PoolStats pool_stats() const;
+
+  /// Structural integrity of the arena bookkeeping, independent of the
+  /// graph invariants Network::check() owns: every live range in bounds
+  /// with count <= capacity, capacities are powers of two, and no pool
+  /// slot is claimed by two live ranges or by a live range and a freelist
+  /// entry at once. O(pool) — debug/test tool, not a hot path.
+  bool check_integrity() const;
+
+ private:
+  static constexpr std::uint32_t kAliveBit = 1u << 0;
+  static constexpr std::uint32_t kPiBit = 1u << 1;
+  static constexpr int kVersionShift = 2;
+
+  std::uint32_t info(NodeId id) const {
+    return info_[static_cast<std::size_t>(id)];
+  }
+  std::uint32_t& info(NodeId id) { return info_[static_cast<std::size_t>(id)]; }
+
+  /// Allocate a range of capacity ceil_pow2(need); returns its offset.
+  /// need == 0 allocates nothing and returns offset 0.
+  std::uint32_t alloc_range(std::uint32_t need, std::uint32_t* cap_out);
+  void free_range(std::uint32_t off, std::uint32_t cap);
+
+  /// Copy `name` into the stable byte arena (or reuse the bytes of an
+  /// earlier interning of the same string) and index it for find().
+  std::string_view intern_name(std::string_view name, NodeId id);
+
+  // --- parallel per-node columns ---
+  std::vector<std::uint32_t> info_;
+  std::vector<std::uint32_t> fi_off_, fi_cnt_, fi_cap_;
+  std::vector<std::uint32_t> fo_off_, fo_cnt_, fo_cap_;
+  std::vector<Sop> funcs_;
+  std::vector<std::string_view> names_;
+
+  // --- shared adjacency pool + pow2 size-class freelists ---
+  std::vector<NodeId> pool_;
+  std::vector<std::vector<std::uint32_t>> free_;  ///< free_[k]: caps of 1<<k
+
+  // --- name arena + interning index ---
+  std::vector<std::unique_ptr<char[]>> name_chunks_;
+  std::size_t chunk_used_ = 0;
+  std::size_t chunk_cap_ = 0;
+  /// name -> every node ever created with it, in id order; find() returns
+  /// the first alive entry.
+  std::unordered_map<std::string_view, std::vector<NodeId>> by_name_;
+};
+
+}  // namespace rarsub

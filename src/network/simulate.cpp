@@ -1,5 +1,6 @@
 #include "network/simulate.hpp"
 
+#include <bit>
 #include <cassert>
 
 namespace rarsub {
@@ -11,17 +12,35 @@ std::vector<std::uint64_t> simulate64(const Network& net,
   for (std::size_t i = 0; i < net.pis().size(); ++i)
     value[static_cast<std::size_t>(net.pis()[i])] = pi_words[i];
 
-  for (NodeId id : net.topo_order()) {
-    const Node& nd = net.node(id);
+  // Word-parallel cube walk: one pass over each cube's raw 2-bit-pair
+  // words classifies 32 variables at a time. With low = "may be 0" bits
+  // and high = "may be 1" bits, positive literals are high&~low, negative
+  // are low&~high; absent (11) and empty (00) pairs fall out of both
+  // masks, exactly the pairs the per-variable lit() walk skipped.
+  constexpr std::uint64_t kLow = 0x5555555555555555ULL;
+  for (NodeId id : net.topo_view()) {
+    const Sop& func = net.func(id);
+    const std::span<const NodeId> fanins = net.fanins(id);
+    const int num_words = (func.num_vars() + 31) / 32;
     std::uint64_t acc = 0;
-    for (const Cube& c : nd.func.cubes()) {
+    for (const Cube& c : func.cubes()) {
+      const std::uint64_t* words = c.raw_words();
       std::uint64_t cube_val = ~0ULL;
-      for (int v = 0; v < nd.func.num_vars() && cube_val; ++v) {
-        const Lit l = c.lit(v);
-        if (l == Lit::Absent) continue;
-        const std::uint64_t w =
-            value[static_cast<std::size_t>(nd.fanins[static_cast<std::size_t>(v)])];
-        cube_val &= (l == Lit::Pos) ? w : ~w;
+      for (int wi = 0; wi < num_words && cube_val; ++wi) {
+        const std::uint64_t w = words[wi];
+        const std::uint64_t low = w & kLow;
+        const std::uint64_t high = (w >> 1) & kLow;
+        const int vbase = wi * 32;
+        for (std::uint64_t m = high & ~low; m; m &= m - 1) {
+          const int v = vbase + (std::countr_zero(m) >> 1);
+          cube_val &= value[static_cast<std::size_t>(
+              fanins[static_cast<std::size_t>(v)])];
+        }
+        for (std::uint64_t m = low & ~high; m; m &= m - 1) {
+          const int v = vbase + (std::countr_zero(m) >> 1);
+          cube_val &= ~value[static_cast<std::size_t>(
+              fanins[static_cast<std::size_t>(v)])];
+        }
       }
       acc |= cube_val;
     }

@@ -17,8 +17,9 @@ bool split_once(Network& net, NodeId id, const DecompOptions& opts) {
   // Copy everything needed up front: add_node below may reallocate the
   // node storage and invalidate references into it.
   const Sop func = net.node(id).func;
-  const std::vector<NodeId> node_fanins = net.node(id).fanins;
-  const std::string node_name = net.node(id).name;
+  const std::vector<NodeId> node_fanins(net.node(id).fanins.begin(),
+                                        net.node(id).fanins.end());
+  const std::string node_name(net.node(id).name);
   if (func.num_cubes() < opts.min_cubes) return false;
   if (func.num_literals() < opts.min_literals) return false;
 
@@ -47,7 +48,8 @@ bool split_once(Network& net, NodeId id, const DecompOptions& opts) {
                                                 : kNoNode;
 
   // id = y_q·y_k + r  (or  q_cube·y_k + r when the quotient is one cube).
-  std::vector<NodeId> fanins = net.node(id).fanins;
+  const std::span<const NodeId> cur = net.fanins(id);
+  std::vector<NodeId> fanins(cur.begin(), cur.end());
   const int vk = static_cast<int>(fanins.size());
   fanins.push_back(nk);
   int vq = -1;

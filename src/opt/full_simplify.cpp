@@ -13,10 +13,10 @@ namespace {
 // PIs in the transitive fanin of the given nodes; nullopt when more than
 // `max_pis` are involved.
 std::optional<std::vector<NodeId>> tfi_pis(const Network& net,
-                                           const std::vector<NodeId>& roots,
+                                           std::span<const NodeId> roots,
                                            int max_pis) {
   std::vector<bool> seen(static_cast<std::size_t>(net.num_nodes()), false);
-  std::vector<NodeId> stack = roots;
+  std::vector<NodeId> stack(roots.begin(), roots.end());
   std::vector<NodeId> pis;
   for (NodeId r : roots) seen[static_cast<std::size_t>(r)] = true;
   while (!stack.empty()) {
@@ -159,7 +159,8 @@ FullSimplifyStats full_simplify_network(Network& net,
 
     Sop minimized = espresso_lite(nd.func, dc);
     if (factored_literal_count(minimized) < factored_literal_count(nd.func)) {
-      net.set_function(id, nd.fanins, std::move(minimized));
+      net.set_function(id, {nd.fanins.begin(), nd.fanins.end()},
+                       std::move(minimized));
       ++stats.nodes_simplified;
     }
   }

@@ -144,7 +144,7 @@ ExtractStats gcx(Network& net, const ExtractOptions& opts) {
       if (would_cycle) continue;
 
       bool any = false;
-      std::vector<NodeId> nf = nd.fanins;
+      std::vector<NodeId> nf(nd.fanins.begin(), nd.fanins.end());
       nf.push_back(nc_placeholder);
       const int nv = static_cast<int>(nf.size());
       Sop nfunc(nv);

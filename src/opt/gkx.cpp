@@ -20,7 +20,7 @@ using GlobalLit = int;  // node id * 2 + (negated ? 1 : 0)
 // A kernel lifted to the global literal space: sorted cubes of sorted lits.
 using GlobalKernel = std::vector<std::vector<GlobalLit>>;
 
-GlobalKernel lift(const Sop& kernel, const std::vector<NodeId>& fanins) {
+GlobalKernel lift(const Sop& kernel, std::span<const NodeId> fanins) {
   GlobalKernel gk;
   for (const Cube& c : kernel.cubes()) {
     std::vector<GlobalLit> lits;

@@ -109,7 +109,8 @@ NetworkRrStats network_redundancy_removal(Network& net,
     if (!valid) continue;
     func.scc_minimize();
     if (func == nd.func) continue;
-    net.set_function(id, nd.fanins, std::move(func));
+    net.set_function(id, {nd.fanins.begin(), nd.fanins.end()},
+                     std::move(func));
   }
 
   net.sweep();

@@ -52,7 +52,7 @@ Pair align(const Network& net, NodeId f, NodeId d) {
   Pair p;
   const Node& fn = net.node(f);
   const Node& dn = net.node(d);
-  p.vars = fn.fanins;
+  p.vars.assign(fn.fanins.begin(), fn.fanins.end());
   std::vector<int> dmap;
   for (NodeId x : dn.fanins) {
     auto it = std::find(p.vars.begin(), p.vars.end(), x);

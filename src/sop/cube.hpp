@@ -129,6 +129,13 @@ class Cube {
   /// heap. Exposed for the SBO boundary tests.
   static constexpr int kInlineVars = 64;
 
+  /// Raw positional-cube words, read-only: variable v occupies bits
+  /// (2*(v%32), 2*(v%32)+1) of word v/32, low bit "may be 0", high bit
+  /// "may be 1" (see the header comment). For word-parallel kernels
+  /// (simulation) that classify all 32 variables of a word at once
+  /// instead of calling lit() per variable.
+  const std::uint64_t* raw_words() const { return words(); }
+
  private:
   static constexpr int kVarsPerWord = 32;  // 2 bits per variable
   static constexpr int kInlineWords = kInlineVars / kVarsPerWord;

@@ -45,13 +45,13 @@ PinPlan match_pins(const Network& a, const Network& b,
   // that one side dropped are treated consistently on both sides.
   std::map<std::string, std::size_t> b_pi;
   for (std::size_t i = 0; i < b.pis().size(); ++i)
-    b_pi[b.node(b.pis()[i]).name] = i;
+    b_pi[std::string(b.node(b.pis()[i]).name)] = i;
   std::vector<bool> b_matched(b.pis().size(), false);
   std::vector<std::string> driven_only_a, driven_only_b;
   for (std::size_t i = 0; i < a.pis().size(); ++i) {
     PinPlan::Var v;
     v.a = i;
-    const std::string& name = a.node(a.pis()[i]).name;
+    const std::string name(a.node(a.pis()[i]).name);
     auto it = b_pi.find(name);
     if (it != b_pi.end()) {
       v.b = it->second;
@@ -64,7 +64,7 @@ PinPlan match_pins(const Network& a, const Network& b,
   for (std::size_t i = 0; i < b.pis().size(); ++i) {
     if (b_matched[i]) continue;
     if (b.fanout_refs(b.pis()[i]) != 0)
-      driven_only_b.push_back(b.node(b.pis()[i]).name);
+      driven_only_b.emplace_back(b.node(b.pis()[i]).name);
     m.vars.push_back(PinPlan::Var{kUnmapped, i});
   }
   if (!driven_only_a.empty() || !driven_only_b.empty()) {

@@ -183,7 +183,8 @@ TEST(IncrementalGateView, FreelistBoundsGateGrowth) {
   IncrementalGateView view(net);
   const std::vector<NodeId> pool = alive_internal(net);
   const NodeId f = pool[pool.size() / 2];
-  const std::vector<NodeId> fanins = net.node(f).fanins;
+  const std::vector<NodeId> fanins(net.fanins(f).begin(),
+                                   net.fanins(f).end());
   const Sop original = net.node(f).func;
 
   net.set_function(f, fanins, original);  // same cover, new event

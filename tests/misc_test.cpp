@@ -84,7 +84,8 @@ TEST(Verify, RandomPathOnWideCircuits) {
 
   // Break one node and expect detection.
   const NodeId n = b.topo_order().front();
-  b.set_function(n, b.node(n).fanins, Sop::from_strings({"11"}));
+  b.set_function(n, {b.fanins(n).begin(), b.fanins(n).end()},
+                 Sop::from_strings({"11"}));
   const EquivalenceResult neq = check_equivalence(a, b);
   EXPECT_FALSE(neq.equivalent);
 }

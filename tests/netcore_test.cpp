@@ -1,0 +1,229 @@
+// Flat network-core storage: adjacency-pool freelist recycling, the
+// offset+count integrity leg of Network::check(), span non-aliasing under
+// range recycling, interned-name lookup semantics, and the journal-stamped
+// topo_order cache.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+#include "sop/sop.hpp"
+
+namespace rarsub {
+namespace {
+
+Sop and2() { return Sop::from_strings({"11"}); }
+Sop or2() { return Sop::from_strings({"1-", "-1"}); }
+Sop buf1() { return Sop::from_strings({"1"}); }
+
+// A small base network whose PIs the churn tests build on top of.
+Network base_net(int num_pis) {
+  Network net("netcore");
+  for (int i = 0; i < num_pis; ++i) net.add_pi("pi" + std::to_string(i));
+  return net;
+}
+
+std::vector<NodeId> snapshot_fanins(const Network& net, NodeId id) {
+  const auto fi = net.fanins(id);
+  return {fi.begin(), fi.end()};
+}
+
+TEST(NetCore, PoolStatsAccountForEverySlot) {
+  Network net = base_net(6);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 20; ++i) {
+    const NodeId a = net.pis()[static_cast<std::size_t>(i % 6)];
+    const NodeId b = net.pis()[static_cast<std::size_t>((i + 1) % 6)];
+    nodes.push_back(net.add_node("n" + std::to_string(i), {a, b}, and2()));
+    const auto s = net.pool_stats();
+    EXPECT_EQ(s.live_slots + s.free_slots, s.pool_slots);
+    EXPECT_TRUE(net.check());
+  }
+  // Retire half of them and re-check the accounting after recycling.
+  for (std::size_t i = 0; i < nodes.size(); i += 2) net.add_po("z" + std::to_string(i), nodes[i]);
+  net.sweep();
+  const auto s = net.pool_stats();
+  EXPECT_EQ(s.live_slots + s.free_slots, s.pool_slots);
+  EXPECT_GT(s.free_slots, 0u);  // the dead nodes' ranges went to freelists
+  EXPECT_TRUE(net.check());
+}
+
+TEST(NetCore, KillReaddChurnIsBounded) {
+  Network net = base_net(8);
+  // Persistent consumer so the network never becomes empty.
+  const NodeId keep =
+      net.add_node("keep", {net.pis()[0], net.pis()[1]}, or2());
+  net.add_po("z", keep);
+
+  std::size_t high_water = 0;
+  for (int round = 0; round < 50; ++round) {
+    // Grow a disposable two-level cone...
+    std::vector<NodeId> layer;
+    for (int i = 0; i < 8; ++i) {
+      const NodeId a = net.pis()[static_cast<std::size_t>(i)];
+      const NodeId b = net.pis()[static_cast<std::size_t>((i + 3) % 8)];
+      layer.push_back(
+          net.add_node("t" + std::to_string(round) + "_" + std::to_string(i),
+                       {a, b}, and2()));
+    }
+    for (int i = 0; i < 4; ++i)
+      net.add_node("u" + std::to_string(round) + "_" + std::to_string(i),
+                   {layer[static_cast<std::size_t>(2 * i)],
+                    layer[static_cast<std::size_t>(2 * i + 1)]},
+                   or2());
+    // ...then drop it: nothing references the cone, sweep reclaims it.
+    net.sweep();
+    const auto s = net.pool_stats();
+    EXPECT_EQ(s.live_slots + s.free_slots, s.pool_slots);
+    EXPECT_TRUE(net.check());
+    if (round == 4) high_water = s.pool_slots;
+    // After a warm-up the freelists satisfy every allocation of the next
+    // round: the pool must stop growing.
+    if (round > 4) {
+      EXPECT_EQ(s.pool_slots, high_water) << "round " << round;
+    }
+  }
+}
+
+TEST(NetCore, RecycledRangesNeverAliasLiveSpans) {
+  Network net = base_net(8);
+  const NodeId stable = net.add_node(
+      "stable", {net.pis()[0], net.pis()[1], net.pis()[2], net.pis()[3]},
+      Sop::from_strings({"1111"}));
+  net.add_po("z", stable);
+  const std::vector<NodeId> stable_before = snapshot_fanins(net, stable);
+
+  // Churn ranges of every size class around the stable node. If a
+  // recycled range overlapped the stable node's live range, its fanin
+  // contents would be overwritten.
+  for (int round = 0; round < 30; ++round) {
+    std::vector<NodeId> fi;
+    for (int i = 0; i <= round % 7; ++i)
+      fi.push_back(net.pis()[static_cast<std::size_t>(i)]);
+    net.add_node("tmp" + std::to_string(round), fi,
+                 Sop::one(static_cast<int>(fi.size())));
+    net.sweep();
+    EXPECT_EQ(snapshot_fanins(net, stable), stable_before) << "round " << round;
+    EXPECT_TRUE(net.check());
+  }
+}
+
+TEST(NetCore, CheckValidatesOffsetCountIntegrityUnderMutation) {
+  Network net = base_net(5);
+  const NodeId a = net.add_node("a", {net.pis()[0], net.pis()[1]}, and2());
+  const NodeId b = net.add_node("b", {a, net.pis()[2]}, or2());
+  net.add_po("z", b);
+  ASSERT_TRUE(net.check());
+  // Grow and shrink one node's fanin range through several size classes;
+  // every intermediate state must keep the pool bookkeeping consistent.
+  for (int n = 1; n <= 5; ++n) {
+    std::vector<NodeId> fi(net.pis().begin(),
+                           net.pis().begin() + n);
+    net.set_function(a, std::move(fi), Sop::one(n));
+    ASSERT_TRUE(net.check()) << "grow to " << n;
+  }
+  for (int n = 5; n >= 1; --n) {
+    std::vector<NodeId> fi(net.pis().begin(), net.pis().begin() + n);
+    net.set_function(a, std::move(fi), Sop::one(n));
+    ASSERT_TRUE(net.check()) << "shrink to " << n;
+  }
+}
+
+TEST(NetCore, SetFanoutOrderSurvivesRecycling) {
+  // Fanout iteration order is observable (sweep, collapse, gate views):
+  // the flat erase must preserve the legacy vector-erase order.
+  Network net = base_net(1);
+  const NodeId pi = net.pis()[0];
+  std::vector<NodeId> sinks;
+  for (int i = 0; i < 6; ++i)
+    sinks.push_back(net.add_node("s" + std::to_string(i), {pi}, buf1()));
+  for (int i = 0; i < 6; ++i) net.add_po("z" + std::to_string(i), sinks[static_cast<std::size_t>(i)]);
+  // Detach s2 (retarget it to s0): pi's fanout list drops s2 in place.
+  net.set_function(sinks[2], {sinks[0]}, buf1());
+  const auto fo = net.fanouts(pi);
+  const std::vector<NodeId> expect{sinks[0], sinks[1], sinks[3],
+                                   sinks[4], sinks[5]};
+  EXPECT_TRUE(std::equal(fo.begin(), fo.end(), expect.begin(), expect.end()));
+  EXPECT_TRUE(net.check());
+}
+
+TEST(NetCore, FindNodeReturnsFirstAliveAmongDuplicateNames) {
+  Network net = base_net(2);
+  const NodeId first = net.add_node("dup", {net.pis()[0]}, buf1());
+  EXPECT_EQ(net.find_node("dup"), first);
+  net.sweep();  // kills `dup`: nothing references it
+  EXPECT_FALSE(net.alive(first));
+  EXPECT_EQ(net.find_node("dup"), kNoNode);
+  const NodeId second = net.add_node("dup", {net.pis()[1]}, buf1());
+  net.add_po("z", second);
+  EXPECT_EQ(net.find_node("dup"), second);
+  EXPECT_EQ(net.find_node("nonexistent"), kNoNode);
+}
+
+TEST(NetCore, FreshNameProbesInternedIndex) {
+  Network net = base_net(1);
+  const NodeId taken = net.add_node("g0", {net.pis()[0]}, buf1());
+  net.add_po("z", taken);
+  const std::string fresh = net.fresh_name("g");
+  EXPECT_EQ(fresh, "g1");  // g0 exists; the probe must skip it
+  EXPECT_EQ(net.find_node(fresh), kNoNode);
+}
+
+TEST(NetCore, TopoCacheTracksJournalStamp) {
+  Network net = base_net(3);
+  const NodeId a = net.add_node("a", {net.pis()[0], net.pis()[1]}, and2());
+  const NodeId b = net.add_node("b", {a, net.pis()[2]}, or2());
+  net.add_po("z", b);
+  const std::vector<NodeId> o1 = net.topo_order();
+  const std::vector<NodeId> o2 = net.topo_order();  // cache hit
+  EXPECT_EQ(o1, o2);
+  const auto view = net.topo_view();
+  EXPECT_TRUE(std::equal(view.begin(), view.end(), o1.begin(), o1.end()));
+  // A mutation moves the journal; the next order reflects the new graph.
+  const NodeId c = net.add_node("c", {b}, buf1());
+  net.add_po("z2", c);
+  const std::vector<NodeId> o3 = net.topo_order();
+  EXPECT_EQ(o3.size(), o1.size() + 1);
+  EXPECT_NE(std::find(o3.begin(), o3.end(), c), o3.end());
+}
+
+TEST(NetCore, CopiedNetworkHasIndependentStorage) {
+  Network net = base_net(2);
+  const NodeId a = net.add_node("a", {net.pis()[0], net.pis()[1]}, and2());
+  net.add_po("z", a);
+  (void)net.topo_order();  // warm the cache so the copy inherits it
+
+  Network copy = net;
+  EXPECT_TRUE(copy.check());
+  EXPECT_EQ(copy.find_node("a"), a);
+  EXPECT_EQ(copy.node_name(a), net.node_name(a));
+  // Views of the copy must not alias the original's arenas.
+  EXPECT_NE(copy.node_name(a).data(), net.node_name(a).data());
+  EXPECT_NE(copy.fanins(a).data(), net.fanins(a).data());
+  // Diverge the copy; the original is untouched.
+  copy.set_function(a, {copy.pis()[0]}, buf1());
+  EXPECT_EQ(net.fanins(a).size(), 2u);
+  EXPECT_EQ(copy.fanins(a).size(), 1u);
+  EXPECT_TRUE(net.check());
+  EXPECT_TRUE(copy.check());
+}
+
+TEST(NetCore, NodeViewMatchesDirectAccessors) {
+  Network net = base_net(2);
+  const NodeId a = net.add_node("a", {net.pis()[0], net.pis()[1]}, and2());
+  net.add_po("z", a);
+  const Node nd = net.node(a);
+  EXPECT_EQ(nd.name, net.node_name(a));
+  EXPECT_EQ(nd.is_pi, net.is_pi(a));
+  EXPECT_EQ(nd.alive, net.alive(a));
+  EXPECT_EQ(nd.version, net.version(a));
+  EXPECT_EQ(nd.fanins.data(), net.fanins(a).data());
+  EXPECT_EQ(nd.fanouts.data(), net.fanouts(a).data());
+  EXPECT_EQ(&nd.func, &net.func(a));
+}
+
+}  // namespace
+}  // namespace rarsub
