@@ -25,8 +25,22 @@ ResubTuning tuning_from_env() {
 
 int run_table(const TableConfig& config) {
   const bool small = config.small_suite || obs::env_flag("RARSUB_SMALL");
-  const auto suite = small ? benchmark_suite_small() : benchmark_suite();
+  SuiteTableConfig sc;
+  sc.title = config.title;
+  sc.suite_label = small ? "small" : "full";
+  sc.circuits = small ? benchmark_suite_small() : benchmark_suite();
+  sc.prepare = config.prepare;
+  for (ResubMethod m : config.methods) {
+    const auto apply = config.apply;
+    sc.methods.push_back(
+        MethodSpec{method_name(m), [apply, m](Network& n) { apply(n, m); }});
+  }
+  sc.verify = config.verify;
+  sc.report_path = config.report_path;
+  return run_suite_table(sc);
+}
 
+int run_suite_table(const SuiteTableConfig& config) {
   const char* report_env = obs::env_path("RARSUB_REPORT");
   const std::string report_path =
       report_env != nullptr ? report_env : config.report_path;
@@ -38,15 +52,15 @@ int run_table(const TableConfig& config) {
     w.key("table");
     w.value(config.title);
     w.key("suite");
-    w.value(small ? "small" : "full");
+    w.value(config.suite_label);
     w.key("circuits");
     w.begin_array();
   }
 
   std::printf("%s\n", config.title.c_str());
   std::printf("%-10s %6s", "circuit", "init");
-  for (ResubMethod m : config.methods)
-    std::printf(" | %8s %8s", method_name(m).c_str(), "cpu_ms");
+  for (const MethodSpec& m : config.methods)
+    std::printf(" | %8s %8s", m.name.c_str(), "cpu_ms");
   std::printf("\n");
 
   int failures = 0;
@@ -54,9 +68,9 @@ int run_table(const TableConfig& config) {
   std::vector<long> total_lits(config.methods.size(), 0);
   std::vector<double> total_ms(config.methods.size(), 0.0);
 
-  for (const BenchmarkEntry& e : suite) {
+  for (const BenchmarkEntry& e : config.circuits) {
     Network prepared = e.build();
-    config.prepare(prepared);
+    if (config.prepare) config.prepare(prepared);
     const int init = prepared.factored_literals();
     total_init += init;
     std::printf("%-10s %6d", e.name.c_str(), init);
@@ -84,7 +98,7 @@ int run_table(const TableConfig& config) {
       obs::HwcGroup hwc;
       obs::Timer timer;
       hwc.start();
-      config.apply(net, config.methods[i]);
+      config.methods[i].run(net);
       hwc.stop();
       const mem::ArenaStats arena = mem::arena_stats();
       const double ms = timer.elapsed_ms();
@@ -108,11 +122,17 @@ int run_table(const TableConfig& config) {
       if (reporting) {
         w.begin_object();
         w.key("method");
-        w.value(method_name(config.methods[i]));
+        w.value(config.methods[i].name);
         w.key("literals");
         w.value(lits);
         w.key("cpu_ms");
         w.value(ms);
+        // The method's committed wall-clock budget; bench_compare.py
+        // gates cpu_ms against the baseline's copy of this field.
+        if (config.methods[i].time_budget_s > 0) {
+          w.key("time_budget_s");
+          w.value(config.methods[i].time_budget_s);
+        }
         w.key("equivalent");
         w.value(ok);
         // Memory telemetry: RSS always (from /proc); allocation fields

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "benchcir/suite.hpp"
 #include "network/network.hpp"
 #include "opt/scripts.hpp"
 
@@ -43,6 +44,36 @@ struct TableConfig {
 /// Run and print the table; returns the number of equivalence failures
 /// (0 expected).
 int run_table(const TableConfig& config);
+
+/// A named method column of the generalized harness. `time_budget_s` > 0
+/// is written into the report row; bench_compare.py turns it into a hard
+/// per-method wall-clock gate once the row is blessed into a baseline.
+struct MethodSpec {
+  std::string name;
+  std::function<void(Network&)> run;
+  double time_budget_s = 0.0;
+};
+
+/// Generalized table config: an explicit circuit list and named method
+/// columns instead of the ResubMethod enum. run_table() is an adapter
+/// over this; bench/table_large.cpp drives it directly with script+RR
+/// pipelines and per-method budgets.
+struct SuiteTableConfig {
+  std::string title;
+  std::string suite_label;  ///< "small" / "full" / "large" in the report
+  std::vector<BenchmarkEntry> circuits;
+  std::function<void(Network&)> prepare;  ///< optional; identity if empty
+  std::vector<MethodSpec> methods;
+  /// PO equivalence of every transformed circuit against the prepared
+  /// one. The large tier turns this off: exact checking at 10^5+ nodes
+  /// would dwarf the methods; soundness is covered by the small tiers
+  /// and the fuzzer.
+  bool verify = true;
+  std::string report_path;  ///< env RARSUB_REPORT=<file> overrides
+};
+
+/// Run and print the generalized table; returns equivalence failures.
+int run_suite_table(const SuiteTableConfig& config);
 
 /// Resubstitution tuning from the environment, so A/B reports for
 /// tools/bench_compare.py can toggle sound-to-disable machinery without

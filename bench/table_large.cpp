@@ -1,0 +1,121 @@
+// The large workload tier (ROADMAP item 3): ISCAS'89-scale stand-ins and
+// synthetic 10^5–10^6-node circuits from benchmark_suite_large(), plus any
+// external BLIF suite dropped into a directory. Each method column is a
+// full pipeline — Script A/B/C preparation followed by one-pass redundancy
+// removal, and a bare RR column isolating the kernel — with a committed
+// wall-clock budget per method that bench_compare.py enforces against
+// bench/baseline_large.json.
+//
+// Knobs (all environment, so the CI job and the nightly share one binary):
+//   RARSUB_LARGE_MAX_NODES  keep only circuits up to ~N nodes (the CI job
+//                           runs 100000; unset/0 = the full tier)
+//   RARSUB_LARGE_BLIF_DIR   import every *.blif in the directory as an
+//                           extra circuit (external suites via
+//                           src/network/blif.hpp)
+//   RARSUB_LARGE_IMPL_BUDGET  implication visits per closure drain for the
+//                           RR kernel (default 0 = exact/unlimited)
+//   RARSUB_REPORT           write the standard report schema here
+//
+// Equivalence verification is off: exact PO checking at 10^5+ nodes would
+// dwarf the methods under test. Soundness is covered by the small-tier
+// tables (verify on), the one-pass byte-equality tests and the fuzzer.
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "network/blif.hpp"
+#include "opt/scripts.hpp"
+#include "rar/network_rr.hpp"
+#include "table_common.hpp"
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+}  // namespace
+
+int main() {
+  using rarsub::benchtool::MethodSpec;
+  using rarsub::benchtool::SuiteTableConfig;
+
+  const int max_nodes = env_int("RARSUB_LARGE_MAX_NODES", 0);
+
+  SuiteTableConfig config;
+  config.title = "Table L — large tier (Scripts A/B/C + one-pass RR)";
+  config.suite_label = "large";
+  config.verify = false;
+  config.report_path = "";
+  config.circuits = rarsub::benchmark_suite_large(max_nodes);
+
+  // External suites: every *.blif in the directory becomes a circuit.
+  if (const char* dir = std::getenv("RARSUB_LARGE_BLIF_DIR");
+      dir != nullptr && *dir != '\0') {
+    std::vector<std::string> paths;
+    for (const auto& entry : std::filesystem::directory_iterator(dir))
+      if (entry.path().extension() == ".blif")
+        paths.push_back(entry.path().string());
+    std::sort(paths.begin(), paths.end());
+    for (const std::string& p : paths)
+      config.circuits.push_back(
+          {std::filesystem::path(p).stem().string(),
+           [p] { return rarsub::read_blif_file(p); }});
+  }
+
+  // Per-method wall-clock budgets, sized for the largest circuit of the
+  // selected cut (smaller circuits pass trivially; their regressions are
+  // caught by the cpu-threshold gate instead). The committed
+  // baseline_large.json is blessed at the CI cut (100k), so those are the
+  // budget values the gate enforces; rates are measured numbers from
+  // docs/PERFORMANCE.md with ~4x headroom for slower CI runners, on top
+  // of bench_compare's --budget-scale.
+  int largest = 1;
+  for (const auto& e : config.circuits) largest = std::max(largest, e.approx_nodes);
+  const double scale = static_cast<double>(largest) / 100000.0;
+  const auto budget = [scale](double base_s, double per_100k_s) {
+    return base_s + per_100k_s * scale;
+  };
+
+  // Measured at the 100k cut (single core, Release, idle machine):
+  // rr 123.0 s, scriptA 129.6 s, scriptB 127.4 s, scriptC 129.5 s — and
+  // 20k -> 100k scales linearly (24.1 s -> 123.0 s bare rr), so the
+  // per-100k linear budget model holds across the tier.
+  rarsub::NetworkRrOptions rr_opts;  // one-pass, both polarities
+  // Escape hatch for pathological imports: cap closure drains (sound —
+  // missed conflicts only keep removable wires). Exact by default; the
+  // tier's own circuits have bounded cones, so exact sweeps stay linear.
+  rr_opts.implication_budget = env_int("RARSUB_LARGE_IMPL_BUDGET", 0);
+  const auto rr = [rr_opts](rarsub::Network& net) {
+    rarsub::network_redundancy_removal(net, rr_opts);
+  };
+  config.methods.push_back(MethodSpec{
+      "rr", rr, budget(20.0, 480.0)});
+  config.methods.push_back(MethodSpec{
+      "scriptA",
+      [rr](rarsub::Network& net) {
+        rarsub::script_a(net);
+        rr(net);
+      },
+      budget(30.0, 500.0)});
+  config.methods.push_back(MethodSpec{
+      "scriptB",
+      [rr](rarsub::Network& net) {
+        rarsub::script_b(net);
+        rr(net);
+      },
+      budget(30.0, 500.0)});
+  config.methods.push_back(MethodSpec{
+      "scriptC",
+      [rr](rarsub::Network& net) {
+        rarsub::script_c(net);
+        rr(net);
+      },
+      budget(30.0, 500.0)});
+
+  return rarsub::benchtool::run_suite_table(config);
+}

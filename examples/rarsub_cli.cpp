@@ -169,6 +169,14 @@ int cmd_pass(const std::string& source, const std::string& pass) {
   const Network original = net;
   const int before = net.factored_literals();
   if (pass == "rr") network_redundancy_removal(net);
+  else if (pass == "rr_legacy") {
+    // The pre-one-pass per-wire loop, kept as the byte-equality oracle:
+    // identical result network, just slower. Exists so a surprising rr
+    // outcome can be cross-checked from the command line.
+    NetworkRrOptions opts;
+    opts.one_pass = false;
+    network_redundancy_removal(net, opts);
+  }
   else if (pass == "full_simplify") full_simplify_network(net);
   else if (pass == "decomp") decomp_network(net);
   else if (pass == "eliminate") eliminate(net, 0);
@@ -436,8 +444,8 @@ int main(int argc, char** argv) {
                "[none|a|b|c|algebraic]\n"
                "  rarsub_cli verify   <circuit-a> <circuit-b>\n"
                "  rarsub_cli print    <circuit>            (factored equations)\n"
-               "  rarsub_cli pass     <circuit> <rr|full_simplify|decomp|"
-               "eliminate|simplify|sweep>\n"
+               "  rarsub_cli pass     <circuit> <rr|rr_legacy|full_simplify|"
+               "decomp|eliminate|simplify|sweep>\n"
                "  rarsub_cli fuzz     [--iters N] [--seed S] "
                "[--time-budget SEC] [--corpus DIR]\n"
                "                      [--plant-bug skip-remainder] [--verbose]"

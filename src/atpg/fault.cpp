@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "obs/ledger.hpp"
 #include "obs/obs.hpp"
@@ -152,6 +153,279 @@ FaultResult analyze_fault(const GateNet& net, WireRef w, bool stuck_value,
   res.values = eng.values();
   record(false);
   return res;
+}
+
+FaultAnalyzer::FaultAnalyzer(const GateNet& net, int learning_depth,
+                             int implication_budget)
+    : net_(&net), learning_depth_(learning_depth), eng_(net, learning_depth) {
+  eng_.set_trail(true);
+  eng_.set_visit_budget(implication_budget);
+}
+
+void FaultAnalyzer::note_remove_fanin(int gate, int source) {
+  OBS_COUNT("rr.onepass.journal_events", 1);
+  eng_.rewind_to(0);
+  eng_.rebase(gate);  // a gate emptied of pins becomes a constant
+  dirty_ = true;
+  region_gate_ = -1;
+  if (built_) pending_.push_back(source);
+}
+
+void FaultAnalyzer::note_make_const(int gate,
+                                    const std::vector<Signal>& former_fanins) {
+  OBS_COUNT("rr.onepass.journal_events", 1);
+  eng_.rewind_to(0);
+  eng_.rebase(gate);
+  dirty_ = true;
+  region_gate_ = -1;
+  if (built_)
+    for (const Signal& s : former_fanins) pending_.push_back(s.gate);
+}
+
+void FaultAnalyzer::rebuild() {
+  OBS_COUNT("rr.onepass.rebuilds", 1);
+  OBS_PHASE("rr.onepass.rebuild");
+  const std::size_t n = static_cast<std::size_t>(net_->num_gates());
+  const int exit = net_->num_gates();
+  const std::vector<int> topo = net_->topo_order();
+  rank_.assign(n, 0);
+  for (std::size_t i = 0; i < topo.size(); ++i)
+    rank_[static_cast<std::size_t>(topo[i])] = static_cast<int>(i);
+  observable_.assign(n, 0);
+  for (int o : net_->outputs()) observable_[static_cast<std::size_t>(o)] = 1;
+
+  // Exit-reachability and immediate post-dominators in one reverse-topo
+  // sweep each: fanouts have strictly higher rank, so they are final when
+  // their fanin is processed. Dead ends (unreachable gates) are skipped,
+  // matching the universal-set convention of propagation_dominators().
+  reach_.assign(n, 0);
+  idom_.assign(n, -1);
+  const auto rnk = [&](int g) {
+    return g == exit ? static_cast<int>(n) : rank_[static_cast<std::size_t>(g)];
+  };
+  const auto intersect = [&](int a, int b) {
+    while (a != b) {
+      if (rnk(a) < rnk(b)) a = idom_[static_cast<std::size_t>(a)];
+      else b = idom_[static_cast<std::size_t>(b)];
+    }
+    return a;
+  };
+  for (std::size_t i = topo.size(); i-- > 0;) {
+    const int g = topo[i];
+    const std::size_t gi = static_cast<std::size_t>(g);
+    if (observable_[gi]) {
+      reach_[gi] = 1;
+      idom_[gi] = exit;  // every path is observed right here
+      continue;
+    }
+    int cur = -1;
+    for (int fo : net_->gate(g).fanouts) {
+      if (!reach_[static_cast<std::size_t>(fo)]) continue;
+      cur = cur < 0 ? fo : intersect(cur, fo);
+    }
+    if (cur >= 0) {
+      reach_[gi] = 1;
+      idom_[gi] = cur;
+    }
+  }
+
+  cone_stamp_.assign(n, 0);
+  work_stamp_.assign(n, 0);
+  pending_.clear();
+  work_epoch_ = 0;
+  cone_epoch_ = 0;
+  dirty_ = false;
+  built_ = true;
+  region_gate_ = -1;
+}
+
+void FaultAnalyzer::refresh() {
+  if (!built_) {
+    rebuild();
+    return;
+  }
+  // Incremental dominator repair. A removal only shrinks the fanout sets
+  // of the recorded sources, so reach/idom can change only there and, by
+  // the defining recurrences, at gates upstream of a change. Walk a
+  // max-rank worklist seeded at the sources: when a gate recomputes to its
+  // old (reach, idom) pair the walk cuts off; otherwise its fanins are
+  // enqueued. Decreasing-rank order means every gate sees final fanout
+  // values exactly as in the full reverse-topo pass, so the repaired
+  // arrays equal a from-scratch rebuild. rank_ itself needs no repair:
+  // deleting edges cannot invalidate a topological numbering.
+  OBS_COUNT("rr.onepass.updates", 1);
+  OBS_PHASE("rr.onepass.update");
+  const std::size_t n = static_cast<std::size_t>(net_->num_gates());
+  const int exit = net_->num_gates();
+  const auto rnk = [&](int g) {
+    return g == exit ? static_cast<int>(n) : rank_[static_cast<std::size_t>(g)];
+  };
+  const auto intersect = [&](int a, int b) {
+    while (a != b) {
+      if (rnk(a) < rnk(b)) a = idom_[static_cast<std::size_t>(a)];
+      else b = idom_[static_cast<std::size_t>(b)];
+    }
+    return a;
+  };
+  ++work_epoch_;
+  std::vector<std::pair<int, int>> heap;  // (rank, gate), max-heap
+  heap.reserve(pending_.size());
+  for (int s : pending_) {
+    std::size_t si = static_cast<std::size_t>(s);
+    if (work_stamp_[si] == work_epoch_) continue;
+    work_stamp_[si] = work_epoch_;
+    heap.emplace_back(rank_[si], s);
+  }
+  pending_.clear();
+  std::make_heap(heap.begin(), heap.end());
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end());
+    const int g = heap.back().second;
+    heap.pop_back();
+    const std::size_t gi = static_cast<std::size_t>(g);
+    char new_reach = 0;
+    int new_idom = -1;
+    if (observable_[gi]) {
+      new_reach = 1;
+      new_idom = exit;
+    } else {
+      int cur = -1;
+      for (int fo : net_->gate(g).fanouts) {
+        if (!reach_[static_cast<std::size_t>(fo)]) continue;
+        cur = cur < 0 ? fo : intersect(cur, fo);
+      }
+      if (cur >= 0) {
+        new_reach = 1;
+        new_idom = cur;
+      }
+    }
+    if (new_reach == reach_[gi] && new_idom == idom_[gi]) continue;
+    reach_[gi] = new_reach;
+    idom_[gi] = new_idom;
+    OBS_COUNT("rr.onepass.update_nodes", 1);
+    for (const Signal& s : net_->gate(g).fanins) {
+      const std::size_t si = static_cast<std::size_t>(s.gate);
+      if (work_stamp_[si] == work_epoch_) continue;
+      work_stamp_[si] = work_epoch_;
+      heap.emplace_back(rank_[si], s.gate);
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  dirty_ = false;
+  region_gate_ = -1;
+}
+
+// Mark the fanout cone of g (and g itself), pruned at gates whose rank is
+// >= max_rank: ranks grow strictly along edges, so no pruned gate can lead
+// back to a side-input query (all of which rank below the last dominator).
+void FaultAnalyzer::stamp_cone(int g, int max_rank) {
+  ++cone_epoch_;
+  cone_stamp_[static_cast<std::size_t>(g)] = cone_epoch_;
+  stack_.clear();
+  stack_.push_back(g);
+  while (!stack_.empty()) {
+    const int x = stack_.back();
+    stack_.pop_back();
+    for (int fo : net_->gate(x).fanouts) {
+      const std::size_t fi = static_cast<std::size_t>(fo);
+      if (cone_stamp_[fi] == cone_epoch_ || rank_[fi] >= max_rank) continue;
+      cone_stamp_[fi] = cone_epoch_;
+      stack_.push_back(fo);
+    }
+  }
+}
+
+bool FaultAnalyzer::push_dominator_conditions(int g) {
+  chain_.clear();
+  const int exit = net_->num_gates();
+  for (int d = idom_[static_cast<std::size_t>(g)]; d != exit;
+       d = idom_[static_cast<std::size_t>(d)])
+    chain_.push_back(d);
+  if (chain_.empty()) return true;
+  stamp_cone(g, rank_[static_cast<std::size_t>(chain_.back())]);
+  // Depth 0: post the whole condition set and run the closure once —
+  // confluence of direct implications makes this verdict-equal to the
+  // per-condition drains, which recursive learning still needs.
+  const bool batched = learning_depth_ == 0;
+  for (int d : chain_) {
+    const Gate& dg = net_->gate(d);
+    if (dg.type != GateType::And && dg.type != GateType::Or) continue;
+    const bool d_nctrl = (dg.type == GateType::And);
+    for (const Signal& sp : dg.fanins) {
+      if (cone_stamp_[static_cast<std::size_t>(sp.gate)] == cone_epoch_)
+        continue;  // carries (or may carry) the fault effect
+      const bool v = sp.neg ? !d_nctrl : d_nctrl;
+      if (batched ? !eng_.post(sp.gate, v) : !eng_.assign(sp.gate, v))
+        return false;
+    }
+  }
+  return batched ? eng_.flush() : true;
+}
+
+bool FaultAnalyzer::push_pin_conditions(const Gate& gd, WireRef w,
+                                        bool stuck_value) {
+  const bool batched = learning_depth_ == 0;
+  const auto put = [&](const Signal& s, bool seen_val) {
+    const bool v = s.neg ? !seen_val : seen_val;
+    return batched ? eng_.post(s.gate, v) : eng_.assign(s.gate, v);
+  };
+  const Signal& s = gd.fanins[static_cast<std::size_t>(w.pin)];
+  if (!put(s, !stuck_value)) return false;
+  const bool nctrl_seen = (gd.type == GateType::And);
+  for (int p = 0; p < static_cast<int>(gd.fanins.size()); ++p) {
+    if (p == w.pin) continue;
+    if (!put(gd.fanins[static_cast<std::size_t>(p)], nctrl_seen)) return false;
+  }
+  return batched ? eng_.flush() : true;
+}
+
+bool FaultAnalyzer::untestable(WireRef w, bool stuck_value) {
+  OBS_COUNT("atpg.faults", 1);
+  OBS_COUNT("rr.onepass.faults", 1);
+  OBS_PHASE("atpg.fault");
+  if (dirty_) refresh();
+  const Gate& gd = net_->gate(w.gate);
+  assert(gd.type == GateType::And || gd.type == GateType::Or);
+  assert(w.pin >= 0 && w.pin < static_cast<int>(gd.fanins.size()));
+
+  const auto record = [&](bool verdict) {
+    if (verdict) OBS_COUNT("atpg.faults.untestable", 1);
+    OBS_EVENT(.kind = obs::EventKind::RedundancyTest, .node = w.gate,
+              .divisor = w.pin, .a = verdict ? 1 : 0,
+              .b = stuck_value ? 1 : 0);
+    return verdict;
+  };
+
+  if (!reach_[static_cast<std::size_t>(w.gate)]) return record(true);
+
+  if (learning_depth_ == 0) {
+    // Dominator conditions depend only on the gate: push them once, keep
+    // them on the trail and test each pin/polarity above the mark.
+    // Verdict-equal to the legacy activation-first order because direct
+    // implication closure is confluent.
+    if (region_gate_ != w.gate) {
+      eng_.rewind_to(0);
+      region_gate_ = w.gate;
+      region_ok_ = push_dominator_conditions(w.gate);
+      if (!region_ok_) eng_.rewind_to(0);
+      region_mark_ = eng_.trail_mark();
+    } else {
+      OBS_COUNT("rr.onepass.region_reuse", 1);
+    }
+    if (!region_ok_) return record(true);
+    const bool ok = push_pin_conditions(gd, w, stuck_value);
+    eng_.rewind_to(region_mark_);
+    return record(!ok);
+  }
+
+  // Recursive learning runs after every assignment, so the verdict may
+  // depend on assignment order: replicate analyze_fault's exact sequence
+  // (activation, side inputs, dominator side inputs).
+  eng_.rewind_to(0);
+  bool ok = push_pin_conditions(gd, w, stuck_value);
+  if (ok) ok = push_dominator_conditions(w.gate);
+  eng_.rewind_to(0);
+  return record(!ok);
 }
 
 }  // namespace rarsub

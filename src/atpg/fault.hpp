@@ -40,4 +40,72 @@ FaultResult analyze_fault(const GateNet& net, WireRef w, bool stuck_value,
 /// stuck-at-0).
 bool removal_stuck_value(GateType t);
 
+/// Persistent fault analyzer for the one-pass redundancy remover
+/// (Teslenko & Dubrova's heuristic, PAPERS.md): instead of paying a fresh
+/// implication engine, an O(gates) reachability DFS and cone-local
+/// post-dominator bitsets per wire, it keeps
+///   - one trail-mode ImplicationEngine alive for the whole sweep
+///     (per-fault cost is O(implied values), not O(gates)),
+///   - a global post-dominator tree (idom per gate, single reverse-topo
+///     Cooper-Harvey-Kennedy pass) whose ancestor chain *is*
+///     propagation_dominators(g) in the same order,
+///   - an epoch-stamped fanout-cone DFS pruned at the last dominator's
+///     topological rank (the Teslenko-Dubrova "region"),
+///   - shared dominator mandatory assignments across the pins and both
+///     fault polarities of one gate (sound at learning depth 0 because
+///     direct implication closure is confluent).
+/// Structural edits are fed back through the journal hooks; verdicts are
+/// exactly those of analyze_fault() on the current net, which is what
+/// makes the one-pass sweep byte-identical to the legacy loop.
+class FaultAnalyzer {
+ public:
+  explicit FaultAnalyzer(const GateNet& net, int learning_depth = 0,
+                         int implication_budget = 0);
+
+  /// Verdict of analyze_fault(net, w, stuck_value, learning_depth), with
+  /// the same ledger record and untestability counters.
+  bool untestable(WireRef w, bool stuck_value);
+
+  /// Journal hooks: call right after the corresponding GateNet mutation so
+  /// the engine base values and the dominator structures stay exact.
+  /// `source` is the gate that fed the removed pin (`WireKey::src`); for
+  /// make_const pass the gate's fanins as captured before the mutation.
+  /// Only the sources' fanout sets change, so the dominator tree is
+  /// repaired by a worklist walk seeded there instead of a full rebuild.
+  void note_remove_fanin(int gate, int source);
+  void note_make_const(int gate, const std::vector<Signal>& former_fanins);
+
+ private:
+  void rebuild();
+  void refresh();
+  bool push_dominator_conditions(int g);
+  bool push_pin_conditions(const Gate& gd, WireRef w, bool stuck_value);
+  void stamp_cone(int g, int max_rank);
+
+  const GateNet* net_;
+  int learning_depth_;
+  ImplicationEngine eng_;
+  // rank_ is computed once: the sweep only ever deletes edges, so a topo
+  // numbering of the initial net stays strictly increasing along every
+  // surviving edge — which is all the pruning and intersect walks need.
+  std::vector<int> rank_;       ///< topological rank, stable for the sweep
+  std::vector<char> observable_;  ///< primary-output gates (never changes)
+  std::vector<char> reach_;     ///< reaches an observable output
+  std::vector<int> idom_;       ///< immediate post-dominator; num_gates()=exit
+  std::vector<int> cone_stamp_;
+  std::vector<int> chain_;      ///< dominator chain scratch
+  std::vector<int> stack_;      ///< DFS scratch
+  std::vector<int> pending_;    ///< sources whose fanout set changed
+  std::vector<int> work_stamp_;  ///< worklist dedupe, epoch per refresh
+  int work_epoch_ = 0;
+  int cone_epoch_ = 0;
+  bool dirty_ = true;
+  bool built_ = false;
+  // Region sharing (learning depth 0): dominator conditions of this gate
+  // are on the trail below region_mark_.
+  int region_gate_ = -1;
+  bool region_ok_ = false;
+  std::size_t region_mark_ = 0;
+};
+
 }  // namespace rarsub

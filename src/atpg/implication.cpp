@@ -15,6 +15,7 @@ void ImplicationEngine::reset() {
   val_.assign(static_cast<std::size_t>(net_->num_gates()), TV::X);
   queued_.assign(static_cast<std::size_t>(net_->num_gates()), false);
   queue_.clear();
+  trail_.clear();
   conflict_ = false;
   // Constants and degenerate gates have fixed values from the start.
   for (int g = 0; g < net_->num_gates(); ++g) {
@@ -43,6 +44,7 @@ bool ImplicationEngine::set_value(int g, TV v) {
     return false;
   }
   cur = v;
+  if (trail_on_) trail_.push_back(g);  // cur was X: rewind restores X
   // Re-examine this gate (backward rules) and its fanouts (forward rules).
   auto enqueue = [&](int x) {
     if (!queued_[static_cast<std::size_t>(x)]) {
@@ -57,6 +59,35 @@ bool ImplicationEngine::set_value(int g, TV v) {
 
 bool ImplicationEngine::set_seen(const Signal& s, TV v) {
   return set_value(s.gate, s.neg ? tv_neg(v) : v);
+}
+
+void ImplicationEngine::rewind_to(std::size_t mark) {
+  assert(trail_on_);
+  while (trail_.size() > mark) {
+    val_[static_cast<std::size_t>(trail_.back())] = TV::X;
+    trail_.pop_back();
+  }
+  for (int g : queue_) queued_[static_cast<std::size_t>(g)] = false;
+  queue_.clear();
+  conflict_ = false;
+}
+
+void ImplicationEngine::rebase(int g) {
+  assert(trail_.empty());
+  const Gate& gd = net_->gate(g);
+  TV v = TV::X;
+  switch (gd.type) {
+    case GateType::Const0: v = TV::Zero; break;
+    case GateType::Const1: v = TV::One; break;
+    case GateType::And:
+      if (gd.fanins.empty()) v = TV::One;
+      break;
+    case GateType::Or:
+      if (gd.fanins.empty()) v = TV::Zero;
+      break;
+    case GateType::PI: break;
+  }
+  val_[static_cast<std::size_t>(g)] = v;
 }
 
 bool ImplicationEngine::imply_gate(int g) {
@@ -114,9 +145,21 @@ bool ImplicationEngine::propagate() {
   // path, one atomic per gate visit would be measurable.
   int visits = 0;
   bool ok = true;
-  while (!queue_.empty()) {
-    const int g = queue_.back();
-    queue_.pop_back();
+  // FIFO drain: a gate enqueued by several neighbours is examined once
+  // after all of them settled instead of once per trigger. Any drain order
+  // reaches the same closure (direct implications are confluent), so this
+  // is a pure visit-count optimization — breadth-first roughly halves the
+  // re-examinations a depth-first stack pays on reconvergent fanout.
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    if (visit_budget_ > 0 && visits >= visit_budget_) {
+      // Budget exhausted: drop the pending frontier. The values already
+      // derived stay valid necessary assignments; we just stop looking
+      // for more (and for the conflicts they might have exposed).
+      OBS_COUNT("atpg.implications.truncated", 1);
+      break;
+    }
+    const int g = queue_[head++];
     queued_[static_cast<std::size_t>(g)] = false;
     ++visits;
     if (!imply_gate(g)) {
@@ -124,6 +167,9 @@ bool ImplicationEngine::propagate() {
       break;
     }
   }
+  for (std::size_t i = head; i < queue_.size(); ++i)
+    queued_[static_cast<std::size_t>(queue_[i])] = false;
+  queue_.clear();
   OBS_COUNT("atpg.implications", visits);
   if (!ok) return false;
   if (learning_depth_ > 0) {
@@ -194,6 +240,18 @@ bool ImplicationEngine::assign(int g, bool v) {
   OBS_COUNT("atpg.assigns", 1);
   if (conflict_) return false;
   if (!set_value(g, tv_of(v))) return false;
+  return propagate();
+}
+
+bool ImplicationEngine::post(int g, bool v) {
+  OBS_COUNT("atpg.assigns", 1);
+  assert(learning_depth_ == 0);
+  if (conflict_) return false;
+  return set_value(g, tv_of(v));
+}
+
+bool ImplicationEngine::flush() {
+  if (conflict_) return false;
   return propagate();
 }
 

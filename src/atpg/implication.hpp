@@ -44,6 +44,42 @@ class ImplicationEngine {
   /// state until reset()).
   bool assign(int g, bool v);
 
+  /// Batched assignment: set the value and enqueue, but leave the closure
+  /// to a later flush(). Direct implications are confluent, so posting a
+  /// whole condition set and flushing once reaches the same closure (and
+  /// the same conflict verdict) as assign() per condition — minus the
+  /// repeated drains over overlapping cascades. Only sound at learning
+  /// depth 0: recursive learning is order-sensitive by design.
+  bool post(int g, bool v);
+  bool flush();
+
+  /// Implication-effort dial (the paper: "with different implication
+  /// methods we can actually adjust the tradeoff between the run time and
+  /// the quality of result"): cap the gate visits of each closure drain.
+  /// A truncated drain simply stops deriving necessary assignments — any
+  /// conflict already found stands, later ones are missed — so verdicts
+  /// stay sound (a missed conflict keeps a removable wire, never removes
+  /// an irremovable one) and per-fault cost becomes O(budget) instead of
+  /// O(circuit). 0 = unlimited (the exact default everywhere but the
+  /// large workload tier).
+  void set_visit_budget(int budget) { visit_budget_ = budget; }
+
+  /// Trail mode: every value set after this point is recorded so it can be
+  /// undone in O(assignments) by rewind_to(), instead of the O(gates)
+  /// reset(). The one-pass redundancy remover keeps one engine alive for a
+  /// whole sweep this way.
+  void set_trail(bool on) { trail_on_ = on; }
+  std::size_t trail_mark() const { return trail_.size(); }
+
+  /// Undo every recorded assignment above `mark` (back to X), drop the
+  /// pending worklist and clear any conflict. Only valid in trail mode.
+  void rewind_to(std::size_t mark);
+
+  /// Recompute the reset()-time base value of `g` after a structural edit
+  /// (pin removal emptying a gate, constant-ization). Requires an empty
+  /// trail: base values are below every mark.
+  void rebase(int g);
+
   bool in_conflict() const { return conflict_; }
   TV value(int g) const { return val_[static_cast<std::size_t>(g)]; }
   const std::vector<TV>& values() const { return val_; }
@@ -66,6 +102,9 @@ class ImplicationEngine {
   std::vector<TV> val_;
   std::vector<int> queue_;
   std::vector<bool> queued_;
+  std::vector<int> trail_;  ///< gates whose value was set (was X before)
+  int visit_budget_ = 0;    ///< max visits per drain; 0 = unlimited
+  bool trail_on_ = false;
   bool conflict_ = false;
 };
 

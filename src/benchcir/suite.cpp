@@ -1,5 +1,6 @@
 #include "benchcir/suite.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "benchcir/classics.hpp"
@@ -67,8 +68,46 @@ std::vector<BenchmarkEntry> benchmark_suite_small() {
   return v;
 }
 
+std::vector<BenchmarkEntry> benchmark_suite_large(int max_nodes) {
+  // Specs scale the synthetic generator by target node count: the middle
+  // layer dominates, bases are kept proportional so no single shared
+  // divisor accumulates a degenerate fanout list.
+  const auto large = [](const char* name, std::uint64_t seed, int target) {
+    SynthSpec s;
+    s.name = name;
+    s.seed = seed;
+    s.num_mids = target;
+    s.num_bases = std::max(16, target / 50);
+    s.num_pis = std::max(64, target / 200);
+    s.num_outputs = std::max(16, target / 40);
+    // Bounded cone sizes, like real netlists (see SynthSpec::cluster):
+    // without this the tier measures random-DAG pathology — every
+    // implication closure and TFI walk spans the whole circuit — instead
+    // of large-circuit behaviour.
+    s.cluster = 2000;
+    return s;
+  };
+  std::vector<BenchmarkEntry> v;
+  const auto add = [&](const char* name, std::uint64_t seed, int target) {
+    if (max_nodes > 0 && target > max_nodes) return;
+    SynthSpec s = large(name, seed, target);
+    v.push_back({name, [s] { return make_synthetic(s); }, target});
+  };
+  // ISCAS'89-scale stand-ins, sized after their namesakes.
+  add("syn_s9234", 9234, 6000);
+  add("syn_s15850", 15850, 10000);
+  add("syn_s38584", 38584, 20000);
+  // The synthetic giants of ROADMAP item 3.
+  add("syn_x100k", 100001, 100000);
+  add("syn_x300k", 300001, 300000);
+  add("syn_x1m", 1000001, 1000000);
+  return v;
+}
+
 Network build_benchmark(const std::string& name) {
   for (const BenchmarkEntry& e : benchmark_suite())
+    if (e.name == name) return e.build();
+  for (const BenchmarkEntry& e : benchmark_suite_large())
     if (e.name == name) return e.build();
   throw std::out_of_range("unknown benchmark: " + name);
 }

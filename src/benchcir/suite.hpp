@@ -16,6 +16,9 @@ namespace rarsub {
 struct BenchmarkEntry {
   std::string name;
   std::function<Network()> build;
+  /// Approximate alive-node count, used by the large tier to cut the
+  /// suite down for CI-sized runs; 0 (small/full suites) means "tiny".
+  int approx_nodes = 0;
 };
 
 /// The full suite used by the table benches.
@@ -24,7 +27,14 @@ std::vector<BenchmarkEntry> benchmark_suite();
 /// A reduced suite for quick runs and tests.
 std::vector<BenchmarkEntry> benchmark_suite_small();
 
-/// Build a single circuit by name; throws std::out_of_range when unknown.
+/// The large workload tier (ROADMAP item 3): ISCAS'89-scale stand-ins
+/// plus synthetic 10^5–10^6-node networks. `max_nodes` > 0 keeps only
+/// circuits whose approximate node count fits — the bench-large CI job
+/// runs the ~100k cut, the nightly runs everything.
+std::vector<BenchmarkEntry> benchmark_suite_large(int max_nodes = 0);
+
+/// Build a single circuit by name (searches the full and large suites);
+/// throws std::out_of_range when unknown.
 Network build_benchmark(const std::string& name);
 
 }  // namespace rarsub

@@ -84,11 +84,37 @@ Network make_synthetic(const SynthSpec& spec) {
 
   // Middle layer: random SOPs over PIs, bases, and earlier mids. Base
   // fanins are inlined (composed away) with probability; the base node
-  // itself stays alive through its other users.
+  // itself stays alive through its other users. In clustered mode each
+  // tile of `cluster` mids works over its own PI subset and its own
+  // earlier mids, so transitive cones stay design-bounded.
+  const bool clustered = spec.cluster > 0;
   std::vector<NodeId> mids;
   std::vector<NodeId> pool = pis;
-  for (const Base& b : bases) pool.push_back(b.visible);
+  std::vector<const Base*> base_pool;
+  for (const Base& b : bases) base_pool.push_back(&b);
+  if (!clustered)
+    for (const Base& b : bases) pool.push_back(b.visible);
   for (int i = 0; i < spec.num_mids; ++i) {
+    if (clustered && i % spec.cluster == 0) {
+      // Fresh tile: a handful of PIs and library bases of its own (about
+      // twice a proportional share each, so neighbouring tiles overlap a
+      // little). Tiles must localize *both* pools: a base referenced from
+      // every tile turns each implication closure into a circuit-wide
+      // cascade, which is the very pathology the tier avoids.
+      pool.clear();
+      const int share = std::max(
+          8, 2 * spec.num_pis * spec.cluster / std::max(1, spec.num_mids));
+      for (int j = 0; j < std::min(share, spec.num_pis); ++j)
+        pool.push_back(pis[rng() % pis.size()]);
+      if (!bases.empty()) {
+        base_pool.clear();
+        const int bshare = std::max<int>(
+            4, 2 * static_cast<int>(bases.size()) * spec.cluster /
+                   std::max(1, spec.num_mids));
+        for (int j = 0; j < bshare && j < static_cast<int>(bases.size()); ++j)
+          base_pool.push_back(&bases[rng() % bases.size()]);
+      }
+    }
     std::uniform_int_distribution<int> nfan(2, 5);
     const int k = std::min<int>(nfan(rng), static_cast<int>(pool.size()));
     std::vector<NodeId> fanins;
@@ -96,8 +122,8 @@ Network make_synthetic(const SynthSpec& spec) {
     while (static_cast<int>(fanins.size()) < k) {
       NodeId cand;
       const Base* from_base = nullptr;
-      if (rng() % 2 == 0 && !bases.empty()) {
-        from_base = &bases[rng() % bases.size()];
+      if (rng() % 2 == 0 && !base_pool.empty()) {
+        from_base = base_pool[rng() % base_pool.size()];
         // Inlined copies come from the core; shadow cores are *only*
         // available inlined.
         cand = from_base->inline_source;
@@ -123,11 +149,20 @@ Network make_synthetic(const SynthSpec& spec) {
   }
 
   // Outputs: deepest mids first, then enough visible bases to keep every
-  // divisor alive.
+  // divisor alive. Clustered circuits spread the outputs evenly so each
+  // tile keeps observable logic (deepest-first would anchor only the last
+  // tile and let the sweep eat the rest).
   int po = 0;
-  for (int i = 0; i < spec.num_outputs && i < static_cast<int>(mids.size()); ++i)
+  const std::size_t stride =
+      clustered && spec.num_outputs > 0
+          ? std::max<std::size_t>(
+                1, mids.size() / static_cast<std::size_t>(spec.num_outputs))
+          : 1;
+  for (int i = 0; i < spec.num_outputs &&
+                  static_cast<std::size_t>(i) * stride < mids.size();
+       ++i)
     net.add_po("o" + std::to_string(po++),
-               mids[mids.size() - 1 - static_cast<std::size_t>(i)]);
+               mids[mids.size() - 1 - static_cast<std::size_t>(i) * stride]);
   for (const Base& b : bases)
     if (net.fanout_refs(b.visible) == 0)
       net.add_po("o" + std::to_string(po++), b.visible);

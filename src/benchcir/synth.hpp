@@ -21,6 +21,16 @@ struct SynthSpec {
   int num_outputs = 8;
   int max_cubes = 4;    ///< cubes per generated node function
   double collapse_fraction = 0.6;  ///< bases/mids collapsed away
+  /// Mid-layer clustering: partition the mids into tiles of `cluster`
+  /// nodes, each drawing its non-base fanins from its own PI subset and
+  /// its own earlier mids (0 = one global pool, the historical
+  /// behaviour). A single global pool makes late nodes' transitive-fanin
+  /// cones span the whole circuit, so every cone-walking algorithm —
+  /// implication closure above all — degrades to O(nodes) per query. Real
+  /// netlists are modular with design-bounded cones; the large workload
+  /// tier clusters for that reason (bases stay global, playing the shared
+  /// library).
+  int cluster = 0;
 };
 
 /// Generate a combinational network from the spec; the same spec always

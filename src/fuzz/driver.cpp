@@ -224,6 +224,14 @@ CheckOutcome differential_check(const Network& input, const FuzzConfig& cfg) {
       if (blif_of(rr_plain) != blif_of(rr_view))
         return {"rr_view_differs",
                 "network_rr result differs with a live gate view"};
+      // The legacy per-wire loop is the one-pass sweep's byte oracle.
+      Network rr_legacy = base;
+      NetworkRrOptions legacy_opts;
+      legacy_opts.one_pass = false;
+      network_redundancy_removal(rr_legacy, legacy_opts);
+      if (blif_of(rr_plain) != blif_of(rr_legacy))
+        return {"rr_onepass_differs",
+                "one-pass network_rr differs from the legacy per-wire loop"};
       EquivalenceResult rr_eq = check_equivalence(input, rr_plain);
       if (!rr_eq.equivalent) return {"rr_equivalence", rr_eq.message};
       OBS_COUNT("fuzz.checks", 1);

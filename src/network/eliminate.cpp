@@ -4,13 +4,29 @@
 // complex gates are more suitable for substitution").
 
 #include "network/network.hpp"
+#include "obs/obs.hpp"
 #include "sop/espresso.hpp"
 #include "sop/factor.hpp"
 
 namespace rarsub {
 
 int eliminate(Network& net, int threshold, int cube_limit) {
+  OBS_PHASE("opt.eliminate");
   int eliminated = 0;
+  // The collapse value of a node depends only on its own cover, its fanout
+  // set and its fanouts' covers, all of which a collapse changes for a
+  // handful of neighbours; memoize it so the while-changed rescans only
+  // re-preview nodes a collapse actually touched. Same scan order and the
+  // same per-node numbers as recomputing fresh => identical decisions and
+  // an identical result network (the small-tier literal baselines gate
+  // this).
+  std::vector<signed char> cached(static_cast<std::size_t>(net.num_nodes()),
+                                  -1);  // -1 unknown, 0 infeasible, 1 valued
+  std::vector<int> cached_value(static_cast<std::size_t>(net.num_nodes()), 0);
+  const auto invalidate = [&](NodeId x) {
+    if (static_cast<std::size_t>(x) < cached.size())
+      cached[static_cast<std::size_t>(x)] = -1;
+  };
   bool changed = true;
   while (changed) {
     changed = false;
@@ -25,20 +41,53 @@ int eliminate(Network& net, int threshold, int cube_limit) {
       // this node into every fanout. Computed by previewing the
       // compositions; this is what keeps XOR trees from exploding (their
       // composed covers double, giving a large positive value).
-      const int own = factored_literal_count(nd.func);
-      int value = -own;
-      bool feasible = true;
-      for (NodeId g : nd.fanouts) {
-        const auto preview = net.compose_preview(g, id, cube_limit);
-        if (!preview) {
-          feasible = false;
-          break;
+      bool feasible;
+      int value = 0;
+      const std::size_t ci = static_cast<std::size_t>(id);
+      if (ci < cached.size() && cached[ci] >= 0) {
+        OBS_COUNT("eliminate.value_cache_hits", 1);
+        feasible = cached[ci] == 1;
+        value = cached_value[ci];
+      } else {
+        const int own = factored_literal_count(nd.func);
+        value = -own;
+        feasible = true;
+        for (NodeId g : nd.fanouts) {
+          const auto preview = net.compose_preview(g, id, cube_limit);
+          if (!preview) {
+            feasible = false;
+            break;
+          }
+          value += factored_literal_count(preview->func) -
+                   factored_literal_count(net.node(g).func);
         }
-        value += factored_literal_count(preview->func) -
-                 factored_literal_count(net.node(g).func);
+        if (ci < cached.size()) {
+          cached[ci] = feasible ? 1 : 0;
+          cached_value[ci] = value;
+        }
       }
       if (!feasible || value > threshold) continue;
-      if (net.collapse_into_fanouts(id, cube_limit)) {
+
+      // A collapse rewrites every fanout's cover and the fanout sets of
+      // this node's fanins, so any cached value referring to those nodes
+      // goes stale: the fanins (old and, post-collapse, new) of every
+      // fanout, plus our own fanins. collapse_into_fanouts can mutate even
+      // when it reports failure, so invalidate for the attempt, not the
+      // outcome.
+      std::vector<NodeId> stale(nd.fanins.begin(), nd.fanins.end());
+      const std::vector<NodeId> fanouts(nd.fanouts.begin(), nd.fanouts.end());
+      for (NodeId g : fanouts) {
+        stale.push_back(g);
+        const std::span<const NodeId> gf = net.fanins(g);
+        stale.insert(stale.end(), gf.begin(), gf.end());
+      }
+      const bool collapsed = net.collapse_into_fanouts(id, cube_limit);
+      for (NodeId g : fanouts) {
+        const std::span<const NodeId> gf = net.fanins(g);
+        stale.insert(stale.end(), gf.begin(), gf.end());
+      }
+      for (NodeId x : stale) invalidate(x);
+      if (collapsed) {
         ++eliminated;
         changed = true;
       }
@@ -49,6 +98,7 @@ int eliminate(Network& net, int threshold, int cube_limit) {
 }
 
 void simplify_network(Network& net) {
+  OBS_PHASE("opt.simplify");
   for (NodeId id : net.topo_order()) {
     const Sop& func = net.func(id);
     if (func.num_cubes() == 0) continue;

@@ -133,15 +133,36 @@ ExtractStats gcx(Network& net, const ExtractOptions& opts) {
     };
     std::vector<Plan> plans;
     const NodeId nc_placeholder = net.num_nodes();  // id the new node will get
+
+    // The extracted cube's sources and everything they transitively read:
+    // rewriting one of these to consume the new node would create a cycle.
+    // One reverse DFS replaces a per-candidate depends_on() walk, which is
+    // quadratic at large node counts.
+    std::vector<char> cube_tfi(static_cast<std::size_t>(net.num_nodes()), 0);
+    {
+      std::vector<NodeId> stack;
+      for (GlobalLit l : best_cube) {
+        const NodeId src = lit_node(l);
+        if (!cube_tfi[static_cast<std::size_t>(src)]) {
+          cube_tfi[static_cast<std::size_t>(src)] = 1;
+          stack.push_back(src);
+        }
+      }
+      while (!stack.empty()) {
+        const NodeId n = stack.back();
+        stack.pop_back();
+        for (NodeId f : net.node(n).fanins)
+          if (!cube_tfi[static_cast<std::size_t>(f)]) {
+            cube_tfi[static_cast<std::size_t>(f)] = 1;
+            stack.push_back(f);
+          }
+      }
+    }
+
     for (NodeId id = 0; id < net.num_nodes(); ++id) {
       const Node& nd = net.node(id);
       if (!nd.alive || nd.is_pi) continue;
-      bool would_cycle = false;
-      for (GlobalLit l : best_cube) {
-        const NodeId src = lit_node(l);
-        if (src == id || net.depends_on(src, id)) would_cycle = true;
-      }
-      if (would_cycle) continue;
+      if (cube_tfi[static_cast<std::size_t>(id)]) continue;  // would cycle
 
       bool any = false;
       std::vector<NodeId> nf(nd.fanins.begin(), nd.fanins.end());

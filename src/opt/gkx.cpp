@@ -102,11 +102,32 @@ ExtractStats gkx(Network& net, const ExtractOptions& opts) {
       }
       const NodeId nk = net.add_node(net.fresh_name("kx"), fanins, func);
 
+      // TFI of the candidate: substituting into one of these nodes would
+      // create a cycle. The set is invariant across the commit loop below
+      // (a substitution rewires its target to *read* nk, adding only
+      // edges downstream of nk), so one DFS replaces the former
+      // per-target depends_on() walks — quadratic at large node counts.
+      std::vector<char> nk_tfi(static_cast<std::size_t>(net.num_nodes()), 0);
+      {
+        std::vector<NodeId> stack{nk};
+        nk_tfi[static_cast<std::size_t>(nk)] = 1;
+        while (!stack.empty()) {
+          const NodeId n = stack.back();
+          stack.pop_back();
+          for (NodeId f : net.node(n).fanins)
+            if (!nk_tfi[static_cast<std::size_t>(f)]) {
+              nk_tfi[static_cast<std::size_t>(f)] = 1;
+              stack.push_back(f);
+            }
+        }
+      }
+
       // Dry-run the real gains.
       int total = -factored_literal_count(func);
       const auto& nodes = occurrences.at(*gk);
       for (NodeId id : nodes) {
-        if (!net.node(id).alive || net.depends_on(nk, id)) continue;
+        if (!net.node(id).alive || nk_tfi[static_cast<std::size_t>(id)])
+          continue;
         const auto gain = algebraic_substitute(net, id, nk, ropts, false);
         if (gain) total += *gain;
       }
@@ -116,7 +137,8 @@ ExtractStats gkx(Network& net, const ExtractOptions& opts) {
       }
       int uses = 0;
       for (NodeId id : nodes) {
-        if (!net.node(id).alive || net.depends_on(nk, id)) continue;
+        if (!net.node(id).alive || nk_tfi[static_cast<std::size_t>(id)])
+          continue;
         if (algebraic_substitute(net, id, nk, ropts, /*commit=*/true)) ++uses;
       }
       net.sweep();

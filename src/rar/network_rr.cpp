@@ -36,6 +36,8 @@ NetworkRrStats network_redundancy_removal(Network& net,
   ropts.learning_depth = opts.learning_depth;
   ropts.both_polarities = opts.both_polarities;
   ropts.to_fixpoint = true;
+  ropts.one_pass = opts.one_pass;
+  ropts.implication_budget = opts.implication_budget;
   stats.wires_removed = remove_all_redundancies(gn, ropts);
   OBS_COUNT("network_rr.wires_removed", stats.wires_removed);
   if (stats.wires_removed == 0) {

@@ -18,6 +18,13 @@ struct NetworkRrOptions {
   int learning_depth = 0;
   /// Also test the gate-constant-izing fault polarity.
   bool both_polarities = true;
+  /// One-pass sweep (RemoveOptions::one_pass): the default. The legacy
+  /// per-wire loop is kept as the byte-equality oracle — results are
+  /// identical, so flipping this only changes the run time.
+  bool one_pass = true;
+  /// RemoveOptions::implication_budget: 0 = exact (the default); the
+  /// large tier caps closure drains to keep 10^5-node sweeps linear.
+  int implication_budget = 0;
 };
 
 struct NetworkRrStats {

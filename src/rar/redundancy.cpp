@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/ledger.hpp"
+#include "obs/obs.hpp"
 
 namespace rarsub {
 
@@ -28,6 +29,51 @@ int resolve(const GateNet& net, const WireKey& k) {
   return -1;
 }
 
+// The one-pass sweep: identical wire enumeration, resolution and removal
+// actions as the legacy loop below, but all faults of a pass go through
+// one persistent FaultAnalyzer that is kept exact across removals by the
+// journal hooks. Same verdicts at every step => byte-identical results.
+int remove_redundant_wires_onepass(GateNet& net,
+                                   const std::vector<WireKey>& keys,
+                                   const RemoveOptions& opts) {
+  OBS_COUNT("rr.onepass.sweeps", 1);
+  OBS_PHASE("rr.onepass.sweep");
+  FaultAnalyzer fa(net, opts.learning_depth, opts.implication_budget);
+  int removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const WireKey& k : keys) {
+      const Gate& gd = net.gate(k.gate);
+      if (gd.type != GateType::And && gd.type != GateType::Or) continue;
+      const int pin = resolve(net, k);
+      if (pin < 0) continue;
+      const WireRef w{k.gate, pin};
+      const bool del_val = removal_stuck_value(gd.type);
+      if (fa.untestable(w, del_val)) {
+        OBS_EVENT(.kind = obs::EventKind::WireRemove, .node = w.gate,
+                  .divisor = w.pin, .reason = "pin");
+        net.remove_fanin(w);
+        fa.note_remove_fanin(w.gate, k.src.gate);
+        ++removed;
+        changed = true;
+        continue;
+      }
+      if (opts.both_polarities && fa.untestable(w, !del_val)) {
+        OBS_EVENT(.kind = obs::EventKind::WireRemove, .node = w.gate,
+                  .divisor = w.pin, .reason = "const");
+        const std::vector<Signal> former = gd.fanins;
+        net.make_const(k.gate, gd.type == GateType::Or);
+        fa.note_make_const(k.gate, former);
+        ++removed;
+        changed = true;
+      }
+    }
+    if (!opts.to_fixpoint) break;
+  }
+  return removed;
+}
+
 }  // namespace
 
 int remove_redundant_wires(GateNet& net, const std::vector<WireRef>& candidates,
@@ -38,6 +84,7 @@ int remove_redundant_wires(GateNet& net, const std::vector<WireRef>& candidates,
     const Gate& gd = net.gate(w.gate);
     keys.push_back(WireKey{w.gate, gd.fanins[static_cast<std::size_t>(w.pin)]});
   }
+  if (opts.one_pass) return remove_redundant_wires_onepass(net, keys, opts);
 
   int removed = 0;
   bool changed = true;

@@ -21,6 +21,18 @@ struct RemoveOptions {
   bool both_polarities = false;
   /// Iterate to fixpoint (a removal can expose further redundancies).
   bool to_fixpoint = true;
+  /// Use the one-pass heuristic (Teslenko & Dubrova, PAPERS.md): one
+  /// persistent FaultAnalyzer whose implication state is rewound by trail
+  /// and patched from the removal journal, instead of a from-scratch ATPG
+  /// per wire. Verdicts — and therefore results — are byte-identical to
+  /// the legacy loop; only the cost per wire changes.
+  bool one_pass = false;
+  /// Implication-effort dial for the one-pass analyzer: cap each closure
+  /// drain at this many gate visits (ImplicationEngine::set_visit_budget).
+  /// 0 = exact/unlimited. A positive budget trades removals for linear
+  /// per-fault cost — the large workload tier's setting. Ignored by the
+  /// legacy loop, whose per-wire ATPG is always exact.
+  int implication_budget = 0;
 };
 
 /// Remove redundant wires among `candidates` (pins are re-resolved by

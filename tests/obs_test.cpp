@@ -522,6 +522,17 @@ void exercise_every_subsystem() {
       remove_all_redundancies(gn, ro);
     }
   }
+  // The implication visit budget (the large tier's escape hatch): a
+  // 1-visit cap guarantees truncated closure drains.
+  {
+    std::mt19937 rng3(43);
+    GateNet gn = random_gatenet(rng3, 5, 14);
+    RemoveOptions ro;
+    ro.both_polarities = true;
+    ro.one_pass = true;  // the budget is a one-pass analyzer dial
+    ro.implication_budget = 1;
+    remove_all_redundancies(gn, ro);
+  }
   // Network-level redundancy removal: f = ab + a'c + bc has a redundant
   // consensus cube.
   {

@@ -4,7 +4,7 @@
 Usage:
   bench_compare.py BASELINE CURRENT [--cpu-threshold PCT]
                    [--alloc-threshold PCT] [--rss-threshold PCT]
-                   [--require-mem] [--out FILE]
+                   [--budget-scale FACTOR] [--require-mem] [--out FILE]
   bench_compare.py CPU_REPORT MEM_REPORT --merge-out FILE
   bench_compare.py --self-test
 
@@ -17,8 +17,9 @@ Exit status:
   1  regression: any per-row literal-count increase, a per-method total CPU
      increase beyond --cpu-threshold percent, a per-method total allocation
      increase beyond --alloc-threshold percent, a per-method peak-RSS
-     increase beyond --rss-threshold percent, missing coverage in CURRENT,
-     or equivalence failures in CURRENT
+     increase beyond --rss-threshold percent, any row over its committed
+     time budget, missing coverage in CURRENT, or equivalence failures in
+     CURRENT
   2  bad invocation / unreadable or malformed report
 
 Literal counts are deterministic, so the literal gate is strict (any
@@ -30,6 +31,14 @@ than CPU) default threshold; peak RSS includes allocator/kernel slack and
 gets a looser one. The memory gates only engage when both reports carry
 the fields (RARSUB_MEMSTAT=1 runs) — pass --require-mem to fail instead
 of skip when CURRENT lacks them, so CI can't silently lose the gate.
+
+Time budgets are the large tier's hard gate: rows whose BASELINE copy
+carries a `time_budget_s` field (committed when the bench binary declares
+one, see bench/table_large.cpp) fail outright when the CURRENT run's
+cpu_ms exceeds budget * --budget-scale. Unlike the relative CPU gate this
+is an absolute ceiling — it catches the "baseline quietly re-blessed
+slower" drift a percentage gate can never see. --budget-scale exists for
+slow machines (local laptops, emulation); CI runs at 1.0.
 
 --merge-out grafts the memory fields of MEM_REPORT (a RARSUB_MEMSTAT=1
 run) onto the rows of CPU_REPORT (a memstat-off run, whose timings are
@@ -59,6 +68,9 @@ def load_report(path):
                 "literals": int(m["literals"]),
                 "cpu_ms": float(m["cpu_ms"]),
                 "equivalent": bool(m.get("equivalent", True)),
+                # Committed wall-clock ceiling in seconds (None for rows
+                # whose bench binary declares no budget).
+                "time_budget_s": m.get("time_budget_s"),
                 # Candidate-filter accounting (None for reports predating
                 # the filter or for methods that don't run it).
                 "pairs_tried": tried,
@@ -209,6 +221,43 @@ def arena_util_lines(base_rows, cur_rows):
     return lines
 
 
+def budget_gate(base_rows, cur_rows, budget_scale):
+    """Hard per-row time-budget gate. The budget is the BASELINE's
+    time_budget_s (the committed contract travels with the committed
+    numbers; a current run cannot relax its own ceiling), falling back to
+    the CURRENT row's copy so a freshly added circuit is gated from its
+    first run. Rows without a budget on either side are not gated."""
+    lines = [""]
+    failures = []
+    header = "%-12s %-10s %10s %10s %8s  (time budgets, scale %.2f)" % (
+        "circuit", "method", "cur_ms", "budget_s", "used%", budget_scale)
+    printed = False
+    for key in sorted(cur_rows):
+        c = cur_rows[key]
+        b = base_rows.get(key, {})
+        budget = b.get("time_budget_s")
+        if budget is None:
+            budget = c.get("time_budget_s")
+        if budget is None or budget <= 0:
+            continue
+        if not printed:
+            lines.append(header)
+            printed = True
+        limit_ms = float(budget) * budget_scale * 1000.0
+        used = 100.0 * c["cpu_ms"] / limit_ms if limit_ms > 0 else 0.0
+        mark = ""
+        if c["cpu_ms"] > limit_ms:
+            mark = "  <-- OVER BUDGET"
+            failures.append(
+                "%s/%s: %.1fms exceeds time budget %.1fs (scale %.2f)"
+                % (key[0], key[1], c["cpu_ms"], float(budget), budget_scale))
+        lines.append("%-12s %-10s %10.1f %10.1f %7.1f%%%s" % (
+            key[0], key[1], c["cpu_ms"], float(budget), used, mark))
+    if not printed:
+        return [], []
+    return lines, failures
+
+
 def mem_gate(base_rows, cur_rows, alloc_threshold, rss_threshold,
              require_mem):
     """Memory gate over per-method aggregates: total allocation count
@@ -294,7 +343,8 @@ def mem_gate(base_rows, cur_rows, alloc_threshold, rss_threshold,
 
 
 def compare(base_report, base_rows, cur_report, cur_rows, cpu_threshold,
-            alloc_threshold=10.0, rss_threshold=30.0, require_mem=False):
+            alloc_threshold=10.0, rss_threshold=30.0, require_mem=False,
+            budget_scale=1.0):
     """Returns (lines, failures) where lines is the rendered delta table
     and failures is a list of human-readable regression descriptions."""
     lines = []
@@ -348,6 +398,10 @@ def compare(base_report, base_rows, cur_report, cur_rows, cpu_threshold,
                             % (method, bt, ct, d, cpu_threshold))
         lines.append("%-10s %12.1f %12.1f %+7.1f%%%s" % (method, bt, ct, d, mark))
 
+    bud_l, bud_f = budget_gate(base_rows, cur_rows, budget_scale)
+    lines.extend(bud_l)
+    failures.extend(bud_f)
+
     lines.extend(prune_rate_lines(base_rows, cur_rows))
     lines.extend(prof_drift_lines(base_rows, cur_rows))
     lines.extend(arena_util_lines(base_rows, cur_rows))
@@ -377,7 +431,8 @@ def run_compare(args):
 
     lines, failures = compare(base_report, base_rows, cur_report, cur_rows,
                               args.cpu_threshold, args.alloc_threshold,
-                              args.rss_threshold, args.require_mem)
+                              args.rss_threshold, args.require_mem,
+                              args.budget_scale)
     text = "\n".join(lines) + "\n"
     if failures:
         text += "\nREGRESSIONS:\n" + "\n".join("  - " + f for f in failures) + "\n"
@@ -450,12 +505,15 @@ def run_merge(args):
 # including that an injected 10% CPU regression fails at the default
 # threshold. Run from ctest so the comparator itself is covered.
 
-def _report(rows, eq_failures=0, mem=None, prof=None, arena=None):
+def _report(rows, eq_failures=0, mem=None, prof=None, arena=None,
+            budget=None):
     circuits = {}
     for (circuit, method), row in rows.items():
         lits, ms = row[0], row[1]
         entry = {"method": method, "literals": lits, "cpu_ms": ms,
                  "equivalent": True}
+        if budget is not None and (circuit, method) in budget:
+            entry["time_budget_s"] = budget[(circuit, method)]
         if len(row) > 2:  # (lits, ms, pairs_tried, pairs_pruned_sig)
             entry["obs"] = {"counters": {
                 "subst.pairs_tried": row[2],
@@ -499,6 +557,7 @@ def _rows_of(report):
             rows[(circuit["name"], m["method"])] = {
                 "literals": m["literals"], "cpu_ms": m["cpu_ms"],
                 "equivalent": m["equivalent"],
+                "time_budget_s": m.get("time_budget_s"),
                 "pairs_tried": tried, "pairs_pruned": pruned,
                 "allocs": m.get("allocs"),
                 "alloc_bytes": m.get("alloc_bytes"),
@@ -556,6 +615,18 @@ def self_test():
 
     def arena_text(b, cur):
         return "\n".join(arena_util_lines(_rows_of(b), _rows_of(cur)))
+
+    # Budgeted reports: 1s ceiling on every row; "fast" stays under it,
+    # "slow" blows through on one circuit only.
+    BUDGET = {("c432", "ext"): 1.0, ("c880", "ext"): 1.0}
+    base_budget = _report(LITS, budget=BUDGET)
+    slow_one = _report({("c432", "ext"): (200, 100.0),
+                        ("c880", "ext"): (300, 1500.0)}, budget=BUDGET)
+
+    def budget_verdict(b, cur, scale=1.0):
+        _, failures = compare(b, _rows_of(b), cur, _rows_of(cur), 5000.0,
+                              budget_scale=scale)
+        return failures
 
     checks = [
         ("identical reports pass",
@@ -615,6 +686,21 @@ def self_test():
         ("arena utilization is informational, never a gate",
          not mem_verdict(base_arena, base)
          and not mem_verdict(base, base_arena)),
+        ("rows under their time budget pass",
+         not budget_verdict(base_budget, base_budget)),
+        ("row over its time budget fails and is named",
+         any("c880/ext" in f and "time budget" in f
+             for f in budget_verdict(base_budget, slow_one))),
+        ("--budget-scale relaxes the ceiling",
+         not budget_verdict(base_budget, slow_one, scale=2.0)),
+        ("baseline budget gates a budget-less current run",
+         any("time budget" in f for f in budget_verdict(
+             base_budget, _report({("c432", "ext"): (200, 100.0),
+                                   ("c880", "ext"): (300, 1500.0)})))),
+        ("fresh current-side budget engages without a baseline copy",
+         any("time budget" in f for f in budget_verdict(base, slow_one))),
+        ("reports without budgets are not gated",
+         not budget_verdict(base, base)),
     ]
     ok = True
     for name, passed in checks:
@@ -636,6 +722,10 @@ def main():
     ap.add_argument("--rss-threshold", type=float, default=30.0,
                     help="max allowed per-method peak-RSS increase, percent "
                          "(default %(default)s)")
+    ap.add_argument("--budget-scale", type=float, default=1.0,
+                    help="multiply committed time_budget_s ceilings by this "
+                         "factor before gating (slow-machine override; "
+                         "default %(default)s)")
     ap.add_argument("--require-mem", action="store_true",
                     help="fail (instead of skip) when CURRENT lacks the "
                          "memory fields the baseline has")
